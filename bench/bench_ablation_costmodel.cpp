@@ -1,0 +1,155 @@
+// A5 — cost-model sensitivity analysis.
+//
+// The reproduced runtime figures rest on a simulated cost model (we have
+// no Xen testbed).  This bench demonstrates that the *claims* drawn from
+// Figs. 7-8 are robust to those constants:
+//
+//   (1) Module-Searcher dominance holds across a 25x sweep of the VMI
+//       page-mapping cost (the least certain constant), only fading when
+//       mapping becomes implausibly cheap (~1 us — faster than a 2012
+//       hypercall round-trip);
+//   (2) total runtime stays linear in the pool size for every setting;
+//   (3) the Fig. 8 knee follows the virtual-core count, not the costs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+#include "workload/heavyload.hpp"
+
+namespace {
+
+using namespace mc;
+
+constexpr const char* kModule = "http.sys";
+
+double searcher_share(cloud::CloudEnvironment& env,
+                      const core::ModCheckerConfig& cfg) {
+  core::ModChecker checker(env.hypervisor(), cfg);
+  const auto report = checker.check_module(env.guests()[0], kModule);
+  return static_cast<double>(report.cpu_times.searcher) /
+         static_cast<double>(report.cpu_times.total());
+}
+
+double linearity_r2(cloud::CloudEnvironment& env,
+                    const core::ModCheckerConfig& cfg) {
+  core::ModChecker checker(env.hypervisor(), cfg);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0, n = 0;
+  for (std::size_t vms = 2; vms <= env.guests().size(); ++vms) {
+    std::vector<vmm::DomainId> others(env.guests().begin() + 1,
+                                      env.guests().begin() +
+                                          static_cast<std::ptrdiff_t>(vms));
+    const auto report = checker.check_module(env.guests()[0], kModule, others);
+    const double x = static_cast<double>(vms);
+    const double y = to_ms(report.cpu_times.total());
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    n += 1;
+  }
+  const double cov = n * sxy - sx * sy;
+  return (cov * cov) / ((n * sxx - sx * sx) * (n * syy - sy * sy));
+}
+
+void print_table() {
+  std::printf("=== A5: sensitivity of the reproduced claims to the cost "
+              "model ===\n\n");
+
+  std::printf("(1) Searcher dominance vs VMI page-map cost (paper claim: "
+              "dominant):\n");
+  std::printf("%-18s %18s %12s\n", "page_map cost", "searcher share",
+              "dominant?");
+  for (const std::uint64_t us : {1ull, 5ull, 10ull, 25ull, 50ull, 100ull}) {
+    cloud::CloudConfig cc;
+    cc.guest_count = 15;
+    cloud::CloudEnvironment env(cc);
+    core::ModCheckerConfig cfg;
+    cfg.vmi_costs.page_map = sim_us(us);
+    const double share = searcher_share(env, cfg);
+    std::printf("%15llu us %17.1f%% %12s\n",
+                static_cast<unsigned long long>(us), share * 100,
+                share > 0.5 ? "yes" : "no");
+  }
+
+  std::printf("\n(2) Linearity (R^2 of total vs pool size) across cost "
+              "extremes:\n");
+  std::printf("%-34s %10s\n", "configuration", "R^2");
+  {
+    cloud::CloudConfig cc;
+    cc.guest_count = 15;
+    cloud::CloudEnvironment env(cc);
+    core::ModCheckerConfig cheap;
+    cheap.vmi_costs.page_map = sim_us(2);
+    cheap.host_costs.hash_per_byte = 1;
+    core::ModCheckerConfig expensive;
+    expensive.vmi_costs.page_map = sim_us(100);
+    expensive.host_costs.hash_per_byte = 16;
+    std::printf("%-34s %10.6f\n", "cheap VMI, cheap hash",
+                linearity_r2(env, cheap));
+    std::printf("%-34s %10.6f\n", "expensive VMI, expensive hash",
+                linearity_r2(env, expensive));
+  }
+
+  std::printf("\n(3) Fig. 8 knee position vs virtual-core count (contention "
+              "parameter, not cost):\n");
+  std::printf("%-8s %24s\n", "cores", "max marginal-step ratio at");
+  for (const std::uint32_t cores : {4u, 8u, 12u}) {
+    cloud::CloudConfig cc;
+    cc.guest_count = 15;
+    cc.hardware.physical_cores = cores / 2;
+    cc.hardware.hyperthreading = true;
+    cloud::CloudEnvironment env(cc);
+    workload::HeavyLoad heavyload(env);
+    core::ModChecker checker(env.hypervisor());
+
+    double prev_total = 0;
+    double max_ratio = 0;
+    std::size_t knee_at = 0;
+    double prev_step = 0;
+    for (std::size_t n = 2; n <= 15; ++n) {
+      heavyload.stress_guests(n);
+      std::vector<vmm::DomainId> others(env.guests().begin() + 1,
+                                        env.guests().begin() +
+                                            static_cast<std::ptrdiff_t>(n));
+      const auto report =
+          checker.check_module(env.guests()[0], kModule, others);
+      const double total = to_ms(report.cpu_times.total());
+      const double step = total - prev_total;
+      if (prev_step > 0 && step / prev_step > max_ratio) {
+        max_ratio = step / prev_step;
+        knee_at = n;
+      }
+      prev_step = step;
+      prev_total = total;
+    }
+    std::printf("%-8u %17zu VMs (x%.2f)\n", cores, knee_at, max_ratio);
+  }
+  std::printf("\n");
+}
+
+void BM_CheckWithExpensiveVmi(benchmark::State& state) {
+  cloud::CloudConfig cc;
+  cc.guest_count = 15;
+  cloud::CloudEnvironment env(cc);
+  core::ModCheckerConfig cfg;
+  cfg.vmi_costs.page_map = sim_us(static_cast<std::uint64_t>(state.range(0)));
+  core::ModChecker checker(env.hypervisor(), cfg);
+  for (auto _ : state) {
+    auto report = checker.check_module(env.guests()[0], kModule);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CheckWithExpensiveVmi)->Arg(5)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

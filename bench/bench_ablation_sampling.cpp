@@ -1,0 +1,101 @@
+// A6 — sampled-comparison ablation: cost vs vote reliability.
+//
+// The paper's sequential design costs O(t) per check (Fig. 7).  At cloud
+// scale an operator may sample k peers instead of all t-1.  This bench
+// quantifies the tradeoff on a 15-VM pool with exactly one infected VM:
+//
+//   * cost        — simulated time per check, linear in k;
+//   * TP rate     — infected subject flagged (always: it mismatches every
+//                   clean peer it meets);
+//   * FP rate     — CLEAN subject flagged because the infected copy
+//                   happened to dominate a tiny sample (possible at
+//                   k <= 2; impossible at k >= 3 with one infected peer);
+//   * leak rate   — clean subject's report still *reveals* the infected
+//                   peer via a mismatch, even when the vote stays clean
+//                   (the discrepancy signal the paper falls back on).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "attacks/inline_hook.hpp"
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+
+namespace {
+
+using namespace mc;
+
+constexpr const char* kModule = "hal.dll";
+constexpr std::size_t kTrials = 40;
+
+void print_table() {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 15;
+  cloud::CloudEnvironment env(cfg);
+  const vmm::DomainId infected = env.guests()[7];
+  attacks::InlineHookAttack{}.apply(env, infected, kModule);
+
+  core::ModChecker checker(env.hypervisor());
+
+  std::printf("=== A6: sampled comparisons (15 VMs, 1 infected, %zu trials "
+              "per k) ===\n",
+              kTrials);
+  std::printf("%-4s %14s %8s %8s %10s\n", "k", "cost[ms]", "TP", "FP",
+              "leak");
+  for (std::size_t k = 1; k <= 14; ++k) {
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    std::size_t leak = 0;
+    double cost_ms = 0;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      // Infected subject.
+      const auto bad = checker.check_module_sampled(
+          infected, kModule, k, trial * 1000 + k);
+      tp += bad.subject_clean ? 0 : 1;
+      // A clean subject (rotate through all 14, skipping the infected VM
+      // at position 7).
+      std::size_t clean_idx = trial % 14;
+      if (clean_idx >= 7) {
+        ++clean_idx;
+      }
+      const vmm::DomainId clean = env.guests()[clean_idx];
+      const auto good =
+          checker.check_module_sampled(clean, kModule, k, trial * 7919 + k);
+      fp += good.subject_clean ? 0 : 1;
+      leak += good.successes != good.total_comparisons ? 1 : 0;
+      cost_ms += to_ms(good.cpu_times.total());
+    }
+    std::printf("%-4zu %14.3f %7zu%% %7zu%% %9zu%%\n", k,
+                cost_ms / static_cast<double>(kTrials),
+                100 * tp / kTrials, 100 * fp / kTrials, 100 * leak / kTrials);
+  }
+  std::printf("\nReading: TP is 100%% for every k (an infected subject can "
+              "never match a clean\npeer); FPs exist only at k <= 2; the "
+              "leak column is the per-check chance a\nclean subject's "
+              "sample happens to include the infected VM (~k/14).\n\n");
+}
+
+void BM_SampledCheck(benchmark::State& state) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 15;
+  cloud::CloudEnvironment env(cfg);
+  core::ModChecker checker(env.hypervisor());
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto report =
+        checker.check_module_sampled(env.guests()[0], kModule, k, ++seed);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SampledCheck)->Arg(1)->Arg(3)->Arg(7)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 7 — "Runtime performance of ModChecker (and its components) on
+// different number of VMs when they are mostly idle".
+//
+// Reproduction: a 15-guest cloud, all idle; http.sys (the paper's module)
+// is checked across pools of 2..15 VMs.  The printed series is the
+// simulated per-component runtime; the paper's shape to reproduce is
+//   (a) linear growth of the total with the pool size, and
+//   (b) Module-Searcher dominating Parser and Integrity-Checker.
+// A least-squares linearity fit (R^2) quantifies (a).
+//
+// The google-benchmark section additionally measures real host wall time
+// of the full pipeline, for library-performance tracking.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+
+namespace {
+
+using namespace mc;
+
+constexpr const char* kModule = "http.sys";
+
+std::unique_ptr<cloud::CloudEnvironment> make_env() {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 15;
+  return std::make_unique<cloud::CloudEnvironment>(cfg);
+}
+
+struct Row {
+  std::size_t vms;
+  double searcher_ms, parser_ms, checker_ms, total_ms;
+};
+
+std::vector<Row> sweep(cloud::CloudEnvironment& env) {
+  std::vector<Row> rows;
+  core::ModChecker checker(env.hypervisor());
+  for (std::size_t n = 2; n <= env.guests().size(); ++n) {
+    std::vector<vmm::DomainId> others(env.guests().begin() + 1,
+                                      env.guests().begin() +
+                                          static_cast<std::ptrdiff_t>(n));
+    const auto report =
+        checker.check_module(env.guests()[0], kModule, others);
+    rows.push_back({n, to_ms(report.cpu_times.searcher),
+                    to_ms(report.cpu_times.parser),
+                    to_ms(report.cpu_times.checker),
+                    to_ms(report.cpu_times.total())});
+  }
+  return rows;
+}
+
+/// R^2 of a least-squares line fit through (x=vms, y=total).
+double linearity_r2(const std::vector<Row>& rows) {
+  const double n = static_cast<double>(rows.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (const auto& r : rows) {
+    const double x = static_cast<double>(r.vms);
+    sx += x;
+    sy += r.total_ms;
+    sxx += x * x;
+    sxy += x * r.total_ms;
+    syy += r.total_ms * r.total_ms;
+  }
+  const double cov = n * sxy - sx * sy;
+  const double vx = n * sxx - sx * sx;
+  const double vy = n * syy - sy * sy;
+  return (cov * cov) / (vx * vy);
+}
+
+void print_table() {
+  auto env = make_env();
+  const auto rows = sweep(*env);
+
+  std::printf("=== Figure 7: ModChecker runtime, idle VMs (module %s) ===\n",
+              kModule);
+  std::printf("%-5s %14s %14s %14s %12s\n", "VMs", "Searcher[ms]",
+              "Parser[ms]", "Checker[ms]", "Total[ms]");
+  for (const auto& r : rows) {
+    std::printf("%-5zu %14.3f %14.3f %14.3f %12.3f\n", r.vms, r.searcher_ms,
+                r.parser_ms, r.checker_ms, r.total_ms);
+  }
+  const auto& last = rows.back();
+  std::printf("\nShape checks (paper §V-C.1):\n");
+  std::printf("  linear total vs pool size: R^2 = %.5f (expect > 0.999)\n",
+              linearity_r2(rows));
+  std::printf("  searcher share at 15 VMs : %.1f%% (expect dominant)\n",
+              100.0 * last.searcher_ms / last.total_ms);
+  std::printf("  component order          : searcher %s parser, checker\n\n",
+              (last.searcher_ms > last.parser_ms &&
+               last.searcher_ms > last.checker_ms)
+                  ? ">"
+                  : "!>");
+}
+
+void BM_CheckModuleIdle(benchmark::State& state) {
+  auto env = make_env();
+  core::ModChecker checker(env->hypervisor());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<vmm::DomainId> others(env->guests().begin() + 1,
+                                    env->guests().begin() +
+                                        static_cast<std::ptrdiff_t>(n));
+  for (auto _ : state) {
+    auto report = checker.check_module(env->guests()[0], kModule, others);
+    benchmark::DoNotOptimize(report);
+    state.counters["sim_total_ms"] = to_ms(report.cpu_times.total());
+  }
+}
+BENCHMARK(BM_CheckModuleIdle)->Arg(2)->Arg(8)->Arg(15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

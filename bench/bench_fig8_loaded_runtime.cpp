@@ -1,0 +1,124 @@
+// Figure 8 — "Runtime performance of ModChecker (and its components) on
+// different number of VMs when they are exhaustively using their
+// resources".
+//
+// Reproduction: the same http.sys sweep as Fig. 7, but every VM in the
+// pool runs HeavyLoad.  The paper's shape: runtime tracks Fig. 7 with a
+// mild inflation while the number of loaded VMs is at or below the 8
+// virtual cores, then grows *nonlinearly* past that knee ("a sudden
+// nonlinear growth ... when the number of heavily loaded VMs exceeded the
+// number of available virtual cores").
+//
+// The printed per-step growth ratio makes the knee visible numerically.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+#include "workload/heavyload.hpp"
+
+namespace {
+
+using namespace mc;
+
+constexpr const char* kModule = "http.sys";
+
+struct Row {
+  std::size_t vms;
+  double searcher_ms, parser_ms, checker_ms, total_ms, slowdown;
+};
+
+void print_table() {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 15;
+  cloud::CloudEnvironment env(cfg);
+  workload::HeavyLoad heavyload(env);
+  core::ModChecker checker(env.hypervisor());
+
+  std::vector<Row> rows;
+  for (std::size_t n = 2; n <= env.guests().size(); ++n) {
+    // Every VM participating in the comparison runs HeavyLoad.
+    heavyload.stress_guests(n);
+    std::vector<vmm::DomainId> others(env.guests().begin() + 1,
+                                      env.guests().begin() +
+                                          static_cast<std::ptrdiff_t>(n));
+    const auto report = checker.check_module(env.guests()[0], kModule, others);
+    rows.push_back({n, to_ms(report.cpu_times.searcher),
+                    to_ms(report.cpu_times.parser),
+                    to_ms(report.cpu_times.checker),
+                    to_ms(report.cpu_times.total()),
+                    env.hypervisor().dom0_slowdown()});
+  }
+  heavyload.stop_all();
+
+  const std::uint32_t cores = env.hypervisor().hardware().virtual_cores();
+  std::printf(
+      "=== Figure 8: ModChecker runtime, HeavyLoad VMs (module %s, %u "
+      "virtual cores) ===\n",
+      kModule, cores);
+  std::printf("%-5s %14s %14s %14s %12s %10s %8s\n", "VMs", "Searcher[ms]",
+              "Parser[ms]", "Checker[ms]", "Total[ms]", "slowdown",
+              "step");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double step =
+        i == 0 ? 0.0 : rows[i].total_ms - rows[i - 1].total_ms;
+    std::printf("%-5zu %14.3f %14.3f %14.3f %12.3f %10.2fx %8.3f\n",
+                rows[i].vms, rows[i].searcher_ms, rows[i].parser_ms,
+                rows[i].checker_ms, rows[i].total_ms, rows[i].slowdown, step);
+  }
+
+  // Knee check: the marginal cost per added VM must jump once the busy VM
+  // count passes the core count.
+  double pre_knee_step = 0, post_knee_step = 0;
+  std::size_t pre_n = 0, post_n = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const double step = rows[i].total_ms - rows[i - 1].total_ms;
+    if (rows[i].vms <= cores) {
+      pre_knee_step += step;
+      ++pre_n;
+    } else {
+      post_knee_step += step;
+      ++post_n;
+    }
+  }
+  pre_knee_step /= static_cast<double>(pre_n);
+  post_knee_step /= static_cast<double>(post_n);
+  std::printf("\nShape checks (paper §V-C.1 / Fig. 8):\n");
+  std::printf("  mean step (<= %u busy VMs): %.3f ms/VM\n", cores,
+              pre_knee_step);
+  std::printf("  mean step ( > %u busy VMs): %.3f ms/VM\n", cores,
+              post_knee_step);
+  std::printf("  nonlinear knee ratio       : %.2fx (expect >> 1)\n\n",
+              post_knee_step / pre_knee_step);
+}
+
+void BM_CheckModuleLoaded(benchmark::State& state) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 15;
+  cloud::CloudEnvironment env(cfg);
+  workload::HeavyLoad heavyload(env);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  heavyload.stress_guests(n);
+  core::ModChecker checker(env.hypervisor());
+  std::vector<vmm::DomainId> others(env.guests().begin() + 1,
+                                    env.guests().begin() +
+                                        static_cast<std::ptrdiff_t>(n));
+  for (auto _ : state) {
+    auto report = checker.check_module(env.guests()[0], kModule, others);
+    benchmark::DoNotOptimize(report);
+    state.counters["sim_total_ms"] = to_ms(report.cpu_times.total());
+  }
+}
+BENCHMARK(BM_CheckModuleLoaded)->Arg(4)->Arg(8)->Arg(15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

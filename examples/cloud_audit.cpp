@@ -1,0 +1,72 @@
+// Cloud audit — sweep EVERY module across the whole pool, the way a cloud
+// operator would run ModChecker as a periodic consistency check
+// (the paper's intro scenario: "large cloud servers" running many
+// identical VMs).
+//
+// The example plants two infections (a disk-first opcode replacement on
+// Dom2's hal.dll and a header tamper on Dom4's ntfs.sys), then prints an
+// audit matrix module x VM and a summary of flagged (module, VM) pairs.
+//
+// Build & run:  ./build/examples/cloud_audit
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attacks/header_tamper.hpp"
+#include "attacks/opcode_replace.hpp"
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+
+int main() {
+  using namespace mc;
+
+  cloud::CloudConfig config;
+  config.guest_count = 8;
+  cloud::CloudEnvironment env(config);
+
+  // Plant infections on two different guests/modules.
+  attacks::OpcodeReplaceAttack opcode;
+  opcode.apply(env, env.guests()[1], "hal.dll");
+  attacks::HeaderTamperAttack tamper;
+  tamper.apply(env, env.guests()[3], "ntfs.sys");
+
+  core::ModChecker checker(env.hypervisor());
+
+  std::printf("=== Cloud audit: %zu guests x %zu modules ===\n",
+              env.guests().size(), env.config().load_order.size());
+  std::printf("%-14s", "module");
+  for (const auto vm : env.guests()) {
+    std::printf(" Dom%-3u", vm);
+  }
+  std::printf("\n");
+
+  struct Finding {
+    std::string module;
+    vmm::DomainId vm;
+  };
+  std::vector<Finding> findings;
+
+  SimNanos total_sim = 0;
+  for (const auto& module : env.config().load_order) {
+    const auto report = checker.scan_pool(module, env.guests());
+    total_sim += report.wall_time;
+    std::printf("%-14s", module.c_str());
+    for (const auto& verdict : report.verdicts) {
+      std::printf(" %-6s", verdict.clean ? "ok" : "FLAG");
+      if (!verdict.clean) {
+        findings.push_back({module, verdict.vm});
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFindings (%zu):\n", findings.size());
+  for (const auto& f : findings) {
+    std::printf("  %s on Dom%u — schedule deep analysis / revert to clean "
+                "snapshot\n",
+                f.module.c_str(), f.vm);
+  }
+  std::printf("\nFull-audit simulated cost: %s\n",
+              format_sim_nanos(total_sim).c_str());
+  return findings.size() == 2 ? 0 : 1;
+}

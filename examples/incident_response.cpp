@@ -1,0 +1,75 @@
+// Incident response — the full §III remediation loop:
+//
+//   detect (light-weight ModChecker pass) -> localize (pool scan finds the
+//   odd VM out) -> confirm (a heavier LKIM-style measurement against a
+//   trusted copy) -> remediate (revert the VM to its clean snapshot) ->
+//   verify (re-check comes back clean).
+//
+// A TCPIRPHOOK-style inline hook is planted on a random guest's hal.dll;
+// the responder does not know which one.
+//
+// Build & run:  ./build/examples/incident_response
+#include <cstdio>
+
+#include "attacks/inline_hook.hpp"
+#include "baselines/lkim_style.hpp"
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace mc;
+
+  cloud::CloudConfig config;
+  config.guest_count = 10;
+  cloud::CloudEnvironment env(config);
+  env.snapshot_all();  // operators keep clean snapshots (§III)
+
+  // An attacker compromises one guest (unknown to the responder).
+  Xoshiro256 rng(2026);
+  const vmm::DomainId victim =
+      env.guests()[rng.below(env.guests().size())];
+  attacks::InlineHookAttack{}.apply(env, victim, "hal.dll");
+  std::printf("[attacker] hal.dll hooked on some guest...\n\n");
+
+  // 1-2. Detect & localize with a pool scan.
+  core::ModChecker checker(env.hypervisor());
+  const auto scan = checker.scan_pool("hal.dll", env.guests());
+  vmm::DomainId flagged = 0;
+  for (const auto& v : scan.verdicts) {
+    std::printf("[modchecker] Dom%-2u %s (%zu/%zu matches)\n", v.vm,
+                v.clean ? "clean  " : "FLAGGED", v.successes, v.total);
+    if (!v.clean) {
+      flagged = v.vm;
+    }
+  }
+  if (flagged == 0) {
+    std::printf("no discrepancy found — incident response aborted\n");
+    return 1;
+  }
+  std::printf("\n[responder] discrepancy localized to Dom%u (simulated scan "
+              "cost %s)\n",
+              flagged, format_sim_nanos(scan.wall_time).c_str());
+
+  // 3. Confirm with the heavier trusted-repository measurement.
+  const baselines::LkimStyleChecker lkim(env.golden().all());
+  const auto confirm = lkim.check(env, flagged, "hal.dll");
+  std::printf("[lkim-style] %s\n",
+              confirm.flagged ? confirm.detail.c_str()
+                              : "no divergence (false alarm?)");
+
+  // 4. Remediate: revert to the clean snapshot.
+  env.revert(flagged);
+  std::printf("[responder] Dom%u reverted to clean snapshot\n", flagged);
+
+  // 5. Verify.
+  const auto recheck = checker.check_module(flagged, "hal.dll");
+  std::printf("[modchecker] post-revert verdict: %s (%zu/%zu matches)\n",
+              recheck.subject_clean ? "clean" : "STILL FLAGGED",
+              recheck.successes, recheck.total_comparisons);
+
+  const bool success = confirm.flagged && recheck.subject_clean &&
+                       flagged == victim;
+  std::printf("\nincident response %s\n", success ? "SUCCEEDED" : "FAILED");
+  return success ? 0 : 1;
+}

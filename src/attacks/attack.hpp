@@ -1,0 +1,51 @@
+// Attack framework — the adversary side of the evaluation.
+//
+// Each attack imitates a rootkit/infection technique from the paper's §V-B
+// (plus a few extensions from its related-work discussion).  Attacks come
+// in two flavours mirroring how real infections happen:
+//
+//   * disk attacks  — mutate the module's PE file and reload it ("most
+//     malware infects files on disk first, and then loads the infected
+//     file into memory", §II).  E1, E3, E4.
+//   * memory attacks — patch the already-loaded image inside guest memory
+//     (classic runtime hooking).  E2 and the extensions.
+//
+// Every attack reports which integrity items ModChecker is expected to
+// flag, so detection tests and the A2 baseline-comparison bench can assert
+// exact outcomes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/environment.hpp"
+#include "vmm/domain.hpp"
+
+namespace mc::attacks {
+
+struct AttackResult {
+  std::string attack_name;
+  std::string description;
+  /// Integrity-item names ModChecker must flag (paper terminology:
+  /// "IMAGE_DOS_HEADER", "IMAGE_OPTIONAL_HEADER", ".text", ...).
+  std::vector<std::string> expected_flagged;
+  /// False for techniques outside ModChecker's detection surface (e.g. IAT
+  /// hooks living in writable .idata) — used by the limitations tests.
+  bool detectable_by_modchecker = true;
+  /// True when the infection also exists in the on-disk file (determines
+  /// whether SVV-style disk/memory cross-view can see a difference).
+  bool infects_disk_file = false;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Applies the technique to `module` on guest `vm`.
+  virtual AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                             const std::string& module) const = 0;
+};
+
+}  // namespace mc::attacks

@@ -1,0 +1,29 @@
+#include "attacks/byte_patch.hpp"
+
+#include "attacks/guest_writer.hpp"
+#include "util/error.hpp"
+
+namespace mc::attacks {
+
+AttackResult BytePatchAttack::apply(cloud::CloudEnvironment& env,
+                                    vmm::DomainId vm,
+                                    const std::string& module) const {
+  MC_CHECK(xor_mask_ != 0, "xor mask 0 is a no-op, not an attack");
+  GuestMemoryWriter writer(env, vm);
+  std::uint32_t base = 0;
+  const Bytes image = writer.read_module_image(module, &base);
+  MC_CHECK(rva_ < image.size(), "patch RVA outside module image");
+
+  const std::uint8_t patched =
+      static_cast<std::uint8_t>(image[rva_] ^ xor_mask_);
+  writer.write(base + rva_, ByteView(&patched, 1));
+
+  AttackResult result;
+  result.attack_name = name();
+  result.description = "byte at RVA 0x" + std::to_string(rva_) + " of " +
+                       module + " XOR-ed in guest memory";
+  result.infects_disk_file = false;
+  return result;
+}
+
+}  // namespace mc::attacks

@@ -1,0 +1,30 @@
+// Parameterized single-byte patch — the property-test workhorse.
+//
+// Flips one byte at a chosen RVA of a loaded module in guest memory.  The
+// paper's thesis is that *any* change to a hashed item is detected; the
+// property suite sweeps this attack across every item and offset class.
+#pragma once
+
+#include <cstdint>
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class BytePatchAttack final : public Attack {
+ public:
+  /// Patches `rva` by XOR-ing `xor_mask` into the current byte.
+  BytePatchAttack(std::uint32_t rva, std::uint8_t xor_mask = 0xFF)
+      : rva_(rva), xor_mask_(xor_mask) {}
+
+  std::string name() const override { return "single-byte-patch"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+
+ private:
+  std::uint32_t rva_;
+  std::uint8_t xor_mask_;
+};
+
+}  // namespace mc::attacks

@@ -1,0 +1,57 @@
+#include "attacks/campaign.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mc::attacks {
+
+CampaignResult InfectionCampaign::run(cloud::CloudEnvironment& env,
+                                      const Attack& attack,
+                                      const std::string& module,
+                                      vmm::DomainId patient_zero) {
+  const auto& guests = env.guests();
+  MC_CHECK(std::find(guests.begin(), guests.end(), patient_zero) !=
+               guests.end(),
+           "patient zero is not a guest");
+
+  Xoshiro256 rng(config_.seed);
+  CampaignResult result;
+  std::set<vmm::DomainId> infected;
+
+  attack.apply(env, patient_zero, module);
+  infected.insert(patient_zero);
+  result.infected.push_back(patient_zero);
+  result.waves.push_back({0, {patient_zero}, 1});
+
+  for (std::size_t wave = 1;
+       wave <= config_.max_waves && infected.size() < guests.size();
+       ++wave) {
+    std::vector<vmm::DomainId> newly;
+    for (const vmm::DomainId victim : guests) {
+      if (infected.count(victim)) {
+        continue;
+      }
+      // Each infected VM gets an independent shot at this victim.
+      bool hit = false;
+      for (std::size_t k = 0; k < infected.size() && !hit; ++k) {
+        hit = rng.chance(config_.contact_infectivity);
+      }
+      if (hit) {
+        newly.push_back(victim);
+      }
+    }
+    for (const vmm::DomainId victim : newly) {
+      attack.apply(env, victim, module);
+      infected.insert(victim);
+      result.infected.push_back(victim);
+    }
+    if (!newly.empty()) {
+      result.waves.push_back({wave, newly, infected.size()});
+    }
+  }
+  return result;
+}
+
+}  // namespace mc::attacks

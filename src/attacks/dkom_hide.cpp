@@ -1,0 +1,24 @@
+#include "attacks/dkom_hide.hpp"
+
+#include "util/error.hpp"
+
+namespace mc::attacks {
+
+AttackResult DkomHideAttack::apply(cloud::CloudEnvironment& env,
+                                   vmm::DomainId vm,
+                                   const std::string& module) const {
+  MC_CHECK(env.kernel(vm).unlink_module_entry(module),
+           "module to hide is not in the loader list");
+
+  AttackResult result;
+  result.attack_name = name();
+  result.description =
+      module + " unlinked from PsLoadedModuleList (DKOM hiding)";
+  // No hash mismatch — the discrepancy surfaces as a missing module.
+  result.expected_flagged = {};
+  result.detectable_by_modchecker = true;  // via missing_on, not hashes
+  result.infects_disk_file = false;
+  return result;
+}
+
+}  // namespace mc::attacks

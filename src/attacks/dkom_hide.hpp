@@ -1,0 +1,22 @@
+// Extension — DKOM module hiding.
+//
+// Direct Kernel Object Manipulation: the module's LDR_DATA_TABLE_ENTRY is
+// unlinked from PsLoadedModuleList so in-guest tools (and Module-Searcher)
+// no longer see it.  ModChecker cannot hash a module it cannot find, but
+// the *absence* on one VM while the rest of the pool has it loaded is
+// itself the discrepancy ModChecker reports (CheckReport::missing_on).
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class DkomHideAttack final : public Attack {
+ public:
+  std::string name() const override { return "dkom-module-hiding"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+};
+
+}  // namespace mc::attacks

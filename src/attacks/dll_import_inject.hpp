@@ -1,0 +1,38 @@
+// E4 — PE header modification via DLL hooking (paper §V-B.4).
+//
+// Replicates the CFF Explorer workflow: a payload DLL (inject.dll exporting
+// callMessageBox) is attached to dummy.sys by rewriting the import
+// machinery:
+//   * a new import table is emitted into an appended section — old DLLs'
+//     descriptors keep pointing at their original thunk arrays, the new
+//     DLL gets fresh ones (exactly how import-adder tools work);
+//   * the import data directory, SizeOfImage and NumberOfSections grow,
+//     and the tool re-stamps TimeDateStamp and the checksum;
+//   * a call through the new IAT slot is appended to .text, growing its
+//     VirtualSize ("the size of the code visible to the module will
+//     change, thus increasing the VirtualSize value", §V-B.4).
+//
+// ModChecker must flag IMAGE_NT_HEADER, IMAGE_OPTIONAL_HEADER, the changed
+// SECTION_HEADERs, the injected section header, and .text.  (The paper
+// reports *all* section headers flagged because CFF's rebuild also repacks
+// raw file offsets; our injector is more surgical — see EXPERIMENTS.md.)
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class DllImportInjectAttack final : public Attack {
+ public:
+  std::string name() const override { return "pe-header-dll-hooking"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+
+  /// File-level injection, exposed for unit tests: attaches
+  /// `dll_name`!`function_name` to the image's import machinery.
+  static Bytes infect_file(ByteView pe_file, const std::string& dll_name,
+                           const std::string& function_name);
+};
+
+}  // namespace mc::attacks

@@ -1,0 +1,23 @@
+// Extension — export address table (EAT) hooking.
+//
+// The counterpart of IAT hooking on the provider side: the rootkit
+// rewrites an exported function's RVA in the module's export directory so
+// every *future* import resolution binds to attacker code.  Unlike the
+// IAT (writable, legitimately rebound per VM), the export directory lives
+// in read-only `.edata` and is identical across VMs — squarely inside
+// ModChecker's checked surface, so this attack must be detected.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class EatHookAttack final : public Attack {
+ public:
+  std::string name() const override { return "eat-hooking"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+};
+
+}  // namespace mc::attacks

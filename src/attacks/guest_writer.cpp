@@ -1,0 +1,41 @@
+#include "attacks/guest_writer.hpp"
+
+#include "util/error.hpp"
+
+namespace mc::attacks {
+
+Bytes GuestMemoryWriter::read(std::uint32_t va, std::size_t len) const {
+  Bytes out(len, 0);
+  env_->kernel(vm_).address_space().read_virtual(va, out);
+  return out;
+}
+
+void GuestMemoryWriter::write(std::uint32_t va, ByteView data) {
+  env_->kernel(vm_).address_space().write_virtual(va, data);
+}
+
+Bytes GuestMemoryWriter::read_module_image(const std::string& module,
+                                           std::uint32_t* base_out) const {
+  const auto* rec = env_->loader(vm_).find(module);
+  if (rec == nullptr) {
+    throw NotFoundError("module not loaded in guest: " + module);
+  }
+  if (base_out != nullptr) {
+    *base_out = rec->base;
+  }
+  return read(rec->base, rec->size_of_image);
+}
+
+void reload_with_infected_file(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                               const std::string& module,
+                               ByteView infected_file) {
+  // Disk-first infection: the file is replaced on the guest's disk, then
+  // the (infected) file is what gets loaded — the workflow §II notes most
+  // malware follows.
+  env.write_disk_file(vm, module, Bytes(infected_file.begin(),
+                                        infected_file.end()));
+  env.loader(vm).unload(module);
+  env.loader(vm).load(module, infected_file);
+}
+
+}  // namespace mc::attacks

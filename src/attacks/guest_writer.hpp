@@ -1,0 +1,42 @@
+// The adversary's arm inside a guest.
+//
+// ModChecker's introspection layer is read-only by design; infections are
+// performed through this separate, clearly marked API that models malicious
+// kernel-level code running *inside* the guest (it writes through the
+// guest's own address space, not through VMI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/environment.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::attacks {
+
+class GuestMemoryWriter {
+ public:
+  GuestMemoryWriter(cloud::CloudEnvironment& env, vmm::DomainId vm)
+      : env_(&env), vm_(vm) {}
+
+  Bytes read(std::uint32_t va, std::size_t len) const;
+  void write(std::uint32_t va, ByteView data);
+
+  /// Reads the whole mapped image of a loaded module (throws NotFoundError
+  /// if the module is not loaded).
+  Bytes read_module_image(const std::string& module,
+                          std::uint32_t* base_out = nullptr) const;
+
+ private:
+  cloud::CloudEnvironment* env_;
+  vmm::DomainId vm_;
+};
+
+/// Replaces a module on disk and "reboots" it into memory: unloads the
+/// clean module and loads `infected_file` in its place (the E1/E3/E4
+/// infect-then-(re)load workflow; OSR Driver Loader in the paper).
+void reload_with_infected_file(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                               const std::string& module,
+                               ByteView infected_file);
+
+}  // namespace mc::attacks

@@ -1,0 +1,21 @@
+// Extension — in-memory PE header tampering.
+//
+// Rootkits sometimes patch header fields of loaded modules (entry point
+// redirection, size lies to confuse scanners).  This attack bumps
+// AddressOfEntryPoint in the *loaded* image; ModChecker must flag the
+// IMAGE_OPTIONAL_HEADER item.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class HeaderTamperAttack final : public Attack {
+ public:
+  std::string name() const override { return "header-tampering"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+};
+
+}  // namespace mc::attacks

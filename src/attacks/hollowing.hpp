@@ -1,0 +1,31 @@
+// Extension — module hollowing.
+//
+// The kernel-space cousin of process hollowing: the attacker keeps a
+// benign module's identity (its LDR entry, headers, name) but replaces the
+// *body* of its .text with foreign code — here, code lifted from another
+// module in the same guest, patched over the victim's executable region.
+// Every byte of the victim's code changes while its size, headers and
+// loader metadata stay pristine; ModChecker must still flag .text (the
+// foreign bytes cannot RVA-normalize against honest copies).
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class HollowingAttack final : public Attack {
+ public:
+  /// `donor_module`: whose code is transplanted into the victim.
+  explicit HollowingAttack(std::string donor_module = "dummy.sys")
+      : donor_(std::move(donor_module)) {}
+
+  std::string name() const override { return "module-hollowing"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+
+ private:
+  std::string donor_;
+};
+
+}  // namespace mc::attacks

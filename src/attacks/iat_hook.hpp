@@ -1,0 +1,24 @@
+// Extension — IAT hooking (runtime import-table redirection).
+//
+// Overwrites a bound IAT slot of a loaded module so calls through it reach
+// attacker-chosen code.  Because IATs live in *writable* .idata — legimately
+// rewritten by the loader on every VM — ModChecker does not hash them
+// (§III-B: only headers and read-only/executable content are checked).
+// This attack is therefore expected to evade ModChecker; it documents the
+// boundary of the approach and feeds the A2 baseline-comparison bench
+// (a LKIM-style function-pointer checker does catch it).
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class IatHookAttack final : public Attack {
+ public:
+  std::string name() const override { return "iat-hooking"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+};
+
+}  // namespace mc::attacks

@@ -1,0 +1,24 @@
+// E2 — inline hooking (paper §V-B.2, Fig. 5; TCPIRPHOOK / Win32.Chatter
+// style).
+//
+// A runtime (in-guest) attack on the loaded module: the first instructions
+// of the entry function (hal.HalInitSystem in the paper) are overwritten
+// with a jmp to a payload placed in an opcode cave (a run of 0x00 bytes)
+// inside .text.  The payload executes its malicious stub, then the
+// displaced original instructions ("sanitation of overwritten bytes"), and
+// jumps back to the original flow.  Only the .text hash should differ.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class InlineHookAttack final : public Attack {
+ public:
+  std::string name() const override { return "inline-hooking"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+};
+
+}  // namespace mc::attacks

@@ -1,0 +1,88 @@
+#include "attacks/opcode_replace.hpp"
+
+#include "attacks/guest_writer.hpp"
+#include "pe/parser.hpp"
+#include "util/error.hpp"
+#include "x86/decoder.hpp"
+
+namespace mc::attacks {
+
+namespace {
+
+/// Locates the .text section header in a *file-layout* image.
+pe::SectionHeader find_text_header(ByteView file) {
+  const pe::DosHeader dos = pe::DosHeader::parse(file);
+  const pe::FileHeader fh = pe::FileHeader::parse(file, dos.e_lfanew + 4);
+  std::size_t off = dos.e_lfanew + pe::kNtHeadersPrefixSize +
+                    fh.SizeOfOptionalHeader;
+  for (std::uint16_t i = 0; i < fh.NumberOfSections; ++i) {
+    const pe::SectionHeader sh = pe::SectionHeader::parse(file, off);
+    if (sh.name() == ".text") {
+      return sh;
+    }
+    off += pe::kSectionHeaderSize;
+  }
+  throw NotFoundError("no .text section in image");
+}
+
+}  // namespace
+
+Bytes OpcodeReplaceAttack::infect_file(ByteView pe_file) {
+  const pe::SectionHeader text = find_text_header(pe_file);
+  Bytes file(pe_file.begin(), pe_file.end());
+
+  MutableByteView raw = MutableByteView(file).subspan(
+      text.PointerToRawData, std::min(text.SizeOfRawData, text.VirtualSize));
+
+  // Walk instruction boundaries to find a genuine DEC ECX (not a 0x49
+  // immediate byte inside another instruction).
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    if (raw[pos] == 0x49) {
+      break;
+    }
+    const auto len = x86::instruction_length(raw, pos);
+    if (!len) {
+      throw FormatError("undecodable instruction while scanning .text");
+    }
+    pos += *len;
+  }
+  if (pos >= raw.size()) {
+    throw NotFoundError("no DEC ECX instruction found in .text");
+  }
+
+  // Replace the 1-byte DEC ECX with the 3-byte SUB ECX,1 and shift the
+  // remainder of the section down; the final two bytes fall into section
+  // padding (an in-place reassembly, as OllyDbg performs it).
+  Bytes shifted;
+  shifted.reserve(raw.size());
+  shifted.insert(shifted.end(), raw.begin(),
+                 raw.begin() + static_cast<std::ptrdiff_t>(pos));
+  shifted.push_back(0x83);
+  shifted.push_back(0xE9);
+  shifted.push_back(0x01);
+  shifted.insert(shifted.end(),
+                 raw.begin() + static_cast<std::ptrdiff_t>(pos + 1),
+                 raw.end() - 2);
+  MC_CHECK(shifted.size() == raw.size(), "shift arithmetic broken");
+  std::copy(shifted.begin(), shifted.end(), raw.begin());
+  return file;
+}
+
+AttackResult OpcodeReplaceAttack::apply(cloud::CloudEnvironment& env,
+                                        vmm::DomainId vm,
+                                        const std::string& module) const {
+  const Bytes infected = infect_file(env.golden().file(module));
+  reload_with_infected_file(env, vm, module, infected);
+
+  AttackResult result;
+  result.attack_name = name();
+  result.description =
+      "DEC ECX (0x49) replaced with SUB ECX,1 (0x83 0xE9 0x01) in " + module +
+      " .text; file reloaded";
+  result.expected_flagged = {".text"};
+  result.infects_disk_file = true;
+  return result;
+}
+
+}  // namespace mc::attacks

@@ -1,0 +1,27 @@
+// E1 — single opcode replacement (paper §V-B.1).
+//
+// Replicates the OllyDbg edit on hal.dll: the one-byte counter decrement
+// DEC ECX (opcode 0x49) is replaced by its three-byte alternate
+// SUB ECX, 1 (0x83 0xE9 0x01) inside the .text raw data of the module
+// *file*, shifting the following bytes (the paper: "this one to three byte
+// modification shifted the jmp offsets").  The infected file is then
+// loaded on restart.  Only the .text section hash should differ.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class OpcodeReplaceAttack final : public Attack {
+ public:
+  std::string name() const override { return "single-opcode-replacement"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+
+  /// The file-level mutation, exposed for unit tests: returns the infected
+  /// file bytes.  Throws NotFoundError if no DEC ECX exists in .text.
+  static Bytes infect_file(ByteView pe_file);
+};
+
+}  // namespace mc::attacks

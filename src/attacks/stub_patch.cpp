@@ -1,0 +1,45 @@
+#include "attacks/stub_patch.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "attacks/guest_writer.hpp"
+#include "pe/structs.hpp"
+#include "util/error.hpp"
+
+namespace mc::attacks {
+
+Bytes StubPatchAttack::infect_file(ByteView pe_file) {
+  const pe::DosHeader dos = pe::DosHeader::parse(pe_file);
+  Bytes file(pe_file.begin(), pe_file.end());
+
+  // Search only within the DOS header + stub region [0, e_lfanew).
+  constexpr std::string_view kNeedle = "DOS";
+  constexpr std::string_view kPatch = "CHK";
+  const auto begin = file.begin();
+  const auto end = file.begin() + dos.e_lfanew;
+  const auto it = std::search(begin, end, kNeedle.begin(), kNeedle.end());
+  if (it == end) {
+    throw NotFoundError("'DOS' not found in stub text");
+  }
+  std::copy(kPatch.begin(), kPatch.end(), it);
+  return file;
+}
+
+AttackResult StubPatchAttack::apply(cloud::CloudEnvironment& env,
+                                    vmm::DomainId vm,
+                                    const std::string& module) const {
+  const Bytes infected = infect_file(env.golden().file(module));
+  reload_with_infected_file(env, vm, module, infected);
+
+  AttackResult result;
+  result.attack_name = name();
+  result.description = "stub text of " + module +
+                       " patched: \"DOS\" -> \"CHK\" (alignment preserved); "
+                       "driver reloaded";
+  result.expected_flagged = {"IMAGE_DOS_HEADER"};
+  result.infects_disk_file = true;
+  return result;
+}
+
+}  // namespace mc::attacks

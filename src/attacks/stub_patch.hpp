@@ -1,0 +1,25 @@
+// E3 — trivial modification in the DOS stub program (paper §V-B.3, Fig. 6).
+//
+// Replaces exactly three characters of the "Hello World" dummy driver's
+// stub text — "DOS" in "This program cannot be run in DOS mode" becomes
+// "CHK" — without changing code alignment.  The modified driver is loaded
+// (OSR Driver Loader in the paper).  Only the DOS-header item's hash
+// should differ; all other items stay consistent.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class StubPatchAttack final : public Attack {
+ public:
+  std::string name() const override { return "dos-stub-modification"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+
+  /// The file-level mutation, exposed for unit tests.
+  static Bytes infect_file(ByteView pe_file);
+};
+
+}  // namespace mc::attacks

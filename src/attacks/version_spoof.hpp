@@ -1,0 +1,24 @@
+// Extension — version-resource spoofing.
+//
+// Malware that replaces a driver sometimes bumps the version resource so
+// the module *looks* like a legitimate vendor update to inventory tools.
+// The version block lives in read-only `.rsrc`, which is part of
+// ModChecker's checked surface: the spoof is detected as a `.rsrc`
+// mismatch even when nothing else changed — and, notably, a signed-module
+// hash dictionary would ALSO flag it, but as an unknown version rather
+// than an integrity violation on one VM.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mc::attacks {
+
+class VersionSpoofAttack final : public Attack {
+ public:
+  std::string name() const override { return "version-spoofing"; }
+
+  AttackResult apply(cloud::CloudEnvironment& env, vmm::DomainId vm,
+                     const std::string& module) const override;
+};
+
+}  // namespace mc::attacks

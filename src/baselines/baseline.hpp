@@ -1,0 +1,45 @@
+// Related-work baseline checkers (paper §II).
+//
+// Implemented to make the A2 comparison bench concrete: each checker
+// answers the same question as ModChecker ("has this module's integrity
+// been violated on this VM?") using the strategy of a published system,
+// with that system's blind spots intact:
+//
+//   * HashDictChecker   — signed-module dictionary (MS Windows driver
+//     signing / Linux module signing): verifies the *disk file* against a
+//     database of known-good hashes at load time; never looks at memory.
+//   * DiskCrossViewChecker — SVV (Rutkowska): compares the in-memory image
+//     against the same VM's *disk file* (simulating relocation from the
+//     file's .reloc records).  Blind when disk and memory are consistently
+//     infected ("most malware infects files on disk first").
+//   * LkimStyleChecker  — LKIM (Loscocco et al.): simulates the load of a
+//     *trusted external* copy using the guest's actual loading information
+//     and compares; also validates bound IAT function pointers.  Catches
+//     everything above at the price of maintaining the trusted repository
+//     — the maintenance burden ModChecker exists to avoid.
+#pragma once
+
+#include <string>
+
+#include "cloud/environment.hpp"
+#include "vmm/domain.hpp"
+
+namespace mc::baselines {
+
+struct DetectionOutcome {
+  bool flagged = false;
+  std::string detail;
+};
+
+class BaselineChecker {
+ public:
+  virtual ~BaselineChecker() = default;
+  virtual std::string name() const = 0;
+
+  /// Evaluates the module's integrity on one VM.
+  virtual DetectionOutcome check(const cloud::CloudEnvironment& env,
+                                 vmm::DomainId vm,
+                                 const std::string& module) const = 0;
+};
+
+}  // namespace mc::baselines

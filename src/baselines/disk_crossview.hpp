@@ -1,0 +1,33 @@
+// SVV-style disk/memory cross-view baseline (§II, Rutkowska's
+// System-Virginity-Verifier).
+//
+// Compares the in-memory module against the *same VM's* disk file: the
+// reference is the file mapped to memory layout and relocated to the
+// actual load base using its own .reloc records.  Writable sections are
+// ignored (IATs are legitimately rebound).  The documented blind spot:
+// when the infection hit the disk file first and was then loaded, both
+// views agree and SVV sees nothing.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace mc::baselines {
+
+class DiskCrossViewChecker final : public BaselineChecker {
+ public:
+  std::string name() const override { return "svv-disk-crossview"; }
+
+  DetectionOutcome check(const cloud::CloudEnvironment& env, vmm::DomainId vm,
+                         const std::string& module) const override;
+};
+
+/// Shared helper: maps `file` to memory layout and relocates it to
+/// `actual_base` using the image's own base relocations.
+Bytes simulate_load(ByteView file, std::uint32_t actual_base);
+
+/// Shared helper: name-keyed integrity-item comparison of two mapped
+/// images at the same base.  Returns the names of mismatched items.
+std::vector<std::string> diff_integrity_items(ByteView image_a,
+                                              ByteView image_b);
+
+}  // namespace mc::baselines

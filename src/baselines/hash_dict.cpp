@@ -1,0 +1,40 @@
+#include "baselines/hash_dict.hpp"
+
+#include "crypto/md5.hpp"
+
+namespace mc::baselines {
+
+HashDictChecker::HashDictChecker(
+    const std::map<std::string, Bytes>& trusted_files) {
+  for (const auto& [name, bytes] : trusted_files) {
+    dictionary_.emplace(name, crypto::Md5::hash(bytes));
+  }
+}
+
+DetectionOutcome HashDictChecker::check(const cloud::CloudEnvironment& env,
+                                        vmm::DomainId vm,
+                                        const std::string& module) const {
+  DetectionOutcome out;
+  if (!env.disk_has(vm, module)) {
+    out.flagged = true;
+    out.detail = "module file absent from disk";
+    return out;
+  }
+  const crypto::Digest actual = crypto::Md5::hash(env.disk_file(vm, module));
+  const auto it = dictionary_.find(module);
+  if (it == dictionary_.end()) {
+    out.flagged = true;
+    out.detail = "module not registered in the signature database";
+    return out;
+  }
+  if (actual != it->second) {
+    out.flagged = true;
+    out.detail = "disk file hash " + actual.hex() +
+                 " does not match registered " + it->second.hex();
+    return out;
+  }
+  out.detail = "disk file matches registered hash";
+  return out;
+}
+
+}  // namespace mc::baselines

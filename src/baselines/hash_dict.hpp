@@ -1,0 +1,33 @@
+// Signed-module dictionary baseline (§II: "Commodity operating systems ...
+// compute and maintain a database of cryptographic hash values for kernel
+// modules ... to verify the integrity of the module before it is loaded").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "baselines/baseline.hpp"
+#include "crypto/digest.hpp"
+
+namespace mc::baselines {
+
+class HashDictChecker final : public BaselineChecker {
+ public:
+  /// Builds the dictionary from a trusted file set (typically the golden
+  /// images at deployment time).
+  explicit HashDictChecker(const std::map<std::string, Bytes>& trusted_files);
+
+  std::string name() const override { return "hash-dictionary"; }
+
+  /// Flags when the disk file's hash is absent from the dictionary.  A
+  /// legitimately updated module (not yet re-registered) is a false
+  /// positive — the maintenance burden the paper calls "cumbersome".
+  /// Memory-only infections are invisible: the disk file still matches.
+  DetectionOutcome check(const cloud::CloudEnvironment& env, vmm::DomainId vm,
+                         const std::string& module) const override;
+
+ private:
+  std::map<std::string, crypto::Digest> dictionary_;
+};
+
+}  // namespace mc::baselines

@@ -1,0 +1,35 @@
+// LKIM-style baseline (§II, Loscocco et al., "Linux kernel integrity
+// measurement using contextual inspection").
+//
+// Uses the guest's actual loading information (base address) to simulate
+// the load of an *untainted copy* from a trusted external repository, then
+// compares the measured in-memory module against the simulation.  Also
+// validates dynamic function pointers: every bound IAT slot must point at
+// the address the providing module actually exports.
+//
+// Strongest detector in the A2 matrix — at the cost ModChecker avoids:
+// a trusted repository that must track every legitimate module version.
+#pragma once
+
+#include <map>
+
+#include "baselines/baseline.hpp"
+
+namespace mc::baselines {
+
+class LkimStyleChecker final : public BaselineChecker {
+ public:
+  /// `trusted_repository`: name -> pristine PE file.
+  explicit LkimStyleChecker(std::map<std::string, Bytes> trusted_repository)
+      : repository_(std::move(trusted_repository)) {}
+
+  std::string name() const override { return "lkim-style"; }
+
+  DetectionOutcome check(const cloud::CloudEnvironment& env, vmm::DomainId vm,
+                         const std::string& module) const override;
+
+ private:
+  std::map<std::string, Bytes> repository_;
+};
+
+}  // namespace mc::baselines

@@ -1,0 +1,116 @@
+#include "baselines/pioneer_style.hpp"
+
+#include "baselines/disk_crossview.hpp"
+#include "pe/parser.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mc::baselines {
+
+namespace {
+
+/// Extracts the executable bytes the self-check covers.
+Bytes code_of(ByteView mapped) {
+  const pe::ParsedImage parsed(mapped);
+  const auto* text = parsed.find_section(".text");
+  if (text == nullptr) {
+    throw NotFoundError("module has no .text for the self-check");
+  }
+  return slice(mapped, text->VirtualAddress, text->VirtualSize);
+}
+
+}  // namespace
+
+std::uint64_t PioneerStyleChecker::challenge(ByteView code,
+                                             std::uint64_t nonce) const {
+  // Nonce-keyed, order-sensitive checksum: a strongly mixing fold the
+  // responder cannot precompute (stands in for Pioneer's self-checksum
+  // function, whose real cleverness is *timing* optimality, which the
+  // latency model captures).
+  SplitMix64 mixer(nonce);
+  std::uint64_t acc = mixer.next();
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    acc ^= std::uint64_t{code[i]} << (8 * (i % 8));
+    acc = acc * 0x9E3779B97F4A7C15ull + mixer.next();
+  }
+  return acc;
+}
+
+DetectionOutcome PioneerStyleChecker::check(const cloud::CloudEnvironment& env,
+                                            vmm::DomainId vm,
+                                            const std::string& module) const {
+  DetectionOutcome out;
+  const auto* record = env.loader(vm).find(module);
+  if (record == nullptr) {
+    out.flagged = true;
+    out.detail = "module not in loader list";
+    return out;
+  }
+  const auto repo_it = repository_.find(module);
+  if (repo_it == repository_.end()) {
+    out.flagged = true;
+    out.detail = "dispatcher has no trusted copy of the code";
+    return out;
+  }
+
+  // Guest side: honest self-check over the actual in-memory code.
+  Bytes memory_image(record->size_of_image, 0);
+  env.kernel(vm).address_space().read_virtual(record->base, memory_image);
+  const Bytes guest_code = code_of(memory_image);
+
+  // Dispatcher side: expected checksum from the trusted copy, simulated
+  // to the same load base.
+  const Bytes reference = simulate_load(repo_it->second, record->base);
+  const Bytes expected_code = code_of(reference);
+
+  const std::uint64_t nonce = nonce_seed_ * 0x1234567ull + record->base;
+  const std::uint64_t response = challenge(guest_code, nonce);
+  const std::uint64_t expected = challenge(expected_code, nonce);
+
+  // Honest responder always meets the deadline in this variant.
+  if (response != expected) {
+    out.flagged = true;
+    out.detail = "self-checksum mismatch (code altered)";
+    return out;
+  }
+  out.detail = "checksum verified within deadline";
+  return out;
+}
+
+DetectionOutcome PioneerStyleChecker::check_with_evasion(
+    const cloud::CloudEnvironment& env, vmm::DomainId vm,
+    const std::string& module) const {
+  DetectionOutcome out;
+  const auto* record = env.loader(vm).find(module);
+  const auto repo_it = repository_.find(module);
+  if (record == nullptr || repo_it == repository_.end()) {
+    out.flagged = true;
+    out.detail = "missing module or trusted copy";
+    return out;
+  }
+
+  // The adversary answers from a hidden pristine copy: the checksum
+  // VALUE verifies...
+  const Bytes reference = simulate_load(repo_it->second, record->base);
+  const Bytes expected_code = code_of(reference);
+  const double honest_ns =
+      params_.ns_per_byte * static_cast<double>(expected_code.size());
+  const double deadline_ns = honest_ns * params_.deadline_slack;
+  // ...but redirecting every read through the hidden copy costs the
+  // evasion overhead, busting the deadline.
+  const double evader_ns = honest_ns * params_.evasion_overhead;
+
+  if (evader_ns > deadline_ns) {
+    out.flagged = true;
+    out.detail = "checksum correct but response exceeded the deadline (" +
+                 std::to_string(static_cast<std::uint64_t>(evader_ns)) +
+                 " ns > " +
+                 std::to_string(static_cast<std::uint64_t>(deadline_ns)) +
+                 " ns) — forged computation suspected";
+    return out;
+  }
+  out.detail = "evasion fit inside the deadline (parameters too lax)";
+  return out;
+}
+
+}  // namespace mc::baselines

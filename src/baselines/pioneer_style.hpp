@@ -1,0 +1,66 @@
+// Pioneer-style baseline (§II, Seshadri et al., SOSP'05).
+//
+// Pioneer establishes a "dynamic root of trust" in an untrusted machine
+// with a challenge-response protocol: a dispatcher sends a nonce, an
+// in-guest self-checking function computes a checksum over the code under
+// a time budget, and the dispatcher verifies BOTH the checksum value
+// (against its own copy) and the response latency — a compromised
+// responder that emulates or forwards the computation cannot meet the
+// deadline.
+//
+// The simulation keeps that structure: the guest-side computation runs
+// over the *actual* module bytes in guest memory; an infected module
+// yields a wrong checksum, and an adversary simulated to forge the answer
+// (compute over a pristine copy it hides elsewhere) pays a time penalty
+// that busts the deadline.  The dispatcher needs a trusted copy of the
+// code — the same maintenance burden as LKIM, which is the §II point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "baselines/baseline.hpp"
+
+namespace mc::baselines {
+
+struct PioneerParams {
+  /// Simulated cost per byte of the honest self-check function.
+  double ns_per_byte = 1.5;
+  /// Latency multiplier an evading responder pays (memory-copy detour /
+  /// emulation; Pioneer's design makes this >= 1.3x in practice).
+  double evasion_overhead = 1.6;
+  /// Deadline slack granted over the expected honest time.
+  double deadline_slack = 1.3;
+};
+
+class PioneerStyleChecker final : public BaselineChecker {
+ public:
+  PioneerStyleChecker(std::map<std::string, Bytes> trusted_repository,
+                      const PioneerParams& params = {},
+                      std::uint64_t nonce_seed = 1)
+      : repository_(std::move(trusted_repository)),
+        params_(params),
+        nonce_seed_(nonce_seed) {}
+
+  std::string name() const override { return "pioneer-style"; }
+
+  /// Runs the challenge against the module's in-memory code.  Flags on a
+  /// checksum mismatch.  (See `check_with_evasion` for the timing side.)
+  DetectionOutcome check(const cloud::CloudEnvironment& env, vmm::DomainId vm,
+                         const std::string& module) const override;
+
+  /// The adversarial variant: the guest forges the checksum over a hidden
+  /// pristine copy.  The value verifies, but the deadline check fires.
+  DetectionOutcome check_with_evasion(const cloud::CloudEnvironment& env,
+                                      vmm::DomainId vm,
+                                      const std::string& module) const;
+
+ private:
+  std::uint64_t challenge(ByteView code, std::uint64_t nonce) const;
+
+  std::map<std::string, Bytes> repository_;
+  PioneerParams params_;
+  std::uint64_t nonce_seed_;
+};
+
+}  // namespace mc::baselines

@@ -1,0 +1,148 @@
+#include "cloud/catalog.hpp"
+
+namespace mc::cloud {
+
+namespace {
+
+DriverSpec ntoskrnl() {
+  DriverSpec s;
+  s.name = "ntoskrnl.exe";
+  s.seed = 101;
+  s.image_base = 0x00400000;
+  s.functions = 48;
+  s.ops_per_function = 120;
+  s.data_bytes = 0x4000;
+  s.rdata_bytes = 0x2000;
+  s.exports = {
+      "KeInitializeSpinLock", "KeAcquireSpinLock", "KeReleaseSpinLock",
+      "ExAllocatePoolWithTag", "ExFreePoolWithTag", "MmMapIoSpace",
+      "MmUnmapIoSpace",        "IoCreateDevice",    "IoDeleteDevice",
+      "IofCompleteRequest",    "ObReferenceObject", "ObDereferenceObject",
+      "RtlInitUnicodeString",  "ZwClose",           "PsCreateSystemThread",
+      "KeBugCheckEx",
+  };
+  return s;
+}
+
+DriverSpec hal() {
+  DriverSpec s;
+  s.name = "hal.dll";
+  s.is_dll = true;
+  s.seed = 102;
+  s.image_base = 0x00010000;
+  s.functions = 24;
+  s.ops_per_function = 90;
+  s.exports = {
+      "HalInitSystem",          "HalQueryRealTimeClock",
+      "HalMakeBeep",            "HalGetInterruptVector",
+      "HalTranslateBusAddress", "HalSetTimeIncrement",
+      "KfAcquireSpinLock",      "KfReleaseSpinLock",
+  };
+  s.imports = {{"ntoskrnl.exe",
+                {"KeBugCheckEx", "ExAllocatePoolWithTag", "ObReferenceObject"}}};
+  return s;
+}
+
+DriverSpec ndis() {
+  DriverSpec s;
+  s.name = "ndis.sys";
+  s.seed = 103;
+  s.functions = 28;
+  s.ops_per_function = 80;
+  s.exports = {"NdisAllocatePacket", "NdisFreePacket", "NdisMSendComplete",
+               "NdisOpenAdapter"};
+  s.imports = {
+      {"ntoskrnl.exe", {"ExAllocatePoolWithTag", "ExFreePoolWithTag",
+                        "KeInitializeSpinLock"}},
+      {"hal.dll", {"KfAcquireSpinLock", "KfReleaseSpinLock"}},
+  };
+  return s;
+}
+
+DriverSpec tcpip() {
+  DriverSpec s;
+  s.name = "tcpip.sys";
+  s.seed = 104;
+  s.functions = 36;
+  s.ops_per_function = 90;
+  s.exports = {"TdiDispatchRequest", "IPRegisterProtocol"};
+  s.imports = {
+      {"ntoskrnl.exe", {"IoCreateDevice", "IofCompleteRequest", "ZwClose"}},
+      {"ndis.sys", {"NdisAllocatePacket", "NdisFreePacket"}},
+  };
+  return s;
+}
+
+DriverSpec http() {
+  // The module used in the paper's runtime measurements — kept the largest
+  // so Module-Searcher's page-by-page copy dominates visibly.
+  DriverSpec s;
+  s.name = "http.sys";
+  s.seed = 105;
+  s.functions = 72;
+  s.ops_per_function = 140;
+  s.data_bytes = 0x3000;
+  s.rdata_bytes = 0x1800;
+  s.imports = {
+      {"ntoskrnl.exe", {"ExAllocatePoolWithTag", "IoCreateDevice",
+                        "PsCreateSystemThread", "RtlInitUnicodeString"}},
+      {"tcpip.sys", {"TdiDispatchRequest"}},
+  };
+  return s;
+}
+
+DriverSpec ntfs() {
+  DriverSpec s;
+  s.name = "ntfs.sys";
+  s.seed = 106;
+  s.functions = 40;
+  s.ops_per_function = 100;
+  s.imports = {
+      {"ntoskrnl.exe", {"ExAllocatePoolWithTag", "IoCreateDevice",
+                        "ObDereferenceObject"}},
+      {"hal.dll", {"HalQueryRealTimeClock"}},
+  };
+  return s;
+}
+
+DriverSpec dummy() {
+  // The "Hello World" driver of experiments E3/E4.
+  DriverSpec s;
+  s.name = "dummy.sys";
+  s.seed = 107;
+  s.functions = 3;
+  s.ops_per_function = 24;
+  s.data_bytes = 0x400;
+  s.rdata_bytes = 0x200;
+  s.imports = {{"hal.dll", {"HalMakeBeep"}}};
+  return s;
+}
+
+DriverSpec inject_dll() {
+  // The E4 payload: a DLL exporting callMessageBox(), attached to
+  // dummy.sys by the DLL-hooking attack.
+  DriverSpec s;
+  s.name = "inject.dll";
+  s.is_dll = true;
+  s.seed = 108;
+  s.functions = 2;
+  s.ops_per_function = 16;
+  s.data_bytes = 0x200;
+  s.rdata_bytes = 0x100;
+  s.exports = {"callMessageBox"};
+  return s;
+}
+
+}  // namespace
+
+std::vector<DriverSpec> default_catalog() {
+  return {ntoskrnl(), hal(), ndis(), tcpip(), http(), ntfs(), dummy(),
+          inject_dll()};
+}
+
+std::vector<std::string> default_load_order() {
+  return {"ntoskrnl.exe", "hal.dll", "ndis.sys", "tcpip.sys",
+          "http.sys",     "ntfs.sys", "dummy.sys"};
+}
+
+}  // namespace mc::cloud

@@ -1,0 +1,53 @@
+// Driver catalog — the module population of the simulated XP SP2 guests.
+//
+// Mirrors the paper's testbed modules: hal.dll (experiments E1/E2),
+// http.sys (the runtime-performance module of Figs. 7-8), ntfs.sys (the
+// Rustock.B example), the "Hello World" dummy driver (E3/E4) and the
+// inject.dll payload DLL (E4), plus the kernel image and a couple of
+// network drivers so the loader list has realistic depth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pe/imports.hpp"
+#include "pe/resources.hpp"
+
+namespace mc::cloud {
+
+struct DriverSpec {
+  std::string name;          // "hal.dll"
+  bool is_dll = false;
+  std::uint32_t image_base = 0x00010000;
+  std::uint64_t seed = 1;    // drives this driver's synthetic code shape
+
+  // Code shape.
+  std::uint32_t functions = 16;
+  std::uint32_t ops_per_function = 60;
+  double address_op_fraction = 0.20;
+
+  // Data sections.
+  std::uint32_t data_bytes = 0x1800;   // .data (writable, not hashed)
+  std::uint32_t rdata_bytes = 0x0800;  // .rdata (read-only, hashed)
+
+  /// Function names exported by name; mapped onto generated functions
+  /// round-robin.  The first export lands on the entry function.
+  std::vector<std::string> exports;
+
+  /// Imports resolved against earlier catalog entries at load time.
+  std::vector<pe::ImportDll> imports;
+
+  /// Version resource (all catalog drivers carry one, like real drivers).
+  pe::VersionInfo version{};
+};
+
+/// The default catalog in load order (imports only reference earlier
+/// entries, like a real boot).
+std::vector<DriverSpec> default_catalog();
+
+/// Load order for guests (excludes inject.dll, which is an attack payload,
+/// not a boot-time module).
+std::vector<std::string> default_load_order();
+
+}  // namespace mc::cloud

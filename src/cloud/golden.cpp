@@ -1,0 +1,154 @@
+#include "cloud/golden.hpp"
+
+#include "pe/builder.hpp"
+#include "pe/constants.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "x86/codegen.hpp"
+
+namespace mc::cloud {
+
+namespace {
+
+/// Deterministic filler for data sections (recognizable, non-zero pattern
+/// so accidental truncation shows up in hashes).
+Bytes make_data_section(std::uint32_t bytes, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes data(bytes, 0);
+  for (std::size_t i = 0; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t v = rng.next();
+    for (std::size_t k = 0; k < 8; ++k) {
+      data[i + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+  }
+  return data;
+}
+
+Bytes make_rdata_section(std::uint32_t bytes, const std::string& name,
+                         std::uint64_t seed) {
+  Bytes data = make_data_section(bytes, seed ^ 0xA5A5A5A5ull);
+  // Plant a few read-only strings at the front, like real driver .rdata.
+  const std::string banner = name + " (c) simulated driver";
+  for (std::size_t i = 0; i < banner.size() && i + 1 < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(banner[i]);
+  }
+  if (banner.size() < data.size()) {
+    data[banner.size()] = 0;
+  }
+  return data;
+}
+
+}  // namespace
+
+Bytes build_driver_image(const DriverSpec& spec) {
+  // Section layout (fixed order): .text, .data, .rdata, [.idata], [.edata],
+  // .reloc.  All RVAs are deterministic given section sizes, so we can
+  // pre-compute the import section's RVA before generating code that calls
+  // through its IAT.
+  //
+  // Pass 1: generate code with dummy IAT addresses to learn its exact size
+  // (the generator is deterministic and size does not depend on operand
+  // values).
+  x86::CodeGenParams cg;
+  cg.seed = spec.seed;
+  cg.function_count = spec.functions;
+  cg.ops_per_function = spec.ops_per_function;
+  cg.address_op_fraction = spec.address_op_fraction;
+
+  std::size_t import_function_count = 0;
+  for (const auto& dll : spec.imports) {
+    import_function_count += dll.function_names.size();
+  }
+  cg.iat_slot_rvas.assign(import_function_count, 0);
+
+  const std::uint32_t text_rva = pe::kDefaultSectionAlignment;
+  cg.data_rva = 0;  // placeholder; fixed in pass 2
+  x86::CodeBlob probe = x86::generate_driver_text(cg, spec.image_base);
+  const auto text_size = static_cast<std::uint32_t>(probe.code.size());
+
+  // Analytic layout (mirrors PeBuilder::next_section_rva).
+  const std::uint32_t data_rva =
+      align_up(text_rva + std::max(text_size, 1u), pe::kDefaultSectionAlignment);
+  const std::uint32_t rdata_rva =
+      align_up(data_rva + std::max(spec.data_bytes, 1u),
+               pe::kDefaultSectionAlignment);
+  const std::uint32_t idata_rva =
+      align_up(rdata_rva + std::max(spec.rdata_bytes, 1u),
+               pe::kDefaultSectionAlignment);
+
+  // Import layout at its real RVA (gives us the IAT slot RVAs).
+  pe::ImportLayout imports;
+  std::vector<std::uint32_t> iat_slot_rvas;
+  if (!spec.imports.empty()) {
+    imports = pe::build_import_section(spec.imports, idata_rva);
+    for (const auto& dll_slots : imports.iat_offsets) {
+      for (const std::uint32_t off : dll_slots) {
+        iat_slot_rvas.push_back(idata_rva + off);
+      }
+    }
+  }
+
+  // Pass 2: real code.
+  cg.data_rva = data_rva;
+  cg.data_size = spec.data_bytes;
+  cg.iat_slot_rvas = iat_slot_rvas;
+  x86::CodeBlob blob = x86::generate_driver_text(cg, spec.image_base);
+  MC_CHECK(blob.code.size() == text_size, "codegen size not deterministic");
+
+  pe::PeBuilder builder(spec.name);
+  builder.set_image_base(spec.image_base).set_dll(spec.is_dll);
+  builder.set_entry_point(text_rva + blob.entry_offset);
+
+  builder.add_section(".text", std::move(blob.code),
+                      pe::kScnCntCode | pe::kScnMemExecute | pe::kScnMemRead,
+                      blob.fixups);
+  builder.add_section(".data", make_data_section(spec.data_bytes, spec.seed),
+                      pe::kScnCntInitializedData | pe::kScnMemRead |
+                          pe::kScnMemWrite);
+  builder.add_section(".rdata",
+                      make_rdata_section(spec.rdata_bytes, spec.name, spec.seed),
+                      pe::kScnCntInitializedData | pe::kScnMemRead);
+  if (!spec.imports.empty()) {
+    MC_CHECK(builder.next_section_rva() == idata_rva,
+             "import section layout drifted");
+    builder.add_import_section(spec.imports);
+  }
+  pe::VersionInfo version = spec.version;
+  // Deterministic per-driver revision so versions differ across drivers.
+  version.file_revision = static_cast<std::uint16_t>(spec.seed & 0xFFF);
+  version.product_revision = version.file_revision;
+
+  if (!spec.exports.empty()) {
+    std::vector<pe::ExportedSymbol> symbols;
+    for (std::size_t i = 0; i < spec.exports.size(); ++i) {
+      pe::ExportedSymbol sym;
+      sym.name = spec.exports[i];
+      // First export lands on the entry function; the rest round-robin.
+      const std::size_t fn =
+          (i == 0) ? blob.function_offsets.size() - 1
+                   : (i - 1) % blob.function_offsets.size();
+      sym.rva = text_rva + blob.function_offsets[fn];
+      symbols.push_back(std::move(sym));
+    }
+    builder.add_export_section(std::move(symbols));
+  }
+  builder.add_resource_section(version);
+  builder.add_reloc_section();
+  return builder.build();
+}
+
+GoldenImages::GoldenImages(const std::vector<DriverSpec>& catalog) {
+  for (const auto& spec : catalog) {
+    files_.emplace(spec.name, build_driver_image(spec));
+  }
+}
+
+const Bytes& GoldenImages::file(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw NotFoundError("no golden image named " + name);
+  }
+  return it->second;
+}
+
+}  // namespace mc::cloud

@@ -1,0 +1,35 @@
+// Golden image factory.
+//
+// Builds the on-disk PE file for each catalog driver.  "Golden" because all
+// guests are instantiated from the same files — the paper's "15 VM clones
+// ... from a single 32 bit Window XP (SP2) installation to make sure that
+// all VMs are identical" (§V-A).  Only the load *bases* differ per VM.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/catalog.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::cloud {
+
+/// Builds one driver image from its spec (deterministic: same spec, same
+/// bytes).
+Bytes build_driver_image(const DriverSpec& spec);
+
+/// A named, immutable set of golden files.
+class GoldenImages {
+ public:
+  explicit GoldenImages(const std::vector<DriverSpec>& catalog);
+
+  const Bytes& file(const std::string& name) const;
+  bool has(const std::string& name) const { return files_.count(name) != 0; }
+  const std::map<std::string, Bytes>& all() const { return files_; }
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+}  // namespace mc::cloud

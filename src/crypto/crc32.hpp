@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// Used as a cheap non-cryptographic checksum: the PE optional header's
+// CheckSum field and fast pre-filters in the integrity checker.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mc::crypto {
+
+/// Computes CRC-32 of `data`, continuing from `seed` (pass 0 to start).
+std::uint32_t crc32(ByteView data, std::uint32_t seed = 0);
+
+}  // namespace mc::crypto

@@ -1,0 +1,57 @@
+#include "crypto/digest.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mc::crypto {
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw FormatError("invalid hex digit in digest string");
+}
+}  // namespace
+
+Digest::Digest(const std::uint8_t* data, std::size_t size) : size_(size) {
+  MC_CHECK(size <= kMaxBytes, "digest too large");
+  std::copy_n(data, size, data_.begin());
+}
+
+Digest Digest::from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0 || hex.size() / 2 > kMaxBytes) {
+    throw FormatError("digest hex string has invalid length");
+  }
+  Digest d;
+  d.size_ = hex.size() / 2;
+  for (std::size_t i = 0; i < d.size_; ++i) {
+    d.data_[i] = static_cast<std::uint8_t>(hex_value(hex[2 * i]) * 16 +
+                                           hex_value(hex[2 * i + 1]));
+  }
+  return d;
+}
+
+std::string Digest::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(size_ * 2);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(kDigits[data_[i] >> 4]);
+    out.push_back(kDigits[data_[i] & 0xF]);
+  }
+  return out;
+}
+
+std::strong_ordering operator<=>(const Digest& a, const Digest& b) {
+  const auto cmp = std::lexicographical_compare_three_way(
+      a.data_.begin(), a.data_.begin() + static_cast<std::ptrdiff_t>(a.size_),
+      b.data_.begin(), b.data_.begin() + static_cast<std::ptrdiff_t>(b.size_));
+  if (cmp != std::strong_ordering::equal) {
+    return cmp;
+  }
+  return a.size_ <=> b.size_;
+}
+
+}  // namespace mc::crypto

@@ -1,0 +1,50 @@
+// Digest value type.
+//
+// A fixed-capacity, variable-length message digest (up to 32 bytes, enough
+// for SHA-256).  Comparable, hashable, hex-printable.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace mc::crypto {
+
+class Digest {
+ public:
+  static constexpr std::size_t kMaxBytes = 32;
+
+  Digest() = default;
+
+  /// Wraps `size` raw digest bytes (size <= kMaxBytes).
+  Digest(const std::uint8_t* data, std::size_t size);
+
+  /// Parses a lower/upper-case hex string.
+  static Digest from_hex(const std::string& hex);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  ByteView bytes() const { return {data_.data(), size_}; }
+
+  /// Lower-case hex rendering ("d41d8cd98f00b204e9800998ecf8427e").
+  std::string hex() const;
+
+  friend bool operator==(const Digest& a, const Digest& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.data_.begin(), a.data_.begin() + static_cast<std::ptrdiff_t>(a.size_),
+                      b.data_.begin());
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) { return !(a == b); }
+
+  /// Lexicographic order (for use as map keys).
+  friend std::strong_ordering operator<=>(const Digest& a, const Digest& b);
+
+ private:
+  std::array<std::uint8_t, kMaxBytes> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace mc::crypto

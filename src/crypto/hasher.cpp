@@ -1,0 +1,61 @@
+#include "crypto/hasher.hpp"
+
+#include "crypto/md5.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace mc::crypto {
+
+namespace {
+
+template <typename Impl>
+class HasherAdapter final : public Hasher {
+ public:
+  void update(ByteView data) override { impl_.update(data); }
+  Digest finish() override { return impl_.finish(); }
+
+ private:
+  Impl impl_;
+};
+
+}  // namespace
+
+HashAlgorithm parse_hash_algorithm(const std::string& name) {
+  if (name == "md5") return HashAlgorithm::kMd5;
+  if (name == "sha1") return HashAlgorithm::kSha1;
+  if (name == "sha256") return HashAlgorithm::kSha256;
+  throw InvalidArgument("unknown hash algorithm: " + name);
+}
+
+std::string to_string(HashAlgorithm algorithm) {
+  switch (algorithm) {
+    case HashAlgorithm::kMd5:
+      return "md5";
+    case HashAlgorithm::kSha1:
+      return "sha1";
+    case HashAlgorithm::kSha256:
+      return "sha256";
+  }
+  return "?";
+}
+
+std::unique_ptr<Hasher> make_hasher(HashAlgorithm algorithm) {
+  switch (algorithm) {
+    case HashAlgorithm::kMd5:
+      return std::make_unique<HasherAdapter<Md5>>();
+    case HashAlgorithm::kSha1:
+      return std::make_unique<HasherAdapter<Sha1>>();
+    case HashAlgorithm::kSha256:
+      return std::make_unique<HasherAdapter<Sha256>>();
+  }
+  throw InvalidArgument("unknown hash algorithm enumerator");
+}
+
+Digest hash_bytes(HashAlgorithm algorithm, ByteView data) {
+  auto hasher = make_hasher(algorithm);
+  hasher->update(data);
+  return hasher->finish();
+}
+
+}  // namespace mc::crypto

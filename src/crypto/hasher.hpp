@@ -1,0 +1,35 @@
+// Algorithm-agnostic streaming hasher facade.
+//
+// The integrity checker is parameterized on the digest algorithm; the paper
+// uses MD5, the hardened extension uses SHA-256.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::crypto {
+
+enum class HashAlgorithm { kMd5, kSha1, kSha256 };
+
+/// Parses "md5" / "sha1" / "sha256" (case-sensitive).
+HashAlgorithm parse_hash_algorithm(const std::string& name);
+std::string to_string(HashAlgorithm algorithm);
+
+/// Streaming hasher interface.
+class Hasher {
+ public:
+  virtual ~Hasher() = default;
+  virtual void update(ByteView data) = 0;
+  virtual Digest finish() = 0;
+};
+
+/// Creates a fresh hasher for `algorithm`.
+std::unique_ptr<Hasher> make_hasher(HashAlgorithm algorithm);
+
+/// One-shot digest with the chosen algorithm.
+Digest hash_bytes(HashAlgorithm algorithm, ByteView data);
+
+}  // namespace mc::crypto

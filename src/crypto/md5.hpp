@@ -1,0 +1,43 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper uses OpenSSL's MD5 to hash each PE header and each executable
+// section.  MD5 is cryptographically broken, but the threat model here is
+// byte-difference detection across VM copies, not collision resistance; we
+// keep MD5 as the default to match the paper and also offer SHA-256
+// (crypto/sha256.hpp) via the Hasher factory for the hardened mode.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestBytes = 16;
+
+  Md5() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data) {
+    Md5 md5;
+    md5.update(data);
+    return md5.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace mc::crypto

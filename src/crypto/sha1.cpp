@@ -1,0 +1,128 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace mc::crypto {
+
+namespace {
+constexpr std::uint32_t rotl(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+std::uint32_t word_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+}  // namespace
+
+void Sha1::reset() {
+  state_[0] = 0x67452301u;
+  state_[1] = 0xEFCDAB89u;
+  state_[2] = 0x98BADCFEu;
+  state_[3] = 0x10325476u;
+  state_[4] = 0xC3D2E1F0u;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = word_be(block + 4 * i);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(ByteView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+
+  if (buffered_ != 0) {
+    const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Digest Sha1::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(ByteView(kPad, pad_len));
+
+  std::uint8_t length_be[8];
+  for (int i = 0; i < 8; ++i) {
+    length_be[i] = static_cast<std::uint8_t>((bit_length >> (56 - 8 * i)) & 0xFF);
+  }
+  update(ByteView(length_be, 8));
+
+  std::uint8_t out[kDigestBytes];
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>((state_[i] >> 24) & 0xFF);
+    out[4 * i + 1] = static_cast<std::uint8_t>((state_[i] >> 16) & 0xFF);
+    out[4 * i + 2] = static_cast<std::uint8_t>((state_[i] >> 8) & 0xFF);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i] & 0xFF);
+  }
+  const Digest digest(out, kDigestBytes);
+  reset();
+  return digest;
+}
+
+}  // namespace mc::crypto

@@ -1,0 +1,39 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// Offered as an alternate digest for the integrity checker (the paper uses
+// MD5; SHA-1 is what several signed-driver schemes of the era used).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Digest finish();
+
+  static Digest hash(ByteView data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[5];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace mc::crypto

@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The hardened-mode digest for the integrity checker (collision-resistant,
+// unlike the paper's MD5).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestBytes = 32;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Digest finish();
+
+  static Digest hash(ByteView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace mc::crypto

@@ -1,0 +1,174 @@
+#include "guestos/kernel.hpp"
+
+#include "util/error.hpp"
+#include "util/utf16.hpp"
+#include "vmm/phys_mem.hpp"
+
+namespace mc::guestos {
+
+namespace {
+constexpr std::uint32_t kGlobalsPageMask = ~(vmm::kFrameSize - 1);
+}
+
+GuestKernel::GuestKernel(vmm::Domain& domain, const GuestConfig& config)
+    : domain_(&domain),
+      config_(config),
+      profile_(config.profile != nullptr ? config.profile
+                                         : &winxp_sp2_profile()),
+      aspace_(domain.memory()),
+      rng_(config.seed ^ 0x9E3779B97F4A7C15ull),
+      pool_cursor_(config.pool_base),
+      next_module_hint_(0) {
+  domain_->set_cr3(aspace_.cr3());
+
+  // Map the kernel globals page (hosts PsLoadedModuleList and the debug
+  // block) and the pool region.
+  const std::uint32_t globals_page =
+      config_.ps_loaded_module_list_va & kGlobalsPageMask;
+  aspace_.map_region(globals_page, vmm::kFrameSize, /*writable=*/true);
+  aspace_.map_region(config_.pool_base, config_.pool_size, /*writable=*/true);
+
+  // Empty list: head points at itself.
+  write_u32_va(config_.ps_loaded_module_list_va + kOffListFlink,
+               config_.ps_loaded_module_list_va);
+  write_u32_va(config_.ps_loaded_module_list_va + kOffListBlink,
+               config_.ps_loaded_module_list_va);
+
+  // Debugger data block in the same globals page, a little past the head.
+  const std::uint32_t dbg_va = config_.ps_loaded_module_list_va + 0x40;
+  write_u32_va(dbg_va + kOffDbgMagic, kDebugBlockMagic);
+  write_u32_va(dbg_va + kOffDbgVersion, profile_->version_id);
+  write_u32_va(dbg_va + kOffDbgPsLoadedModuleList,
+               config_.ps_loaded_module_list_va);
+  write_u32_va(dbg_va + kOffDbgKernelBase, config_.kernel_base);
+}
+
+std::uint32_t GuestKernel::read_u32_va(std::uint32_t va) const {
+  std::uint8_t buf[4];
+  aspace_.read_virtual(va, MutableByteView(buf, 4));
+  return load_le32(ByteView(buf, 4), 0);
+}
+
+void GuestKernel::write_u32_va(std::uint32_t va, std::uint32_t value) {
+  std::uint8_t buf[4];
+  store_le32(MutableByteView(buf, 4), 0, value);
+  aspace_.write_virtual(va, ByteView(buf, 4));
+}
+
+std::uint32_t GuestKernel::pool_alloc(std::uint32_t bytes) {
+  const std::uint32_t aligned = (pool_cursor_ + 7u) & ~7u;
+  if (aligned + bytes > config_.pool_base + config_.pool_size) {
+    throw MemoryError("guest kernel pool exhausted");
+  }
+  pool_cursor_ = aligned + bytes;
+  return aligned;
+}
+
+std::uint32_t GuestKernel::map_module_region(std::uint32_t image_size) {
+  // Randomized, page-aligned base in the driver area.  A simple linear
+  // probe from a random hint avoids overlaps without tracking a full map:
+  // bases are far apart relative to image sizes.
+  const std::uint32_t span = config_.module_area_hi - config_.module_area_lo;
+  const std::uint32_t pages_span = span >> vmm::kFrameShift;
+  std::uint32_t base;
+  if (next_module_hint_ == 0) {
+    base = config_.module_area_lo +
+           (static_cast<std::uint32_t>(rng_.below(pages_span / 2))
+            << vmm::kFrameShift);
+  } else {
+    // Subsequent modules: random gap after the previous one (keeps load
+    // order influence, like a real boot).
+    const std::uint32_t gap = static_cast<std::uint32_t>(
+        rng_.range(4, 64)) << vmm::kFrameShift;
+    base = next_module_hint_ + gap;
+  }
+  MC_CHECK(base + image_size < config_.module_area_hi,
+           "driver area exhausted");
+  aspace_.map_region(base, image_size, /*writable=*/true);
+  next_module_hint_ =
+      (base + image_size + vmm::kFrameSize - 1) & kGlobalsPageMask;
+  return base;
+}
+
+std::uint32_t GuestKernel::insert_module_entry(const std::string& base_name,
+                                               std::uint32_t dll_base,
+                                               std::uint32_t entry_point,
+                                               std::uint32_t size_of_image) {
+  // Name buffers in pool.
+  const Bytes base_utf16 = ascii_to_utf16le(base_name);
+  const std::string full_name = "\\SystemRoot\\System32\\drivers\\" + base_name;
+  const Bytes full_utf16 = ascii_to_utf16le(full_name);
+
+  const std::uint32_t base_name_va =
+      pool_alloc(static_cast<std::uint32_t>(base_utf16.size()) + 2);
+  aspace_.write_virtual(base_name_va, base_utf16);
+  const std::uint32_t full_name_va =
+      pool_alloc(static_cast<std::uint32_t>(full_utf16.size()) + 2);
+  aspace_.write_virtual(full_name_va, full_utf16);
+
+  const std::uint32_t entry_va = pool_alloc(profile_->ldr_entry_size);
+
+  // Tail insertion: new entry between head->Blink and head.
+  const std::uint32_t head = config_.ps_loaded_module_list_va;
+  const std::uint32_t old_tail = read_u32_va(head + kOffListBlink);
+
+  const Bytes entry = encode_ldr_entry(
+      *profile_,
+      /*flink=*/head, /*blink=*/old_tail, dll_base, entry_point, size_of_image,
+      full_name_va, static_cast<std::uint16_t>(full_utf16.size()),
+      base_name_va, static_cast<std::uint16_t>(base_utf16.size()));
+  aspace_.write_virtual(entry_va, entry);
+
+  write_u32_va(old_tail + kOffListFlink, entry_va);
+  write_u32_va(head + kOffListBlink, entry_va);
+  return entry_va;
+}
+
+LdrEntry GuestKernel::read_entry(std::uint32_t entry_va) const {
+  Bytes raw(profile_->ldr_entry_size, 0);
+  aspace_.read_virtual(entry_va, raw);
+
+  LdrEntry e;
+  e.entry_va = entry_va;
+  e.flink = load_le32(raw, profile_->off_in_load_order_links + kOffListFlink);
+  e.blink = load_le32(raw, profile_->off_in_load_order_links + kOffListBlink);
+  e.dll_base = load_le32(raw, profile_->off_dll_base);
+  e.entry_point = load_le32(raw, profile_->off_entry_point);
+  e.size_of_image = load_le32(raw, profile_->off_size_of_image);
+
+  const std::uint16_t name_len =
+      load_le16(raw, profile_->off_base_dll_name + kOffUsLength);
+  const std::uint32_t name_va =
+      load_le32(raw, profile_->off_base_dll_name + kOffUsBuffer);
+  Bytes name_raw(name_len, 0);
+  aspace_.read_virtual(name_va, name_raw);
+  e.base_dll_name = utf16le_to_ascii(name_raw);
+  return e;
+}
+
+std::vector<LdrEntry> GuestKernel::read_module_list() const {
+  std::vector<LdrEntry> entries;
+  const std::uint32_t head = config_.ps_loaded_module_list_va;
+  std::uint32_t cur = read_u32_va(head + kOffListFlink);
+  while (cur != head) {
+    entries.push_back(read_entry(cur));
+    cur = entries.back().flink;
+    MC_CHECK(entries.size() < 4096, "module list cycle suspected");
+  }
+  return entries;
+}
+
+bool GuestKernel::unlink_module_entry(const std::string& base_name) {
+  for (const LdrEntry& e : read_module_list()) {
+    if (module_name_equals(e.base_dll_name, base_name)) {
+      // Classic list unlink: predecessor->Flink = successor,
+      // successor->Blink = predecessor.
+      write_u32_va(e.blink + kOffListFlink, e.flink);
+      write_u32_va(e.flink + kOffListBlink, e.blink);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mc::guestos

@@ -1,0 +1,101 @@
+// Guest kernel bootstrap and kernel-space services.
+//
+// "Boots" a domain into a Windows-XP-like state: builds the kernel address
+// space (page tables in guest physical memory), plants the
+// PsLoadedModuleList head, a pool allocator for loader metadata, and the
+// KDBG-style debugger data block that the introspection layer scans for.
+// Per-VM randomness (the seed) drives module base address assignment, so
+// identical clones load the same modules at different bases — the exact
+// phenomenon (Fig. 4) ModChecker's RVA adjustment exists to undo.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "guestos/winlike.hpp"
+#include "util/rng.hpp"
+#include "vmm/address_space.hpp"
+#include "vmm/domain.hpp"
+
+namespace mc::guestos {
+
+struct GuestConfig {
+  std::uint64_t seed = 0;  // per-VM; drives module base randomization
+  /// OS build this guest runs (drives the LDR entry layout and the version
+  /// id in the debug block).  Null selects the XP SP2 default.
+  const GuestProfile* profile = nullptr;
+  /// Kernel virtual base (XP's 2 GB split).
+  std::uint32_t kernel_base = 0x80000000u;
+  /// VA of the PsLoadedModuleList head (fixed per kernel build, like the
+  /// real global variable).
+  std::uint32_t ps_loaded_module_list_va = 0x8055A420u;
+  /// Pool region for loader metadata (LDR entries, name buffers).
+  std::uint32_t pool_base = 0x81000000u;
+  std::uint32_t pool_size = 0x00100000u;  // 1 MiB
+  /// Driver image area: bases are drawn from [lo, hi), page-aligned —
+  /// matching the 0xF8xxxxxx bases seen in the paper's Fig. 4.
+  std::uint32_t module_area_lo = 0xF8000000u;
+  std::uint32_t module_area_hi = 0xFF000000u;
+};
+
+class GuestKernel {
+ public:
+  /// Boots `domain`: allocates page tables, maps the kernel globals page
+  /// and pool, initializes PsLoadedModuleList and the debug block.
+  GuestKernel(vmm::Domain& domain, const GuestConfig& config);
+
+  vmm::Domain& domain() { return *domain_; }
+  const vmm::Domain& domain() const { return *domain_; }
+  vmm::AddressSpace& address_space() { return aspace_; }
+  const vmm::AddressSpace& address_space() const { return aspace_; }
+  const GuestConfig& config() const { return config_; }
+
+  std::uint32_t ps_loaded_module_list_va() const {
+    return config_.ps_loaded_module_list_va;
+  }
+  const GuestProfile& profile() const { return *profile_; }
+
+  // ---- kernel pool -----------------------------------------------------------
+  /// Bump-allocates `bytes` from the mapped pool region (8-byte aligned).
+  std::uint32_t pool_alloc(std::uint32_t bytes);
+
+  // ---- module memory ----------------------------------------------------------
+  /// Picks a randomized, page-aligned base for a module of `image_size`
+  /// bytes and maps that region.  Returns the base VA.
+  std::uint32_t map_module_region(std::uint32_t image_size);
+
+  // ---- module list -------------------------------------------------------------
+  /// Appends an LDR_DATA_TABLE_ENTRY for a loaded module (list insertion at
+  /// tail, fixing FLINK/BLINK of neighbours like the real loader).
+  /// Returns the VA of the new entry.
+  std::uint32_t insert_module_entry(const std::string& base_name,
+                                    std::uint32_t dll_base,
+                                    std::uint32_t entry_point,
+                                    std::uint32_t size_of_image);
+
+  /// Unlinks the entry whose BaseDllName equals `base_name` (DKOM-style
+  /// unlink, also what a clean unload does).  Returns true if found.
+  bool unlink_module_entry(const std::string& base_name);
+
+  /// Reads the full module list from guest memory (host-side traversal,
+  /// used by tests and the attack layer; ModChecker itself goes through
+  /// mc_vmi).
+  std::vector<LdrEntry> read_module_list() const;
+
+ private:
+  std::uint32_t read_u32_va(std::uint32_t va) const;
+  void write_u32_va(std::uint32_t va, std::uint32_t value);
+  LdrEntry read_entry(std::uint32_t entry_va) const;
+
+  vmm::Domain* domain_;
+  GuestConfig config_;
+  const GuestProfile* profile_;
+  vmm::AddressSpace aspace_;
+  Xoshiro256 rng_;
+  std::uint32_t pool_cursor_;
+  std::uint32_t next_module_hint_;
+};
+
+}  // namespace mc::guestos

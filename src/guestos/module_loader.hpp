@@ -1,0 +1,61 @@
+// Kernel module loader (the guest side of the story).
+//
+// Simulates what the Windows kernel loader does when a driver is loaded
+// (paper §I): map the PE file into memory at an available base, *replace
+// relative virtual addresses with absolute addresses* by applying the
+// image's base relocations, bind imports against already-loaded modules'
+// export tables, and link an LDR_DATA_TABLE_ENTRY into PsLoadedModuleList.
+//
+// Because each VM draws different bases, the same module's executable bytes
+// differ across VMs afterwards — the divergence ModChecker normalizes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "guestos/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::guestos {
+
+/// Host-side record of one loaded module (the source of truth lives in
+/// guest memory; this mirrors it for loader bookkeeping).
+struct LoadedModule {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t size_of_image = 0;
+  std::uint32_t entry_point = 0;  // VA
+  /// Exported symbols resolved to absolute VAs (for binding later loads).
+  std::map<std::string, std::uint32_t> exports;
+};
+
+class ModuleLoader {
+ public:
+  explicit ModuleLoader(GuestKernel& kernel) : kernel_(&kernel) {}
+
+  /// Loads a PE file image into the guest.  Steps: map to memory layout,
+  /// pick a randomized base, apply .reloc fixups for the base delta, bind
+  /// IAT slots against previously loaded modules, copy into guest memory,
+  /// and link the loader list entry.  Returns the loaded-module record.
+  ///
+  /// Unresolved imports throw NotFoundError (load order matters, as in the
+  /// real kernel).
+  const LoadedModule& load(const std::string& module_name, ByteView pe_file);
+
+  /// Unloads a module: unlinks its list entry.  (Image pages are left in
+  /// place, like a lazy unload; nothing in the checker depends on them.)
+  void unload(const std::string& module_name);
+
+  const std::vector<LoadedModule>& loaded() const { return loaded_; }
+
+  /// Finds a loaded module by (case-insensitive) name; nullptr if absent.
+  const LoadedModule* find(const std::string& module_name) const;
+
+ private:
+  GuestKernel* kernel_;
+  std::vector<LoadedModule> loaded_;
+};
+
+}  // namespace mc::guestos

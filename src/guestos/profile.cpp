@@ -1,0 +1,54 @@
+#include "guestos/profile.hpp"
+
+#include "util/error.hpp"
+
+namespace mc::guestos {
+
+const GuestProfile& winxp_sp2_profile() {
+  static const GuestProfile profile = {
+      "winxp-sp2-x86",
+      0x05010200,  // 5.1 SP2
+      0x50,        // entry size
+      0x00,        // InLoadOrderLinks
+      0x18,        // DllBase
+      0x1C,        // EntryPoint
+      0x20,        // SizeOfImage
+      0x24,        // FullDllName
+      0x2C,        // BaseDllName
+      0x34,        // Flags
+      0x38,        // LoadCount
+  };
+  return profile;
+}
+
+const GuestProfile& win2003_sp1_profile() {
+  // Simulated 5.2 build: one extra LIST_ENTRY ahead of DllBase shifts the
+  // tail of the structure by 8 bytes.
+  static const GuestProfile profile = {
+      "win2003-sp1-x86",
+      0x05020100,  // 5.2 SP1
+      0x58,
+      0x00,
+      0x20,  // DllBase
+      0x24,  // EntryPoint
+      0x28,  // SizeOfImage
+      0x2C,  // FullDllName
+      0x34,  // BaseDllName
+      0x3C,  // Flags
+      0x40,  // LoadCount
+  };
+  return profile;
+}
+
+const GuestProfile& profile_by_version(std::uint32_t version_id) {
+  if (version_id == winxp_sp2_profile().version_id) {
+    return winxp_sp2_profile();
+  }
+  if (version_id == win2003_sp1_profile().version_id) {
+    return win2003_sp1_profile();
+  }
+  throw NotFoundError("no guest profile for version id " +
+                      std::to_string(version_id));
+}
+
+}  // namespace mc::guestos

@@ -1,0 +1,47 @@
+// Guest OS structure profiles.
+//
+// Real LibVMI reads Windows kernel structures through per-build *profiles*
+// (struct member offsets change between OS versions).  ModChecker's
+// assumption — "multiple VMs running the same version of the operating
+// system" — makes the version visible: modules can only be cross-compared
+// within a same-version pool.
+//
+// A profile fixes the LDR_DATA_TABLE_ENTRY layout the guest kernel writes
+// and the introspection layer reads, and carries the version id planted in
+// the guest's debugger data block so VMI can identify the build at attach
+// time (and the orchestrator can group pools by version).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mc::guestos {
+
+struct GuestProfile {
+  std::string name;          // "winxp-sp2-x86"
+  std::uint32_t version_id;  // value stored in the debug block
+
+  // LDR_DATA_TABLE_ENTRY layout.
+  std::uint32_t ldr_entry_size;
+  std::uint32_t off_in_load_order_links;
+  std::uint32_t off_dll_base;
+  std::uint32_t off_entry_point;
+  std::uint32_t off_size_of_image;
+  std::uint32_t off_full_dll_name;
+  std::uint32_t off_base_dll_name;
+  std::uint32_t off_flags;
+  std::uint32_t off_load_count;
+};
+
+/// Windows XP SP2 (x86) — the paper's testbed build.
+const GuestProfile& winxp_sp2_profile();
+
+/// Windows Server 2003 SP1 (x86) — same era, shifted layout (an extra
+/// pointer pair ahead of DllBase in this simulation's rendition).
+const GuestProfile& win2003_sp1_profile();
+
+/// Looks a profile up by the version id found in the guest's debug block.
+/// Throws VmiError-compatible NotFoundError for unknown builds.
+const GuestProfile& profile_by_version(std::uint32_t version_id);
+
+}  // namespace mc::guestos

@@ -1,0 +1,45 @@
+#include "guestos/winlike.hpp"
+
+#include <cctype>
+
+namespace mc::guestos {
+
+Bytes encode_ldr_entry(const GuestProfile& profile, std::uint32_t flink,
+                       std::uint32_t blink, std::uint32_t dll_base,
+                       std::uint32_t entry_point, std::uint32_t size_of_image,
+                       std::uint32_t full_name_va, std::uint16_t full_name_len,
+                       std::uint32_t base_name_va,
+                       std::uint16_t base_name_len) {
+  Bytes out(profile.ldr_entry_size, 0);
+  store_le32(out, profile.off_in_load_order_links + kOffListFlink, flink);
+  store_le32(out, profile.off_in_load_order_links + kOffListBlink, blink);
+  // InMemoryOrderLinks / InInitializationOrderLinks are left null; the
+  // searcher (like the paper's) traverses the load-order list only.
+  store_le32(out, profile.off_dll_base, dll_base);
+  store_le32(out, profile.off_entry_point, entry_point);
+  store_le32(out, profile.off_size_of_image, size_of_image);
+  store_le16(out, profile.off_full_dll_name + kOffUsLength, full_name_len);
+  store_le16(out, profile.off_full_dll_name + kOffUsMaxLength, full_name_len);
+  store_le32(out, profile.off_full_dll_name + kOffUsBuffer, full_name_va);
+  store_le16(out, profile.off_base_dll_name + kOffUsLength, base_name_len);
+  store_le16(out, profile.off_base_dll_name + kOffUsMaxLength, base_name_len);
+  store_le32(out, profile.off_base_dll_name + kOffUsBuffer, base_name_va);
+  store_le32(out, profile.off_flags, 0x00004000);  // LDRP_ENTRY_PROCESSED
+  store_le16(out, profile.off_load_count, 1);
+  return out;
+}
+
+bool module_name_equals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mc::guestos

@@ -1,0 +1,82 @@
+// Windows-like kernel structure layouts (32-bit XP flavour).
+//
+// These are the byte layouts the paper's Module-Searcher consumes through
+// introspection (Fig. 2): the PsLoadedModuleList LIST_ENTRY head and the
+// doubly linked LDR_DATA_TABLE_ENTRY records with FLINK/BLINK pointers,
+// BaseDllName (a UNICODE_STRING) and DllBase.  Offsets follow the real
+// Windows XP SP2 structure layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "guestos/profile.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::guestos {
+
+// ---- LIST_ENTRY --------------------------------------------------------------
+inline constexpr std::uint32_t kListEntrySize = 8;   // Flink, Blink
+inline constexpr std::uint32_t kOffListFlink = 0;
+inline constexpr std::uint32_t kOffListBlink = 4;
+
+// ---- UNICODE_STRING -----------------------------------------------------------
+inline constexpr std::uint32_t kUnicodeStringSize = 8;
+inline constexpr std::uint32_t kOffUsLength = 0;      // u16, bytes (no NUL)
+inline constexpr std::uint32_t kOffUsMaxLength = 2;   // u16
+inline constexpr std::uint32_t kOffUsBuffer = 4;      // u32 VA of UTF-16LE
+
+// ---- LDR_DATA_TABLE_ENTRY (XP SP2, 32-bit) --------------------------------------
+// These constants are the XP SP2 layout — the values of
+// winxp_sp2_profile().  Version-aware code (the guest kernel, the
+// searcher) goes through a GuestProfile instead; the constants remain for
+// XP-only call sites and tests.
+inline constexpr std::uint32_t kOffInLoadOrderLinks = 0x00;
+inline constexpr std::uint32_t kOffInMemoryOrderLinks = 0x08;
+inline constexpr std::uint32_t kOffInInitOrderLinks = 0x10;
+inline constexpr std::uint32_t kOffDllBase = 0x18;
+inline constexpr std::uint32_t kOffEntryPoint = 0x1C;
+inline constexpr std::uint32_t kOffSizeOfImage = 0x20;
+inline constexpr std::uint32_t kOffFullDllName = 0x24;
+inline constexpr std::uint32_t kOffBaseDllName = 0x2C;
+inline constexpr std::uint32_t kOffFlags = 0x34;
+inline constexpr std::uint32_t kOffLoadCount = 0x38;  // u16
+inline constexpr std::uint32_t kLdrEntrySize = 0x50;
+
+// ---- debugger data block ----------------------------------------------------------
+// Real LibVMI locates PsLoadedModuleList by scanning guest physical memory
+// for the KDBG ("KDBG" tagged) debugger data block.  Our guest kernel
+// plants an equivalent block; mc_vmi finds it the same way.
+inline constexpr std::uint32_t kDebugBlockMagic = 0x4742444Bu;  // "KDBG" LE
+inline constexpr std::uint32_t kOffDbgMagic = 0x0;
+inline constexpr std::uint32_t kOffDbgVersion = 0x4;  // GuestProfile id
+inline constexpr std::uint32_t kOffDbgPsLoadedModuleList = 0x8;
+inline constexpr std::uint32_t kOffDbgKernelBase = 0xC;
+inline constexpr std::uint32_t kDebugBlockSize = 0x10;
+
+/// Host-side decoded view of one LDR_DATA_TABLE_ENTRY.
+struct LdrEntry {
+  std::uint32_t entry_va = 0;   // VA of the LDR_DATA_TABLE_ENTRY itself
+  std::uint32_t flink = 0;
+  std::uint32_t blink = 0;
+  std::uint32_t dll_base = 0;
+  std::uint32_t entry_point = 0;
+  std::uint32_t size_of_image = 0;
+  std::string base_dll_name;    // decoded from the UNICODE_STRING
+};
+
+/// Serializes an LDR_DATA_TABLE_ENTRY (layout per `profile`).
+/// `base_name_va`/`base_name_len` describe the UTF-16LE name buffer;
+/// `full_name_va`/`full_name_len` the full path buffer.
+Bytes encode_ldr_entry(const GuestProfile& profile, std::uint32_t flink,
+                       std::uint32_t blink, std::uint32_t dll_base,
+                       std::uint32_t entry_point, std::uint32_t size_of_image,
+                       std::uint32_t full_name_va, std::uint16_t full_name_len,
+                       std::uint32_t base_name_va,
+                       std::uint16_t base_name_len);
+
+/// Case-insensitive ASCII comparison (module names on Windows are
+/// case-insensitive).
+bool module_name_equals(const std::string& a, const std::string& b);
+
+}  // namespace mc::guestos

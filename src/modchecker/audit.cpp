@@ -1,0 +1,75 @@
+#include "modchecker/audit.hpp"
+
+#include <sstream>
+
+#include "vmi/session.hpp"
+
+namespace mc::core {
+
+AuditReport audit_modules(const vmm::Hypervisor& hypervisor,
+                          const std::vector<std::string>& modules,
+                          const std::vector<vmm::DomainId>& pool,
+                          const ModCheckerConfig& config) {
+  AuditReport report;
+  report.modules = modules;
+  report.pool = pool;
+
+  ModChecker checker(hypervisor, config);
+  for (const auto& module : modules) {
+    PoolScanReport scan = checker.scan_pool(module, pool);
+    report.total_wall += scan.wall_time;
+    report.total_cpu += scan.cpu_times;
+    for (const auto& verdict : scan.verdicts) {
+      if (!verdict.clean) {
+        report.findings.push_back(
+            {module, verdict.vm, verdict.successes, verdict.total});
+      }
+    }
+    report.scans.push_back(std::move(scan));
+  }
+  return report;
+}
+
+std::string format_audit_report(const AuditReport& report) {
+  std::ostringstream os;
+  os << "Cloud audit: " << report.modules.size() << " module(s) x "
+     << report.pool.size() << " VM(s)\n";
+
+  os << "         module";
+  for (const auto vm : report.pool) {
+    os << "  Dom" << vm;
+  }
+  os << "\n";
+  for (std::size_t m = 0; m < report.scans.size(); ++m) {
+    char name[32];
+    std::snprintf(name, sizeof name, "%15s", report.modules[m].c_str());
+    os << name;
+    for (const auto& verdict : report.scans[m].verdicts) {
+      os << (verdict.clean ? "   ok " : " FLAG ");
+    }
+    os << "\n";
+  }
+
+  os << "findings: " << report.findings.size() << "\n";
+  for (const auto& f : report.findings) {
+    os << "  - " << f.module << " on Dom" << f.vm << " (" << f.successes
+       << "/" << f.total << " matches)\n";
+  }
+  os << "simulated cost: wall " << format_sim_nanos(report.total_wall)
+     << ", cpu " << format_sim_nanos(report.total_cpu.total()) << "\n";
+  return os.str();
+}
+
+std::map<std::uint32_t, std::vector<vmm::DomainId>> group_by_guest_version(
+    const vmm::Hypervisor& hypervisor, const std::vector<vmm::DomainId>& pool,
+    const vmi::VmiCostModel& costs) {
+  std::map<std::uint32_t, std::vector<vmm::DomainId>> groups;
+  for (const vmm::DomainId vm : pool) {
+    SimClock clock;
+    vmi::VmiSession session(hypervisor, vm, clock, costs);
+    groups[session.guest_version()].push_back(vm);
+  }
+  return groups;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,117 @@
+#include "modchecker/checker.hpp"
+
+#include <algorithm>
+
+#include "crypto/crc32.hpp"
+
+namespace mc::core {
+
+namespace {
+/// Relative per-byte cost of the digest algorithms (MD5 = 1.0); roughly
+/// the OpenSSL-era software throughput ratios.
+double hash_cost_factor(crypto::HashAlgorithm algorithm) {
+  switch (algorithm) {
+    case crypto::HashAlgorithm::kMd5:
+      return 1.0;
+    case crypto::HashAlgorithm::kSha1:
+      return 1.4;
+    case crypto::HashAlgorithm::kSha256:
+      return 2.3;
+  }
+  return 1.0;
+}
+}  // namespace
+
+PairComparison IntegrityChecker::compare(const ParsedModule& subject,
+                                         const ParsedModule& other,
+                                         SimClock& clock) const {
+  PairComparison result;
+  result.other_domain = other.domain;
+  clock.charge(costs_.compare_fixed);
+
+  bool all_match = true;
+
+  // Items are matched by (kind, name): identical module structure yields a
+  // 1:1 pairing; structural attacks (an injected section, E4) leave
+  // unmatched items, which are definite mismatches.
+  std::vector<bool> other_used(other.items.size(), false);
+  auto find_match = [&](const pe::IntegrityItem& a) -> const pe::IntegrityItem* {
+    for (std::size_t j = 0; j < other.items.size(); ++j) {
+      if (!other_used[j] && other.items[j].kind == a.kind &&
+          other.items[j].name == a.name) {
+        other_used[j] = true;
+        return &other.items[j];
+      }
+    }
+    return nullptr;
+  };
+
+  for (const pe::IntegrityItem& a : subject.items) {
+    ItemComparison cmp;
+    cmp.item_name = a.name;
+    cmp.kind = a.kind;
+
+    const pe::IntegrityItem* b = find_match(a);
+    if (b == nullptr) {
+      // Present on the subject only (e.g. an attacker-added section).
+      cmp.match = false;
+      all_match = false;
+      result.items.push_back(std::move(cmp));
+      continue;
+    }
+
+    // Work on copies: Algorithm 2 mutates the buffers, and each pairwise
+    // comparison must start from the pristine extractions.
+    Bytes buf_a = a.bytes;
+    Bytes buf_b = b->bytes;
+
+    if (a.rva_sensitive) {
+      const RvaAdjustResult adj =
+          adjust_rvas(buf_a, subject.base, buf_b, other.base);
+      cmp.rvas_adjusted = adj.adjusted;
+      cmp.unresolved_diffs = adj.unresolved_diffs;
+      clock.charge(costs_.rva_scan_per_byte *
+                   std::max(buf_a.size(), buf_b.size()));
+    }
+
+    if (crc_prefilter_) {
+      clock.charge(costs_.crc_per_byte * (buf_a.size() + buf_b.size()));
+      if (crypto::crc32(buf_a) == crypto::crc32(buf_b) &&
+          buf_a.size() == buf_b.size()) {
+        // Cheap path: CRCs agree — accept the match without the digest.
+        cmp.match = true;
+        result.items.push_back(std::move(cmp));
+        continue;
+      }
+    }
+
+    cmp.digest_subject = crypto::hash_bytes(algorithm_, buf_a);
+    cmp.digest_other = crypto::hash_bytes(algorithm_, buf_b);
+    clock.charge(static_cast<SimNanos>(
+        static_cast<double>(costs_.hash_per_byte *
+                            (buf_a.size() + buf_b.size())) *
+        hash_cost_factor(algorithm_)));
+
+    cmp.match = cmp.digest_subject == cmp.digest_other;
+    all_match = all_match && cmp.match;
+    result.items.push_back(std::move(cmp));
+  }
+
+  // Items present on the other VM only.
+  for (std::size_t j = 0; j < other.items.size(); ++j) {
+    if (other_used[j]) {
+      continue;
+    }
+    ItemComparison cmp;
+    cmp.item_name = other.items[j].name;
+    cmp.kind = other.items[j].kind;
+    cmp.match = false;
+    all_match = false;
+    result.items.push_back(std::move(cmp));
+  }
+
+  result.all_match = all_match;
+  return result;
+}
+
+}  // namespace mc::core

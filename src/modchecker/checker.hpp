@@ -1,0 +1,69 @@
+// Integrity-Checker — paper §III-B.3, §IV-C.
+//
+// Two responsibilities: (1) adjust the relative virtual addresses in
+// executable content so the same code hashes identically across VMs
+// (Algorithm 2, see rva_adjust.hpp), and (2) compute the MD5 of every
+// header and every section-data item and compare the values pairwise
+// between the subject VM's module and each other VM's copy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/hasher.hpp"
+#include "modchecker/rva_adjust.hpp"
+#include "modchecker/types.hpp"
+#include "util/sim_clock.hpp"
+#include "vmi/cost_model.hpp"
+
+namespace mc::core {
+
+/// Outcome of comparing one integrity item between two VMs.
+struct ItemComparison {
+  std::string item_name;
+  pe::ItemKind kind{};
+  bool match = false;
+  crypto::Digest digest_subject;
+  crypto::Digest digest_other;
+  /// RVA-adjustment telemetry (exec sections only).
+  std::uint32_t rvas_adjusted = 0;
+  std::uint32_t unresolved_diffs = 0;
+};
+
+/// Outcome of comparing the subject module against one other VM's copy.
+struct PairComparison {
+  vmm::DomainId other_domain = 0;
+  std::vector<ItemComparison> items;
+  bool all_match = false;
+};
+
+class IntegrityChecker {
+ public:
+  /// `crc_prefilter`: compare cheap CRC32s first and compute the full
+  /// digest only on CRC mismatch (evidence for the report).  Saves ~75 %
+  /// of checker hashing cost on clean pools; the tradeoff is that a CRC
+  /// collision could mask a difference — acceptable for the paper's
+  /// accidental-divergence surface, NOT against an adversary who can
+  /// target CRC32, hence off by default.
+  explicit IntegrityChecker(
+      crypto::HashAlgorithm algorithm = crypto::HashAlgorithm::kMd5,
+      const vmi::HostCostModel& costs = {}, bool crc_prefilter = false)
+      : algorithm_(algorithm), costs_(costs), crc_prefilter_(crc_prefilter) {}
+
+  crypto::HashAlgorithm algorithm() const { return algorithm_; }
+  bool crc_prefilter() const { return crc_prefilter_; }
+
+  /// Compares `subject` with `other` item by item.  Item lists can differ
+  /// in shape when headers were tampered with (e.g. an injected section):
+  /// items are matched by position and name; unmatched items count as
+  /// mismatches.  Charges hashing/scan time to `clock`.
+  PairComparison compare(const ParsedModule& subject,
+                         const ParsedModule& other, SimClock& clock) const;
+
+ private:
+  crypto::HashAlgorithm algorithm_;
+  vmi::HostCostModel costs_;
+  bool crc_prefilter_;
+};
+
+}  // namespace mc::core

@@ -1,0 +1,63 @@
+// Forensic divergence analysis — the "deeper analysis" stage the paper
+// hands off to after ModChecker flags a discrepancy (§III Discussion, §VI).
+//
+// Given the subject's copy of a module and a clean reference copy, this
+// module pinpoints *where* a flagged item diverges after RVA normalization,
+// classifies the divergence, and (for executable content) renders a
+// disassembly listing around the first difference — the analyst view the
+// paper shows in its Figs. 5/6 screenshots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "modchecker/types.hpp"
+
+namespace mc::core {
+
+/// One contiguous run of differing bytes (offsets within the item).
+struct DiffRange {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+enum class DivergenceClass {
+  kNone,             // item matches after normalization
+  kContentPatch,     // small, localized byte changes (E1/E3-style)
+  kCodeInjection,    // differences include a formerly zero cave (E2-style)
+  kStructural,       // item exists on one side only / size mismatch (E4)
+  kHeaderField,      // difference confined to a header item
+};
+
+std::string to_string(DivergenceClass cls);
+
+struct ForensicReport {
+  std::string module;
+  std::string item;
+  DivergenceClass classification = DivergenceClass::kNone;
+  std::uint32_t rvas_adjusted = 0;
+  std::vector<DiffRange> ranges;
+  std::size_t differing_bytes = 0;
+  /// Disassembly around the first difference (executable items only).
+  std::string subject_listing;
+  std::string reference_listing;
+  /// Printable string nearest the first difference (non-code items) —
+  /// e.g. "This program cannot be run in CHK mode." for the E3 patch.
+  std::string context_string;
+};
+
+/// Analyzes one item's divergence between `subject` and `reference`
+/// (typically a copy from a VM that voted clean).  The item is looked up
+/// by name on both sides; a missing side yields kStructural.
+ForensicReport analyze_divergence(const ParsedModule& subject,
+                                  const ParsedModule& reference,
+                                  const std::string& item_name);
+
+/// Analyzes every flagged item of a pair comparison.
+std::vector<ForensicReport> analyze_all_flagged(
+    const ParsedModule& subject, const ParsedModule& reference);
+
+std::string format_forensic_report(const ForensicReport& report);
+
+}  // namespace mc::core

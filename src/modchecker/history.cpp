@@ -1,0 +1,100 @@
+#include "modchecker/history.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mc::core {
+
+FindingHistory& ScanHistory::slot(const std::string& module,
+                                  vmm::DomainId vm) {
+  const auto key = std::make_pair(module, vm);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    return findings_[it->second];
+  }
+  index_.emplace(key, findings_.size());
+  FindingHistory h;
+  h.module = module;
+  h.vm = vm;
+  findings_.push_back(std::move(h));
+  return findings_.back();
+}
+
+void ScanHistory::observe(SimNanos time, const std::string& module,
+                          vmm::DomainId vm, bool flagged) {
+  ++observations_;
+  FindingHistory& h = slot(module, vm);
+  if (flagged) {
+    if (h.times_flagged == 0) {
+      h.first_flagged = time;
+    } else if (!h.currently_flagged) {
+      ++h.flaps;  // was clean after flagging, now flagged again
+    }
+    h.last_flagged = time;
+    ++h.times_flagged;
+    h.currently_flagged = true;
+  } else {
+    if (h.times_flagged > 0) {
+      ++h.times_clean_after_flag;
+      h.last_clean_seen = time;
+    }
+    h.currently_flagged = false;
+  }
+}
+
+void ScanHistory::ingest(const ScheduleReport& report) {
+  for (const auto& scan : report.scans) {
+    // Every VM in a scan is an observation for that module; flagged VMs
+    // are listed, the rest observed clean.  We do not know the pool here,
+    // so derive observations from the flag list plus prior knowledge:
+    // flagged pairs observed flagged, previously-known pairs not in the
+    // flag list observed clean.
+    for (const auto vm : scan.flagged) {
+      observe(scan.finished, scan.module, vm, true);
+    }
+    for (auto& h : findings_) {
+      if (h.module != scan.module) {
+        continue;
+      }
+      if (std::find(scan.flagged.begin(), scan.flagged.end(), h.vm) ==
+          scan.flagged.end()) {
+        observe(scan.finished, scan.module, h.vm, false);
+      }
+    }
+  }
+}
+
+std::vector<const FindingHistory*> ScanHistory::active() const {
+  std::vector<const FindingHistory*> out;
+  for (const auto& h : findings_) {
+    if (h.currently_flagged) {
+      out.push_back(&h);
+    }
+  }
+  return out;
+}
+
+std::vector<const FindingHistory*> ScanHistory::flapping() const {
+  std::vector<const FindingHistory*> out;
+  for (const auto& h : findings_) {
+    if (h.flaps > 0) {
+      out.push_back(&h);
+    }
+  }
+  return out;
+}
+
+std::string format_history(const ScanHistory& history, SimNanos now) {
+  std::ostringstream os;
+  os << "Scan history: " << history.findings().size() << " finding(s), "
+     << history.total_observations() << " observation(s)\n";
+  for (const auto& h : history.findings()) {
+    os << "  " << h.module << " on Dom" << h.vm << ": "
+       << (h.currently_flagged ? "ACTIVE" : "resolved") << ", flagged "
+       << h.times_flagged << "x, flaps " << h.flaps << ", exposure "
+       << format_sim_nanos(h.exposure(now)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mc::core

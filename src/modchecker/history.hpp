@@ -1,0 +1,70 @@
+// Scan history & trend analysis for long-running deployments.
+//
+// The scheduler produces a stream of per-scan outcomes; operations care
+// about the *trajectory*: when did a (module, VM) pair first flag, is it
+// still flagging, did it flap (flag → clean → flag, the signature of an
+// unstable rollout or a transient introspection race), and how long was
+// the exposure window between first flag and remediation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "modchecker/scheduler.hpp"
+#include "util/sim_clock.hpp"
+#include "vmm/domain.hpp"
+
+namespace mc::core {
+
+/// Lifecycle of one (module, VM) finding across scans.
+struct FindingHistory {
+  std::string module;
+  vmm::DomainId vm = 0;
+  SimNanos first_flagged = 0;
+  SimNanos last_flagged = 0;
+  std::size_t times_flagged = 0;
+  std::size_t times_clean_after_flag = 0;  // observations after first flag
+  bool currently_flagged = false;
+  /// flag -> clean -> flag transitions (flapping).
+  std::size_t flaps = 0;
+
+  /// Exposure: first flag until the most recent clean observation (or
+  /// `now` if still flagged).
+  SimNanos exposure(SimNanos now) const {
+    return (currently_flagged ? now : last_clean_seen) - first_flagged;
+  }
+  SimNanos last_clean_seen = 0;
+};
+
+class ScanHistory {
+ public:
+  /// Folds a schedule run into the history (call after each run_until).
+  void ingest(const ScheduleReport& report);
+
+  /// Direct observation API (for non-scheduler callers).
+  void observe(SimNanos time, const std::string& module, vmm::DomainId vm,
+               bool flagged);
+
+  const std::vector<FindingHistory>& findings() const { return findings_; }
+
+  /// Findings that are flagged as of the latest observation.
+  std::vector<const FindingHistory*> active() const;
+
+  /// Findings that have flapped at least once.
+  std::vector<const FindingHistory*> flapping() const;
+
+  std::size_t total_observations() const { return observations_; }
+
+ private:
+  FindingHistory& slot(const std::string& module, vmm::DomainId vm);
+
+  std::vector<FindingHistory> findings_;
+  std::map<std::pair<std::string, vmm::DomainId>, std::size_t> index_;
+  std::size_t observations_ = 0;
+};
+
+std::string format_history(const ScanHistory& history, SimNanos now);
+
+}  // namespace mc::core

@@ -1,0 +1,156 @@
+#include "modchecker/incremental.hpp"
+
+#include <algorithm>
+
+#include "modchecker/searcher.hpp"
+#include "util/error.hpp"
+#include "vmi/session.hpp"
+#include "vmm/phys_mem.hpp"
+
+namespace mc::core {
+
+namespace {
+/// Simulated cost of querying one page's dirty state from the hypervisor's
+/// log-dirty bitmap.
+constexpr SimNanos kDirtyCheckPerPage = 200;  // ns
+}  // namespace
+
+IncrementalScanner::IncrementalScanner(const vmm::Hypervisor& hypervisor,
+                                       ModCheckerConfig config)
+    : hypervisor_(&hypervisor),
+      config_(std::move(config)),
+      parser_(config_.host_costs),
+      checker_(config_.algorithm, config_.host_costs, config_.crc_prefilter) {}
+
+IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
+    vmm::DomainId vm, const std::string& module_name, ComponentTimes& times) {
+  CacheEntry& entry = cache_[{vm, module_name}];
+  const vmm::PhysicalMemory& memory = hypervisor_->domain(vm).memory();
+
+  SimClock searcher_clock;
+  vmi::VmiSession session(*hypervisor_, vm, searcher_clock,
+                          config_.vmi_costs);
+  ModuleSearcher searcher(session);
+
+  // The list walk is always needed (cheap relative to a copy): the module
+  // could have been unloaded or rebased since the last scan.
+  const auto info = searcher.find_module(module_name);
+  if (!info) {
+    entry = CacheEntry{};  // drop any stale cache
+    times.searcher += searcher_clock.now();
+    return entry;
+  }
+
+  // Dirty check against the cached extraction.
+  if (entry.found && entry.base == info->base && !entry.frames.empty()) {
+    searcher_clock.charge(kDirtyCheckPerPage * entry.frames.size());
+    bool clean = true;
+    for (const std::uint32_t frame : entry.frames) {
+      if (memory.frame_version(frame) > entry.max_frame_version) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      ++stats_.cache_reuses;
+      times.searcher += searcher_clock.now();
+      return entry;
+    }
+    ++stats_.invalidations;
+  } else if (entry.found) {
+    ++stats_.invalidations;  // rebased (new base) — cache unusable
+  }
+
+  // Full extraction path.
+  ++stats_.full_extractions;
+  const auto image = searcher.extract_module(module_name);
+  MC_CHECK(image.has_value(), "module vanished between list walk and copy");
+  times.searcher += searcher_clock.now();
+
+  entry.found = true;
+  entry.base = info->base;
+  ++entry.generation;
+
+  // Record the frame set and the version high-water mark.
+  entry.frames.clear();
+  std::uint64_t max_version = 0;
+  for (std::uint32_t va = info->base & ~(vmm::kFrameSize - 1);
+       va < info->base + info->size_of_image; va += vmm::kFrameSize) {
+    const std::uint64_t pa = session.translate_kv2p(va);
+    const auto frame = static_cast<std::uint32_t>(pa >> vmm::kFrameShift);
+    entry.frames.push_back(frame);
+    max_version = std::max(max_version, memory.frame_version(frame));
+  }
+  entry.max_frame_version = max_version;
+
+  SimClock parser_clock;
+  parser_clock.set_slowdown(hypervisor_->dom0_slowdown());
+  entry.parsed = parser_.parse(*image, parser_clock);
+  times.parser += parser_clock.now();
+  return entry;
+}
+
+PoolScanReport IncrementalScanner::scan(
+    const std::string& module_name, const std::vector<vmm::DomainId>& pool) {
+  PoolScanReport report;
+  report.module_name = module_name;
+
+  std::vector<CacheEntry*> entries;
+  entries.reserve(pool.size());
+  for (const vmm::DomainId vm : pool) {
+    ComponentTimes times;
+    entries.push_back(&fetch(vm, module_name, times));
+    report.cpu_times += times;
+    report.wall_time += times.total();
+  }
+
+  std::vector<PoolVmVerdict> verdicts(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    verdicts[i].vm = pool[i];
+  }
+  SimClock checker_clock;
+  checker_clock.set_slowdown(hypervisor_->dom0_slowdown());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!entries[i]->found) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      if (!entries[j]->found) {
+        continue;
+      }
+      ++verdicts[i].total;
+      ++verdicts[j].total;
+
+      PairCacheEntry& pair =
+          pair_cache_[{module_name, pool[i], pool[j]}];
+      bool all_match;
+      if (pair.generation_a == entries[i]->generation &&
+          pair.generation_b == entries[j]->generation &&
+          pair.generation_a != 0) {
+        // Neither side changed since this pair was last compared.
+        ++stats_.comparisons_reused;
+        all_match = pair.all_match;
+      } else {
+        ++stats_.comparisons_computed;
+        const PairComparison cmp = checker_.compare(
+            entries[i]->parsed, entries[j]->parsed, checker_clock);
+        all_match = cmp.all_match;
+        pair = {entries[i]->generation, entries[j]->generation, all_match};
+      }
+      if (all_match) {
+        ++verdicts[i].successes;
+        ++verdicts[j].successes;
+      }
+    }
+  }
+  report.cpu_times.checker += checker_clock.now();
+  report.wall_time += checker_clock.now();
+
+  for (auto& v : verdicts) {
+    v.clean = v.total > 0 && 2 * v.successes > v.total;
+  }
+  report.verdicts = std::move(verdicts);
+  return report;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,329 @@
+#include "modchecker/modchecker.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "vmi/session.hpp"
+
+namespace mc::core {
+
+ModChecker::ModChecker(const vmm::Hypervisor& hypervisor,
+                       ModCheckerConfig config)
+    : hypervisor_(&hypervisor),
+      config_(std::move(config)),
+      parser_(config_.host_costs),
+      checker_(config_.algorithm, config_.host_costs,
+               config_.crc_prefilter) {}
+
+ModChecker::Extraction ModChecker::extract_and_parse(
+    vmm::DomainId vm, const std::string& module_name) const {
+  Extraction ex;
+
+  // Module-Searcher: all guest-memory access happens here.
+  SimClock searcher_clock;
+  vmi::VmiSession session(*hypervisor_, vm, searcher_clock,
+                          config_.vmi_costs);
+  ModuleSearcher searcher(session);
+  auto image = searcher.extract_module(module_name);
+  ex.times.searcher = searcher_clock.now();
+  if (!image) {
+    return ex;
+  }
+
+  // Module-Parser: host CPU work, still contention-scaled (Dom0 shares the
+  // physical cores with the guests).
+  ex.found = true;
+  SimClock parser_clock;
+  parser_clock.set_slowdown(hypervisor_->dom0_slowdown());
+  try {
+    ex.parsed = parser_.parse(*image, parser_clock);
+  } catch (const FormatError& e) {
+    // Corrupted PE structure (e.g. a tampered magic or header field that
+    // breaks the walk): not a crash, a *finding*.
+    ex.parse_failed = true;
+    ex.parse_error = e.what();
+  }
+  ex.times.parser = parser_clock.now();
+  return ex;
+}
+
+CheckReport ModChecker::check_module(vmm::DomainId subject,
+                                     const std::string& module_name,
+                                     const std::vector<vmm::DomainId>& raw_others) {
+  CheckReport report;
+  report.module_name = module_name;
+  report.subject = subject;
+
+  // Guard against the subject sneaking into its own comparison pool (a
+  // self-comparison always matches and would dilute the vote) and against
+  // duplicate entries double-counting a peer.
+  std::vector<vmm::DomainId> others;
+  others.reserve(raw_others.size());
+  for (const vmm::DomainId vm : raw_others) {
+    if (vm != subject &&
+        std::find(others.begin(), others.end(), vm) == others.end()) {
+      others.push_back(vm);
+    }
+  }
+
+  // Subject extraction first (both modes need it before comparing).
+  Extraction subject_ex = extract_and_parse(subject, module_name);
+  if (!subject_ex.found) {
+    throw NotFoundError("module '" + module_name +
+                        "' not loaded on subject VM " +
+                        std::to_string(subject));
+  }
+  report.cpu_times += subject_ex.times;
+
+  struct PerVm {
+    vmm::DomainId vm;
+    Extraction ex;
+    PairComparison cmp;
+    SimNanos checker_time = 0;
+  };
+
+  auto process_other = [&](vmm::DomainId vm) {
+    PerVm r;
+    r.vm = vm;
+    r.ex = extract_and_parse(vm, module_name);
+    if (r.ex.found && !r.ex.parse_failed && !subject_ex.parse_failed) {
+      SimClock checker_clock;
+      checker_clock.set_slowdown(hypervisor_->dom0_slowdown());
+      r.cmp = checker_.compare(subject_ex.parsed, r.ex.parsed, checker_clock);
+      r.checker_time = checker_clock.now();
+    }
+    return r;
+  };
+
+  std::vector<PerVm> results;
+  results.reserve(others.size());
+
+  if (config_.parallel && others.size() > 1) {
+    ThreadPool pool(std::min(config_.worker_threads, others.size()));
+    std::vector<std::future<PerVm>> futures;
+    futures.reserve(others.size());
+    for (const vmm::DomainId vm : others) {
+      futures.push_back(pool.submit([&, vm] { return process_other(vm); }));
+    }
+    // Simulated makespan on `worker_threads` workers: the list-scheduling
+    // estimate max(longest task, total work / workers).
+    SimNanos longest_task = 0;
+    SimNanos total_work = 0;
+    for (auto& f : futures) {
+      results.push_back(f.get());
+      const PerVm& r = results.back();
+      const SimNanos task = r.ex.times.total() + r.checker_time;
+      longest_task = std::max(longest_task, task);
+      total_work += task;
+    }
+    const SimNanos makespan = std::max(
+        longest_task, total_work / std::min<SimNanos>(config_.worker_threads,
+                                                      others.size()));
+    report.wall_time = subject_ex.times.total() + makespan;
+  } else {
+    for (const vmm::DomainId vm : others) {
+      results.push_back(process_other(vm));
+    }
+  }
+
+  // Aggregate.
+  std::set<std::string> flagged;
+  if (subject_ex.parse_failed) {
+    flagged.insert(kUnparseableItem);
+  }
+  for (auto& r : results) {
+    if (!r.ex.found) {
+      report.missing_on.push_back(r.vm);
+      continue;
+    }
+    report.cpu_times += r.ex.times;
+    report.cpu_times.checker += r.checker_time;
+    ++report.total_comparisons;
+    if (subject_ex.parse_failed || r.ex.parse_failed) {
+      // An unparseable copy can never corroborate: count the comparison as
+      // a definite mismatch.
+      if (r.ex.parse_failed) {
+        flagged.insert(kUnparseableItem);
+      }
+      r.cmp.other_domain = r.vm;
+      r.cmp.all_match = false;
+      report.comparisons.push_back(std::move(r.cmp));
+      continue;
+    }
+    if (r.cmp.all_match) {
+      ++report.successes;
+    } else {
+      for (const auto& item : r.cmp.items) {
+        if (!item.match) {
+          flagged.insert(item.item_name);
+        }
+      }
+    }
+    report.comparisons.push_back(std::move(r.cmp));
+  }
+  report.flagged_items.assign(flagged.begin(), flagged.end());
+
+  // Majority vote: n > (t-1)/2 where t-1 is the number of completed
+  // comparisons.
+  report.subject_clean =
+      report.total_comparisons > 0 &&
+      2 * report.successes > report.total_comparisons;
+
+  if (!config_.parallel || others.size() <= 1) {
+    report.wall_time = report.cpu_times.total();
+  }
+  return report;
+}
+
+CheckReport ModChecker::check_module(vmm::DomainId subject,
+                                     const std::string& module_name) {
+  std::vector<vmm::DomainId> others;
+  for (const vmm::DomainId id : hypervisor_->domain_ids()) {
+    if (id != subject) {
+      others.push_back(id);
+    }
+  }
+  return check_module(subject, module_name, others);
+}
+
+CheckReport ModChecker::check_module_sampled(vmm::DomainId subject,
+                                             const std::string& module_name,
+                                             std::size_t sample_size,
+                                             std::uint64_t seed) {
+  std::vector<vmm::DomainId> others;
+  for (const vmm::DomainId id : hypervisor_->domain_ids()) {
+    if (id != subject) {
+      others.push_back(id);
+    }
+  }
+  MC_CHECK(sample_size >= 1, "sample size must be at least 1");
+
+  // Seeded Fisher-Yates prefix shuffle to draw the sample.
+  Xoshiro256 rng(seed);
+  const std::size_t k = std::min(sample_size, others.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.below(others.size() - i);
+    std::swap(others[i], others[j]);
+  }
+  others.resize(k);
+  return check_module(subject, module_name, others);
+}
+
+PoolScanReport ModChecker::scan_pool(const std::string& module_name,
+                                     const std::vector<vmm::DomainId>& pool) {
+  PoolScanReport report;
+  report.module_name = module_name;
+
+  // Extract + parse every VM once.
+  std::vector<Extraction> extractions;
+  extractions.reserve(pool.size());
+
+  if (config_.parallel && pool.size() > 1) {
+    ThreadPool tp(std::min(config_.worker_threads, pool.size()));
+    std::vector<std::future<Extraction>> futures;
+    for (const vmm::DomainId vm : pool) {
+      futures.push_back(
+          tp.submit([&, vm] { return extract_and_parse(vm, module_name); }));
+    }
+    SimNanos longest = 0;
+    SimNanos total_work = 0;
+    for (auto& f : futures) {
+      extractions.push_back(f.get());
+      longest = std::max(longest, extractions.back().times.total());
+      total_work += extractions.back().times.total();
+    }
+    report.wall_time = std::max(
+        longest, total_work / std::min<SimNanos>(config_.worker_threads,
+                                                 pool.size()));
+  } else {
+    for (const vmm::DomainId vm : pool) {
+      extractions.push_back(extract_and_parse(vm, module_name));
+      report.wall_time += extractions.back().times.total();
+    }
+  }
+  for (const auto& ex : extractions) {
+    report.cpu_times += ex.times;
+  }
+
+  // Pairwise comparisons; each unordered pair evaluated once and credited
+  // to both VMs' vote tallies.
+  std::vector<PoolVmVerdict> verdicts(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    verdicts[i].vm = pool[i];
+  }
+  SimClock checker_clock;
+  checker_clock.set_slowdown(hypervisor_->dom0_slowdown());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!extractions[i].found) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      if (!extractions[j].found) {
+        continue;
+      }
+      ++verdicts[i].total;
+      ++verdicts[j].total;
+      if (extractions[i].parse_failed || extractions[j].parse_failed) {
+        continue;  // an unparseable copy never matches anything
+      }
+      const PairComparison cmp = checker_.compare(
+          extractions[i].parsed, extractions[j].parsed, checker_clock);
+      if (cmp.all_match) {
+        ++verdicts[i].successes;
+        ++verdicts[j].successes;
+      }
+    }
+  }
+  report.cpu_times.checker += checker_clock.now();
+  report.wall_time += checker_clock.now();
+
+  for (auto& v : verdicts) {
+    v.clean = v.total > 0 && 2 * v.successes > v.total;
+  }
+  report.verdicts = std::move(verdicts);
+  return report;
+}
+
+ListComparisonReport ModChecker::compare_module_lists(
+    const std::vector<vmm::DomainId>& pool) {
+  ListComparisonReport report;
+
+  // Gather each VM's loader list through introspection.
+  std::map<std::string, std::vector<vmm::DomainId>> presence;
+  SimNanos wall = 0;
+  for (const vmm::DomainId vm : pool) {
+    SimClock clock;
+    vmi::VmiSession session(*hypervisor_, vm, clock, config_.vmi_costs);
+    ModuleSearcher searcher(session);
+    for (const auto& info : searcher.list_modules()) {
+      presence[info.name].push_back(vm);
+    }
+    wall += clock.now();
+  }
+  report.wall_time = wall;
+  report.modules_seen = presence.size();
+
+  for (const auto& [name, present_on] : presence) {
+    if (present_on.size() == pool.size()) {
+      continue;  // uniformly present
+    }
+    ListDiscrepancy d;
+    d.module_name = name;
+    d.present_on = present_on;
+    for (const vmm::DomainId vm : pool) {
+      if (std::find(present_on.begin(), present_on.end(), vm) ==
+          present_on.end()) {
+        d.missing_on.push_back(vm);
+      }
+    }
+    report.discrepancies.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace mc::core

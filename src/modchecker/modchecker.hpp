@@ -1,0 +1,152 @@
+// ModChecker orchestrator — ties Module-Searcher, Module-Parser and
+// Integrity-Checker together over a pool of VMs (paper Fig. 1) and applies
+// the majority vote of §III ("if the number of successes n are in majority
+// from the total number of comparisons (i.e. n > (t-1)/2) ... the module
+// has not been altered").
+//
+// Two execution modes:
+//   * sequential — the paper's prototype: VMs are visited one after
+//     another; total runtime grows linearly with the pool size (Fig. 7).
+//   * parallel   — the extension the paper proposes in §V-C.1: per-VM
+//     extraction/parsing/comparison run as independent tasks on a thread
+//     pool; the simulated wall time is the critical path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "modchecker/checker.hpp"
+#include "modchecker/parser.hpp"
+#include "modchecker/searcher.hpp"
+#include "modchecker/types.hpp"
+#include "vmi/cost_model.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace mc::core {
+
+struct ModCheckerConfig {
+  crypto::HashAlgorithm algorithm = crypto::HashAlgorithm::kMd5;
+  vmi::VmiCostModel vmi_costs{};
+  vmi::HostCostModel host_costs{};
+  bool parallel = false;
+  std::size_t worker_threads = 8;
+  /// CRC32 prefilter: skip the full digest when cheap checksums agree
+  /// (see IntegrityChecker for the tradeoff).
+  bool crc_prefilter = false;
+};
+
+/// Result of checking one module on one subject VM against a pool.
+struct CheckReport {
+  std::string module_name;
+  vmm::DomainId subject = 0;
+  std::vector<PairComparison> comparisons;
+  std::size_t successes = 0;          // comparisons where every item matched
+  std::size_t total_comparisons = 0;  // t - 1
+  bool subject_clean = false;         // majority vote
+  /// Union of item names that mismatched in at least one comparison.
+  std::vector<std::string> flagged_items;
+  /// Pool VMs where the module was not loaded (excluded from the vote).
+  std::vector<vmm::DomainId> missing_on;
+
+  ComponentTimes cpu_times;  // summed across VMs (the Fig. 7/8 series)
+  SimNanos wall_time = 0;    // sequential: == cpu total; parallel: critical path
+};
+
+/// Per-VM verdict from a whole-pool scan (every VM takes the subject role).
+struct PoolVmVerdict {
+  vmm::DomainId vm = 0;
+  std::size_t successes = 0;
+  std::size_t total = 0;
+  bool clean = false;
+};
+
+struct PoolScanReport {
+  std::string module_name;
+  std::vector<PoolVmVerdict> verdicts;
+  ComponentTimes cpu_times;
+  SimNanos wall_time = 0;
+};
+
+/// One module whose presence differs across the pool.
+struct ListDiscrepancy {
+  std::string module_name;
+  std::vector<vmm::DomainId> present_on;
+  std::vector<vmm::DomainId> missing_on;
+};
+
+struct ListComparisonReport {
+  /// Module names seen anywhere, with presence maps; only modules whose
+  /// presence differs across VMs are listed.
+  std::vector<ListDiscrepancy> discrepancies;
+  std::size_t modules_seen = 0;
+  SimNanos wall_time = 0;
+
+  bool consistent() const { return discrepancies.empty(); }
+};
+
+class ModChecker {
+ public:
+  explicit ModChecker(const vmm::Hypervisor& hypervisor,
+                      ModCheckerConfig config = {});
+
+  const ModCheckerConfig& config() const { return config_; }
+
+  /// Checks `module_name` on `subject` against `others` (the other t-1
+  /// VMs).  Throws NotFoundError if the module is not loaded on the
+  /// subject itself.
+  CheckReport check_module(vmm::DomainId subject,
+                           const std::string& module_name,
+                           const std::vector<vmm::DomainId>& others);
+
+  /// Convenience: subject vs every other domain in the hypervisor.
+  CheckReport check_module(vmm::DomainId subject,
+                           const std::string& module_name);
+
+  /// Checks the subject against a random sample of `sample_size` peers
+  /// instead of all t-1.  The paper's sequential cost is linear in the
+  /// pool size (Fig. 7); sampling caps it at O(sample_size) per check.
+  /// The price is vote fragility for tiny samples — quantified by the A6
+  /// ablation bench: with one infected peer in the pool, sample sizes 1-2
+  /// can false-alarm a clean subject (the infected copy is the sample's
+  /// majority), while sample sizes >= 3 match the full vote's behaviour.
+  CheckReport check_module_sampled(vmm::DomainId subject,
+                                   const std::string& module_name,
+                                   std::size_t sample_size,
+                                   std::uint64_t seed);
+
+  /// Cross-checks the module on every pool VM (each takes the subject
+  /// role) — the mode used to localize which VM is infected.
+  PoolScanReport scan_pool(const std::string& module_name,
+                           const std::vector<vmm::DomainId>& pool);
+
+  /// Compares the *module lists* across the pool: a module loaded on some
+  /// VMs but missing (or DKOM-hidden) on others is itself a discrepancy,
+  /// independent of any hashing.
+  ListComparisonReport compare_module_lists(
+      const std::vector<vmm::DomainId>& pool);
+
+  /// Item name reported when a module's copy cannot even be parsed (its
+  /// PE magics/headers are corrupted) — a definite integrity violation.
+  static constexpr const char* kUnparseableItem = "MODULE_UNPARSEABLE";
+
+ private:
+  struct Extraction {
+    ComponentTimes times;
+    bool found = false;
+    bool parse_failed = false;
+    std::string parse_error;
+    ParsedModule parsed;
+  };
+
+  /// Extracts + parses the module from one VM, charging per-phase time.
+  Extraction extract_and_parse(vmm::DomainId vm,
+                               const std::string& module_name) const;
+
+  const vmm::Hypervisor* hypervisor_;
+  ModCheckerConfig config_;
+  ModuleParser parser_;
+  IntegrityChecker checker_;
+};
+
+}  // namespace mc::core

@@ -1,0 +1,26 @@
+#include "modchecker/parser.hpp"
+
+#include "pe/parser.hpp"
+
+namespace mc::core {
+
+ParsedModule ModuleParser::parse(const ModuleImage& image,
+                                 SimClock& clock) const {
+  const pe::ParsedImage parsed(image.bytes);
+
+  ParsedModule out;
+  out.domain = image.domain;
+  out.name = image.name;
+  out.base = image.base;
+  out.items = parsed.extract_items(image.bytes);
+
+  std::size_t extracted_bytes = 0;
+  for (const auto& item : out.items) {
+    extracted_bytes += item.bytes.size();
+  }
+  clock.charge(costs_.parse_fixed +
+               costs_.parse_per_byte * extracted_bytes);
+  return out;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,29 @@
+// Module-Parser — paper §III-B.2, §IV-B, Algorithm 1.
+//
+// Receives a whole module image from Module-Searcher, validates the PE
+// magics, walks IMAGE_DOS_HEADER → IMAGE_NT_HEADER → FILE/OPTIONAL headers
+// → section headers, and extracts each header and each read-only or
+// executable section's data as a separate integrity item.  Host-side CPU
+// work, charged to a SimClock through the host cost model.
+#pragma once
+
+#include "modchecker/types.hpp"
+#include "util/sim_clock.hpp"
+#include "vmi/cost_model.hpp"
+
+namespace mc::core {
+
+class ModuleParser {
+ public:
+  explicit ModuleParser(const vmi::HostCostModel& costs = {})
+      : costs_(costs) {}
+
+  /// Parses `image` into integrity items.  Throws FormatError if the image
+  /// is not a well-formed PE32 module.  Charges parse time to `clock`.
+  ParsedModule parse(const ModuleImage& image, SimClock& clock) const;
+
+ private:
+  vmi::HostCostModel costs_;
+};
+
+}  // namespace mc::core

@@ -1,0 +1,66 @@
+#include "modchecker/report.hpp"
+
+#include <sstream>
+
+namespace mc::core {
+
+std::string format_report(const CheckReport& report) {
+  std::ostringstream os;
+  os << "ModChecker report: module '" << report.module_name << "' on Dom"
+     << report.subject << "\n";
+  os << "  verdict: " << (report.subject_clean ? "CLEAN" : "FLAGGED")
+     << "  (matches " << report.successes << "/" << report.total_comparisons
+     << ", majority threshold > " << (report.total_comparisons / 2) << ")\n";
+  if (!report.missing_on.empty()) {
+    os << "  module missing on:";
+    for (const auto vm : report.missing_on) {
+      os << " Dom" << vm;
+    }
+    os << "\n";
+  }
+  if (!report.flagged_items.empty()) {
+    os << "  mismatched items:\n";
+    for (const auto& item : report.flagged_items) {
+      os << "    - " << item << "\n";
+    }
+  }
+  os << "  component times (simulated): searcher="
+     << format_sim_nanos(report.cpu_times.searcher)
+     << " parser=" << format_sim_nanos(report.cpu_times.parser)
+     << " checker=" << format_sim_nanos(report.cpu_times.checker)
+     << " total=" << format_sim_nanos(report.cpu_times.total()) << "\n";
+  os << "  wall time (simulated): " << format_sim_nanos(report.wall_time)
+     << "\n";
+  for (const auto& pair : report.comparisons) {
+    os << "  vs Dom" << pair.other_domain << ": "
+       << (pair.all_match ? "match" : "MISMATCH");
+    if (!pair.all_match) {
+      os << " [";
+      bool first = true;
+      for (const auto& item : pair.items) {
+        if (!item.match) {
+          os << (first ? "" : ", ") << item.item_name;
+          first = false;
+        }
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string format_pool_report(const PoolScanReport& report) {
+  std::ostringstream os;
+  os << "Pool scan: module '" << report.module_name << "' across "
+     << report.verdicts.size() << " VMs\n";
+  for (const auto& v : report.verdicts) {
+    os << "  Dom" << v.vm << ": " << (v.clean ? "clean " : "FLAGGED")
+       << " (" << v.successes << "/" << v.total << " matches)\n";
+  }
+  os << "  wall time (simulated): " << format_sim_nanos(report.wall_time)
+     << "\n";
+  return os.str();
+}
+
+}  // namespace mc::core

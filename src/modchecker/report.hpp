@@ -1,0 +1,16 @@
+// Human-readable rendering of check reports.
+#pragma once
+
+#include <string>
+
+#include "modchecker/modchecker.hpp"
+
+namespace mc::core {
+
+/// Multi-line summary: verdict, vote tally, flagged items, per-VM rows.
+std::string format_report(const CheckReport& report);
+
+/// One row per VM with its vote outcome.
+std::string format_pool_report(const PoolScanReport& report);
+
+}  // namespace mc::core

@@ -1,0 +1,126 @@
+#include "modchecker/report_json.hpp"
+
+#include <sstream>
+
+namespace mc::core {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+template <typename T, typename Fn>
+std::string array_of(const std::vector<T>& items, Fn&& render) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    out += render(items[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string to_json(const CheckReport& report) {
+  std::ostringstream os;
+  os << "{\"module\":" << quoted(report.module_name)
+     << ",\"subject\":" << report.subject
+     << ",\"clean\":" << (report.subject_clean ? "true" : "false")
+     << ",\"successes\":" << report.successes
+     << ",\"total_comparisons\":" << report.total_comparisons
+     << ",\"flagged_items\":"
+     << array_of(report.flagged_items,
+                 [](const std::string& s) { return quoted(s); })
+     << ",\"missing_on\":"
+     << array_of(report.missing_on,
+                 [](vmm::DomainId id) { return std::to_string(id); })
+     << ",\"times_ns\":{\"searcher\":" << report.cpu_times.searcher
+     << ",\"parser\":" << report.cpu_times.parser
+     << ",\"checker\":" << report.cpu_times.checker
+     << ",\"wall\":" << report.wall_time << "}"
+     << ",\"comparisons\":"
+     << array_of(report.comparisons, [](const PairComparison& pair) {
+          std::string items =
+              array_of(pair.items, [](const ItemComparison& item) {
+                return std::string("{\"item\":") + quoted(item.item_name) +
+                       ",\"match\":" + (item.match ? "true" : "false") +
+                       ",\"digest_subject\":\"" +
+                       item.digest_subject.hex() + "\",\"digest_other\":\"" +
+                       item.digest_other.hex() + "\"}";
+              });
+          return "{\"other\":" + std::to_string(pair.other_domain) +
+                 ",\"all_match\":" + (pair.all_match ? "true" : "false") +
+                 ",\"items\":" + items + "}";
+        })
+     << "}";
+  return os.str();
+}
+
+std::string to_json(const PoolScanReport& report) {
+  std::ostringstream os;
+  os << "{\"module\":" << quoted(report.module_name) << ",\"verdicts\":"
+     << array_of(report.verdicts,
+                 [](const PoolVmVerdict& v) {
+                   return "{\"vm\":" + std::to_string(v.vm) +
+                          ",\"clean\":" + (v.clean ? "true" : "false") +
+                          ",\"successes\":" + std::to_string(v.successes) +
+                          ",\"total\":" + std::to_string(v.total) + "}";
+                 })
+     << ",\"wall_ns\":" << report.wall_time << "}";
+  return os.str();
+}
+
+std::string to_json(const AuditReport& report) {
+  std::ostringstream os;
+  os << "{\"modules\":"
+     << array_of(report.modules,
+                 [](const std::string& s) { return quoted(s); })
+     << ",\"pool\":"
+     << array_of(report.pool,
+                 [](vmm::DomainId id) { return std::to_string(id); })
+     << ",\"findings\":"
+     << array_of(report.findings,
+                 [](const AuditFinding& f) {
+                   return "{\"module\":" + quoted(f.module) +
+                          ",\"vm\":" + std::to_string(f.vm) +
+                          ",\"successes\":" + std::to_string(f.successes) +
+                          ",\"total\":" + std::to_string(f.total) + "}";
+                 })
+     << ",\"total_wall_ns\":" << report.total_wall << "}";
+  return os.str();
+}
+
+}  // namespace mc::core

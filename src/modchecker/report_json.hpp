@@ -1,0 +1,28 @@
+// JSON serialization of check reports — the integration surface for
+// SIEM/alerting pipelines a deployment would feed (the paper's alarms must
+// land somewhere actionable).  Hand-rolled emitter: the schema is small
+// and an external JSON dependency would be heavier than the code.
+#pragma once
+
+#include <string>
+
+#include "modchecker/audit.hpp"
+#include "modchecker/modchecker.hpp"
+
+namespace mc::core {
+
+/// {"module": ..., "subject": ..., "clean": ..., "successes": ...,
+///  "flagged_items": [...], "missing_on": [...],
+///  "times_ns": {"searcher": ..., ...}, "comparisons": [...]}
+std::string to_json(const CheckReport& report);
+
+/// {"module": ..., "verdicts": [{"vm": ..., "clean": ...}, ...]}
+std::string to_json(const PoolScanReport& report);
+
+/// {"modules": [...], "findings": [...], "total_wall_ns": ...}
+std::string to_json(const AuditReport& report);
+
+/// Escapes a string for embedding in JSON output.
+std::string json_escape(const std::string& s);
+
+}  // namespace mc::core

@@ -1,0 +1,85 @@
+#include "modchecker/rva_adjust.hpp"
+
+#include <algorithm>
+
+namespace mc::core {
+
+std::uint32_t base_difference_offset(std::uint32_t base1,
+                                     std::uint32_t base2) {
+  // Algorithm 2 lines 1-9: walk the 4 bytes of the base addresses in
+  // little-endian order; offset is the 1-based position of the first
+  // difference.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto b1 = static_cast<std::uint8_t>(base1 >> (8 * i));
+    const auto b2 = static_cast<std::uint8_t>(base2 >> (8 * i));
+    if (b1 != b2) {
+      return i + 1;
+    }
+  }
+  return 0;  // IsDifferenceExist == 0
+}
+
+RvaAdjustResult adjust_rvas(MutableByteView section1, std::uint32_t base1,
+                            MutableByteView section2, std::uint32_t base2) {
+  RvaAdjustResult result;
+
+  const std::size_t common = std::min(section1.size(), section2.size());
+  result.unresolved_diffs += static_cast<std::uint32_t>(
+      std::max(section1.size(), section2.size()) - common);
+
+  const std::uint32_t offset = base_difference_offset(base1, base2);
+  if (offset == 0) {
+    // Identical bases: any difference is real divergence; count them.
+    for (std::size_t j = 0; j < common; ++j) {
+      if (section1[j] != section2[j]) {
+        ++result.unresolved_diffs;
+      }
+    }
+    return result;
+  }
+
+  std::size_t j = 0;
+  while (j < common) {
+    if (section1[j] == section2[j]) {
+      ++j;
+      continue;
+    }
+
+    // Candidate absolute address starts `offset - 1` bytes before the
+    // first differing byte (Algorithm 2 lines 13-14: j - offset + 1).
+    if (j + 1 < offset) {
+      // Difference too close to the section start for a full address.
+      ++result.unresolved_diffs;
+      ++j;
+      continue;
+    }
+    const std::size_t start = j - (offset - 1);
+    if (start + 4 > common) {
+      // Difference too close to the section end.
+      ++result.unresolved_diffs;
+      ++j;
+      continue;
+    }
+
+    const std::uint32_t abs1 = load_le32(section1, start);
+    const std::uint32_t abs2 = load_le32(section2, start);
+    const std::uint32_t rva1 = abs1 - base1;  // eq. (1); wraps are fine
+    const std::uint32_t rva2 = abs2 - base2;
+
+    if (rva1 == rva2) {
+      // Consistent relocation: replace both absolute addresses with the
+      // common RVA (lines 17-19).
+      store_le32(section1, start, rva1);
+      store_le32(section2, start, rva2);
+      ++result.adjusted;
+      j = start + 4;  // resume after the rewritten window (line 22 intent)
+    } else {
+      // Genuine content divergence — leave bytes for the hash to catch.
+      ++result.unresolved_diffs;
+      ++j;
+    }
+  }
+  return result;
+}
+
+}  // namespace mc::core

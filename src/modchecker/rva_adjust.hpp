@@ -1,0 +1,63 @@
+// Algorithm 2 — Adjusting Relative Virtual Addresses (RVAs).
+//
+// The heart of ModChecker's dictionary-free design.  Two copies of the same
+// executable section, loaded at different bases, differ exactly at the
+// loader-relocated absolute addresses.  Without any relocation metadata the
+// algorithm recovers the RVAs:
+//
+//   1. Compare the two modules' base addresses byte by byte (little-endian,
+//      i.e. least significant first).  `offset` = 1-based index of the
+//      first differing byte.  If the bases are identical there is nothing
+//      to adjust.
+//   2. Scan the two section copies in lockstep.  At the first differing
+//      byte j, the enclosing 4-byte absolute address is assumed to *start*
+//      at j - offset + 1 (the address's low bytes can agree when the bases
+//      share leading bytes — the paper's '00 CC 20 F8' vs '00 CC 90 70'
+//      example).
+//   3. Read the 4-byte values, subtract the respective bases (eq. 1:
+//      RVA = AbsoluteAddress - BaseAddress).  If both RVAs agree, the
+//      difference was indeed a relocation: overwrite both addresses with
+//      the common RVA, making the copies byte-identical there.  If they
+//      disagree, the difference is real content divergence (an infection):
+//      leave the bytes alone so the hashes differ.
+//   4. Continue scanning after the 4-byte window.
+//
+// This faithfully implements the paper's Algorithm 2 (including its
+// `offset` arithmetic), with explicit bounds handling at section edges.
+//
+// Evasion resistance: an attacker controlling one VM's copy cannot craft
+// an in-place change the algorithm normalizes away — acceptance requires
+// V_attacker - base1 == V_reference - base2, i.e. V_attacker equals the
+// byte's original value; any real change survives as an unresolved
+// difference (property-tested in tests/rva_adjust_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mc::core {
+
+struct RvaAdjustResult {
+  /// Number of 4-byte absolute addresses successfully converted to RVAs.
+  std::uint32_t adjusted = 0;
+  /// Number of differing positions that were NOT consistent relocations
+  /// (RVA1 != RVA2) — genuine divergence, typically an infection.
+  std::uint32_t unresolved_diffs = 0;
+
+  bool sections_identical_after() const { return unresolved_diffs == 0; }
+};
+
+/// Runs Algorithm 2 over two equally sized section-data buffers, mutating
+/// both in place.  `base1`/`base2` are the modules' load bases.
+/// Buffers of different lengths: the common prefix is processed and every
+/// trailing byte counts as an unresolved difference.
+RvaAdjustResult adjust_rvas(MutableByteView section1, std::uint32_t base1,
+                            MutableByteView section2, std::uint32_t base2);
+
+/// The `offset` of Algorithm 2 lines 1-9: 1-based index of the first
+/// differing byte between the two base addresses (little-endian byte
+/// order); 0 if the bases are identical.
+std::uint32_t base_difference_offset(std::uint32_t base1, std::uint32_t base2);
+
+}  // namespace mc::core

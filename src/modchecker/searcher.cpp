@@ -1,0 +1,77 @@
+#include "modchecker/searcher.hpp"
+
+#include "guestos/profile.hpp"
+#include "guestos/winlike.hpp"
+#include "util/error.hpp"
+
+namespace mc::core {
+
+namespace gw = mc::guestos;
+
+std::vector<ModuleInfo> ModuleSearcher::list_modules() {
+  // Profile-driven traversal: the guest build (from the debug block)
+  // determines the LDR_DATA_TABLE_ENTRY member offsets.
+  const gw::GuestProfile& profile =
+      gw::profile_by_version(session_->guest_version());
+  std::vector<ModuleInfo> modules;
+  const std::uint32_t head = session_->symbol_to_va("PsLoadedModuleList");
+  std::uint32_t cur = session_->read_u32(head + gw::kOffListFlink);
+  while (cur != head) {
+    ModuleInfo info;
+    info.base = session_->read_u32(cur + profile.off_dll_base);
+    info.entry_point = session_->read_u32(cur + profile.off_entry_point);
+    info.size_of_image =
+        session_->read_u32(cur + profile.off_size_of_image);
+    info.name =
+        session_->read_unicode_string(cur + profile.off_base_dll_name);
+    modules.push_back(std::move(info));
+    cur = session_->read_u32(cur + profile.off_in_load_order_links +
+                             gw::kOffListFlink);
+    MC_CHECK(modules.size() < 4096, "loader list cycle suspected");
+  }
+  return modules;
+}
+
+std::optional<ModuleInfo> ModuleSearcher::find_module(
+    const std::string& module_name) {
+  // Same traversal, but stop at the first match (the paper's searcher looks
+  // for one module by name).
+  const gw::GuestProfile& profile =
+      gw::profile_by_version(session_->guest_version());
+  const std::uint32_t head = session_->symbol_to_va("PsLoadedModuleList");
+  std::uint32_t cur = session_->read_u32(head + gw::kOffListFlink);
+  std::size_t visited = 0;
+  while (cur != head) {
+    const std::string name =
+        session_->read_unicode_string(cur + profile.off_base_dll_name);
+    if (gw::module_name_equals(name, module_name)) {
+      ModuleInfo info;
+      info.name = name;
+      info.base = session_->read_u32(cur + profile.off_dll_base);
+      info.entry_point = session_->read_u32(cur + profile.off_entry_point);
+      info.size_of_image =
+          session_->read_u32(cur + profile.off_size_of_image);
+      return info;
+    }
+    cur = session_->read_u32(cur + profile.off_in_load_order_links +
+                             gw::kOffListFlink);
+    MC_CHECK(++visited < 4096, "loader list cycle suspected");
+  }
+  return std::nullopt;
+}
+
+std::optional<ModuleImage> ModuleSearcher::extract_module(
+    const std::string& module_name) {
+  const auto info = find_module(module_name);
+  if (!info) {
+    return std::nullopt;
+  }
+  ModuleImage image;
+  image.domain = session_->domain_id();
+  image.name = info->name;
+  image.base = info->base;
+  image.bytes = session_->read_region(info->base, info->size_of_image);
+  return image;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,38 @@
+// Module-Searcher — the only ModChecker component that touches guest
+// memory (paper §III-B.1, §IV-A).
+//
+// Obtains PsLoadedModuleList via the introspection session, traverses the
+// doubly linked LDR_DATA_TABLE_ENTRY list by FLINK, matches BaseDllName
+// case-insensitively, and copies the whole module image (DllBase,
+// SizeOfImage) from guest memory into a local buffer — page by page, which
+// is why this component dominates runtime (§V-C.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "modchecker/types.hpp"
+#include "vmi/session.hpp"
+
+namespace mc::core {
+
+class ModuleSearcher {
+ public:
+  explicit ModuleSearcher(vmi::VmiSession& session) : session_(&session) {}
+
+  /// Walks the loader list and returns every module's basic facts.
+  std::vector<ModuleInfo> list_modules();
+
+  /// Finds `module_name` in the list; nullopt if not loaded.
+  std::optional<ModuleInfo> find_module(const std::string& module_name);
+
+  /// Finds the module and copies its entire image out of guest memory.
+  /// Returns nullopt if the module is not loaded.
+  std::optional<ModuleImage> extract_module(const std::string& module_name);
+
+ private:
+  vmi::VmiSession* session_;
+};
+
+}  // namespace mc::core

@@ -1,0 +1,57 @@
+#include "modchecker/triage.hpp"
+
+#include "crypto/md5.hpp"
+#include "util/error.hpp"
+
+namespace mc::core {
+
+crypto::Digest finding_fingerprint(const CheckReport& report) {
+  // Fold the subject-side item digests of the first failed comparison.
+  // Any content change to the subject module changes this fingerprint.
+  crypto::Md5 md5;
+  for (const auto& pair : report.comparisons) {
+    if (pair.all_match) {
+      continue;
+    }
+    for (const auto& item : pair.items) {
+      md5.update(ByteView(
+          reinterpret_cast<const std::uint8_t*>(item.item_name.data()),
+          item.item_name.size()));
+      md5.update(item.digest_subject.bytes());
+    }
+    break;
+  }
+  return md5.finish();
+}
+
+void FindingTriage::acknowledge(const CheckReport& report,
+                                const std::string& reason) {
+  MC_CHECK(!report.subject_clean, "cannot acknowledge a clean report");
+  Entry entry;
+  entry.module = report.module_name;
+  entry.fingerprint = finding_fingerprint(report);
+  entry.reason = reason;
+  if (index_.insert({entry.module, entry.fingerprint}).second) {
+    entries_.push_back(std::move(entry));
+  }
+}
+
+bool FindingTriage::is_acknowledged(const CheckReport& report) const {
+  if (report.subject_clean) {
+    return false;
+  }
+  return index_.count({report.module_name, finding_fingerprint(report)}) != 0;
+}
+
+std::vector<const CheckReport*> FindingTriage::unacknowledged(
+    const std::vector<CheckReport>& reports) const {
+  std::vector<const CheckReport*> out;
+  for (const auto& report : reports) {
+    if (!report.subject_clean && !is_acknowledged(report)) {
+      out.push_back(&report);
+    }
+  }
+  return out;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,53 @@
+// Finding triage — operator acknowledgment of known discrepancies.
+//
+// The paper motivates ModChecker with the pain of maintaining hash
+// dictionaries for "kernel updates, third party drivers, and valid
+// customized modules".  A cross-VM checker has the mirror-image problem:
+// a staged rollout (update applied to some VMs first) flags honestly but
+// noisily.  Triage lets an operator acknowledge a specific finding —
+// keyed by the *content* of the divergent module copy, not just its name —
+// so the alert stream stays actionable while the rollout completes.  If
+// the module changes again (a real infection on top of the acknowledged
+// update), the digest key no longer matches and the alert fires again.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "modchecker/modchecker.hpp"
+
+namespace mc::core {
+
+/// Content key of one VM's copy of a module: a digest over the per-item
+/// digests of the subject side of a failed comparison.
+crypto::Digest finding_fingerprint(const CheckReport& report);
+
+class FindingTriage {
+ public:
+  /// Acknowledges the current state of `report`'s subject module: future
+  /// reports with the same (module, fingerprint) are suppressed.
+  void acknowledge(const CheckReport& report, const std::string& reason);
+
+  /// True if this exact finding has been acknowledged.
+  bool is_acknowledged(const CheckReport& report) const;
+
+  struct Entry {
+    std::string module;
+    crypto::Digest fingerprint;
+    std::string reason;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Filters a set of audit-style reports down to unacknowledged ones.
+  std::vector<const CheckReport*> unacknowledged(
+      const std::vector<CheckReport>& reports) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::set<std::pair<std::string, crypto::Digest>> index_;
+};
+
+}  // namespace mc::core

@@ -1,0 +1,56 @@
+// Shared value types for the ModChecker pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "pe/parser.hpp"
+#include "util/bytes.hpp"
+#include "util/sim_clock.hpp"
+#include "vmm/domain.hpp"
+
+namespace mc::core {
+
+/// Basic facts about one module in a guest's loader list.
+struct ModuleInfo {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t size_of_image = 0;
+  std::uint32_t entry_point = 0;
+};
+
+/// A whole module image copied out of one guest's memory.
+struct ModuleImage {
+  vmm::DomainId domain = 0;
+  std::string name;
+  std::uint32_t base = 0;
+  Bytes bytes;  // SizeOfImage bytes, memory layout
+};
+
+/// A module decomposed into its integrity items (Algorithm 1 output).
+struct ParsedModule {
+  vmm::DomainId domain = 0;
+  std::string name;
+  std::uint32_t base = 0;
+  std::vector<pe::IntegrityItem> items;
+};
+
+/// Per-component simulated runtimes — the series of Figs. 7 & 8.
+struct ComponentTimes {
+  SimNanos searcher = 0;
+  SimNanos parser = 0;
+  SimNanos checker = 0;
+
+  SimNanos total() const { return searcher + parser + checker; }
+
+  ComponentTimes& operator+=(const ComponentTimes& o) {
+    searcher += o.searcher;
+    parser += o.parser;
+    checker += o.checker;
+    return *this;
+  }
+};
+
+}  // namespace mc::core

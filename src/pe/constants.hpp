@@ -1,0 +1,63 @@
+// PE32 format constants (subset relevant to 32-bit kernel modules).
+//
+// Values follow the Microsoft PE/COFF specification; names keep the
+// WinNT.h spelling so they can be cross-checked against the reference
+// documentation the paper cites ("Peering inside the PE", MSDN).
+#pragma once
+
+#include <cstdint>
+
+namespace mc::pe {
+
+// ---- magics -------------------------------------------------------------
+inline constexpr std::uint16_t kDosMagic = 0x5A4D;       // "MZ"
+inline constexpr std::uint32_t kNtSignature = 0x00004550;  // "PE\0\0"
+inline constexpr std::uint16_t kOptionalMagicPe32 = 0x010B;
+
+// ---- machine / characteristics -------------------------------------------
+inline constexpr std::uint16_t kMachineI386 = 0x014C;
+
+inline constexpr std::uint16_t kFileRelocsStripped = 0x0001;
+inline constexpr std::uint16_t kFileExecutableImage = 0x0002;
+inline constexpr std::uint16_t kFileLineNumsStripped = 0x0004;
+inline constexpr std::uint16_t kFile32BitMachine = 0x0100;
+inline constexpr std::uint16_t kFileDll = 0x2000;
+
+// ---- subsystem ------------------------------------------------------------
+inline constexpr std::uint16_t kSubsystemNative = 1;  // drivers
+
+// ---- section characteristics ----------------------------------------------
+inline constexpr std::uint32_t kScnCntCode = 0x00000020;
+inline constexpr std::uint32_t kScnCntInitializedData = 0x00000040;
+inline constexpr std::uint32_t kScnCntUninitializedData = 0x00000080;
+inline constexpr std::uint32_t kScnMemDiscardable = 0x02000000;
+inline constexpr std::uint32_t kScnMemExecute = 0x20000000;
+inline constexpr std::uint32_t kScnMemRead = 0x40000000;
+inline constexpr std::uint32_t kScnMemWrite = 0x80000000;
+
+// ---- data directory indices -------------------------------------------------
+inline constexpr std::size_t kDirExport = 0;
+inline constexpr std::size_t kDirImport = 1;
+inline constexpr std::size_t kDirResource = 2;
+inline constexpr std::size_t kDirBaseReloc = 5;
+inline constexpr std::size_t kNumDataDirectories = 16;
+
+// ---- base relocation types ---------------------------------------------------
+inline constexpr std::uint16_t kRelBasedAbsolute = 0;  // padding entry
+inline constexpr std::uint16_t kRelBasedHighLow = 3;   // full 32-bit fixup
+
+// ---- fixed header sizes (PE32) ------------------------------------------------
+inline constexpr std::size_t kDosHeaderSize = 64;
+inline constexpr std::size_t kFileHeaderSize = 20;
+inline constexpr std::size_t kOptionalHeader32Size = 224;  // with 16 dirs
+inline constexpr std::size_t kNtHeadersPrefixSize = 4 + kFileHeaderSize;
+inline constexpr std::size_t kSectionHeaderSize = 40;
+
+// Default alignments used by the builder (match typical XP-era drivers).
+inline constexpr std::uint32_t kDefaultSectionAlignment = 0x1000;
+inline constexpr std::uint32_t kDefaultFileAlignment = 0x200;
+
+// Page size used for relocation blocks and guest paging.
+inline constexpr std::uint32_t kPageSize = 0x1000;
+
+}  // namespace mc::pe

@@ -1,0 +1,114 @@
+#include "pe/exports.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mc::pe {
+
+namespace {
+constexpr std::uint32_t kExportDirectorySize = 40;
+
+std::string read_cstring(ByteView image, std::size_t offset) {
+  std::string s;
+  while (offset < image.size() && image[offset] != 0) {
+    s.push_back(static_cast<char>(image[offset]));
+    ++offset;
+  }
+  if (offset >= image.size()) {
+    throw FormatError("unterminated string in export directory");
+  }
+  return s;
+}
+}  // namespace
+
+Bytes build_export_section(const std::string& module_name,
+                           std::vector<ExportedSymbol> symbols,
+                           std::uint32_t section_rva) {
+  // The name pointer table must be sorted for binary search (PE spec).
+  std::sort(symbols.begin(), symbols.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+
+  const auto count = static_cast<std::uint32_t>(symbols.size());
+  const std::uint32_t eat_offset = kExportDirectorySize;
+  const std::uint32_t name_ptr_offset = eat_offset + 4 * count;
+  const std::uint32_t ordinal_offset = name_ptr_offset + 4 * count;
+  std::uint32_t strings_offset = ordinal_offset + 2 * count;
+
+  // String pool: module name first, then symbol names.
+  const std::uint32_t module_name_offset = strings_offset;
+  strings_offset += static_cast<std::uint32_t>(module_name.size()) + 1;
+  std::vector<std::uint32_t> name_offsets;
+  for (const auto& sym : symbols) {
+    name_offsets.push_back(strings_offset);
+    strings_offset += static_cast<std::uint32_t>(sym.name.size()) + 1;
+  }
+
+  Bytes out;
+  out.reserve(strings_offset);
+
+  // IMAGE_EXPORT_DIRECTORY.
+  append_le32(out, 0);  // Characteristics
+  append_le32(out, 0);  // TimeDateStamp
+  append_le16(out, 0);  // MajorVersion
+  append_le16(out, 0);  // MinorVersion
+  append_le32(out, section_rva + module_name_offset);  // Name
+  append_le32(out, 1);      // Base (ordinal base)
+  append_le32(out, count);  // NumberOfFunctions
+  append_le32(out, count);  // NumberOfNames
+  append_le32(out, section_rva + eat_offset);       // AddressOfFunctions
+  append_le32(out, section_rva + name_ptr_offset);  // AddressOfNames
+  append_le32(out, section_rva + ordinal_offset);   // AddressOfNameOrdinals
+
+  // Export address table (RVAs — relocation-invariant).
+  for (const auto& sym : symbols) {
+    append_le32(out, sym.rva);
+  }
+  // Name pointer table.
+  for (const std::uint32_t off : name_offsets) {
+    append_le32(out, section_rva + off);
+  }
+  // Ordinal table (name i -> function i; tables are parallel here).
+  for (std::uint16_t i = 0; i < count; ++i) {
+    append_le16(out, i);
+  }
+  // Strings.
+  for (const char c : module_name) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  out.push_back(0);
+  for (const auto& sym : symbols) {
+    for (const char c : sym.name) {
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+    out.push_back(0);
+  }
+
+  MC_CHECK(out.size() == strings_offset, "export layout size mismatch");
+  return out;
+}
+
+std::vector<ExportedSymbol> parse_export_directory(
+    ByteView mapped_image, std::uint32_t export_dir_rva) {
+  if (export_dir_rva + kExportDirectorySize > mapped_image.size()) {
+    throw FormatError("export directory outside image");
+  }
+  const std::uint32_t count = load_le32(mapped_image, export_dir_rva + 24);
+  const std::uint32_t eat = load_le32(mapped_image, export_dir_rva + 28);
+  const std::uint32_t names = load_le32(mapped_image, export_dir_rva + 32);
+  const std::uint32_t ordinals = load_le32(mapped_image, export_dir_rva + 36);
+
+  std::vector<ExportedSymbol> result;
+  result.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_rva = load_le32(mapped_image, names + 4 * i);
+    const std::uint16_t ordinal = load_le16(mapped_image, ordinals + 2 * i);
+    ExportedSymbol sym;
+    sym.name = read_cstring(mapped_image, name_rva);
+    sym.rva = load_le32(mapped_image, eat + 4u * ordinal);
+    result.push_back(std::move(sym));
+  }
+  return result;
+}
+
+}  // namespace mc::pe

@@ -1,0 +1,33 @@
+// PE export directory builder / parser.
+//
+// Kernel modules that provide services (hal.dll, ntoskrnl.exe in the real
+// system) export functions by name; the module loader resolves other
+// modules' imports against these tables.  Export address tables hold RVAs,
+// so they stay identical across VMs — only bound IAT slots diverge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+/// One exported symbol: name plus the RVA of its code.
+struct ExportedSymbol {
+  std::string name;
+  std::uint32_t rva = 0;
+};
+
+/// Lays out a complete export section (IMAGE_EXPORT_DIRECTORY + tables +
+/// strings).  `section_rva` is the RVA the section will occupy.
+Bytes build_export_section(const std::string& module_name,
+                           std::vector<ExportedSymbol> symbols,
+                           std::uint32_t section_rva);
+
+/// Parses the export directory of a mapped image into (name, rva) pairs.
+std::vector<ExportedSymbol> parse_export_directory(ByteView mapped_image,
+                                                   std::uint32_t export_dir_rva);
+
+}  // namespace mc::pe

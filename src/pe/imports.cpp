@@ -1,0 +1,158 @@
+#include "pe/imports.hpp"
+
+#include "util/error.hpp"
+
+namespace mc::pe {
+
+namespace {
+constexpr std::uint32_t kDescriptorSize = 20;
+
+std::string read_cstring(ByteView image, std::size_t offset) {
+  std::string s;
+  while (offset < image.size() && image[offset] != 0) {
+    s.push_back(static_cast<char>(image[offset]));
+    ++offset;
+  }
+  if (offset >= image.size()) {
+    throw FormatError("unterminated string in import directory");
+  }
+  return s;
+}
+}  // namespace
+
+ImportLayout build_import_section(const std::vector<ImportDll>& dlls,
+                                  std::uint32_t section_rva) {
+  ImportLayout layout;
+  Bytes& out = layout.data;
+
+  // Pass 1: compute layout offsets (relative to section start).
+  const std::uint32_t descriptors_bytes =
+      static_cast<std::uint32_t>((dlls.size() + 1) * kDescriptorSize);
+  layout.descriptors_size = descriptors_bytes;
+
+  std::uint32_t cursor = descriptors_bytes;
+  std::vector<std::uint32_t> int_offsets;   // per-DLL OriginalFirstThunk
+  std::vector<std::uint32_t> iat_starts;    // per-DLL FirstThunk
+  for (const auto& dll : dlls) {
+    const auto thunks =
+        static_cast<std::uint32_t>((dll.function_names.size() + 1) * 4);
+    int_offsets.push_back(cursor);
+    cursor += thunks;
+    iat_starts.push_back(cursor);
+    cursor += thunks;
+  }
+
+  // Hint/name entries.
+  std::vector<std::vector<std::uint32_t>> hint_name_offsets(dlls.size());
+  for (std::size_t d = 0; d < dlls.size(); ++d) {
+    for (const auto& fn : dlls[d].function_names) {
+      hint_name_offsets[d].push_back(cursor);
+      std::uint32_t entry = 2 + static_cast<std::uint32_t>(fn.size()) + 1;
+      entry = (entry + 1) & ~1u;  // even-align
+      cursor += entry;
+    }
+  }
+
+  // DLL name strings.
+  std::vector<std::uint32_t> dll_name_offsets;
+  for (const auto& dll : dlls) {
+    dll_name_offsets.push_back(cursor);
+    cursor += static_cast<std::uint32_t>(dll.dll_name.size()) + 1;
+  }
+
+  out.reserve(cursor);
+
+  // Pass 2: emit descriptor array.
+  for (std::size_t d = 0; d < dlls.size(); ++d) {
+    append_le32(out, section_rva + int_offsets[d]);  // OriginalFirstThunk
+    append_le32(out, 0);                             // TimeDateStamp
+    append_le32(out, 0);                             // ForwarderChain
+    append_le32(out, section_rva + dll_name_offsets[d]);  // Name
+    append_le32(out, section_rva + iat_starts[d]);         // FirstThunk
+  }
+  for (int i = 0; i < 5; ++i) {
+    append_le32(out, 0);  // terminating null descriptor
+  }
+
+  // Thunk arrays: both INT and IAT initially hold hint/name RVAs; the
+  // loader overwrites the IAT copy with bound absolute addresses.
+  layout.iat_offsets.resize(dlls.size());
+  for (std::size_t d = 0; d < dlls.size(); ++d) {
+    for (const std::uint32_t hn : hint_name_offsets[d]) {
+      append_le32(out, section_rva + hn);
+    }
+    append_le32(out, 0);
+    for (std::size_t f = 0; f < dlls[d].function_names.size(); ++f) {
+      layout.iat_offsets[d].push_back(static_cast<std::uint32_t>(out.size()));
+      append_le32(out, section_rva + hint_name_offsets[d][f]);
+    }
+    append_le32(out, 0);
+  }
+
+  // Hint/name table.
+  for (std::size_t d = 0; d < dlls.size(); ++d) {
+    for (const auto& fn : dlls[d].function_names) {
+      append_le16(out, 0);  // hint
+      for (const char c : fn) {
+        out.push_back(static_cast<std::uint8_t>(c));
+      }
+      out.push_back(0);
+      if (out.size() % 2 != 0) {
+        out.push_back(0);
+      }
+    }
+  }
+
+  // DLL names.
+  for (const auto& dll : dlls) {
+    for (const char c : dll.dll_name) {
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+    out.push_back(0);
+  }
+
+  MC_CHECK(out.size() == cursor, "import layout size mismatch");
+  return layout;
+}
+
+std::vector<ParsedImportDll> parse_import_directory(
+    ByteView mapped_image, std::uint32_t import_dir_rva) {
+  std::vector<ParsedImportDll> result;
+  std::uint32_t desc = import_dir_rva;
+  for (;;) {
+    if (desc + kDescriptorSize > mapped_image.size()) {
+      throw FormatError("import descriptor outside image");
+    }
+    const std::uint32_t original_first_thunk = load_le32(mapped_image, desc);
+    const std::uint32_t name_rva = load_le32(mapped_image, desc + 12);
+    const std::uint32_t first_thunk = load_le32(mapped_image, desc + 16);
+    if (original_first_thunk == 0 && name_rva == 0 && first_thunk == 0) {
+      break;  // terminator
+    }
+    ParsedImportDll dll;
+    dll.dll_name = read_cstring(mapped_image, name_rva);
+    dll.original_first_thunk_rva = original_first_thunk;
+    dll.name_rva = name_rva;
+    dll.first_thunk_rva = first_thunk;
+    // Walk the INT (never overwritten by binding) for names, and record the
+    // matching IAT slot RVAs.
+    std::uint32_t int_rva = original_first_thunk != 0 ? original_first_thunk
+                                                      : first_thunk;
+    std::uint32_t iat_rva = first_thunk;
+    for (;;) {
+      const std::uint32_t entry = load_le32(mapped_image, int_rva);
+      if (entry == 0) {
+        break;
+      }
+      dll.function_names.push_back(read_cstring(mapped_image, entry + 2));
+      dll.iat_rvas.push_back(iat_rva);
+      int_rva += 4;
+      iat_rva += 4;
+    }
+    result.push_back(std::move(dll));
+    desc += kDescriptorSize;
+  }
+  return result;
+}
+
+}  // namespace mc::pe

@@ -1,0 +1,60 @@
+// PE import directory builder / parser.
+//
+// Kernel modules import from other kernel modules (e.g. everything imports
+// from ntoskrnl.exe / hal.dll).  The loader binds each IAT slot to the
+// absolute address of the exported function, which differs per VM — another
+// source of cross-VM byte divergence.  IATs live in a writable .idata
+// section, which is why ModChecker hashes only headers and read-only
+// executable content (§III-B.2).
+//
+// Experiment E4 (PE-header DLL hooking) injects a new import descriptor the
+// way CFF Explorer does, shifting sections and growing header values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+/// One imported DLL and the functions pulled from it.
+struct ImportDll {
+  std::string dll_name;                     // "hal.dll"
+  std::vector<std::string> function_names;  // {"HalInitSystem", ...}
+};
+
+/// Result of laying out an import section.
+struct ImportLayout {
+  Bytes data;  // raw .idata bytes (descriptors, thunks, strings)
+  /// RVA (relative to the section start) of each DLL's IAT slot array;
+  /// iat_offsets[d][f] is the offset of function f of DLL d.
+  std::vector<std::vector<std::uint32_t>> iat_offsets;
+  std::uint32_t descriptors_size = 0;  // bytes used by the descriptor array
+};
+
+/// Lays out a complete import section.  `section_rva` is the RVA the section
+/// will occupy in the image (needed because descriptors hold absolute RVAs).
+ImportLayout build_import_section(const std::vector<ImportDll>& dlls,
+                                  std::uint32_t section_rva);
+
+/// Parsed view of one import descriptor.
+struct ParsedImportDll {
+  std::string dll_name;
+  std::vector<std::string> function_names;
+  std::vector<std::uint32_t> iat_rvas;  // RVA of each IAT slot
+  // Raw descriptor fields, needed to rebuild import tables in place
+  // (the E4 DLL-injection attack keeps old descriptors pointing at their
+  // original thunk arrays, exactly like CFF Explorer's import adder).
+  std::uint32_t original_first_thunk_rva = 0;
+  std::uint32_t name_rva = 0;
+  std::uint32_t first_thunk_rva = 0;
+};
+
+/// Parses the import directory of a *mapped* image.  `import_dir_rva` /
+/// `import_dir_size` come from the optional header's data directory.
+std::vector<ParsedImportDll> parse_import_directory(ByteView mapped_image,
+                                                    std::uint32_t import_dir_rva);
+
+}  // namespace mc::pe

@@ -1,0 +1,119 @@
+#include "pe/parser.hpp"
+
+#include <algorithm>
+
+#include "pe/constants.hpp"
+#include "util/error.hpp"
+
+namespace mc::pe {
+
+std::string to_string(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::kDosHeader:
+      return "IMAGE_DOS_HEADER";
+    case ItemKind::kNtHeader:
+      return "IMAGE_NT_HEADER";
+    case ItemKind::kOptionalHeader:
+      return "IMAGE_OPTIONAL_HEADER";
+    case ItemKind::kSectionHeader:
+      return "IMAGE_SECTION_HEADER";
+    case ItemKind::kSectionData:
+      return "SECTION_DATA";
+  }
+  return "?";
+}
+
+ParsedImage::ParsedImage(ByteView mapped) {
+  dos_ = DosHeader::parse(mapped);
+  if (dos_.e_magic != kDosMagic) {
+    throw FormatError("module lacks MZ magic");
+  }
+  if (dos_.e_lfanew < kDosHeaderSize ||
+      dos_.e_lfanew + kNtHeadersPrefixSize > mapped.size()) {
+    throw FormatError("e_lfanew out of range");
+  }
+  if (load_le32(mapped, dos_.e_lfanew) != kNtSignature) {
+    throw FormatError("module lacks PE signature");
+  }
+  file_ = FileHeader::parse(mapped, dos_.e_lfanew + 4);
+  const std::size_t opt_off = dos_.e_lfanew + kNtHeadersPrefixSize;
+  if (file_.SizeOfOptionalHeader < kOptionalHeader32Size) {
+    throw FormatError("optional header too small for PE32");
+  }
+  optional_ = OptionalHeader32::parse(mapped, opt_off);
+
+  section_table_offset_ =
+      static_cast<std::uint32_t>(opt_off + file_.SizeOfOptionalHeader);
+  sections_.reserve(file_.NumberOfSections);
+  for (std::uint16_t i = 0; i < file_.NumberOfSections; ++i) {
+    sections_.push_back(SectionHeader::parse(
+        mapped, section_table_offset_ + i * kSectionHeaderSize));
+  }
+}
+
+const SectionHeader* ParsedImage::find_section(const std::string& name) const {
+  const auto it =
+      std::find_if(sections_.begin(), sections_.end(),
+                   [&](const SectionHeader& s) { return s.name() == name; });
+  return it == sections_.end() ? nullptr : &*it;
+}
+
+bool is_integrity_checked_section(const SectionHeader& sh) {
+  if (sh.is_discardable()) {
+    return false;  // e.g. .reloc / INIT: freed after load, contents undefined
+  }
+  if (sh.is_code()) {
+    return true;
+  }
+  const bool initialized = (sh.Characteristics & kScnCntInitializedData) != 0;
+  return initialized && !sh.is_writable();
+}
+
+std::vector<IntegrityItem> ParsedImage::extract_items(ByteView mapped) const {
+  std::vector<IntegrityItem> items;
+
+  // 1. DOS header + stub: [0, e_lfanew).  The paper's experiment E3 shows a
+  //    stub-text edit ("DOS" -> "CHK") being caught via this item.
+  items.push_back({ItemKind::kDosHeader, "IMAGE_DOS_HEADER", 0,
+                   slice(mapped, 0, dos_.e_lfanew), false});
+
+  // 2. PE signature + IMAGE_FILE_HEADER.
+  items.push_back({ItemKind::kNtHeader, "IMAGE_NT_HEADER", dos_.e_lfanew,
+                   slice(mapped, dos_.e_lfanew, kNtHeadersPrefixSize), false});
+
+  // 3. IMAGE_OPTIONAL_HEADER (the full SizeOfOptionalHeader bytes).
+  const std::uint32_t opt_off = dos_.e_lfanew +
+                                static_cast<std::uint32_t>(kNtHeadersPrefixSize);
+  items.push_back({ItemKind::kOptionalHeader, "IMAGE_OPTIONAL_HEADER", opt_off,
+                   slice(mapped, opt_off, file_.SizeOfOptionalHeader), false});
+
+  // 4. Every section header, as its own item (paper E4: "all
+  //    SECTION_HEADER's" flagged independently).
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const std::uint32_t off =
+        section_table_offset_ + static_cast<std::uint32_t>(i) *
+                                    static_cast<std::uint32_t>(kSectionHeaderSize);
+    items.push_back({ItemKind::kSectionHeader,
+                     "SECTION_HEADER[" + sections_[i].name() + "]", off,
+                     slice(mapped, off, kSectionHeaderSize), false});
+  }
+
+  // 5. Data of each integrity-checked section.  Executable sections carry
+  //    loader-rewritten absolute addresses, so they are rva_sensitive.
+  for (const auto& sh : sections_) {
+    if (!is_integrity_checked_section(sh)) {
+      continue;
+    }
+    const std::uint32_t len =
+        std::min(sh.VirtualSize,
+                 static_cast<std::uint32_t>(mapped.size()) - sh.VirtualAddress);
+    if (sh.VirtualAddress >= mapped.size()) {
+      throw FormatError("section data outside mapped image");
+    }
+    items.push_back({ItemKind::kSectionData, sh.name(), sh.VirtualAddress,
+                     slice(mapped, sh.VirtualAddress, len), sh.is_code()});
+  }
+  return items;
+}
+
+}  // namespace mc::pe

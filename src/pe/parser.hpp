@@ -1,0 +1,79 @@
+// Parser for in-memory (mapped) PE images — the substrate of the paper's
+// Module-Parser component and Algorithm 1.
+//
+// Given a copy of a module extracted from guest memory, the parser verifies
+// the DOS/NT magics, walks the header chain (Fig. 3 of the paper:
+// IMAGE_DOS_HEADER → e_lfanew → IMAGE_NT_HEADER → FILE/OPTIONAL headers →
+// section headers → section data) and produces the list of *integrity
+// items*: each header and each read-only/executable section's data, exactly
+// the units the Integrity-Checker hashes separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pe/structs.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+/// What kind of module piece an integrity item covers.
+enum class ItemKind {
+  kDosHeader,      // IMAGE_DOS_HEADER + DOS stub (bytes [0, e_lfanew))
+  kNtHeader,       // PE signature + IMAGE_FILE_HEADER
+  kOptionalHeader, // IMAGE_OPTIONAL_HEADER (incl. data directories)
+  kSectionHeader,  // one IMAGE_SECTION_HEADER
+  kSectionData,    // data of one read-only or executable section
+};
+
+std::string to_string(ItemKind kind);
+
+/// One hashable unit of a module (paper §III-B.3: "computes the hashes of
+/// the headers and the contents of the module ... separately").
+struct IntegrityItem {
+  ItemKind kind;
+  std::string name;    // ".text", "IMAGE_NT_HEADER", ...
+  std::uint32_t rva;   // where the bytes start within the image
+  Bytes bytes;         // the raw content (copied; RVA-adjustment mutates it)
+  bool rva_sensitive;  // true for executable section data (holds absolute
+                       // addresses that must be normalized before hashing)
+};
+
+/// Fully parsed view of a mapped module.
+class ParsedImage {
+ public:
+  /// Parses `mapped` (memory layout).  Throws FormatError on bad magics or
+  /// out-of-bounds structures.
+  explicit ParsedImage(ByteView mapped);
+
+  const DosHeader& dos() const { return dos_; }
+  const FileHeader& file_header() const { return file_; }
+  const OptionalHeader32& optional_header() const { return optional_; }
+  const std::vector<SectionHeader>& sections() const { return sections_; }
+
+  std::uint32_t e_lfanew() const { return dos_.e_lfanew; }
+  std::uint32_t size_of_image() const { return optional_.SizeOfImage; }
+
+  /// Finds a section by name; returns nullptr if absent.
+  const SectionHeader* find_section(const std::string& name) const;
+
+  /// Algorithm 1: extracts every header and the data of each section that
+  /// is executable or read-only initialized data, as separate items.
+  /// Writable data sections are excluded (they legitimately change at
+  /// runtime and across VMs).
+  std::vector<IntegrityItem> extract_items(ByteView mapped) const;
+
+ private:
+  DosHeader dos_;
+  FileHeader file_;
+  OptionalHeader32 optional_;
+  std::vector<SectionHeader> sections_;
+  std::uint32_t section_table_offset_ = 0;
+};
+
+/// True if a section's data participates in integrity checking: code or
+/// non-writable initialized data, and not discardable.
+bool is_integrity_checked_section(const SectionHeader& sh);
+
+}  // namespace mc::pe

@@ -1,0 +1,90 @@
+#include "pe/reloc.hpp"
+
+#include <algorithm>
+
+#include "pe/constants.hpp"
+#include "util/error.hpp"
+
+namespace mc::pe {
+
+Bytes encode_base_relocations(std::vector<std::uint32_t> fixup_rvas) {
+  std::sort(fixup_rvas.begin(), fixup_rvas.end());
+  fixup_rvas.erase(std::unique(fixup_rvas.begin(), fixup_rvas.end()),
+                   fixup_rvas.end());
+
+  Bytes out;
+  std::size_t i = 0;
+  while (i < fixup_rvas.size()) {
+    const std::uint32_t page = fixup_rvas[i] & ~(kPageSize - 1);
+    // Collect all fixups that fall on this page.
+    std::size_t j = i;
+    while (j < fixup_rvas.size() &&
+           (fixup_rvas[j] & ~(kPageSize - 1)) == page) {
+      ++j;
+    }
+    std::uint32_t entry_count = static_cast<std::uint32_t>(j - i);
+    const bool needs_pad = (entry_count % 2) != 0;
+    const std::uint32_t block_size =
+        8 + 2 * (entry_count + (needs_pad ? 1u : 0u));
+
+    append_le32(out, page);
+    append_le32(out, block_size);
+    for (; i < j; ++i) {
+      const auto offset =
+          static_cast<std::uint16_t>(fixup_rvas[i] & (kPageSize - 1));
+      append_le16(out, static_cast<std::uint16_t>((kRelBasedHighLow << 12) |
+                                                  offset));
+    }
+    if (needs_pad) {
+      append_le16(out, static_cast<std::uint16_t>(kRelBasedAbsolute << 12));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> parse_base_relocations(ByteView reloc_data) {
+  std::vector<std::uint32_t> rvas;
+  std::size_t pos = 0;
+  while (pos + 8 <= reloc_data.size()) {
+    const std::uint32_t page = load_le32(reloc_data, pos);
+    const std::uint32_t block_size = load_le32(reloc_data, pos + 4);
+    if (block_size < 8 || pos + block_size > reloc_data.size()) {
+      throw FormatError("malformed IMAGE_BASE_RELOCATION block");
+    }
+    if (block_size == 8 && page == 0) {
+      break;  // terminator block emitted by some linkers
+    }
+    for (std::size_t e = pos + 8; e + 2 <= pos + block_size; e += 2) {
+      const std::uint16_t entry = load_le16(reloc_data, e);
+      const std::uint16_t type = static_cast<std::uint16_t>(entry >> 12);
+      if (type == kRelBasedAbsolute) {
+        continue;  // padding
+      }
+      if (type != kRelBasedHighLow) {
+        throw FormatError("unsupported relocation type " +
+                          std::to_string(type));
+      }
+      rvas.push_back(page + (entry & 0x0FFFu));
+    }
+    pos += block_size;
+  }
+  std::sort(rvas.begin(), rvas.end());
+  return rvas;
+}
+
+void apply_relocations(MutableByteView mapped_image,
+                       const std::vector<std::uint32_t>& fixup_rvas,
+                       std::uint32_t delta) {
+  if (delta == 0) {
+    return;
+  }
+  for (const std::uint32_t rva : fixup_rvas) {
+    if (rva + 4 > mapped_image.size()) {
+      throw FormatError("relocation fixup outside image bounds");
+    }
+    const std::uint32_t value = load_le32(mapped_image, rva);
+    store_le32(mapped_image, rva, value + delta);
+  }
+}
+
+}  // namespace mc::pe

@@ -1,0 +1,33 @@
+// PE base relocations (.reloc section).
+//
+// The Windows kernel module loader uses these records to rewrite every
+// absolute 32-bit address embedded in an image when it is mapped at a base
+// other than the preferred ImageBase.  This is the mechanism that makes
+// per-VM module bytes diverge — the phenomenon ModChecker's Algorithm 2
+// reverses *without* access to these records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+/// Encodes the RVAs of HIGHLOW fixups into IMAGE_BASE_RELOCATION blocks
+/// (one block per 4 KiB page, u16 entries of type<<12 | page offset, blocks
+/// padded to 4-byte size with ABSOLUTE entries).  `fixup_rvas` need not be
+/// sorted; the result is deterministic (sorted ascending).
+Bytes encode_base_relocations(std::vector<std::uint32_t> fixup_rvas);
+
+/// Parses IMAGE_BASE_RELOCATION blocks back into sorted HIGHLOW fixup RVAs.
+std::vector<std::uint32_t> parse_base_relocations(ByteView reloc_data);
+
+/// Applies relocations to a mapped image: adds `delta` to the 32-bit word at
+/// every fixup RVA.  `delta` is (actual base - preferred ImageBase) and may
+/// be "negative" (two's complement arithmetic wraps correctly).
+void apply_relocations(MutableByteView mapped_image,
+                       const std::vector<std::uint32_t>& fixup_rvas,
+                       std::uint32_t delta);
+
+}  // namespace mc::pe

@@ -1,0 +1,203 @@
+#include "pe/resources.hpp"
+
+#include "util/error.hpp"
+
+namespace mc::pe {
+
+namespace {
+
+constexpr std::uint32_t kDirectorySize = 16;   // IMAGE_RESOURCE_DIRECTORY
+constexpr std::uint32_t kDirEntrySize = 8;     // IMAGE_RESOURCE_DIRECTORY_ENTRY
+constexpr std::uint32_t kDataEntrySize = 16;   // IMAGE_RESOURCE_DATA_ENTRY
+constexpr std::uint32_t kSubdirFlag = 0x80000000u;
+constexpr std::uint32_t kLangEnUs = 0x409;
+
+// VS_VERSIONINFO: u16 wLength, u16 wValueLength, u16 wType,
+// L"VS_VERSION_INFO\0" (32 bytes UTF-16), pad to 4, VS_FIXEDFILEINFO (52).
+constexpr char kVersionKey[] = "VS_VERSION_INFO";
+constexpr std::uint32_t kFixedFileInfoSize = 52;
+
+void append_directory(Bytes& out, std::uint16_t id_entries) {
+  append_le32(out, 0);  // Characteristics
+  append_le32(out, 0);  // TimeDateStamp
+  append_le16(out, 0);  // MajorVersion
+  append_le16(out, 0);  // MinorVersion
+  append_le16(out, 0);  // NumberOfNamedEntries
+  append_le16(out, id_entries);
+}
+
+void append_dir_entry(Bytes& out, std::uint32_t id, std::uint32_t offset,
+                      bool subdirectory) {
+  append_le32(out, id);
+  append_le32(out, offset | (subdirectory ? kSubdirFlag : 0u));
+}
+
+Bytes build_version_value(const VersionInfo& version) {
+  Bytes value;
+  // VS_FIXEDFILEINFO.
+  append_le32(value, kFixedFileInfoSignature);
+  append_le32(value, 0x00010000);  // strucVersion 1.0
+  append_le32(value, (std::uint32_t{version.file_major} << 16) |
+                         version.file_minor);
+  append_le32(value, (std::uint32_t{version.file_build} << 16) |
+                         version.file_revision);
+  append_le32(value, (std::uint32_t{version.product_major} << 16) |
+                         version.product_minor);
+  append_le32(value, (std::uint32_t{version.product_build} << 16) |
+                         version.product_revision);
+  append_le32(value, 0x3F);        // FileFlagsMask
+  append_le32(value, 0);           // FileFlags
+  append_le32(value, 0x00040004);  // FileOS: VOS_NT_WINDOWS32
+  append_le32(value, 0x00000003);  // FileType: VFT_DRV
+  append_le32(value, 0);           // FileSubtype
+  append_le32(value, 0);           // FileDateMS
+  append_le32(value, 0);           // FileDateLS
+  MC_CHECK(value.size() == kFixedFileInfoSize, "VS_FIXEDFILEINFO size");
+  return value;
+}
+
+Bytes build_version_block(const VersionInfo& version) {
+  Bytes block;
+  // Header placeholder (wLength patched at the end).
+  append_le16(block, 0);
+  append_le16(block, static_cast<std::uint16_t>(kFixedFileInfoSize));
+  append_le16(block, 0);  // binary data
+  for (const char* p = kVersionKey;; ++p) {
+    append_le16(block, static_cast<std::uint16_t>(*p));
+    if (*p == '\0') {
+      break;
+    }
+  }
+  while (block.size() % 4 != 0) {
+    block.push_back(0);
+  }
+  append_bytes(block, build_version_value(version));
+  store_le16(block, 0, static_cast<std::uint16_t>(block.size()));
+  return block;
+}
+
+}  // namespace
+
+Bytes build_resource_section(const VersionInfo& version,
+                             std::uint32_t section_rva) {
+  // Fixed-layout tree: three directories, each with one entry, then the
+  // data entry, then the version block.
+  const std::uint32_t root_off = 0;
+  const std::uint32_t type_dir_off = kDirectorySize + kDirEntrySize;
+  const std::uint32_t name_dir_off =
+      type_dir_off + kDirectorySize + kDirEntrySize;
+  const std::uint32_t data_entry_off =
+      name_dir_off + kDirectorySize + kDirEntrySize;
+  const std::uint32_t data_off = data_entry_off + kDataEntrySize;
+  (void)root_off;
+
+  const Bytes block = build_version_block(version);
+
+  Bytes out;
+  out.reserve(data_off + block.size());
+  append_directory(out, 1);
+  append_dir_entry(out, kRtVersion, type_dir_off, /*subdirectory=*/true);
+  append_directory(out, 1);
+  append_dir_entry(out, 1, name_dir_off, /*subdirectory=*/true);
+  append_directory(out, 1);
+  append_dir_entry(out, kLangEnUs, data_entry_off, /*subdirectory=*/false);
+  // IMAGE_RESOURCE_DATA_ENTRY: OffsetToData is an image RVA.
+  append_le32(out, section_rva + data_off);
+  append_le32(out, static_cast<std::uint32_t>(block.size()));
+  append_le32(out, 0);  // CodePage
+  append_le32(out, 0);  // Reserved
+  append_bytes(out, block);
+  return out;
+}
+
+namespace {
+
+/// Follows one directory level; returns the entry's offset field.
+std::uint32_t sole_entry(ByteView image, std::uint32_t dir_rva,
+                         std::uint32_t expected_id, bool expect_subdir) {
+  const std::uint16_t named = load_le16(image, dir_rva + 12);
+  const std::uint16_t ids = load_le16(image, dir_rva + 14);
+  if (named != 0 || ids == 0) {
+    throw FormatError("unsupported resource directory shape");
+  }
+  // Scan the id entries for expected_id (drivers have exactly one, but be
+  // tolerant of siblings).
+  for (std::uint16_t i = 0; i < ids; ++i) {
+    const std::uint32_t entry_off = dir_rva + kDirectorySize +
+                                    i * kDirEntrySize;
+    const std::uint32_t id = load_le32(image, entry_off);
+    const std::uint32_t offset = load_le32(image, entry_off + 4);
+    if (id != expected_id && expected_id != 0xFFFFFFFFu) {
+      continue;
+    }
+    if (((offset & kSubdirFlag) != 0) != expect_subdir) {
+      throw FormatError("resource entry kind mismatch");
+    }
+    return offset & ~kSubdirFlag;
+  }
+  throw NotFoundError("resource id not present");
+}
+
+std::optional<std::uint32_t> fixed_info_rva_impl(
+    ByteView image, std::uint32_t resource_dir_rva) {
+  std::uint32_t type_dir;
+  try {
+    type_dir = sole_entry(image, resource_dir_rva, kRtVersion, true);
+  } catch (const NotFoundError&) {
+    return std::nullopt;
+  }
+  const std::uint32_t name_dir =
+      sole_entry(image, resource_dir_rva + type_dir, 0xFFFFFFFFu, true);
+  const std::uint32_t data_entry =
+      sole_entry(image, resource_dir_rva + name_dir, 0xFFFFFFFFu, false);
+
+  const std::uint32_t data_rva =
+      load_le32(image, resource_dir_rva + data_entry);
+  const std::uint32_t data_size =
+      load_le32(image, resource_dir_rva + data_entry + 4);
+  if (data_rva + data_size > image.size()) {
+    throw FormatError("version resource data outside image");
+  }
+  // Find VS_FIXEDFILEINFO by its signature within the block (skips the
+  // UTF-16 key and padding robustly).
+  for (std::uint32_t off = 0; off + 4 <= data_size; off += 4) {
+    if (load_le32(image, data_rva + off) == kFixedFileInfoSignature) {
+      if (data_rva + off + kFixedFileInfoSize > image.size()) {
+        throw FormatError("truncated VS_FIXEDFILEINFO");
+      }
+      return data_rva + off;
+    }
+  }
+  throw FormatError("VS_VERSION_INFO without VS_FIXEDFILEINFO");
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> find_fixed_file_info_rva(
+    ByteView mapped_image, std::uint32_t resource_dir_rva) {
+  return fixed_info_rva_impl(mapped_image, resource_dir_rva);
+}
+
+std::optional<VersionInfo> parse_version_resource(
+    ByteView mapped_image, std::uint32_t resource_dir_rva) {
+  const auto rva = fixed_info_rva_impl(mapped_image, resource_dir_rva);
+  if (!rva) {
+    return std::nullopt;
+  }
+  VersionInfo v;
+  const std::uint32_t file_ms = load_le32(mapped_image, *rva + 8);
+  const std::uint32_t file_ls = load_le32(mapped_image, *rva + 12);
+  const std::uint32_t prod_ms = load_le32(mapped_image, *rva + 16);
+  const std::uint32_t prod_ls = load_le32(mapped_image, *rva + 20);
+  v.file_major = static_cast<std::uint16_t>(file_ms >> 16);
+  v.file_minor = static_cast<std::uint16_t>(file_ms & 0xFFFF);
+  v.file_build = static_cast<std::uint16_t>(file_ls >> 16);
+  v.file_revision = static_cast<std::uint16_t>(file_ls & 0xFFFF);
+  v.product_major = static_cast<std::uint16_t>(prod_ms >> 16);
+  v.product_minor = static_cast<std::uint16_t>(prod_ms & 0xFFFF);
+  v.product_build = static_cast<std::uint16_t>(prod_ls >> 16);
+  v.product_revision = static_cast<std::uint16_t>(prod_ls & 0xFFFF);
+  return v;
+}
+
+}  // namespace mc::pe

@@ -1,0 +1,58 @@
+// PE resource section (.rsrc) with a VS_VERSIONINFO block.
+//
+// Real drivers carry a version resource (file/product version, the values
+// Explorer shows).  The layout here is the genuine resource-directory
+// shape reduced to the one entry drivers always have:
+//
+//   IMAGE_RESOURCE_DIRECTORY (root)
+//     └─ id RT_VERSION (16) → IMAGE_RESOURCE_DIRECTORY
+//          └─ id 1 (name) → IMAGE_RESOURCE_DIRECTORY
+//               └─ id 0x409 (lang) → IMAGE_RESOURCE_DATA_ENTRY
+//                    └─ VS_VERSIONINFO ⊃ VS_FIXEDFILEINFO
+//
+// Version metadata matters to the integrity story: `.rsrc` is read-only
+// initialized data, so it is part of ModChecker's checked surface — a
+// malware "update" that rewrites the version resource is detectable even
+// when it touches nothing else (the VersionSpoof attack exercises this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+inline constexpr std::uint32_t kRtVersion = 16;             // RT_VERSION
+inline constexpr std::uint32_t kFixedFileInfoSignature = 0xFEEF04BDu;
+
+struct VersionInfo {
+  std::uint16_t file_major = 5;
+  std::uint16_t file_minor = 1;
+  std::uint16_t file_build = 2600;
+  std::uint16_t file_revision = 0;
+  std::uint16_t product_major = 5;
+  std::uint16_t product_minor = 1;
+  std::uint16_t product_build = 2600;
+  std::uint16_t product_revision = 0;
+
+  friend bool operator==(const VersionInfo&, const VersionInfo&) = default;
+};
+
+/// Lays out a complete .rsrc section.  `section_rva` is where the section
+/// will live (data entries store absolute RVAs).
+Bytes build_resource_section(const VersionInfo& version,
+                             std::uint32_t section_rva);
+
+/// Walks the directory tree of a mapped image's resource directory and
+/// returns the version info; nullopt if no RT_VERSION resource exists.
+/// Throws FormatError on malformed trees.
+std::optional<VersionInfo> parse_version_resource(ByteView mapped_image,
+                                                  std::uint32_t resource_dir_rva);
+
+/// RVA (within the image) of the VS_FIXEDFILEINFO block, for in-place
+/// version tampering; nullopt if absent.
+std::optional<std::uint32_t> find_fixed_file_info_rva(
+    ByteView mapped_image, std::uint32_t resource_dir_rva);
+
+}  // namespace mc::pe

@@ -1,0 +1,99 @@
+#include "pe/strings.hpp"
+
+#include <cctype>
+
+namespace mc::pe {
+
+namespace {
+bool printable(std::uint8_t c) { return c >= 0x20 && c < 0x7F; }
+}  // namespace
+
+std::vector<FoundString> extract_ascii_strings(ByteView data,
+                                               std::size_t min_length) {
+  std::vector<FoundString> out;
+  std::size_t start = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i <= data.size(); ++i) {
+    if (i < data.size() && printable(data[i])) {
+      if (run == 0) {
+        start = i;
+      }
+      ++run;
+      continue;
+    }
+    if (run >= min_length) {
+      out.push_back({static_cast<std::uint32_t>(start),
+                     std::string(data.begin() + static_cast<std::ptrdiff_t>(start),
+                                 data.begin() + static_cast<std::ptrdiff_t>(start + run))});
+    }
+    run = 0;
+  }
+  return out;
+}
+
+std::vector<FoundString> extract_utf16_strings(ByteView data,
+                                               std::size_t min_length) {
+  std::vector<FoundString> out;
+  std::size_t i = 0;
+  while (i + 1 < data.size()) {
+    // Candidate run: printable ASCII low byte, zero high byte.
+    std::size_t j = i;
+    std::string text;
+    while (j + 1 < data.size() && printable(data[j]) && data[j + 1] == 0) {
+      text.push_back(static_cast<char>(data[j]));
+      j += 2;
+    }
+    if (text.size() >= min_length) {
+      out.push_back({static_cast<std::uint32_t>(i), std::move(text)});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string string_near(ByteView data, std::uint32_t offset,
+                        std::uint32_t max_distance) {
+  std::string best;
+  std::uint32_t best_distance = max_distance + 1;
+
+  auto consider = [&](const std::vector<FoundString>& strings) {
+    for (const auto& s : strings) {
+      const std::uint32_t end =
+          s.offset + static_cast<std::uint32_t>(s.text.size());
+      std::uint32_t distance = 0;
+      if (offset < s.offset) {
+        distance = s.offset - offset;
+      } else if (offset >= end) {
+        distance = offset - end + 1;
+      }
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = s.text;
+      }
+    }
+  };
+
+  // Only scan a window around the offset (strings extraction over a whole
+  // section would be wasteful for one lookup).
+  const std::uint32_t lo =
+      offset > 256 ? offset - 256 : 0;
+  const std::uint32_t hi = static_cast<std::uint32_t>(
+      std::min<std::size_t>(data.size(), offset + 256));
+  if (lo >= hi) {
+    return {};
+  }
+  const ByteView window = data.subspan(lo, hi - lo);
+  auto shift = [&](std::vector<FoundString> strings) {
+    for (auto& s : strings) {
+      s.offset += lo;
+    }
+    return strings;
+  };
+  consider(shift(extract_ascii_strings(window)));
+  consider(shift(extract_utf16_strings(window)));
+  return best_distance <= max_distance ? best : std::string{};
+}
+
+}  // namespace mc::pe

@@ -1,0 +1,35 @@
+// Printable-string extraction — the forensic analyst's `strings`.
+//
+// Used by the divergence reports on non-code items: a diff inside `.rsrc`
+// or `.rdata` is far more readable when the surrounding text ("This
+// program cannot be run in CHK mode.") is shown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+struct FoundString {
+  std::uint32_t offset = 0;
+  std::string text;
+};
+
+/// ASCII strings of at least `min_length` printable characters.
+std::vector<FoundString> extract_ascii_strings(ByteView data,
+                                               std::size_t min_length = 5);
+
+/// UTF-16LE strings (ASCII subset) of at least `min_length` characters —
+/// how Windows stores most of its user-visible text.
+std::vector<FoundString> extract_utf16_strings(ByteView data,
+                                               std::size_t min_length = 5);
+
+/// The string (of either encoding) whose span covers or is nearest to
+/// `offset`; empty if none within `max_distance` bytes.
+std::string string_near(ByteView data, std::uint32_t offset,
+                        std::uint32_t max_distance = 64);
+
+}  // namespace mc::pe

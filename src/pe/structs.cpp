@@ -1,0 +1,264 @@
+#include "pe/structs.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mc::pe {
+
+// ---- DosHeader --------------------------------------------------------------
+
+DosHeader DosHeader::parse(ByteView image) {
+  if (image.size() < kDosHeaderSize) {
+    throw FormatError("image too small for IMAGE_DOS_HEADER");
+  }
+  DosHeader h;
+  h.e_magic = load_le16(image, 0x00);
+  h.e_cblp = load_le16(image, 0x02);
+  h.e_cp = load_le16(image, 0x04);
+  h.e_crlc = load_le16(image, 0x06);
+  h.e_cparhdr = load_le16(image, 0x08);
+  h.e_minalloc = load_le16(image, 0x0A);
+  h.e_maxalloc = load_le16(image, 0x0C);
+  h.e_ss = load_le16(image, 0x0E);
+  h.e_sp = load_le16(image, 0x10);
+  h.e_csum = load_le16(image, 0x12);
+  h.e_ip = load_le16(image, 0x14);
+  h.e_cs = load_le16(image, 0x16);
+  h.e_lfarlc = load_le16(image, 0x18);
+  h.e_ovno = load_le16(image, 0x1A);
+  for (std::size_t i = 0; i < h.e_res.size(); ++i) {
+    h.e_res[i] = load_le16(image, 0x1C + 2 * i);
+  }
+  h.e_oemid = load_le16(image, 0x24);
+  h.e_oeminfo = load_le16(image, 0x26);
+  for (std::size_t i = 0; i < h.e_res2.size(); ++i) {
+    h.e_res2[i] = load_le16(image, 0x28 + 2 * i);
+  }
+  h.e_lfanew = load_le32(image, 0x3C);
+  return h;
+}
+
+void DosHeader::serialize(Bytes& out) const {
+  append_le16(out, e_magic);
+  append_le16(out, e_cblp);
+  append_le16(out, e_cp);
+  append_le16(out, e_crlc);
+  append_le16(out, e_cparhdr);
+  append_le16(out, e_minalloc);
+  append_le16(out, e_maxalloc);
+  append_le16(out, e_ss);
+  append_le16(out, e_sp);
+  append_le16(out, e_csum);
+  append_le16(out, e_ip);
+  append_le16(out, e_cs);
+  append_le16(out, e_lfarlc);
+  append_le16(out, e_ovno);
+  for (const auto v : e_res) {
+    append_le16(out, v);
+  }
+  append_le16(out, e_oemid);
+  append_le16(out, e_oeminfo);
+  for (const auto v : e_res2) {
+    append_le16(out, v);
+  }
+  append_le32(out, e_lfanew);
+}
+
+// ---- FileHeader -------------------------------------------------------------
+
+FileHeader FileHeader::parse(ByteView image, std::size_t offset) {
+  if (image.size() < offset + kFileHeaderSize) {
+    throw FormatError("image too small for IMAGE_FILE_HEADER");
+  }
+  FileHeader h;
+  h.Machine = load_le16(image, offset + 0);
+  h.NumberOfSections = load_le16(image, offset + 2);
+  h.TimeDateStamp = load_le32(image, offset + 4);
+  h.PointerToSymbolTable = load_le32(image, offset + 8);
+  h.NumberOfSymbols = load_le32(image, offset + 12);
+  h.SizeOfOptionalHeader = load_le16(image, offset + 16);
+  h.Characteristics = load_le16(image, offset + 18);
+  return h;
+}
+
+void FileHeader::serialize(Bytes& out) const {
+  append_le16(out, Machine);
+  append_le16(out, NumberOfSections);
+  append_le32(out, TimeDateStamp);
+  append_le32(out, PointerToSymbolTable);
+  append_le32(out, NumberOfSymbols);
+  append_le16(out, SizeOfOptionalHeader);
+  append_le16(out, Characteristics);
+}
+
+// ---- OptionalHeader32 ---------------------------------------------------------
+
+OptionalHeader32 OptionalHeader32::parse(ByteView image, std::size_t offset) {
+  if (image.size() < offset + kOptionalHeader32Size) {
+    throw FormatError("image too small for IMAGE_OPTIONAL_HEADER32");
+  }
+  OptionalHeader32 h;
+  h.Magic = load_le16(image, offset + 0);
+  if (h.Magic != kOptionalMagicPe32) {
+    throw FormatError("optional header magic is not PE32 (0x10B)");
+  }
+  h.MajorLinkerVersion = image[offset + 2];
+  h.MinorLinkerVersion = image[offset + 3];
+  h.SizeOfCode = load_le32(image, offset + 4);
+  h.SizeOfInitializedData = load_le32(image, offset + 8);
+  h.SizeOfUninitializedData = load_le32(image, offset + 12);
+  h.AddressOfEntryPoint = load_le32(image, offset + 16);
+  h.BaseOfCode = load_le32(image, offset + 20);
+  h.BaseOfData = load_le32(image, offset + 24);
+  h.ImageBase = load_le32(image, offset + 28);
+  h.SectionAlignment = load_le32(image, offset + 32);
+  h.FileAlignment = load_le32(image, offset + 36);
+  h.MajorOperatingSystemVersion = load_le16(image, offset + 40);
+  h.MinorOperatingSystemVersion = load_le16(image, offset + 42);
+  h.MajorImageVersion = load_le16(image, offset + 44);
+  h.MinorImageVersion = load_le16(image, offset + 46);
+  h.MajorSubsystemVersion = load_le16(image, offset + 48);
+  h.MinorSubsystemVersion = load_le16(image, offset + 50);
+  h.Win32VersionValue = load_le32(image, offset + 52);
+  h.SizeOfImage = load_le32(image, offset + 56);
+  h.SizeOfHeaders = load_le32(image, offset + 60);
+  h.CheckSum = load_le32(image, offset + 64);
+  h.Subsystem = load_le16(image, offset + 68);
+  h.DllCharacteristics = load_le16(image, offset + 70);
+  h.SizeOfStackReserve = load_le32(image, offset + 72);
+  h.SizeOfStackCommit = load_le32(image, offset + 76);
+  h.SizeOfHeapReserve = load_le32(image, offset + 80);
+  h.SizeOfHeapCommit = load_le32(image, offset + 84);
+  h.LoaderFlags = load_le32(image, offset + 88);
+  h.NumberOfRvaAndSizes = load_le32(image, offset + 92);
+  for (std::size_t i = 0; i < kNumDataDirectories; ++i) {
+    h.DataDirectories[i].VirtualAddress = load_le32(image, offset + 96 + 8 * i);
+    h.DataDirectories[i].Size = load_le32(image, offset + 100 + 8 * i);
+  }
+  return h;
+}
+
+void OptionalHeader32::serialize(Bytes& out) const {
+  append_le16(out, Magic);
+  out.push_back(MajorLinkerVersion);
+  out.push_back(MinorLinkerVersion);
+  append_le32(out, SizeOfCode);
+  append_le32(out, SizeOfInitializedData);
+  append_le32(out, SizeOfUninitializedData);
+  append_le32(out, AddressOfEntryPoint);
+  append_le32(out, BaseOfCode);
+  append_le32(out, BaseOfData);
+  append_le32(out, ImageBase);
+  append_le32(out, SectionAlignment);
+  append_le32(out, FileAlignment);
+  append_le16(out, MajorOperatingSystemVersion);
+  append_le16(out, MinorOperatingSystemVersion);
+  append_le16(out, MajorImageVersion);
+  append_le16(out, MinorImageVersion);
+  append_le16(out, MajorSubsystemVersion);
+  append_le16(out, MinorSubsystemVersion);
+  append_le32(out, Win32VersionValue);
+  append_le32(out, SizeOfImage);
+  append_le32(out, SizeOfHeaders);
+  append_le32(out, CheckSum);
+  append_le16(out, Subsystem);
+  append_le16(out, DllCharacteristics);
+  append_le32(out, SizeOfStackReserve);
+  append_le32(out, SizeOfStackCommit);
+  append_le32(out, SizeOfHeapReserve);
+  append_le32(out, SizeOfHeapCommit);
+  append_le32(out, LoaderFlags);
+  append_le32(out, NumberOfRvaAndSizes);
+  for (const auto& dir : DataDirectories) {
+    append_le32(out, dir.VirtualAddress);
+    append_le32(out, dir.Size);
+  }
+}
+
+// ---- SectionHeader -------------------------------------------------------------
+
+SectionHeader SectionHeader::parse(ByteView image, std::size_t offset) {
+  if (image.size() < offset + kSectionHeaderSize) {
+    throw FormatError("image too small for IMAGE_SECTION_HEADER");
+  }
+  SectionHeader h;
+  for (std::size_t i = 0; i < 8; ++i) {
+    h.Name[i] = static_cast<char>(image[offset + i]);
+  }
+  h.VirtualSize = load_le32(image, offset + 8);
+  h.VirtualAddress = load_le32(image, offset + 12);
+  h.SizeOfRawData = load_le32(image, offset + 16);
+  h.PointerToRawData = load_le32(image, offset + 20);
+  h.PointerToRelocations = load_le32(image, offset + 24);
+  h.PointerToLinenumbers = load_le32(image, offset + 28);
+  h.NumberOfRelocations = load_le16(image, offset + 32);
+  h.NumberOfLinenumbers = load_le16(image, offset + 34);
+  h.Characteristics = load_le32(image, offset + 36);
+  return h;
+}
+
+void SectionHeader::serialize(Bytes& out) const {
+  for (const char c : Name) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  append_le32(out, VirtualSize);
+  append_le32(out, VirtualAddress);
+  append_le32(out, SizeOfRawData);
+  append_le32(out, PointerToRawData);
+  append_le32(out, PointerToRelocations);
+  append_le32(out, PointerToLinenumbers);
+  append_le16(out, NumberOfRelocations);
+  append_le16(out, NumberOfLinenumbers);
+  append_le32(out, Characteristics);
+}
+
+std::string SectionHeader::name() const {
+  std::string s;
+  for (const char c : Name) {
+    if (c == '\0') {
+      break;
+    }
+    s.push_back(c);
+  }
+  return s;
+}
+
+void SectionHeader::set_name(const std::string& n) {
+  MC_CHECK(n.size() <= 8, "section name longer than 8 bytes");
+  Name.fill('\0');
+  std::memcpy(Name.data(), n.data(), n.size());
+}
+
+// ---- DOS stub -------------------------------------------------------------------
+
+const char kDosStubMessage[] = "This program cannot be run in DOS mode.";
+
+Bytes make_dos_stub() {
+  // The classic 14-byte real-mode stub: push cs / pop ds /
+  // mov dx, 0x0E / mov ah, 9 / int 0x21 / mov ax, 0x4C01 / int 0x21.
+  static constexpr std::uint8_t kStubCode[] = {0x0E, 0x1F, 0xBA, 0x0E, 0x00,
+                                               0xB4, 0x09, 0xCD, 0x21, 0xB8,
+                                               0x01, 0x4C, 0xCD, 0x21};
+  Bytes stub;
+  stub.reserve(64);
+  for (const std::uint8_t b : kStubCode) {
+    stub.push_back(b);
+  }
+  for (const char* p = kDosStubMessage; *p != '\0'; ++p) {
+    stub.push_back(static_cast<std::uint8_t>(*p));
+  }
+  stub.push_back('\r');
+  stub.push_back('\r');
+  stub.push_back('\n');
+  stub.push_back('$');
+  stub.push_back(0);
+  // Pad so that DOS header (64) + stub lands on an 8-byte boundary, which is
+  // where e_lfanew will point.
+  while ((kDosHeaderSize + stub.size()) % 8 != 0) {
+    stub.push_back(0);
+  }
+  return stub;
+}
+
+}  // namespace mc::pe

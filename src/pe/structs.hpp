@@ -1,0 +1,141 @@
+// PE32 header structures with explicit (de)serialization.
+//
+// We deliberately avoid packed-struct type punning: every header is a plain
+// value type with `parse` / `serialize` that go through the little-endian
+// helpers in util/bytes.hpp, so the code is portable and free of alignment
+// UB (Core Guidelines C.183).  Field names keep the WinNT.h spelling used
+// throughout the paper (e_magic, e_lfanew, NumberOfSections, ...).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pe/constants.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+/// IMAGE_DOS_HEADER — 64 bytes; only e_magic and e_lfanew matter to the
+/// loader, the rest are retained verbatim so hashes cover real bytes.
+struct DosHeader {
+  std::uint16_t e_magic = kDosMagic;
+  std::uint16_t e_cblp = 0x90;
+  std::uint16_t e_cp = 3;
+  std::uint16_t e_crlc = 0;
+  std::uint16_t e_cparhdr = 4;
+  std::uint16_t e_minalloc = 0;
+  std::uint16_t e_maxalloc = 0xFFFF;
+  std::uint16_t e_ss = 0;
+  std::uint16_t e_sp = 0xB8;
+  std::uint16_t e_csum = 0;
+  std::uint16_t e_ip = 0;
+  std::uint16_t e_cs = 0;
+  std::uint16_t e_lfarlc = 0x40;
+  std::uint16_t e_ovno = 0;
+  std::array<std::uint16_t, 4> e_res{};
+  std::uint16_t e_oemid = 0;
+  std::uint16_t e_oeminfo = 0;
+  std::array<std::uint16_t, 10> e_res2{};
+  std::uint32_t e_lfanew = 0;
+
+  static DosHeader parse(ByteView image);
+  void serialize(Bytes& out) const;
+};
+
+/// IMAGE_FILE_HEADER — 20 bytes.
+struct FileHeader {
+  std::uint16_t Machine = kMachineI386;
+  std::uint16_t NumberOfSections = 0;
+  std::uint32_t TimeDateStamp = 0;
+  std::uint32_t PointerToSymbolTable = 0;
+  std::uint32_t NumberOfSymbols = 0;
+  std::uint16_t SizeOfOptionalHeader = kOptionalHeader32Size;
+  std::uint16_t Characteristics = 0;
+
+  static FileHeader parse(ByteView image, std::size_t offset);
+  void serialize(Bytes& out) const;
+};
+
+/// IMAGE_DATA_DIRECTORY entry.
+struct DataDirectory {
+  std::uint32_t VirtualAddress = 0;
+  std::uint32_t Size = 0;
+};
+
+/// IMAGE_OPTIONAL_HEADER (PE32) — 224 bytes with 16 data directories.
+struct OptionalHeader32 {
+  std::uint16_t Magic = kOptionalMagicPe32;
+  std::uint8_t MajorLinkerVersion = 7;
+  std::uint8_t MinorLinkerVersion = 10;
+  std::uint32_t SizeOfCode = 0;
+  std::uint32_t SizeOfInitializedData = 0;
+  std::uint32_t SizeOfUninitializedData = 0;
+  std::uint32_t AddressOfEntryPoint = 0;
+  std::uint32_t BaseOfCode = 0;
+  std::uint32_t BaseOfData = 0;
+  std::uint32_t ImageBase = 0x00010000;
+  std::uint32_t SectionAlignment = kDefaultSectionAlignment;
+  std::uint32_t FileAlignment = kDefaultFileAlignment;
+  std::uint16_t MajorOperatingSystemVersion = 5;
+  std::uint16_t MinorOperatingSystemVersion = 1;
+  std::uint16_t MajorImageVersion = 5;
+  std::uint16_t MinorImageVersion = 1;
+  std::uint16_t MajorSubsystemVersion = 5;
+  std::uint16_t MinorSubsystemVersion = 1;
+  std::uint32_t Win32VersionValue = 0;
+  std::uint32_t SizeOfImage = 0;
+  std::uint32_t SizeOfHeaders = 0;
+  std::uint32_t CheckSum = 0;
+  std::uint16_t Subsystem = kSubsystemNative;
+  std::uint16_t DllCharacteristics = 0;
+  std::uint32_t SizeOfStackReserve = 0x40000;
+  std::uint32_t SizeOfStackCommit = 0x1000;
+  std::uint32_t SizeOfHeapReserve = 0x100000;
+  std::uint32_t SizeOfHeapCommit = 0x1000;
+  std::uint32_t LoaderFlags = 0;
+  std::uint32_t NumberOfRvaAndSizes = kNumDataDirectories;
+  std::array<DataDirectory, kNumDataDirectories> DataDirectories{};
+
+  static OptionalHeader32 parse(ByteView image, std::size_t offset);
+  void serialize(Bytes& out) const;
+};
+
+/// IMAGE_SECTION_HEADER — 40 bytes.
+struct SectionHeader {
+  std::array<char, 8> Name{};
+  std::uint32_t VirtualSize = 0;
+  std::uint32_t VirtualAddress = 0;
+  std::uint32_t SizeOfRawData = 0;
+  std::uint32_t PointerToRawData = 0;
+  std::uint32_t PointerToRelocations = 0;
+  std::uint32_t PointerToLinenumbers = 0;
+  std::uint16_t NumberOfRelocations = 0;
+  std::uint16_t NumberOfLinenumbers = 0;
+  std::uint32_t Characteristics = 0;
+
+  static SectionHeader parse(ByteView image, std::size_t offset);
+  void serialize(Bytes& out) const;
+
+  /// Name as a string (trimmed at the first NUL).
+  std::string name() const;
+  void set_name(const std::string& n);
+
+  bool is_code() const {
+    return (Characteristics & (kScnCntCode | kScnMemExecute)) != 0;
+  }
+  bool is_writable() const { return (Characteristics & kScnMemWrite) != 0; }
+  bool is_discardable() const {
+    return (Characteristics & kScnMemDiscardable) != 0;
+  }
+};
+
+/// The canonical MS-DOS stub program text; experiment E3 patches "DOS" to
+/// "CHK" inside this string.
+extern const char kDosStubMessage[];
+
+/// Builds the classic DOS stub bytes (stub code + message + padding).
+Bytes make_dos_stub();
+
+}  // namespace mc::pe

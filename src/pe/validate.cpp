@@ -1,0 +1,207 @@
+#include "pe/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pe/builder.hpp"
+#include "pe/constants.hpp"
+#include "pe/structs.hpp"
+
+namespace mc::pe {
+
+namespace {
+
+void add(ValidationReport& report, ValidationSeverity severity,
+         const std::string& rule, const std::string& message) {
+  report.findings.push_back({severity, rule, message});
+}
+
+void err(ValidationReport& report, const std::string& rule,
+         const std::string& message) {
+  add(report, ValidationSeverity::kError, rule, message);
+}
+
+void warn(ValidationReport& report, const std::string& rule,
+          const std::string& message) {
+  add(report, ValidationSeverity::kWarning, rule, message);
+}
+
+}  // namespace
+
+std::size_t ValidationReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+        return f.severity == ValidationSeverity::kError;
+      }));
+}
+
+std::size_t ValidationReport::warning_count() const {
+  return findings.size() - error_count();
+}
+
+ValidationReport validate_image_file(ByteView file) {
+  ValidationReport report;
+
+  // --- DOS header --------------------------------------------------------------
+  if (file.size() < kDosHeaderSize) {
+    err(report, "truncated", "file smaller than IMAGE_DOS_HEADER");
+    return report;
+  }
+  const DosHeader dos = DosHeader::parse(file);
+  if (dos.e_magic != kDosMagic) {
+    err(report, "dos-magic", "e_magic is not 'MZ'");
+    return report;
+  }
+  if (dos.e_lfanew < kDosHeaderSize) {
+    err(report, "e-lfanew", "e_lfanew points inside the DOS header");
+    return report;
+  }
+  if (dos.e_lfanew + kNtHeadersPrefixSize + kOptionalHeader32Size >
+      file.size()) {
+    err(report, "truncated", "NT headers extend past end of file");
+    return report;
+  }
+
+  // --- NT headers ---------------------------------------------------------------
+  if (load_le32(file, dos.e_lfanew) != kNtSignature) {
+    err(report, "pe-signature", "missing 'PE\\0\\0' signature");
+    return report;
+  }
+  const FileHeader fh = FileHeader::parse(file, dos.e_lfanew + 4);
+  if (fh.Machine != kMachineI386) {
+    warn(report, "machine", "machine is not IMAGE_FILE_MACHINE_I386");
+  }
+  if ((fh.Characteristics & kFileExecutableImage) == 0) {
+    err(report, "characteristics", "IMAGE_FILE_EXECUTABLE_IMAGE not set");
+  }
+  if (fh.SizeOfOptionalHeader < kOptionalHeader32Size) {
+    err(report, "optional-size",
+        "SizeOfOptionalHeader too small for PE32 with 16 directories");
+    return report;
+  }
+
+  const std::size_t opt_off = dos.e_lfanew + kNtHeadersPrefixSize;
+  OptionalHeader32 opt;
+  try {
+    opt = OptionalHeader32::parse(file, opt_off);
+  } catch (const FormatError& e) {
+    err(report, "optional-magic", e.what());
+    return report;
+  }
+  if (opt.SectionAlignment == 0 ||
+      (opt.SectionAlignment & (opt.SectionAlignment - 1)) != 0) {
+    err(report, "alignment", "SectionAlignment is not a power of two");
+  }
+  if (opt.FileAlignment == 0 ||
+      (opt.FileAlignment & (opt.FileAlignment - 1)) != 0) {
+    err(report, "alignment", "FileAlignment is not a power of two");
+  }
+  if (opt.ImageBase % kDefaultSectionAlignment != 0) {
+    warn(report, "image-base", "ImageBase is not 64 KiB/page aligned");
+  }
+  if (opt.SizeOfHeaders > opt.SizeOfImage) {
+    err(report, "sizes", "SizeOfHeaders exceeds SizeOfImage");
+  }
+
+  // --- section table ---------------------------------------------------------------
+  const std::size_t sec_off = opt_off + fh.SizeOfOptionalHeader;
+  if (sec_off + fh.NumberOfSections * kSectionHeaderSize > file.size() ||
+      sec_off + fh.NumberOfSections * kSectionHeaderSize >
+          opt.SizeOfHeaders) {
+    err(report, "section-table", "section table overruns the header area");
+    return report;
+  }
+
+  std::vector<SectionHeader> sections;
+  for (std::uint16_t i = 0; i < fh.NumberOfSections; ++i) {
+    sections.push_back(
+        SectionHeader::parse(file, sec_off + i * kSectionHeaderSize));
+  }
+
+  std::uint32_t entry_ok = opt.AddressOfEntryPoint == 0 ? 1 : 0;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const auto& sh = sections[i];
+    const std::string tag = "section '" + sh.name() + "'";
+    if (sh.VirtualAddress % opt.SectionAlignment != 0) {
+      err(report, "section-alignment", tag + " RVA not section-aligned");
+    }
+    if (sh.SizeOfRawData != 0) {
+      if (sh.PointerToRawData % opt.FileAlignment != 0) {
+        err(report, "raw-alignment", tag + " raw pointer not file-aligned");
+      }
+      if (std::uint64_t{sh.PointerToRawData} + sh.SizeOfRawData >
+          file.size()) {
+        err(report, "raw-bounds", tag + " raw data extends past file end");
+      }
+    }
+    if (std::uint64_t{sh.VirtualAddress} + std::max(sh.VirtualSize, 1u) >
+        opt.SizeOfImage) {
+      err(report, "virtual-bounds", tag + " extends past SizeOfImage");
+    }
+    for (std::size_t j = i + 1; j < sections.size(); ++j) {
+      const auto& other = sections[j];
+      const std::uint64_t a_end =
+          sh.VirtualAddress +
+          align_up(std::max(sh.VirtualSize, 1u), opt.SectionAlignment);
+      if (other.VirtualAddress < a_end &&
+          sh.VirtualAddress < other.VirtualAddress +
+                                  align_up(std::max(other.VirtualSize, 1u),
+                                           opt.SectionAlignment)) {
+        err(report, "section-overlap",
+            tag + " overlaps section '" + other.name() + "'");
+      }
+    }
+    if (opt.AddressOfEntryPoint >= sh.VirtualAddress &&
+        opt.AddressOfEntryPoint < sh.VirtualAddress + sh.VirtualSize) {
+      ++entry_ok;
+      if (!sh.is_code()) {
+        warn(report, "entry-point", "entry point is in a non-code section");
+      }
+    }
+  }
+  if (entry_ok == 0) {
+    err(report, "entry-point", "entry point is outside every section");
+  }
+
+  // --- data directories ---------------------------------------------------------------
+  static constexpr const char* kDirNames[] = {
+      "export", "import", "resource", "exception", "certificate",
+      "basereloc", "debug", "arch", "globalptr", "tls", "loadconfig",
+      "boundimport", "iat", "delayimport", "comdescriptor", "reserved"};
+  for (std::size_t d = 0; d < kNumDataDirectories; ++d) {
+    const auto& dir = opt.DataDirectories[d];
+    if (dir.VirtualAddress == 0) {
+      continue;
+    }
+    if (std::uint64_t{dir.VirtualAddress} + dir.Size > opt.SizeOfImage) {
+      err(report, "directory-bounds",
+          std::string("data directory '") + kDirNames[d] +
+              "' extends past SizeOfImage");
+    }
+  }
+
+  // --- checksum ------------------------------------------------------------------------
+  const std::size_t checksum_offset = opt_off + 64;
+  const std::uint32_t computed = compute_pe_checksum(file, checksum_offset);
+  if (opt.CheckSum == 0) {
+    warn(report, "checksum", "CheckSum field is zero (unset)");
+  } else if (opt.CheckSum != computed) {
+    err(report, "checksum", "stored CheckSum does not match computed value");
+  }
+
+  return report;
+}
+
+std::string format_validation_report(const ValidationReport& report) {
+  std::ostringstream os;
+  os << "PE validation: " << report.error_count() << " error(s), "
+     << report.warning_count() << " warning(s)\n";
+  for (const auto& f : report.findings) {
+    os << "  ["
+       << (f.severity == ValidationSeverity::kError ? "ERROR" : "warn ")
+       << "] " << f.rule << ": " << f.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mc::pe

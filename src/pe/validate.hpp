@@ -1,0 +1,45 @@
+// PE image consistency validator.
+//
+// A deep well-formedness check over a mapped image: magics, header bounds,
+// section table sanity (alignment, overlap, image bounds), data-directory
+// targets, and the optional-header checksum.  Used by tooling to vet golden
+// images and by forensics to characterize *how* a flagged module deviates
+// from a well-formed PE.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::pe {
+
+enum class ValidationSeverity { kWarning, kError };
+
+struct ValidationFinding {
+  ValidationSeverity severity;
+  std::string rule;     // stable identifier, e.g. "section-overlap"
+  std::string message;  // human-readable detail
+};
+
+struct ValidationReport {
+  std::vector<ValidationFinding> findings;
+
+  bool ok() const {
+    for (const auto& f : findings) {
+      if (f.severity == ValidationSeverity::kError) {
+        return false;
+      }
+    }
+    return true;
+  }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+};
+
+/// Validates a *file-layout* PE image (as stored on disk).
+ValidationReport validate_image_file(ByteView file);
+
+std::string format_validation_report(const ValidationReport& report);
+
+}  // namespace mc::pe

@@ -1,0 +1,99 @@
+// Little-endian byte buffer helpers.
+//
+// Guest (Windows XP, x86-32) data structures are little-endian; the host is
+// as well, but all multi-byte accesses go through these helpers so the code
+// never type-puns through misaligned pointers (Core Guidelines C.183).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mc {
+
+/// The universal owning byte container used across the codebase.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning views.
+using ByteView = std::span<const std::uint8_t>;
+using MutableByteView = std::span<std::uint8_t>;
+
+inline std::uint16_t load_le16(ByteView b, std::size_t off) {
+  MC_CHECK(off + 2 <= b.size(), "load_le16 out of range");
+  return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
+}
+
+inline std::uint32_t load_le32(ByteView b, std::size_t off) {
+  MC_CHECK(off + 4 <= b.size(), "load_le32 out of range");
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+inline std::uint64_t load_le64(ByteView b, std::size_t off) {
+  MC_CHECK(off + 8 <= b.size(), "load_le64 out of range");
+  return static_cast<std::uint64_t>(load_le32(b, off)) |
+         (static_cast<std::uint64_t>(load_le32(b, off + 4)) << 32);
+}
+
+inline void store_le16(MutableByteView b, std::size_t off, std::uint16_t v) {
+  MC_CHECK(off + 2 <= b.size(), "store_le16 out of range");
+  b[off] = static_cast<std::uint8_t>(v & 0xFF);
+  b[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+}
+
+inline void store_le32(MutableByteView b, std::size_t off, std::uint32_t v) {
+  MC_CHECK(off + 4 <= b.size(), "store_le32 out of range");
+  b[off] = static_cast<std::uint8_t>(v & 0xFF);
+  b[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  b[off + 2] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  b[off + 3] = static_cast<std::uint8_t>((v >> 24) & 0xFF);
+}
+
+inline void store_le64(MutableByteView b, std::size_t off, std::uint64_t v) {
+  store_le32(b, off, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  store_le32(b, off + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Appends `v` to `out` in little-endian order.
+inline void append_le16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+inline void append_le32(Bytes& out, std::uint32_t v) {
+  append_le16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+  append_le16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+/// Appends raw bytes.
+inline void append_bytes(Bytes& out, ByteView src) {
+  out.insert(out.end(), src.begin(), src.end());
+}
+
+/// Appends a NUL-padded ASCII string of exactly `width` bytes.
+inline void append_padded_ascii(Bytes& out, const std::string& s,
+                                std::size_t width) {
+  MC_CHECK(s.size() <= width, "string longer than field width");
+  out.insert(out.end(), s.begin(), s.end());
+  out.insert(out.end(), width - s.size(), 0);
+}
+
+/// Rounds `v` up to the next multiple of `align` (align must be power of 2).
+constexpr std::uint32_t align_up(std::uint32_t v, std::uint32_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Extracts a copy of b[off, off+len).
+inline Bytes slice(ByteView b, std::size_t off, std::size_t len) {
+  MC_CHECK(off + len <= b.size(), "slice out of range");
+  return Bytes(b.begin() + static_cast<std::ptrdiff_t>(off),
+               b.begin() + static_cast<std::ptrdiff_t>(off + len));
+}
+
+}  // namespace mc

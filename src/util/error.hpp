@@ -1,0 +1,66 @@
+// Error handling primitives shared by every ModChecker library.
+//
+// Following C++ Core Guidelines E.2/E.14, unrecoverable API misuse and
+// malformed-input conditions are reported with exceptions derived from
+// `mc::Error`.  Each subsystem throws a distinct subclass so callers can
+// discriminate (e.g. a parse failure vs. an introspection fault).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mc {
+
+/// Root of the ModChecker exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or out-of-spec binary input (bad PE image, truncated buffer...).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Guest memory access outside mapped regions, bad translation, bad frame.
+class MemoryError : public Error {
+ public:
+  explicit MemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Introspection-layer failure (unknown symbol, KDBG scan failed...).
+class VmiError : public Error {
+ public:
+  explicit VmiError(const std::string& what) : Error(what) {}
+};
+
+/// A requested entity (domain, module, section) does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// API misuse / violated precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace mc
+
+/// Precondition check: throws mc::InvalidArgument on failure.  Always on
+/// (this codebase favours diagnosability over the last few percent of
+/// throughput; hot loops use unchecked accessors explicitly).
+#define MC_CHECK(expr, msg)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::mc::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (false)

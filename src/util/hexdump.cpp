@@ -1,0 +1,68 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mc {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}
+
+std::string hex_bytes(ByteView data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xF]);
+  }
+  if (n < data.size()) {
+    out += " ...";
+  }
+  return out;
+}
+
+std::string hexdump(ByteView data, std::uint64_t base_offset) {
+  std::string out;
+  char line[128];
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    const std::size_t n = std::min<std::size_t>(16, data.size() - row);
+    int pos = std::snprintf(line, sizeof line, "%08llx  ",
+                            static_cast<unsigned long long>(base_offset + row));
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (i < n) {
+        pos += std::snprintf(line + pos, sizeof line - static_cast<std::size_t>(pos),
+                             "%02x ", data[row + i]);
+      } else {
+        pos += std::snprintf(line + pos, sizeof line - static_cast<std::size_t>(pos),
+                             "   ");
+      }
+      if (i == 7) {
+        line[pos++] = ' ';
+      }
+    }
+    line[pos++] = ' ';
+    line[pos++] = '|';
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned char c = data[row + i];
+      line[pos++] = std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    line[pos++] = '|';
+    line[pos] = '\0';
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string hex32(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", value);
+  return buf;
+}
+
+}  // namespace mc

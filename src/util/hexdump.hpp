@@ -1,0 +1,20 @@
+// Hexadecimal formatting utilities for diagnostics and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace mc {
+
+/// "DE AD BE EF" style single-line dump of up to `max_bytes` bytes.
+std::string hex_bytes(ByteView data, std::size_t max_bytes = 64);
+
+/// Classic 16-bytes-per-row offset/hex/ASCII dump.
+std::string hexdump(ByteView data, std::uint64_t base_offset = 0);
+
+/// Lower-case hex of a 32-bit value, zero-padded to 8 digits ("0020ccf8").
+std::string hex32(std::uint32_t value);
+
+}  // namespace mc

@@ -1,0 +1,35 @@
+#include "util/utf16.hpp"
+
+namespace mc {
+
+Bytes ascii_to_utf16le(const std::string& ascii) {
+  Bytes out;
+  out.reserve(ascii.size() * 2);
+  for (const char c : ascii) {
+    MC_CHECK(static_cast<unsigned char>(c) < 0x80, "non-ASCII module name");
+    out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(0);
+  }
+  return out;
+}
+
+std::string utf16le_to_ascii(ByteView utf16) {
+  if (utf16.size() % 2 != 0) {
+    throw FormatError("UTF-16LE buffer has odd length");
+  }
+  std::string out;
+  out.reserve(utf16.size() / 2);
+  for (std::size_t i = 0; i < utf16.size(); i += 2) {
+    const std::uint16_t unit = load_le16(utf16, i);
+    if (unit == 0) {
+      break;  // embedded terminator
+    }
+    if (unit >= 0x80) {
+      throw FormatError("non-ASCII UTF-16 code unit in module name");
+    }
+    out.push_back(static_cast<char>(unit));
+  }
+  return out;
+}
+
+}  // namespace mc

@@ -1,0 +1,21 @@
+// Minimal ASCII <-> UTF-16LE conversion.
+//
+// Windows kernel structures (UNICODE_STRING / BaseDllName) store module
+// names in UTF-16LE.  Module names in this codebase are plain ASCII, so the
+// conversion is a simple widening/narrowing with validation.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace mc {
+
+/// Encodes an ASCII string as UTF-16LE bytes (no terminator).
+Bytes ascii_to_utf16le(const std::string& ascii);
+
+/// Decodes UTF-16LE bytes into an ASCII string.  Throws FormatError on odd
+/// length or non-ASCII code units.
+std::string utf16le_to_ascii(ByteView utf16);
+
+}  // namespace mc

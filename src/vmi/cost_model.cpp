@@ -1,0 +1,3 @@
+#include "vmi/cost_model.hpp"
+
+// Currently header-only values; this TU anchors the library.

@@ -1,0 +1,86 @@
+#include "vmi/dump.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "vmm/phys_mem.hpp"
+
+namespace mc::vmi {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'C', 'D', 'U', 'M', 'P', '0', '1'};
+constexpr std::size_t kHeaderSize = 8 + 8 + 8 + 4;
+}  // namespace
+
+Bytes dump_domain(const vmm::Hypervisor& hypervisor, vmm::DomainId id) {
+  const vmm::Domain& dom = hypervisor.domain(id);
+  const vmm::PhysicalMemory& mem = dom.memory();
+
+  // Walk all frames; emit only non-zero (resident-equivalent) ones.  Reading
+  // through the public interface keeps this independent of the sparse
+  // representation.
+  Bytes frame(vmm::kFrameSize, 0);
+  std::vector<std::uint32_t> non_zero;
+  for (std::uint32_t f = 0; f < mem.frame_count(); ++f) {
+    mem.read(std::uint64_t{f} << vmm::kFrameShift, frame);
+    const bool zero = std::all_of(frame.begin(), frame.end(),
+                                  [](std::uint8_t b) { return b == 0; });
+    if (!zero) {
+      non_zero.push_back(f);
+    }
+  }
+
+  Bytes out;
+  out.reserve(kHeaderSize + non_zero.size() * (4 + vmm::kFrameSize));
+  for (const char c : kMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  append_le32(out, static_cast<std::uint32_t>(dom.cr3() & 0xFFFFFFFFu));
+  append_le32(out, static_cast<std::uint32_t>(dom.cr3() >> 32));
+  append_le32(out, static_cast<std::uint32_t>(mem.size() & 0xFFFFFFFFu));
+  append_le32(out, static_cast<std::uint32_t>(mem.size() >> 32));
+  append_le32(out, static_cast<std::uint32_t>(non_zero.size()));
+
+  for (const std::uint32_t f : non_zero) {
+    append_le32(out, f);
+    mem.read(std::uint64_t{f} << vmm::kFrameShift, frame);
+    append_bytes(out, frame);
+  }
+  return out;
+}
+
+DumpAnalysis::DumpAnalysis(ByteView dump) {
+  if (dump.size() < kHeaderSize ||
+      std::memcmp(dump.data(), kMagic, sizeof kMagic) != 0) {
+    throw FormatError("not a ModChecker memory dump");
+  }
+  const std::uint64_t cr3 =
+      load_le32(dump, 8) | (std::uint64_t{load_le32(dump, 12)} << 32);
+  const std::uint64_t mem_size =
+      load_le32(dump, 16) | (std::uint64_t{load_le32(dump, 20)} << 32);
+  const std::uint32_t frames = load_le32(dump, 24);
+  if (dump.size() != kHeaderSize + std::uint64_t{frames} * (4 + vmm::kFrameSize)) {
+    throw FormatError("memory dump is truncated");
+  }
+
+  hypervisor_ = std::make_unique<vmm::Hypervisor>();
+  domain_id_ = hypervisor_->create_domain("dump", mem_size);
+  vmm::Domain& dom = hypervisor_->domain(domain_id_);
+  dom.set_cr3(cr3);
+
+  std::size_t pos = kHeaderSize;
+  for (std::uint32_t i = 0; i < frames; ++i) {
+    const std::uint32_t frame_no = load_le32(dump, pos);
+    pos += 4;
+    if ((std::uint64_t{frame_no} << vmm::kFrameShift) + vmm::kFrameSize >
+        mem_size) {
+      throw FormatError("dump frame outside declared memory size");
+    }
+    dom.memory().write(std::uint64_t{frame_no} << vmm::kFrameShift,
+                       dump.subspan(pos, vmm::kFrameSize));
+    pos += vmm::kFrameSize;
+  }
+}
+
+}  // namespace mc::vmi

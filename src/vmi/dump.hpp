@@ -1,0 +1,43 @@
+// Offline memory-dump analysis.
+//
+// The paper hands flagged VMs to "more comprehensive, deeper analysis
+// tools" (§III, §VI) — in practice, memory forensics over a captured
+// dump.  This module provides that workflow: serialize a guest's full
+// state (physical memory + CR3) into a self-describing dump blob, and
+// rehydrate it later into a standalone single-domain hypervisor so every
+// ModChecker facility (searcher, parser, checker, forensics) runs
+// unchanged against the *capture* instead of the live guest.
+//
+// Dump format (little-endian):
+//   magic "MCDUMP01" (8) | cr3 (8) | mem_size (8) | frame_count (4) |
+//   frame records: frame_no (4) + 4096 raw bytes   (resident frames only)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/bytes.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace mc::vmi {
+
+/// Serializes one domain's state.
+Bytes dump_domain(const vmm::Hypervisor& hypervisor, vmm::DomainId id);
+
+/// A rehydrated dump: a private hypervisor holding exactly one domain
+/// whose memory/CR3 replicate the capture.  VmiSession attaches to it like
+/// to any live guest.
+class DumpAnalysis {
+ public:
+  /// Parses `dump`; throws FormatError on a malformed blob.
+  explicit DumpAnalysis(ByteView dump);
+
+  const vmm::Hypervisor& hypervisor() const { return *hypervisor_; }
+  vmm::DomainId domain_id() const { return domain_id_; }
+
+ private:
+  std::unique_ptr<vmm::Hypervisor> hypervisor_;
+  vmm::DomainId domain_id_ = 0;
+};
+
+}  // namespace mc::vmi

@@ -1,0 +1,175 @@
+#include "vmi/session.hpp"
+
+#include <algorithm>
+
+#include "guestos/winlike.hpp"
+#include "util/error.hpp"
+#include "util/utf16.hpp"
+#include "vmm/address_space.hpp"
+#include "vmm/phys_mem.hpp"
+
+namespace mc::vmi {
+
+namespace {
+constexpr std::uint32_t kPageMask = vmm::kFrameSize - 1;
+}
+
+VmiSession::VmiSession(const vmm::Hypervisor& hypervisor,
+                       vmm::DomainId domain, SimClock& clock,
+                       const VmiCostModel& costs)
+    : hypervisor_(&hypervisor),
+      domain_id_(domain),
+      clock_(&clock),
+      costs_(costs) {
+  // Validate the domain exists up front (mirrors vmi_init failing fast).
+  (void)hypervisor_->domain(domain_id_);
+  charge(costs_.attach);
+}
+
+void VmiSession::charge(SimNanos nanos) {
+  clock_->set_slowdown(hypervisor_->dom0_slowdown());
+  clock_->charge(nanos);
+}
+
+void VmiSession::ensure_debug_block() {
+  if (ps_loaded_module_list_va_) {
+    return;
+  }
+  // Scan guest physical memory for the KDBG-style debug block, frame by
+  // frame at 4-byte alignment — LibVMI's Windows bootstrapping strategy.
+  const vmm::PhysicalMemory& mem = hypervisor_->domain(domain_id_).memory();
+  Bytes frame(vmm::kFrameSize, 0);
+  const std::uint32_t frames = mem.frame_count();
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    mem.read(std::uint64_t{f} << vmm::kFrameShift, frame);
+    ++stats_.kdbg_frames_scanned;
+    charge(costs_.kdbg_scan_per_frame);
+    for (std::uint32_t off = 0; off + guestos::kDebugBlockSize <= frame.size();
+         off += 4) {
+      if (load_le32(frame, off) == guestos::kDebugBlockMagic) {
+        ps_loaded_module_list_va_ =
+            load_le32(frame, off + guestos::kOffDbgPsLoadedModuleList);
+        kernel_base_va_ =
+            load_le32(frame, off + guestos::kOffDbgKernelBase);
+        guest_version_ = load_le32(frame, off + guestos::kOffDbgVersion);
+        return;
+      }
+    }
+    // Simulator shortcut: guests allocate kernel frames from the bottom,
+    // so stop scanning once we pass the resident prefix.  (Real LibVMI
+    // similarly bounds the scan to the low region where KDBG lives.)
+    if (f > 4096 && !ps_loaded_module_list_va_) {
+      break;
+    }
+  }
+  if (!ps_loaded_module_list_va_) {
+    throw VmiError("debug block not found in guest " +
+                   std::to_string(domain_id_));
+  }
+}
+
+std::uint32_t VmiSession::symbol_to_va(const std::string& symbol) {
+  ensure_debug_block();
+  if (symbol == "PsLoadedModuleList") {
+    return *ps_loaded_module_list_va_;
+  }
+  if (symbol == "KernBase") {
+    return *kernel_base_va_;
+  }
+  throw VmiError("unknown kernel symbol: " + symbol);
+}
+
+std::uint32_t VmiSession::guest_version() {
+  ensure_debug_block();
+  return *guest_version_;
+}
+
+std::uint64_t VmiSession::translate_kv2p(std::uint32_t va) {
+  const std::uint32_t page = va & ~kPageMask;
+  ++stats_.translations;
+  const auto it = v2p_cache_.find(page);
+  if (it != v2p_cache_.end()) {
+    ++stats_.translation_cache_hits;
+    charge(costs_.translate_cached);
+    return it->second | (va & kPageMask);
+  }
+
+  const vmm::Domain& dom = hypervisor_->domain(domain_id_);
+  if (dom.cr3() == 0) {
+    throw VmiError("guest has no address space (not booted?)");
+  }
+  // VMI implements its own two-level walk over guest physical memory
+  // (exactly what LibVMI does: read CR3, then PDE, then PTE).
+  const vmm::PhysicalMemory& mem = dom.memory();
+  const std::uint32_t pde = mem.read_u32(dom.cr3() + 4ull * (va >> 22));
+  charge(costs_.translate_walk);
+  if ((pde & vmm::kPtePresent) == 0) {
+    throw VmiError("unmapped guest VA (no PDE) in translate_kv2p");
+  }
+  const std::uint64_t pt_base = pde & ~std::uint64_t{kPageMask};
+  const std::uint32_t pte =
+      mem.read_u32(pt_base + 4ull * ((va >> 12) & 0x3FF));
+  if ((pte & vmm::kPtePresent) == 0) {
+    throw VmiError("unmapped guest VA (no PTE) in translate_kv2p");
+  }
+  const std::uint64_t frame_pa = pte & ~std::uint64_t{kPageMask};
+  v2p_cache_.emplace(page, frame_pa);
+  return frame_pa | (va & kPageMask);
+}
+
+void VmiSession::read_va(std::uint32_t va, MutableByteView out) {
+  ++stats_.read_calls;
+  charge(costs_.read_call);
+  const vmm::PhysicalMemory& mem = hypervisor_->domain(domain_id_).memory();
+
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint32_t cur = va + static_cast<std::uint32_t>(done);
+    const std::uint64_t pa = translate_kv2p(cur);
+    const std::uint64_t frame = pa & ~std::uint64_t{kPageMask};
+    // Map the frame into the privileged VM unless it is the one we already
+    // have mapped (LibVMI keeps the last mapping hot).
+    if (!last_mapped_frame_ || *last_mapped_frame_ != frame) {
+      ++stats_.pages_mapped;
+      charge(costs_.page_map);
+      last_mapped_frame_ = frame;
+    }
+    const std::size_t in_page = cur & kPageMask;
+    const std::size_t take =
+        std::min<std::size_t>(vmm::kFrameSize - in_page, out.size() - done);
+    mem.read(pa, out.subspan(done, take));
+    stats_.bytes_copied += take;
+    charge(costs_.copy_per_byte * take);
+    done += take;
+  }
+}
+
+std::uint32_t VmiSession::read_u32(std::uint32_t va) {
+  std::uint8_t buf[4];
+  read_va(va, MutableByteView(buf, 4));
+  return load_le32(ByteView(buf, 4), 0);
+}
+
+std::uint16_t VmiSession::read_u16(std::uint32_t va) {
+  std::uint8_t buf[2];
+  read_va(va, MutableByteView(buf, 2));
+  return load_le16(ByteView(buf, 2), 0);
+}
+
+Bytes VmiSession::read_region(std::uint32_t va, std::size_t len) {
+  Bytes out(len, 0);
+  read_va(va, out);
+  return out;
+}
+
+std::string VmiSession::read_unicode_string(std::uint32_t us_va) {
+  const std::uint16_t length = read_u16(us_va + guestos::kOffUsLength);
+  const std::uint32_t buffer = read_u32(us_va + guestos::kOffUsBuffer);
+  if (length == 0 || buffer == 0) {
+    return {};
+  }
+  const Bytes raw = read_region(buffer, length);
+  return utf16le_to_ascii(raw);
+}
+
+}  // namespace mc::vmi

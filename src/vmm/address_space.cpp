@@ -1,0 +1,105 @@
+#include "vmm/address_space.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mc::vmm {
+
+namespace {
+constexpr std::uint32_t pde_index(std::uint32_t va) { return va >> 22; }
+constexpr std::uint32_t pte_index(std::uint32_t va) {
+  return (va >> 12) & 0x3FF;
+}
+}  // namespace
+
+AddressSpace::AddressSpace(PhysicalMemory& memory)
+    : memory_(&memory),
+      cr3_(std::uint64_t{memory.alloc_frame()} << kFrameShift) {
+  // Page directory frame starts zeroed (not-present entries).
+}
+
+AddressSpace::AddressSpace(PhysicalMemory& memory, std::uint64_t cr3)
+    : memory_(&memory), cr3_(cr3) {
+  MC_CHECK((cr3 & (kFrameSize - 1)) == 0, "CR3 must be frame-aligned");
+}
+
+void AddressSpace::map_page(std::uint32_t va, std::uint64_t pa, bool writable) {
+  MC_CHECK((va & (kFrameSize - 1)) == 0, "VA must be page-aligned");
+  MC_CHECK((pa & (kFrameSize - 1)) == 0, "PA must be page-aligned");
+
+  const std::uint64_t pde_addr = cr3_ + 4ull * pde_index(va);
+  std::uint32_t pde = memory_->read_u32(pde_addr);
+  std::uint64_t pt_base;
+  if ((pde & kPtePresent) == 0) {
+    pt_base = std::uint64_t{memory_->alloc_frame()} << kFrameShift;
+    pde = static_cast<std::uint32_t>(pt_base) | kPtePresent | kPteWritable;
+    memory_->write_u32(pde_addr, pde);
+  } else {
+    pt_base = pde & ~std::uint64_t{kFrameSize - 1};
+  }
+
+  const std::uint64_t pte_addr = pt_base + 4ull * pte_index(va);
+  const std::uint32_t pte = static_cast<std::uint32_t>(pa) | kPtePresent |
+                            (writable ? kPteWritable : 0u);
+  memory_->write_u32(pte_addr, pte);
+}
+
+void AddressSpace::map_region(std::uint32_t va, std::uint64_t bytes,
+                              bool writable) {
+  MC_CHECK((va & (kFrameSize - 1)) == 0, "VA must be page-aligned");
+  const auto pages = static_cast<std::uint32_t>(
+      (bytes + kFrameSize - 1) >> kFrameShift);
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    const std::uint64_t pa = std::uint64_t{memory_->alloc_frame()}
+                             << kFrameShift;
+    map_page(va + p * kFrameSize, pa, writable);
+  }
+}
+
+std::optional<std::uint64_t> AddressSpace::translate(std::uint32_t va) const {
+  const std::uint32_t pde = memory_->read_u32(cr3_ + 4ull * pde_index(va));
+  if ((pde & kPtePresent) == 0) {
+    return std::nullopt;
+  }
+  const std::uint64_t pt_base = pde & ~std::uint64_t{kFrameSize - 1};
+  const std::uint32_t pte = memory_->read_u32(pt_base + 4ull * pte_index(va));
+  if ((pte & kPtePresent) == 0) {
+    return std::nullopt;
+  }
+  return (pte & ~std::uint64_t{kFrameSize - 1}) | (va & (kFrameSize - 1));
+}
+
+void AddressSpace::read_virtual(std::uint32_t va, MutableByteView out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint32_t cur = va + static_cast<std::uint32_t>(done);
+    const auto pa = translate(cur);
+    if (!pa) {
+      throw MemoryError("read of unmapped guest VA");
+    }
+    const std::size_t in_page = cur & (kFrameSize - 1);
+    const std::size_t take =
+        std::min<std::size_t>(kFrameSize - in_page, out.size() - done);
+    memory_->read(*pa, out.subspan(done, take));
+    done += take;
+  }
+}
+
+void AddressSpace::write_virtual(std::uint32_t va, ByteView data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint32_t cur = va + static_cast<std::uint32_t>(done);
+    const auto pa = translate(cur);
+    if (!pa) {
+      throw MemoryError("write of unmapped guest VA");
+    }
+    const std::size_t in_page = cur & (kFrameSize - 1);
+    const std::size_t take =
+        std::min<std::size_t>(kFrameSize - in_page, data.size() - done);
+    memory_->write(*pa, data.subspan(done, take));
+    done += take;
+  }
+}
+
+}  // namespace mc::vmm

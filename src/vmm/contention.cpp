@@ -1,0 +1,18 @@
+#include "vmm/contention.hpp"
+
+#include <algorithm>
+
+namespace mc::vmm {
+
+double ContentionModel::dom0_slowdown(double busy_load) const {
+  const double b = std::max(0.0, busy_load);
+  const double v = static_cast<double>(params_.virtual_cores);
+  if (b <= v) {
+    return 1.0 + params_.alpha * b;
+  }
+  const double over = b - v;
+  return 1.0 + params_.alpha * v + params_.beta * over +
+         params_.gamma * over * over;
+}
+
+}  // namespace mc::vmm

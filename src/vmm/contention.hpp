@@ -1,0 +1,46 @@
+// CPU contention model.
+//
+// The paper's testbed shares a quad-core HyperThreaded i7 (8 virtual cores)
+// between Dom0 (where ModChecker runs) and up to 15 guests.  Figure 8 shows
+// ModChecker's runtime growing nonlinearly "when the number of heavily
+// loaded VMs exceeded the number of available virtual cores".
+//
+// We model the slowdown Dom0 experiences as a function of the aggregate
+// busy load b (sum of guest load levels):
+//
+//   b <= V:  f(b) = 1 + alpha * b                 (shared caches, memory BW)
+//   b >  V:  f(b) = 1 + alpha*V + beta*(b - V)
+//                     + gamma*(b - V)^2           (CPU oversubscription)
+//
+// alpha produces the mild slope below the knee, beta/gamma the superlinear
+// regime past it.  Defaults are calibrated so the reproduced Fig. 8 matches
+// the paper's shape (knee at 8 busy VMs, roughly 3-4x total inflation at 15).
+#pragma once
+
+#include <cstdint>
+
+namespace mc::vmm {
+
+struct ContentionParams {
+  std::uint32_t virtual_cores = 8;  // 4 physical cores, HyperThreading
+  double alpha = 0.05;
+  double beta = 0.25;
+  double gamma = 0.06;
+};
+
+class ContentionModel {
+ public:
+  ContentionModel() = default;
+  explicit ContentionModel(const ContentionParams& params) : params_(params) {}
+
+  const ContentionParams& params() const { return params_; }
+
+  /// Multiplicative slowdown applied to Dom0 work given aggregate guest
+  /// busy load `busy_load` (e.g. 7 idle VMs -> ~0; 15 HeavyLoad VMs -> 15).
+  double dom0_slowdown(double busy_load) const;
+
+ private:
+  ContentionParams params_{};
+};
+
+}  // namespace mc::vmm

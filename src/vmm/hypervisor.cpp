@@ -1,0 +1,84 @@
+#include "vmm/hypervisor.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace mc::vmm {
+
+DomainSnapshot::DomainSnapshot(DomainId id, const Domain& source)
+    : id_(id),
+      state_(std::make_unique<Domain>(id, source.name(),
+                                      source.memory().size())) {
+  state_->copy_state_from(source);
+}
+
+Hypervisor::Hypervisor(const HardwareConfig& hardware) : hardware_(hardware) {
+  ContentionParams params;
+  params.virtual_cores = hardware_.virtual_cores();
+  contention_ = ContentionModel(params);
+}
+
+DomainId Hypervisor::create_domain(const std::string& name,
+                                   std::uint64_t memory_bytes) {
+  const DomainId id = next_id_++;
+  domains_.emplace(id, Domain(id, name, memory_bytes));
+  log_debug("created domain %u (%s), %llu MiB", id, name.c_str(),
+            static_cast<unsigned long long>(memory_bytes >> 20));
+  return id;
+}
+
+DomainId Hypervisor::clone_domain(DomainId source, const std::string& name) {
+  const Domain& src = domain(source);
+  const DomainId id = create_domain(name, src.memory().size());
+  domain(id).copy_state_from(src);
+  return id;
+}
+
+void Hypervisor::destroy_domain(DomainId id) {
+  if (domains_.erase(id) == 0) {
+    throw NotFoundError("no such domain: " + std::to_string(id));
+  }
+}
+
+Domain& Hypervisor::domain(DomainId id) {
+  const auto it = domains_.find(id);
+  if (it == domains_.end()) {
+    throw NotFoundError("no such domain: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+const Domain& Hypervisor::domain(DomainId id) const {
+  const auto it = domains_.find(id);
+  if (it == domains_.end()) {
+    throw NotFoundError("no such domain: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<DomainId> Hypervisor::domain_ids() const {
+  std::vector<DomainId> ids;
+  ids.reserve(domains_.size());
+  for (const auto& [id, dom] : domains_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+double Hypervisor::total_busy_load() const {
+  double total = 0.0;
+  for (const auto& [id, dom] : domains_) {
+    total += dom.load_level();
+  }
+  return total;
+}
+
+DomainSnapshot Hypervisor::snapshot(DomainId id) const {
+  return DomainSnapshot(id, domain(id));
+}
+
+void Hypervisor::restore(const DomainSnapshot& snap) {
+  domain(snap.domain_id()).copy_state_from(snap.state());
+}
+
+}  // namespace mc::vmm

@@ -1,0 +1,87 @@
+// The hypervisor: domain lifecycle, cloning, snapshots, contention.
+//
+// Stands in for Xen 4.1.2 in the paper's testbed.  The privileged Dom0 is
+// not modelled as a memory-bearing domain — ModChecker simply runs in the
+// host process with read access to guest memory through mc_vmi, mirroring
+// how LibVMI maps DomU frames into a Dom0 process.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vmm/contention.hpp"
+#include "vmm/domain.hpp"
+
+namespace mc::vmm {
+
+struct HardwareConfig {
+  std::uint32_t physical_cores = 4;
+  bool hyperthreading = true;   // i7 with HT => 8 virtual cores
+  std::uint64_t host_memory = 18ull << 30;  // 18 GB, as in §V-A
+
+  std::uint32_t virtual_cores() const {
+    return physical_cores * (hyperthreading ? 2 : 1);
+  }
+};
+
+/// A point-in-time copy of one domain (paper §III: "it is possible to keep
+/// clean snapshots of VMs and ... the machine(s) can be reverted back").
+class DomainSnapshot {
+ public:
+  DomainSnapshot(DomainId id, const Domain& source);
+
+  DomainId domain_id() const { return id_; }
+  const Domain& state() const { return *state_; }
+
+ private:
+  DomainId id_;
+  std::unique_ptr<Domain> state_;
+};
+
+class Hypervisor {
+ public:
+  explicit Hypervisor(const HardwareConfig& hardware = {});
+
+  const HardwareConfig& hardware() const { return hardware_; }
+  const ContentionModel& contention() const { return contention_; }
+  void set_contention(const ContentionModel& model) { contention_ = model; }
+
+  /// Creates a fresh (empty-memory) domain; ids start at 1 ("Dom1").
+  DomainId create_domain(const std::string& name, std::uint64_t memory_bytes);
+
+  /// Clones an existing domain's full state into a new domain (how the
+  /// paper instantiated 15 identical XP guests from one installation).
+  DomainId clone_domain(DomainId source, const std::string& name);
+
+  void destroy_domain(DomainId id);
+
+  Domain& domain(DomainId id);
+  const Domain& domain(DomainId id) const;
+  bool has_domain(DomainId id) const { return domains_.count(id) != 0; }
+
+  /// All live domain ids, ascending.
+  std::vector<DomainId> domain_ids() const;
+  std::size_t domain_count() const { return domains_.size(); }
+
+  /// Aggregate guest busy load (input to the contention model).
+  double total_busy_load() const;
+
+  /// Slowdown Dom0 work currently experiences.
+  double dom0_slowdown() const {
+    return contention_.dom0_slowdown(total_busy_load());
+  }
+
+  DomainSnapshot snapshot(DomainId id) const;
+  void restore(const DomainSnapshot& snap);
+
+ private:
+  HardwareConfig hardware_;
+  ContentionModel contention_;
+  DomainId next_id_ = 1;
+  std::map<DomainId, Domain> domains_;
+};
+
+}  // namespace mc::vmm

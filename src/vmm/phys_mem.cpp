@@ -1,0 +1,138 @@
+#include "vmm/phys_mem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mc::vmm {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t size_bytes)
+    : size_((size_bytes + kFrameSize - 1) & ~std::uint64_t{kFrameSize - 1}),
+      // Frame 0 is reserved (real systems keep low memory for firmware
+      // structures; it also keeps CR3 == 0 meaning "no address space").
+      next_alloc_frame_(1) {
+  MC_CHECK(size_ > kFrameSize, "physical memory must exceed one frame");
+}
+
+std::uint32_t PhysicalMemory::alloc_frame() { return alloc_frames(1); }
+
+std::uint32_t PhysicalMemory::alloc_frames(std::uint32_t count) {
+  MC_CHECK(count > 0, "alloc_frames(0)");
+  if (std::uint64_t{next_alloc_frame_} + count > frame_count()) {
+    throw MemoryError("guest physical memory exhausted");
+  }
+  const std::uint32_t first = next_alloc_frame_;
+  next_alloc_frame_ += count;
+  return first;
+}
+
+const PhysicalMemory::Frame* PhysicalMemory::frame_if_present(
+    std::uint32_t frame_no) const {
+  const auto it = frames_.find(frame_no);
+  return it == frames_.end() ? nullptr : it->second.get();
+}
+
+PhysicalMemory::Frame& PhysicalMemory::frame_for_write(std::uint32_t frame_no) {
+  auto& slot = frames_[frame_no];
+  if (!slot) {
+    slot = std::make_unique<Frame>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+void PhysicalMemory::check_range(std::uint64_t pa, std::uint64_t len) const {
+  if (pa + len > size_) {
+    throw MemoryError("physical access out of range: pa=" + std::to_string(pa) +
+                      " len=" + std::to_string(len));
+  }
+}
+
+void PhysicalMemory::read(std::uint64_t pa, MutableByteView out) const {
+  check_range(pa, out.size());
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t cur = pa + done;
+    const auto frame_no = static_cast<std::uint32_t>(cur >> kFrameShift);
+    const std::uint32_t in_frame = static_cast<std::uint32_t>(cur & (kFrameSize - 1));
+    const std::size_t take =
+        std::min<std::size_t>(kFrameSize - in_frame, out.size() - done);
+    if (const Frame* f = frame_if_present(frame_no)) {
+      std::memcpy(out.data() + done, f->data() + in_frame, take);
+    } else {
+      std::memset(out.data() + done, 0, take);
+    }
+    done += take;
+  }
+}
+
+void PhysicalMemory::write(std::uint64_t pa, ByteView data) {
+  check_range(pa, data.size());
+  ++write_counter_;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t cur = pa + done;
+    const auto frame_no = static_cast<std::uint32_t>(cur >> kFrameShift);
+    const std::uint32_t in_frame = static_cast<std::uint32_t>(cur & (kFrameSize - 1));
+    const std::size_t take =
+        std::min<std::size_t>(kFrameSize - in_frame, data.size() - done);
+    Frame& f = frame_for_write(frame_no);
+    std::memcpy(f.data() + in_frame, data.data() + done, take);
+    frame_versions_[frame_no] = write_counter_;
+    done += take;
+  }
+}
+
+std::uint64_t PhysicalMemory::frame_version(std::uint32_t frame_no) const {
+  const auto it = frame_versions_.find(frame_no);
+  const std::uint64_t stamped = it == frame_versions_.end() ? 0 : it->second;
+  return std::max(stamped, version_floor_);
+}
+
+std::uint8_t PhysicalMemory::read_u8(std::uint64_t pa) const {
+  std::uint8_t b = 0;
+  read(pa, MutableByteView(&b, 1));
+  return b;
+}
+
+std::uint32_t PhysicalMemory::read_u32(std::uint64_t pa) const {
+  std::uint8_t buf[4];
+  read(pa, MutableByteView(buf, 4));
+  return load_le32(ByteView(buf, 4), 0);
+}
+
+void PhysicalMemory::write_u32(std::uint64_t pa, std::uint32_t value) {
+  std::uint8_t buf[4];
+  store_le32(MutableByteView(buf, 4), 0, value);
+  write(pa, ByteView(buf, 4));
+}
+
+PhysicalMemory PhysicalMemory::clone() const {
+  PhysicalMemory copy(size_);
+  copy.next_alloc_frame_ = next_alloc_frame_;
+  copy.write_counter_ = write_counter_;
+  copy.version_floor_ = version_floor_;
+  copy.frame_versions_ = frame_versions_;
+  for (const auto& [frame_no, frame] : frames_) {
+    copy.frames_[frame_no] = std::make_unique<Frame>(*frame);
+  }
+  return copy;
+}
+
+void PhysicalMemory::restore_from(const PhysicalMemory& other) {
+  MC_CHECK(other.size_ == size_, "snapshot size mismatch");
+  next_alloc_frame_ = other.next_alloc_frame_;
+  frames_.clear();
+  for (const auto& [frame_no, frame] : other.frames_) {
+    frames_[frame_no] = std::make_unique<Frame>(*frame);
+  }
+  // A restore rewrites (conceptually) EVERY frame — including frames that
+  // existed before the snapshot and are now back to zero.  Raise the
+  // version floor so every frame reports a fresh version.
+  ++write_counter_;
+  version_floor_ = write_counter_;
+  frame_versions_.clear();
+}
+
+}  // namespace mc::vmm

@@ -1,0 +1,83 @@
+// Guest physical memory.
+//
+// Frame-granular (4 KiB) sparse storage: frames materialize on first write,
+// reads of untouched frames observe zeros — so fifteen multi-GB guests cost
+// only what they actually touch (kernel area + loaded modules).  This is
+// the memory the introspection layer reads page by page, exactly like
+// LibVMI mapping Xen guest frames.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "util/bytes.hpp"
+
+namespace mc::vmm {
+
+inline constexpr std::uint32_t kFrameSize = 4096;
+inline constexpr std::uint32_t kFrameShift = 12;
+
+class PhysicalMemory {
+ public:
+  /// `size_bytes` is rounded up to a whole number of frames.
+  explicit PhysicalMemory(std::uint64_t size_bytes);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+  PhysicalMemory(PhysicalMemory&&) = default;
+  PhysicalMemory& operator=(PhysicalMemory&&) = default;
+
+  std::uint64_t size() const { return size_; }
+  std::uint32_t frame_count() const {
+    return static_cast<std::uint32_t>(size_ >> kFrameShift);
+  }
+
+  /// Number of frames that have been materialized (diagnostics).
+  std::size_t resident_frames() const { return frames_.size(); }
+
+  /// Bump-allocates a fresh frame (used by the guest "kernel" for page
+  /// tables and module memory).  Returns the frame number.
+  std::uint32_t alloc_frame();
+
+  /// Reserves `count` contiguous frames; returns the first frame number.
+  std::uint32_t alloc_frames(std::uint32_t count);
+
+  // ---- byte-addressed access (may cross frame boundaries) ----------------
+  void read(std::uint64_t pa, MutableByteView out) const;
+  void write(std::uint64_t pa, ByteView data);
+
+  // ---- dirty tracking ------------------------------------------------------
+  // Every write stamps the touched frames with a monotonically increasing
+  // version (the moral equivalent of Xen's log-dirty mode).  Incremental
+  // consumers remember the largest version they observed for a frame set
+  // and re-read only when a frame advanced past it.
+  std::uint64_t write_counter() const { return write_counter_; }
+  std::uint64_t frame_version(std::uint32_t frame_no) const;
+
+  std::uint8_t read_u8(std::uint64_t pa) const;
+  std::uint32_t read_u32(std::uint64_t pa) const;
+  void write_u32(std::uint64_t pa, std::uint32_t value);
+
+  /// Deep copy (VM cloning / snapshots).
+  PhysicalMemory clone() const;
+
+  /// Replaces contents with those of `other` (snapshot restore).
+  void restore_from(const PhysicalMemory& other);
+
+ private:
+  using Frame = std::array<std::uint8_t, kFrameSize>;
+
+  const Frame* frame_if_present(std::uint32_t frame_no) const;
+  Frame& frame_for_write(std::uint32_t frame_no);
+  void check_range(std::uint64_t pa, std::uint64_t len) const;
+
+  std::uint64_t size_;
+  std::uint32_t next_alloc_frame_;
+  std::uint64_t write_counter_ = 0;
+  std::uint64_t version_floor_ = 0;
+  std::map<std::uint32_t, std::unique_ptr<Frame>> frames_;
+  std::map<std::uint32_t, std::uint64_t> frame_versions_;
+};
+
+}  // namespace mc::vmm

@@ -1,0 +1,34 @@
+// HeavyLoad stand-in (paper §V-C.1: "we used HeavyLoad (a stress testing
+// software) that is capable of stressing all the resources (such as CPU,
+// RAM and disk) of an MS Windows machine").
+//
+// Stressing a guest drives its load level to 1.0, which feeds the
+// hypervisor's contention model and slows Dom0 work — the mechanism behind
+// Fig. 8's nonlinear regime.
+#pragma once
+
+#include <cstddef>
+
+#include "cloud/environment.hpp"
+
+namespace mc::workload {
+
+class HeavyLoad {
+ public:
+  explicit HeavyLoad(cloud::CloudEnvironment& env) : env_(&env) {}
+
+  /// Starts the stress tool on the first `guest_count` guests at `level`
+  /// (1.0 = all resources saturated); the rest go idle.
+  void stress_guests(std::size_t guest_count, double level = 1.0);
+
+  /// Stops the stress tool everywhere.
+  void stop_all();
+
+  /// Aggregate busy load currently imposed.
+  double total_load() const;
+
+ private:
+  cloud::CloudEnvironment* env_;
+};
+
+}  // namespace mc::workload

@@ -1,0 +1,135 @@
+#include "x86/codegen.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "x86/assembler.hpp"
+
+namespace mc::x86 {
+
+CodeBlob generate_driver_text(const CodeGenParams& params,
+                              std::uint32_t image_base) {
+  MC_CHECK(params.function_count >= 1, "need at least one function");
+  MC_CHECK(params.data_size >= 8, "data region too small");
+
+  Xoshiro256 rng(params.seed);
+  Assembler as;
+  CodeBlob blob;
+
+  auto random_data_va = [&] {
+    const std::uint32_t off =
+        static_cast<std::uint32_t>(rng.below(params.data_size / 4)) * 4;
+    return image_base + params.data_rva + off;
+  };
+
+  for (std::uint32_t f = 0; f < params.function_count; ++f) {
+    blob.function_offsets.push_back(as.size());
+
+    as.push_ebp();
+    as.mov_ebp_esp();
+
+    // Guarantee the E1 target pattern appears early in every function:
+    // a counter decrement (DEC ECX, opcode 0x49).
+    as.mov_reg_imm32(Reg::kEcx, static_cast<std::uint32_t>(rng.range(4, 64)));
+    as.dec_ecx();
+
+    for (std::uint32_t op = 0; op < params.ops_per_function; ++op) {
+      if (rng.unit() < params.address_op_fraction) {
+        // Address-bearing op.
+        switch (rng.below(4)) {
+          case 0:
+            as.mov_eax_abs(random_data_va());
+            break;
+          case 1:
+            as.mov_abs_eax(random_data_va());
+            break;
+          case 2:
+            as.push_addr(random_data_va());
+            break;
+          default:
+            if (!params.iat_slot_rvas.empty()) {
+              const auto slot =
+                  params.iat_slot_rvas[rng.below(params.iat_slot_rvas.size())];
+              as.call_indirect_abs(image_base + slot);
+            } else {
+              as.mov_reg_addr(Reg::kEdx, random_data_va());
+            }
+            break;
+        }
+        continue;
+      }
+      // Position-independent op.
+      switch (rng.below(11)) {
+        case 0:
+          as.nop();
+          break;
+        case 1:
+          as.inc_eax();
+          break;
+        case 2:
+          as.dec_ecx();
+          break;
+        case 3:
+          as.xor_eax_eax();
+          break;
+        case 4:
+          as.add_eax_imm32(static_cast<std::uint32_t>(rng.next()));
+          break;
+        case 5:
+          // cmp/jz over a single nop — a tiny, always-well-formed branch.
+          as.cmp_eax_imm32(static_cast<std::uint32_t>(rng.next()));
+          as.jz_rel8(1);
+          as.nop();
+          break;
+        case 6:
+          as.sub_ecx_imm8(static_cast<std::uint8_t>(rng.range(1, 7)));
+          break;
+        case 7: {
+          // Balanced save/restore of a scratch register.
+          const auto reg = static_cast<Reg>(rng.below(4));  // eax..ebx
+          as.push_reg(reg);
+          as.pop_reg(reg);
+          break;
+        }
+        case 8:
+          // test/jnz over a nop — the classic NULL-check shape.
+          as.test_eax_eax();
+          as.jnz_rel8(1);
+          as.nop();
+          break;
+        case 9:
+          as.or_eax_imm32(static_cast<std::uint32_t>(rng.next()));
+          as.and_eax_imm32(static_cast<std::uint32_t>(rng.next()));
+          break;
+        default:
+          // Call an already-emitted function (backward call keeps the
+          // single-pass layout correct).
+          if (f > 0) {
+            const auto target = blob.function_offsets[rng.below(f)];
+            as.call_to(target);
+          } else {
+            as.nop();
+          }
+          break;
+      }
+    }
+
+    as.pop_ebp();
+    as.ret();
+
+    // Inter-function opcode cave (00 bytes) — the payload real estate the
+    // inline-hooking experiment uses.
+    const auto cave_len = static_cast<std::uint32_t>(
+        rng.range(params.cave_min, params.cave_max));
+    as.cave(cave_len);
+  }
+
+  // Entry function: the last one emitted; it can (and does) call earlier
+  // functions, so give it a couple of extra direct calls for realism.
+  blob.entry_offset = blob.function_offsets.back();
+
+  blob.fixups = as.fixups();
+  blob.code = as.take_code();
+  return blob;
+}
+
+}  // namespace mc::x86

@@ -1,0 +1,54 @@
+// Synthetic kernel-module code generator.
+//
+// Produces the .text content of the simulated drivers (hal.dll, http.sys,
+// the "Hello World" dummy driver...).  The generated code is real IA-32
+// from the Assembler subset: function prologues/epilogues, ALU ops, short
+// branches, cross-function calls, loads/stores through *absolute* data
+// addresses, calls through IAT slots, and zero-byte opcode caves between
+// functions — every ingredient the paper's four infection experiments rely
+// on (a DEC ECX to replace, caves to hide payloads in, an entry function to
+// hook, IAT slots to divert).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::x86 {
+
+struct CodeGenParams {
+  std::uint64_t seed = 1;
+  std::uint32_t function_count = 8;
+  std::uint32_t ops_per_function = 40;
+  /// Probability that a body op references an absolute address (and thus
+  /// needs a base relocation).  This is the "relocation density" knob used
+  /// by the A3 ablation bench.
+  double address_op_fraction = 0.20;
+  /// Zero-byte cave emitted between functions: uniform in [min, max].
+  std::uint32_t cave_min = 8;
+  std::uint32_t cave_max = 24;
+  /// Data region the address-bearing ops reference (RVA within the image).
+  std::uint32_t data_rva = 0;
+  std::uint32_t data_size = 0x1000;
+  /// IAT slots (RVAs) available for indirect calls; may be empty.
+  std::vector<std::uint32_t> iat_slot_rvas;
+};
+
+struct CodeBlob {
+  Bytes code;
+  /// Offsets within `code` holding absolute 32-bit addresses.
+  std::vector<std::uint32_t> fixups;
+  /// Entry function offset (the last function; it calls the others, like
+  /// hal.dll's HalInitSystem entry in experiment E2).
+  std::uint32_t entry_offset = 0;
+  std::vector<std::uint32_t> function_offsets;
+};
+
+/// Generates a .text blob for an image whose preferred base is `image_base`
+/// (absolute operands are encoded as image_base + RVA and recorded as
+/// fixups; intra-text control flow is relative and needs no relocation).
+CodeBlob generate_driver_text(const CodeGenParams& params,
+                              std::uint32_t image_base);
+
+}  // namespace mc::x86

@@ -1,0 +1,103 @@
+#include "x86/decoder.hpp"
+
+namespace mc::x86 {
+
+std::optional<std::uint32_t> instruction_length(ByteView code,
+                                                std::size_t offset) {
+  if (offset >= code.size()) {
+    return std::nullopt;
+  }
+  const std::uint8_t op = code[offset];
+  const std::size_t left = code.size() - offset;
+
+  auto need = [&](std::uint32_t n) -> std::optional<std::uint32_t> {
+    return left >= n ? std::optional<std::uint32_t>(n) : std::nullopt;
+  };
+
+  switch (op) {
+    case 0x90:  // nop
+    case 0xC3:  // ret
+    case 0xCC:  // int3
+      return need(1);
+    case 0x89:  // mov r/m32, r32 — we only emit 89 E5 (mov ebp, esp)
+      if (left >= 2 && code[offset + 1] == 0xE5) {
+        return 2;
+      }
+      return std::nullopt;
+    case 0x31:  // xor r/m32, r32 — we only emit 31 C0
+    case 0x85:  // test r/m32, r32 — we only emit 85 C0
+      if (left >= 2 && code[offset + 1] == 0xC0) {
+        return 2;
+      }
+      return std::nullopt;
+    case 0x83:  // group-1 r/m32, imm8 — e.g. 83 E9 ib (sub ecx, imm8)
+      return need(3);
+    case 0x05:  // add eax, imm32
+    case 0x0D:  // or eax, imm32
+    case 0x25:  // and eax, imm32
+    case 0x3D:  // cmp eax, imm32
+    case 0x68:  // push imm32
+    case 0xA1:  // mov eax, moffs32
+    case 0xA3:  // mov moffs32, eax
+    case 0xE8:  // call rel32
+    case 0xE9:  // jmp rel32
+      return need(5);
+    case 0x74:  // jz rel8
+    case 0x75:  // jnz rel8
+    case 0xEB:  // jmp rel8
+      return need(2);
+    case 0xFF:  // we only emit FF 15 moffs32 (call [abs])
+      if (left >= 6 && code[offset + 1] == 0x15) {
+        return 6;
+      }
+      return std::nullopt;
+    case 0x00:  // cave filler decodes as add [eax], al
+      return need(2);
+    default:
+      if (op >= 0xB8 && op <= 0xBF) {  // mov r32, imm32
+        return need(5);
+      }
+      if ((op >= 0x50 && op <= 0x5F) ||  // push/pop r32
+          op == 0x40 || op == 0x49) {    // inc eax / dec ecx
+        return need(1);
+      }
+      return std::nullopt;
+  }
+}
+
+std::optional<std::uint32_t> cover_instructions(ByteView code,
+                                                std::size_t offset,
+                                                std::uint32_t min_bytes) {
+  std::uint32_t covered = 0;
+  while (covered < min_bytes) {
+    const auto len = instruction_length(code, offset + covered);
+    if (!len) {
+      return std::nullopt;
+    }
+    covered += *len;
+  }
+  return covered;
+}
+
+std::vector<Cave> find_caves(ByteView code, std::uint32_t min_length) {
+  std::vector<Cave> caves;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (code[i] != 0x00) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < code.size() && code[j] == 0x00) {
+      ++j;
+    }
+    if (j - i >= min_length) {
+      caves.push_back({static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(j - i)});
+    }
+    i = j;
+  }
+  return caves;
+}
+
+}  // namespace mc::x86

@@ -1,0 +1,38 @@
+// Instruction-length decoder for the emitted x86 subset.
+//
+// The inline-hooking attack (paper §V-B.2, Fig. 5) must displace *whole*
+// instructions when it overwrites a function's first bytes with a 5-byte
+// jmp — exactly what real hook engines do with a length disassembler.
+// This decoder covers the subset mc::x86::Assembler emits plus the 0x00
+// cave filler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::x86 {
+
+/// Decoded length of the instruction at code[offset], or nullopt if the
+/// byte sequence is outside the supported subset.
+std::optional<std::uint32_t> instruction_length(ByteView code,
+                                                std::size_t offset);
+
+/// Walks instructions from `offset` until at least `min_bytes` are covered.
+/// Returns the covered byte count, or nullopt if decoding fails first.
+std::optional<std::uint32_t> cover_instructions(ByteView code,
+                                                std::size_t offset,
+                                                std::uint32_t min_bytes);
+
+/// A run of 0x00 bytes usable as a payload cave.
+struct Cave {
+  std::uint32_t offset;
+  std::uint32_t length;
+};
+
+/// Finds all caves of at least `min_length` zero bytes.
+std::vector<Cave> find_caves(ByteView code, std::uint32_t min_length);
+
+}  // namespace mc::x86

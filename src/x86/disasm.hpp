@@ -1,0 +1,39 @@
+// Mnemonic renderer for the emitted x86 subset.
+//
+// Turns code bytes into AT&T-free Intel-style text ("dec ecx",
+// "mov eax, [0xf8cc2010]") for forensic reports: when ModChecker flags a
+// .text divergence, the diff report shows the first differing instructions
+// on both sides — the way an analyst would see OllyDbg's view in the
+// paper's Fig. 5/6.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc::x86 {
+
+struct DecodedInstruction {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  std::string text;  // "dec ecx"
+};
+
+/// Decodes one instruction at `offset`; nullopt outside the subset.
+std::optional<DecodedInstruction> disassemble_one(ByteView code,
+                                                  std::size_t offset);
+
+/// Decodes up to `max_instructions` starting at `offset`, stopping at the
+/// first undecodable byte sequence (which is rendered as "db 0x??").
+std::vector<DecodedInstruction> disassemble(ByteView code, std::size_t offset,
+                                            std::size_t max_instructions);
+
+/// Multi-line listing "offset: bytes  mnemonic".
+std::string format_listing(ByteView code, std::size_t offset,
+                           std::size_t max_instructions,
+                           std::uint32_t display_base = 0);
+
+}  // namespace mc::x86

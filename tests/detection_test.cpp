@@ -1,0 +1,145 @@
+// Integration tests reproducing the paper's §V-B detection experiments
+// (E1-E4) plus the extension attacks, asserting the exact set of flagged
+// integrity items.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "attacks/byte_patch.hpp"
+#include "attacks/dkom_hide.hpp"
+#include "attacks/dll_import_inject.hpp"
+#include "attacks/header_tamper.hpp"
+#include "attacks/iat_hook.hpp"
+#include "attacks/inline_hook.hpp"
+#include "attacks/opcode_replace.hpp"
+#include "attacks/stub_patch.hpp"
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+#include "modchecker/report.hpp"
+
+namespace {
+
+using namespace mc;
+
+class DetectionTest : public ::testing::Test {
+ protected:
+  DetectionTest() {
+    cloud::CloudConfig cfg;
+    cfg.guest_count = 5;
+    env_ = std::make_unique<cloud::CloudEnvironment>(cfg);
+    env_->snapshot_all();
+  }
+
+  core::CheckReport run_check(vmm::DomainId subject,
+                              const std::string& module) {
+    core::ModChecker checker(env_->hypervisor());
+    return checker.check_module(subject, module);
+  }
+
+  /// Applies `attack` to the module on Dom1 and checks Dom1 against the
+  /// pool, asserting the flagged items match the attack's expectations.
+  void expect_exact_detection(const attacks::Attack& attack,
+                              const std::string& module) {
+    const vmm::DomainId victim = env_->guests()[0];
+    const auto result = attack.apply(*env_, victim, module);
+
+    const auto report = run_check(victim, module);
+    EXPECT_FALSE(report.subject_clean)
+        << attack.name() << ": " << core::format_report(report);
+    EXPECT_EQ(report.successes, 0u) << attack.name();
+    EXPECT_EQ(report.total_comparisons, 4u);
+
+    std::vector<std::string> expected = result.expected_flagged;
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::string> actual = report.flagged_items;
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected)
+        << attack.name() << ": " << core::format_report(report);
+
+    // The rest of the pool must still vote each other clean.
+    core::ModChecker checker(env_->hypervisor());
+    const auto pool_report = checker.scan_pool(module, env_->guests());
+    for (const auto& v : pool_report.verdicts) {
+      if (v.vm == victim) {
+        EXPECT_FALSE(v.clean) << attack.name();
+      } else {
+        EXPECT_TRUE(v.clean) << attack.name() << " Dom" << v.vm;
+      }
+    }
+  }
+
+  std::unique_ptr<cloud::CloudEnvironment> env_;
+};
+
+// --- E1: single opcode replacement on hal.dll (§V-B.1) ---------------------
+TEST_F(DetectionTest, E1_SingleOpcodeReplacement) {
+  expect_exact_detection(attacks::OpcodeReplaceAttack{}, "hal.dll");
+}
+
+// --- E2: inline hooking of hal.dll's entry function (§V-B.2) ----------------
+TEST_F(DetectionTest, E2_InlineHooking) {
+  expect_exact_detection(attacks::InlineHookAttack{}, "hal.dll");
+}
+
+// --- E3: DOS-stub modification of the dummy driver (§V-B.3) -----------------
+TEST_F(DetectionTest, E3_StubModification) {
+  expect_exact_detection(attacks::StubPatchAttack{}, "dummy.sys");
+}
+
+// --- E4: PE-header DLL hooking of dummy.sys (§V-B.4) -------------------------
+TEST_F(DetectionTest, E4_DllImportInjection) {
+  expect_exact_detection(attacks::DllImportInjectAttack{}, "dummy.sys");
+}
+
+// --- Extensions ---------------------------------------------------------------
+TEST_F(DetectionTest, HeaderTamperFlagsOptionalHeader) {
+  expect_exact_detection(attacks::HeaderTamperAttack{}, "ntfs.sys");
+}
+
+TEST_F(DetectionTest, IatHookEvadesModChecker) {
+  const vmm::DomainId victim = env_->guests()[0];
+  const auto result =
+      attacks::IatHookAttack{}.apply(*env_, victim, "http.sys");
+  EXPECT_FALSE(result.detectable_by_modchecker);
+
+  const auto report = run_check(victim, "http.sys");
+  // Documented limitation: writable .idata is not hashed.
+  EXPECT_TRUE(report.subject_clean) << core::format_report(report);
+}
+
+TEST_F(DetectionTest, DkomHidingSurfacesAsMissingModule) {
+  const vmm::DomainId victim = env_->guests()[0];
+  attacks::DkomHideAttack{}.apply(*env_, victim, "ntfs.sys");
+
+  // Checking from a healthy subject: the hidden VM shows up as missing.
+  const auto report = run_check(env_->guests()[1], "ntfs.sys");
+  ASSERT_EQ(report.missing_on.size(), 1u);
+  EXPECT_EQ(report.missing_on[0], victim);
+  EXPECT_TRUE(report.subject_clean);
+}
+
+TEST_F(DetectionTest, RevertRestoresCleanVerdict) {
+  const vmm::DomainId victim = env_->guests()[0];
+  attacks::InlineHookAttack{}.apply(*env_, victim, "hal.dll");
+  ASSERT_FALSE(run_check(victim, "hal.dll").subject_clean);
+
+  // §III: revert the flagged machine to its clean snapshot.
+  env_->revert(victim);
+  EXPECT_TRUE(run_check(victim, "hal.dll").subject_clean);
+}
+
+TEST_F(DetectionTest, SingleBytePatchInTextIsDetected) {
+  const vmm::DomainId victim = env_->guests()[0];
+  // Patch a byte in the middle of .text (RVA 0x1100 is inside code for
+  // every catalog driver).
+  attacks::BytePatchAttack attack(0x1100, 0x01);
+  attack.apply(*env_, victim, "tcpip.sys");
+
+  const auto report = run_check(victim, "tcpip.sys");
+  EXPECT_FALSE(report.subject_clean);
+  ASSERT_EQ(report.flagged_items.size(), 1u);
+  EXPECT_EQ(report.flagged_items[0], ".text");
+}
+
+}  // namespace

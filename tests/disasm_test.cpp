@@ -1,0 +1,100 @@
+// Tests for the x86 subset disassembler.
+#include <gtest/gtest.h>
+
+#include "x86/assembler.hpp"
+#include "x86/codegen.hpp"
+#include "x86/disasm.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::x86;
+
+TEST(Disasm, RendersPaperInstructions) {
+  Assembler as;
+  as.dec_ecx();
+  as.sub_ecx_imm8(1);
+  const auto insns = disassemble(as.code(), 0, 10);
+  ASSERT_EQ(insns.size(), 2u);
+  EXPECT_EQ(insns[0].text, "dec ecx");
+  EXPECT_EQ(insns[1].text, "sub ecx, 0x1");
+}
+
+TEST(Disasm, RendersAddressOperands) {
+  Assembler as;
+  as.mov_eax_abs(0xF8CC2010);
+  as.mov_abs_eax(0xF8CC2014);
+  as.call_indirect_abs(0xF8003000);
+  const auto insns = disassemble(as.code(), 0, 10);
+  ASSERT_EQ(insns.size(), 3u);
+  EXPECT_EQ(insns[0].text, "mov eax, [0xf8cc2010]");
+  EXPECT_EQ(insns[1].text, "mov [0xf8cc2014], eax");
+  EXPECT_EQ(insns[2].text, "call [0xf8003000]");
+}
+
+TEST(Disasm, ResolvesRelativeTargets) {
+  Assembler as;
+  as.nop();          // 0
+  as.jmp_to(0x20);   // at 1, len 5
+  as.call_to(0);     // at 6, len 5
+  const auto insns = disassemble(as.code(), 0, 10);
+  ASSERT_GE(insns.size(), 3u);
+  EXPECT_EQ(insns[1].text, "jmp 0x20");
+  EXPECT_EQ(insns[2].text, "call 0x0");
+}
+
+TEST(Disasm, ShortBranches) {
+  Assembler as;
+  as.jz_rel8(2);   // at 0: target 4
+  as.jnz_rel8(-4); // at 2: target 0
+  const auto insns = disassemble(as.code(), 0, 10);
+  EXPECT_EQ(insns[0].text, "jz 0x4");
+  EXPECT_EQ(insns[1].text, "jnz 0x0");
+}
+
+TEST(Disasm, MovRegisterNames) {
+  Assembler as;
+  as.mov_reg_imm32(Reg::kEbx, 0x10);
+  as.mov_reg_imm32(Reg::kEsi, 0x20);
+  const auto insns = disassemble(as.code(), 0, 2);
+  EXPECT_EQ(insns[0].text, "mov ebx, 0x10");
+  EXPECT_EQ(insns[1].text, "mov esi, 0x20");
+}
+
+TEST(Disasm, UnknownBytesBecomeDb) {
+  const Bytes junk = {0x0F, 0x05};
+  const auto insns = disassemble(junk, 0, 4);
+  ASSERT_EQ(insns.size(), 2u);
+  EXPECT_EQ(insns[0].text, "db 0x0f");
+  EXPECT_EQ(insns[0].length, 1u);
+}
+
+TEST(Disasm, ListingFormat) {
+  Assembler as;
+  as.push_ebp();
+  as.mov_ebp_esp();
+  const std::string listing = format_listing(as.code(), 0, 2, 0xF8001000);
+  EXPECT_NE(listing.find("f8001000"), std::string::npos);
+  EXPECT_NE(listing.find("push ebp"), std::string::npos);
+  EXPECT_NE(listing.find("55"), std::string::npos);
+  EXPECT_NE(listing.find("mov ebp, esp"), std::string::npos);
+}
+
+TEST(Disasm, WholeGeneratedDriverDisassembles) {
+  CodeGenParams params;
+  params.seed = 3;
+  params.function_count = 4;
+  params.ops_per_function = 30;
+  params.data_rva = 0x3000;
+  const CodeBlob blob = generate_driver_text(params, 0x10000);
+  // Disassembling from offset 0 must cover the whole blob without an
+  // unbounded "db" tail (caves decode as add [eax], al pairs).
+  const auto insns = disassemble(blob.code, 0, 100000);
+  std::size_t covered = 0;
+  for (const auto& insn : insns) {
+    covered += insn.length;
+  }
+  EXPECT_EQ(covered, blob.code.size());
+}
+
+}  // namespace

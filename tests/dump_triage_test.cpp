@@ -1,0 +1,173 @@
+// Tests for offline dump analysis, finding triage, and the EAT-hook
+// extension attack.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/eat_hook.hpp"
+#include "attacks/inline_hook.hpp"
+#include "cloud/catalog.hpp"
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+#include "modchecker/searcher.hpp"
+#include "modchecker/triage.hpp"
+#include "vmi/dump.hpp"
+#include "vmi/session.hpp"
+
+namespace {
+
+using namespace mc;
+
+std::unique_ptr<cloud::CloudEnvironment> make_env(std::size_t guests) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = guests;
+  return std::make_unique<cloud::CloudEnvironment>(cfg);
+}
+
+// ---- EAT hook ------------------------------------------------------------------
+TEST(EatHook, DetectedViaReadOnlyEdata) {
+  auto env = make_env(4);
+  const auto result =
+      attacks::EatHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+  EXPECT_TRUE(result.detectable_by_modchecker);
+
+  core::ModChecker checker(env->hypervisor());
+  const auto report = checker.check_module(env->guests()[0], "hal.dll");
+  EXPECT_FALSE(report.subject_clean);
+  EXPECT_EQ(report.flagged_items, std::vector<std::string>{".edata"});
+}
+
+TEST(EatHook, RequiresExports) {
+  auto env = make_env(2);
+  // dummy.sys exports nothing.
+  EXPECT_THROW(
+      attacks::EatHookAttack{}.apply(*env, env->guests()[0], "dummy.sys"),
+      InvalidArgument);
+}
+
+// ---- memory dumps ---------------------------------------------------------------
+TEST(Dump, RoundTripPreservesIntrospectionView) {
+  auto env = make_env(2);
+  const vmm::DomainId guest = env->guests()[0];
+  const Bytes dump = vmi::dump_domain(env->hypervisor(), guest);
+  ASSERT_GT(dump.size(), vmm::kFrameSize);
+
+  const vmi::DumpAnalysis analysis(dump);
+  SimClock live_clock;
+  SimClock dump_clock;
+  vmi::VmiSession live(env->hypervisor(), guest, live_clock);
+  vmi::VmiSession offline(analysis.hypervisor(), analysis.domain_id(),
+                          dump_clock);
+
+  // The module list seen through the dump equals the live view.
+  const auto live_mods = core::ModuleSearcher(live).list_modules();
+  const auto dump_mods = core::ModuleSearcher(offline).list_modules();
+  ASSERT_EQ(live_mods.size(), dump_mods.size());
+  for (std::size_t i = 0; i < live_mods.size(); ++i) {
+    EXPECT_EQ(live_mods[i].name, dump_mods[i].name);
+    EXPECT_EQ(live_mods[i].base, dump_mods[i].base);
+  }
+
+  // Whole-module extraction is byte-identical.
+  const auto live_img = core::ModuleSearcher(live).extract_module("hal.dll");
+  const auto dump_img =
+      core::ModuleSearcher(offline).extract_module("hal.dll");
+  ASSERT_TRUE(live_img && dump_img);
+  EXPECT_EQ(live_img->bytes, dump_img->bytes);
+}
+
+TEST(Dump, CapturesInfectionEvidence) {
+  auto env = make_env(3);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+  const Bytes dump = vmi::dump_domain(env->hypervisor(), env->guests()[0]);
+
+  // Revert the live guest — the dump must still hold the evidence.
+  env->snapshot_all();  // (snapshot of the infected state, fine for test)
+  const vmi::DumpAnalysis analysis(dump);
+  SimClock clock;
+  vmi::VmiSession session(analysis.hypervisor(), analysis.domain_id(), clock);
+  const auto image = core::ModuleSearcher(session).extract_module("hal.dll");
+  ASSERT_TRUE(image.has_value());
+  // The entry has the 0xE9 hook (attack writes a jmp at the entry point).
+  const pe::ParsedImage parsed(image->bytes);
+  EXPECT_EQ(image->bytes[parsed.optional_header().AddressOfEntryPoint], 0xE9);
+}
+
+TEST(Dump, RejectsGarbage) {
+  const Bytes tiny = {1, 2, 3};
+  EXPECT_THROW(vmi::DumpAnalysis{tiny}, FormatError);
+  const Bytes zeros(64, 0);
+  EXPECT_THROW(vmi::DumpAnalysis{zeros}, FormatError);
+}
+
+TEST(Dump, RejectsTruncation) {
+  auto env = make_env(1);
+  Bytes dump = vmi::dump_domain(env->hypervisor(), env->guests()[0]);
+  dump.resize(dump.size() - 100);
+  EXPECT_THROW(vmi::DumpAnalysis{dump}, FormatError);
+}
+
+// ---- triage -----------------------------------------------------------------------
+TEST(Triage, AcknowledgedFindingIsSuppressed) {
+  auto env = make_env(4);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+
+  core::ModChecker checker(env->hypervisor());
+  const auto report = checker.check_module(env->guests()[0], "hal.dll");
+  ASSERT_FALSE(report.subject_clean);
+
+  core::FindingTriage triage;
+  EXPECT_FALSE(triage.is_acknowledged(report));
+  triage.acknowledge(report, "staged update rollout");
+  EXPECT_TRUE(triage.is_acknowledged(report));
+
+  // A re-check of the same state produces the same fingerprint.
+  const auto again = checker.check_module(env->guests()[0], "hal.dll");
+  EXPECT_TRUE(triage.is_acknowledged(again));
+  EXPECT_EQ(triage.entries().size(), 1u);
+}
+
+TEST(Triage, NewDivergenceReopensTheAlert) {
+  auto env = make_env(4);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+
+  core::ModChecker checker(env->hypervisor());
+  core::FindingTriage triage;
+  triage.acknowledge(checker.check_module(env->guests()[0], "hal.dll"),
+                     "known");
+
+  // A second, different infection on top changes the content fingerprint.
+  attacks::EatHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+  const auto report = checker.check_module(env->guests()[0], "hal.dll");
+  EXPECT_FALSE(triage.is_acknowledged(report));
+}
+
+TEST(Triage, CleanReportsCannotBeAcknowledged) {
+  auto env = make_env(3);
+  core::ModChecker checker(env->hypervisor());
+  const auto report = checker.check_module(env->guests()[0], "hal.dll");
+  ASSERT_TRUE(report.subject_clean);
+  core::FindingTriage triage;
+  EXPECT_THROW(triage.acknowledge(report, "x"), InvalidArgument);
+  EXPECT_FALSE(triage.is_acknowledged(report));
+}
+
+TEST(Triage, UnacknowledgedFilter) {
+  auto env = make_env(4);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[1], "ntfs.sys");
+
+  core::ModChecker checker(env->hypervisor());
+  std::vector<core::CheckReport> reports;
+  reports.push_back(checker.check_module(env->guests()[0], "hal.dll"));
+  reports.push_back(checker.check_module(env->guests()[1], "ntfs.sys"));
+  reports.push_back(checker.check_module(env->guests()[2], "http.sys"));
+
+  core::FindingTriage triage;
+  triage.acknowledge(reports[0], "expected");
+  const auto open = triage.unacknowledged(reports);
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0]->module_name, "ntfs.sys");
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Tests for the dirty-frame-aware incremental scanner: verdict equivalence
+// with the fresh scanner in every state, cache reuse on quiescent guests,
+// and invalidation on every mutation channel (attack, reload, revert).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/byte_patch.hpp"
+#include "attacks/inline_hook.hpp"
+#include "cloud/environment.hpp"
+#include "modchecker/incremental.hpp"
+#include "modchecker/modchecker.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::core;
+
+std::unique_ptr<cloud::CloudEnvironment> make_env(std::size_t guests) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = guests;
+  return std::make_unique<cloud::CloudEnvironment>(cfg);
+}
+
+void expect_same_verdicts(const PoolScanReport& a, const PoolScanReport& b) {
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    EXPECT_EQ(a.verdicts[i].vm, b.verdicts[i].vm);
+    EXPECT_EQ(a.verdicts[i].clean, b.verdicts[i].clean);
+    EXPECT_EQ(a.verdicts[i].successes, b.verdicts[i].successes);
+    EXPECT_EQ(a.verdicts[i].total, b.verdicts[i].total);
+  }
+}
+
+TEST(Incremental, FirstScanMatchesFreshScanner) {
+  auto env = make_env(5);
+  IncrementalScanner incremental(env->hypervisor());
+  ModChecker fresh(env->hypervisor());
+  expect_same_verdicts(incremental.scan("hal.dll", env->guests()),
+                       fresh.scan_pool("hal.dll", env->guests()));
+  EXPECT_EQ(incremental.stats().full_extractions, 5u);
+  EXPECT_EQ(incremental.stats().cache_reuses, 0u);
+}
+
+TEST(Incremental, QuiescentRescanReusesCacheAndIsCheaper) {
+  auto env = make_env(8);
+  IncrementalScanner incremental(env->hypervisor());
+
+  const auto first = incremental.scan("http.sys", env->guests());
+  const auto second = incremental.scan("http.sys", env->guests());
+  expect_same_verdicts(first, second);
+
+  EXPECT_EQ(incremental.stats().full_extractions, 8u);
+  EXPECT_EQ(incremental.stats().cache_reuses, 8u);
+  // Searcher cost collapses: no page-wise copy, only list walk + dirty
+  // bitmap queries.
+  EXPECT_LT(second.cpu_times.searcher, first.cpu_times.searcher / 2);
+}
+
+TEST(Incremental, AttackInvalidatesExactlyTheVictim) {
+  auto env = make_env(6);
+  IncrementalScanner incremental(env->hypervisor());
+  incremental.scan("hal.dll", env->guests());
+
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[3], "hal.dll");
+  const auto report = incremental.scan("hal.dll", env->guests());
+
+  // Detection identical to a fresh scanner.
+  ModChecker fresh(env->hypervisor());
+  expect_same_verdicts(report, fresh.scan_pool("hal.dll", env->guests()));
+  for (const auto& v : report.verdicts) {
+    EXPECT_EQ(v.clean, v.vm != env->guests()[3]);
+  }
+  // Only the victim was re-extracted on the second scan.
+  EXPECT_EQ(incremental.stats().full_extractions, 7u);  // 6 + 1
+  EXPECT_EQ(incremental.stats().invalidations, 1u);
+  EXPECT_EQ(incremental.stats().cache_reuses, 5u);
+}
+
+TEST(Incremental, SingleBytePatchIsNeverMaskedByTheCache) {
+  auto env = make_env(4);
+  IncrementalScanner incremental(env->hypervisor());
+  incremental.scan("ntfs.sys", env->guests());
+
+  attacks::BytePatchAttack(0x1100, 0x01).apply(*env, env->guests()[1],
+                                               "ntfs.sys");
+  const auto report = incremental.scan("ntfs.sys", env->guests());
+  for (const auto& v : report.verdicts) {
+    EXPECT_EQ(v.clean, v.vm != env->guests()[1]);
+  }
+}
+
+TEST(Incremental, ReloadAtNewBaseInvalidates) {
+  auto env = make_env(3);
+  IncrementalScanner incremental(env->hypervisor());
+  incremental.scan("dummy.sys", env->guests());
+
+  // Clean reload (same bytes, new base): cache must invalidate, and the
+  // pool must still verify clean afterwards.
+  const auto vm = env->guests()[0];
+  env->loader(vm).unload("dummy.sys");
+  env->loader(vm).load("dummy.sys", env->golden().file("dummy.sys"));
+
+  const auto report = incremental.scan("dummy.sys", env->guests());
+  for (const auto& v : report.verdicts) {
+    EXPECT_TRUE(v.clean) << "Dom" << v.vm;
+  }
+  EXPECT_GE(incremental.stats().invalidations, 1u);
+}
+
+TEST(Incremental, SnapshotRevertInvalidates) {
+  auto env = make_env(4);
+  env->snapshot_all();
+  IncrementalScanner incremental(env->hypervisor());
+
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[2], "hal.dll");
+  auto report = incremental.scan("hal.dll", env->guests());
+  ASSERT_FALSE(report.verdicts[2].clean);
+
+  env->revert(env->guests()[2]);
+  report = incremental.scan("hal.dll", env->guests());
+  EXPECT_TRUE(report.verdicts[2].clean);  // stale cache would say infected
+}
+
+TEST(Incremental, UnloadedModuleDropsFromCache) {
+  auto env = make_env(3);
+  IncrementalScanner incremental(env->hypervisor());
+  incremental.scan("dummy.sys", env->guests());
+
+  env->loader(env->guests()[1]).unload("dummy.sys");
+  const auto report = incremental.scan("dummy.sys", env->guests());
+  EXPECT_EQ(report.verdicts[1].total, 0u);   // not comparable
+  EXPECT_FALSE(report.verdicts[1].clean);
+  EXPECT_EQ(report.verdicts[0].total, 1u);   // the remaining pair
+  EXPECT_TRUE(report.verdicts[0].clean);
+}
+
+TEST(Incremental, RepeatedScansStayCheapAcrossManyRounds) {
+  auto env = make_env(10);
+  IncrementalScanner incremental(env->hypervisor());
+  const auto first = incremental.scan("http.sys", env->guests());
+  SimNanos steady_total = 0;
+  for (int round = 0; round < 5; ++round) {
+    steady_total += incremental.scan("http.sys", env->guests()).cpu_times
+                        .searcher;
+  }
+  EXPECT_LT(steady_total / 5, first.cpu_times.searcher / 2);
+  EXPECT_EQ(incremental.stats().full_extractions, 10u);
+  EXPECT_EQ(incremental.stats().cache_reuses, 50u);
+}
+
+}  // namespace

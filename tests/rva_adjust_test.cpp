@@ -1,0 +1,266 @@
+// Unit & property tests for Algorithm 2 (RVA adjustment) — the paper's
+// core mechanism, including its published examples and edge cases.
+#include <gtest/gtest.h>
+
+#include "modchecker/rva_adjust.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::core;
+
+// ---- base_difference_offset (Algorithm 2 lines 1-9) ---------------------------
+TEST(BaseOffset, PaperFigure4Bases) {
+  // Fig. 4: bases '00 20 CC F8' and '00 C0 D0 F8' (little-endian byte
+  // sequences of 0xF8CC2000 and 0xF8D0C000): first byte equal, second
+  // differs -> offset 2.
+  EXPECT_EQ(base_difference_offset(0xF8CC2000, 0xF8D0C000), 2u);
+}
+
+TEST(BaseOffset, PaperSectionIVExample) {
+  // §IV-C: "if the base addresses are '00 CC 20 F8' and '00 CC 90 70', the
+  // first two bytes of the base address are the same" -> offset 3.
+  EXPECT_EQ(base_difference_offset(0xF820CC00, 0x7090CC00), 3u);
+}
+
+TEST(BaseOffset, FirstByteDiffers) {
+  EXPECT_EQ(base_difference_offset(0xF8000001, 0xF8000002), 1u);
+}
+
+TEST(BaseOffset, OnlyHighByteDiffers) {
+  EXPECT_EQ(base_difference_offset(0xF8000000, 0xF9000000), 4u);
+}
+
+TEST(BaseOffset, IdenticalBases) {
+  EXPECT_EQ(base_difference_offset(0xF8CC2000, 0xF8CC2000), 0u);
+}
+
+// ---- helpers ---------------------------------------------------------------------
+struct TestSection {
+  Bytes a;
+  Bytes b;
+  std::vector<std::uint32_t> planted;  // offsets of planted addresses
+};
+
+/// Builds two copies of a section with `addresses` relocated absolute
+/// addresses planted at pseudo-random positions.
+TestSection make_section(std::size_t size, std::size_t addresses,
+                         std::uint32_t base_a, std::uint32_t base_b,
+                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  TestSection s;
+  s.a.resize(size);
+  for (auto& byte : s.a) {
+    byte = static_cast<std::uint8_t>(rng.next());
+  }
+  s.b = s.a;
+  std::size_t cursor = 4;
+  for (std::size_t i = 0; i < addresses && cursor + 4 < size; ++i) {
+    const auto rva = static_cast<std::uint32_t>(rng.below(0x80000));
+    store_le32(s.a, cursor, base_a + rva);
+    store_le32(s.b, cursor, base_b + rva);
+    s.planted.push_back(static_cast<std::uint32_t>(cursor));
+    cursor += 4 + 1 + rng.below(size / (addresses + 1) + 1);
+  }
+  return s;
+}
+
+// ---- basic recovery ------------------------------------------------------------------
+TEST(AdjustRvas, RecoversAllRelocationsAndEqualizesBuffers) {
+  auto s = make_section(4096, 50, 0xF8CC2000, 0xF8D0C000, 1);
+  const auto result = adjust_rvas(s.a, 0xF8CC2000, s.b, 0xF8D0C000);
+  EXPECT_EQ(result.adjusted, s.planted.size());
+  EXPECT_EQ(result.unresolved_diffs, 0u);
+  EXPECT_EQ(s.a, s.b);
+}
+
+TEST(AdjustRvas, ReplacesAddressesWithCommonRva) {
+  Bytes a(16, 0x90);
+  Bytes b(16, 0x90);
+  store_le32(a, 4, 0xF8CC2000 + 0x1234);
+  store_le32(b, 4, 0xF8D0C000 + 0x1234);
+  const auto result = adjust_rvas(a, 0xF8CC2000, b, 0xF8D0C000);
+  EXPECT_EQ(result.adjusted, 1u);
+  EXPECT_EQ(load_le32(a, 4), 0x1234u);
+  EXPECT_EQ(load_le32(b, 4), 0x1234u);
+}
+
+TEST(AdjustRvas, IdenticalSectionsUntouched) {
+  Bytes a(256, 0x33);
+  Bytes b = a;
+  const auto result = adjust_rvas(a, 0xF8000000, b, 0xF8100000);
+  EXPECT_EQ(result.adjusted, 0u);
+  EXPECT_EQ(result.unresolved_diffs, 0u);
+  EXPECT_EQ(a, Bytes(256, 0x33));
+}
+
+TEST(AdjustRvas, InfectionProducesUnresolvedDiffs) {
+  auto s = make_section(4096, 20, 0xF8CC2000, 0xF8D0C000, 2);
+  // Simulate an inline hook: clobber 5 bytes of copy A between addresses.
+  for (std::size_t i = 2000; i < 2005; ++i) {
+    s.a[i] = static_cast<std::uint8_t>(~s.a[i]);
+  }
+  const auto result = adjust_rvas(s.a, 0xF8CC2000, s.b, 0xF8D0C000);
+  EXPECT_GT(result.unresolved_diffs, 0u);
+  EXPECT_FALSE(result.sections_identical_after());
+  EXPECT_NE(s.a, s.b);
+}
+
+TEST(AdjustRvas, EqualBasesCountDiffsOnly) {
+  Bytes a(64, 0);
+  Bytes b(64, 0);
+  b[10] = 1;
+  b[20] = 2;
+  const auto result = adjust_rvas(a, 0xF8000000, b, 0xF8000000);
+  EXPECT_EQ(result.adjusted, 0u);
+  EXPECT_EQ(result.unresolved_diffs, 2u);
+}
+
+TEST(AdjustRvas, LengthMismatchCountsTrailingBytes) {
+  Bytes a(64, 7);
+  Bytes b(60, 7);
+  const auto result = adjust_rvas(a, 0xF8000000, b, 0xF8100000);
+  EXPECT_EQ(result.unresolved_diffs, 4u);
+}
+
+// ---- section-edge handling ---------------------------------------------------------
+TEST(AdjustRvas, AddressAtSectionStart) {
+  Bytes a(16, 0x90);
+  Bytes b(16, 0x90);
+  store_le32(a, 0, 0xF8CC2000 + 0x10);
+  store_le32(b, 0, 0xF8D0C000 + 0x10);
+  const auto result = adjust_rvas(a, 0xF8CC2000, b, 0xF8D0C000);
+  EXPECT_EQ(result.adjusted, 1u);
+  EXPECT_EQ(load_le32(a, 0), 0x10u);
+}
+
+TEST(AdjustRvas, AddressFlushWithSectionEnd) {
+  Bytes a(16, 0x90);
+  Bytes b(16, 0x90);
+  store_le32(a, 12, 0xF8CC2000 + 0x20);
+  store_le32(b, 12, 0xF8D0C000 + 0x20);
+  const auto result = adjust_rvas(a, 0xF8CC2000, b, 0xF8D0C000);
+  EXPECT_EQ(result.adjusted, 1u);
+}
+
+TEST(AdjustRvas, DifferenceTooCloseToEndIsUnresolved) {
+  // A lone differing byte 2 from the end cannot host a 4-byte address
+  // starting at j-1 (offset 2): window would overrun.
+  Bytes a(16, 0x90);
+  Bytes b(16, 0x90);
+  a[15] = 0x11;
+  b[15] = 0x22;
+  const auto result = adjust_rvas(a, 0xF8CC2000, b, 0xF8D0C000);
+  EXPECT_EQ(result.adjusted, 0u);
+  EXPECT_EQ(result.unresolved_diffs, 1u);
+}
+
+TEST(AdjustRvas, DifferenceTooCloseToStartIsUnresolved) {
+  // offset 4 (bases differ at the top byte) but the difference is at j=1:
+  // the address would start at j-3 = -2.
+  Bytes a(16, 0x90);
+  Bytes b(16, 0x90);
+  a[1] = 0x11;
+  b[1] = 0x22;
+  const auto result = adjust_rvas(a, 0xF8000000, b, 0xF9000000);
+  EXPECT_EQ(result.adjusted, 0u);
+  EXPECT_EQ(result.unresolved_diffs, 1u);
+}
+
+TEST(AdjustRvas, BackToBackAddresses) {
+  Bytes a(24, 0x90);
+  Bytes b(24, 0x90);
+  for (std::size_t off = 4; off <= 12; off += 4) {
+    store_le32(a, off, 0xF8CC2000 + static_cast<std::uint32_t>(off));
+    store_le32(b, off, 0xF8D0C000 + static_cast<std::uint32_t>(off));
+  }
+  const auto result = adjust_rvas(a, 0xF8CC2000, b, 0xF8D0C000);
+  EXPECT_EQ(result.adjusted, 3u);
+  EXPECT_EQ(result.unresolved_diffs, 0u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AdjustRvas, EmptySections) {
+  Bytes a;
+  Bytes b;
+  const auto result = adjust_rvas(a, 0xF8000000, b, 0xF8100000);
+  EXPECT_EQ(result.adjusted, 0u);
+  EXPECT_EQ(result.unresolved_diffs, 0u);
+}
+
+// ---- property sweep: base pairs x address densities --------------------------------
+struct SweepCase {
+  std::uint32_t base_a;
+  std::uint32_t base_b;
+  std::size_t addresses;
+};
+
+class AdjustSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(AdjustSweep, FullRecoveryOnCleanPairs) {
+  const auto& c = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto s = make_section(8192, c.addresses, c.base_a, c.base_b, seed);
+    const auto result = adjust_rvas(s.a, c.base_a, s.b, c.base_b);
+    EXPECT_EQ(result.adjusted, s.planted.size()) << "seed " << seed;
+    EXPECT_EQ(result.unresolved_diffs, 0u) << "seed " << seed;
+    EXPECT_EQ(s.a, s.b) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasePairsAndDensities, AdjustSweep,
+    ::testing::Values(
+        // offset 1 (page-unaligned hypothetical), 2, 3, 4 base pairs.
+        SweepCase{0xF8CC2001, 0xF8CC2002, 20},
+        SweepCase{0xF8CC2000, 0xF8D0C000, 20},   // Fig. 4 pair
+        SweepCase{0xF820CC00, 0x7090CC00, 20},   // §IV-C pair
+        SweepCase{0xF8000000, 0xF9000000, 20},
+        SweepCase{0xF8CC2000, 0xF8D0C000, 1},
+        SweepCase{0xF8CC2000, 0xF8D0C000, 200},
+        SweepCase{0xF8001000, 0xF8002000, 64},
+        SweepCase{0x00010000, 0xFFFF0000, 32}));  // extreme delta
+
+// Evasion resistance (adversarial property): an attacker controlling ONE
+// VM's copy cannot craft any in-place modification that Algorithm 2
+// "normalizes away".  At a differing position the algorithm accepts the
+// bytes only if V_attacker - base1 == V_reference - base2, i.e.
+// V_attacker == base1 + rva_reference — which IS the original value on
+// the attacker's VM.  Any actual change therefore always survives as an
+// unresolved difference.  This sweep tries the attacker's best moves:
+// overwriting relocation sites with values that look like relocations.
+TEST(AdjustRvas, AttackerCannotForgeConsistentRelocation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto s = make_section(4096, 24, 0xF8CC2000, 0xF8D0C000, seed);
+    Xoshiro256 rng(seed * 31);
+    // Attack copy A at one planted relocation site with a *valid-looking*
+    // absolute address (base1 + arbitrary rva) that differs from the
+    // original.
+    const std::uint32_t victim = s.planted[rng.below(s.planted.size())];
+    const std::uint32_t original = load_le32(s.a, victim);
+    std::uint32_t forged = original;
+    while (forged == original) {
+      forged = 0xF8CC2000 + static_cast<std::uint32_t>(rng.below(0x80000));
+    }
+    store_le32(s.a, victim, forged);
+
+    const auto result = adjust_rvas(s.a, 0xF8CC2000, s.b, 0xF8D0C000);
+    EXPECT_GT(result.unresolved_diffs, 0u) << "seed " << seed;
+    EXPECT_NE(s.a, s.b) << "seed " << seed;
+  }
+}
+
+// Property: a single corrupted byte inside a planted address makes the
+// pair unresolvable at that site (rva1 != rva2) and detection survives.
+TEST(AdjustRvas, CorruptedRelocationIsNotFalselyMatched) {
+  auto s = make_section(2048, 10, 0xF8CC2000, 0xF8D0C000, 9);
+  // Corrupt the low byte of the 3rd planted address in copy A only.
+  const std::uint32_t victim = s.planted[2];
+  s.a[victim] = static_cast<std::uint8_t>(s.a[victim] ^ 0x40);
+  const auto result = adjust_rvas(s.a, 0xF8CC2000, s.b, 0xF8D0C000);
+  EXPECT_GT(result.unresolved_diffs, 0u);
+  EXPECT_NE(s.a, s.b);
+}
+
+}  // namespace

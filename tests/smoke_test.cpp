@@ -1,0 +1,46 @@
+// End-to-end smoke test: boot a small cloud, check a module across the
+// pool, expect clean verdicts and sensible component timing.
+#include <gtest/gtest.h>
+
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+#include "modchecker/report.hpp"
+
+namespace {
+
+using namespace mc;
+
+TEST(Smoke, CleanPoolChecksClean) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 4;
+  cloud::CloudEnvironment env(cfg);
+
+  core::ModChecker checker(env.hypervisor());
+  const auto report =
+      checker.check_module(env.guests()[0], "http.sys");
+
+  EXPECT_TRUE(report.subject_clean) << core::format_report(report);
+  EXPECT_EQ(report.successes, 3u);
+  EXPECT_EQ(report.total_comparisons, 3u);
+  EXPECT_TRUE(report.flagged_items.empty());
+  EXPECT_TRUE(report.missing_on.empty());
+
+  // Module-Searcher must dominate (paper §V-C.1).
+  EXPECT_GT(report.cpu_times.searcher, report.cpu_times.parser);
+  EXPECT_GT(report.cpu_times.searcher, report.cpu_times.checker);
+  EXPECT_GT(report.cpu_times.total(), 0u);
+}
+
+TEST(Smoke, ModulesLoadAtDifferentBases) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 3;
+  cloud::CloudEnvironment env(cfg);
+
+  const auto* m0 = env.loader(env.guests()[0]).find("http.sys");
+  const auto* m1 = env.loader(env.guests()[1]).find("http.sys");
+  ASSERT_NE(m0, nullptr);
+  ASSERT_NE(m1, nullptr);
+  EXPECT_NE(m0->base, m1->base);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for the PE consistency validator.
+#include <gtest/gtest.h>
+
+#include "cloud/catalog.hpp"
+#include "cloud/golden.hpp"
+#include "pe/builder.hpp"
+#include "pe/constants.hpp"
+#include "pe/structs.hpp"
+#include "pe/validate.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::pe;
+
+const Bytes& sample_file() {
+  static const cloud::GoldenImages golden(cloud::default_catalog());
+  return golden.file("hal.dll");
+}
+
+bool has_rule(const ValidationReport& report, const std::string& rule) {
+  for (const auto& f : report.findings) {
+    if (f.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Validate, GoldenImagesAreClean) {
+  const cloud::GoldenImages golden(cloud::default_catalog());
+  for (const auto& [name, file] : golden.all()) {
+    const auto report = validate_image_file(file);
+    EXPECT_TRUE(report.ok()) << name << "\n"
+                             << format_validation_report(report);
+    EXPECT_EQ(report.error_count(), 0u) << name;
+  }
+}
+
+TEST(Validate, DetectsBrokenDosMagic) {
+  Bytes file = sample_file();
+  file[0] = 'X';
+  const auto report = validate_image_file(file);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "dos-magic"));
+}
+
+TEST(Validate, DetectsBrokenPeSignature) {
+  Bytes file = sample_file();
+  const DosHeader dos = DosHeader::parse(file);
+  file[dos.e_lfanew] = 0;
+  const auto report = validate_image_file(file);
+  EXPECT_TRUE(has_rule(report, "pe-signature"));
+}
+
+TEST(Validate, DetectsTruncation) {
+  Bytes file = sample_file();
+  file.resize(48);
+  EXPECT_TRUE(has_rule(validate_image_file(file), "truncated"));
+}
+
+TEST(Validate, DetectsBadChecksum) {
+  Bytes file = sample_file();
+  const DosHeader dos = DosHeader::parse(file);
+  const std::size_t checksum_offset = dos.e_lfanew + kNtHeadersPrefixSize + 64;
+  store_le32(file, checksum_offset, 0x12345678);
+  const auto report = validate_image_file(file);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "checksum"));
+}
+
+TEST(Validate, ZeroChecksumIsOnlyAWarning) {
+  Bytes file = sample_file();
+  const DosHeader dos = DosHeader::parse(file);
+  store_le32(file, dos.e_lfanew + kNtHeadersPrefixSize + 64, 0);
+  const auto report = validate_image_file(file);
+  EXPECT_TRUE(report.ok());  // warnings only
+  EXPECT_TRUE(has_rule(report, "checksum"));
+  EXPECT_GE(report.warning_count(), 1u);
+}
+
+TEST(Validate, DetectsSectionOverlap) {
+  Bytes file = sample_file();
+  const DosHeader dos = DosHeader::parse(file);
+  const FileHeader fh = FileHeader::parse(file, dos.e_lfanew + 4);
+  const std::size_t sec_off =
+      dos.e_lfanew + kNtHeadersPrefixSize + fh.SizeOfOptionalHeader;
+  // Make section 1 start where section 0 starts.
+  const std::uint32_t s0_rva = load_le32(file, sec_off + 12);
+  store_le32(file, sec_off + kSectionHeaderSize + 12, s0_rva);
+  // Fix the checksum so only the overlap fires.
+  const std::size_t checksum_offset = dos.e_lfanew + kNtHeadersPrefixSize + 64;
+  store_le32(file, checksum_offset, 0);
+  store_le32(file, checksum_offset,
+             compute_pe_checksum(file, checksum_offset));
+  const auto report = validate_image_file(file);
+  EXPECT_TRUE(has_rule(report, "section-overlap"));
+}
+
+TEST(Validate, DetectsEntryPointOutsideSections) {
+  Bytes file = sample_file();
+  const DosHeader dos = DosHeader::parse(file);
+  const std::size_t opt_off = dos.e_lfanew + kNtHeadersPrefixSize;
+  store_le32(file, opt_off + 16, 0x00F00000);  // way outside
+  const auto report = validate_image_file(file);
+  EXPECT_TRUE(has_rule(report, "entry-point"));
+}
+
+TEST(Validate, DetectsDirectoryOutOfBounds) {
+  Bytes file = sample_file();
+  const DosHeader dos = DosHeader::parse(file);
+  const std::size_t opt_off = dos.e_lfanew + kNtHeadersPrefixSize;
+  store_le32(file, opt_off + 96 + 8 * kDirImport, 0x00F00000);
+  store_le32(file, opt_off + 100 + 8 * kDirImport, 0x1000);
+  const auto report = validate_image_file(file);
+  EXPECT_TRUE(has_rule(report, "directory-bounds"));
+}
+
+TEST(Validate, ReportFormatting) {
+  Bytes file = sample_file();
+  file[0] = 'X';
+  const std::string text =
+      format_validation_report(validate_image_file(file));
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("dos-magic"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Tests for the workload layer: HeavyLoad and the in-guest resource
+// monitor / perturbation analysis behind Fig. 9.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/environment.hpp"
+#include "workload/heavyload.hpp"
+#include "workload/monitor.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::workload;
+
+// ---- HeavyLoad --------------------------------------------------------------------
+TEST(HeavyLoadTest, StressesRequestedGuests) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 5;
+  cloud::CloudEnvironment env(cfg);
+  HeavyLoad heavyload(env);
+
+  heavyload.stress_guests(3);
+  EXPECT_DOUBLE_EQ(heavyload.total_load(), 3.0);
+  EXPECT_DOUBLE_EQ(env.hypervisor().domain(env.guests()[0]).load_level(), 1.0);
+  EXPECT_DOUBLE_EQ(env.hypervisor().domain(env.guests()[4]).load_level(), 0.0);
+
+  heavyload.stress_guests(5, 0.5);
+  EXPECT_DOUBLE_EQ(heavyload.total_load(), 2.5);
+
+  heavyload.stop_all();
+  EXPECT_DOUBLE_EQ(heavyload.total_load(), 0.0);
+}
+
+TEST(HeavyLoadTest, RejectsOverCount) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 2;
+  cloud::CloudEnvironment env(cfg);
+  HeavyLoad heavyload(env);
+  EXPECT_THROW(heavyload.stress_guests(3), InvalidArgument);
+}
+
+// ---- ResourceMonitor ----------------------------------------------------------------
+MonitorConfig idle_config(std::uint64_t seed = 1) {
+  MonitorConfig cfg;
+  cfg.seed = seed;
+  cfg.load_level = 0.0;
+  return cfg;
+}
+
+TEST(Monitor, SampleCountMatchesDurationAndRate) {
+  ResourceMonitor monitor(idle_config());
+  EXPECT_EQ(monitor.record(120.0, {}).size(), 120u);
+
+  MonitorConfig cfg = idle_config();
+  cfg.sample_hz = 4.0;
+  EXPECT_EQ(ResourceMonitor(cfg).record(30.0, {}).size(), 120u);
+}
+
+TEST(Monitor, WindowsAreMarked) {
+  ResourceMonitor monitor(idle_config());
+  const auto samples = monitor.record(60.0, {{10, 20}, {40, 45}});
+  std::size_t marked = 0;
+  for (const auto& s : samples) {
+    if (s.in_access_window) {
+      ++marked;
+      EXPECT_TRUE((s.t >= 10 && s.t < 20) || (s.t >= 40 && s.t < 45));
+    }
+  }
+  EXPECT_EQ(marked, 15u);
+}
+
+TEST(Monitor, DeterministicBySeed) {
+  const auto a = ResourceMonitor(idle_config(5)).record(60.0, {});
+  const auto b = ResourceMonitor(idle_config(5)).record(60.0, {});
+  const auto c = ResourceMonitor(idle_config(6)).record(60.0, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].cpu_idle_pct, b[i].cpu_idle_pct);
+  }
+  EXPECT_NE(a[10].cpu_idle_pct, c[10].cpu_idle_pct);
+}
+
+TEST(Monitor, IdleGuestLooksIdle) {
+  const auto samples = ResourceMonitor(idle_config()).record(300.0, {});
+  double idle_sum = 0;
+  for (const auto& s : samples) {
+    idle_sum += s.cpu_idle_pct;
+    EXPECT_GE(s.cpu_idle_pct, 0.0);
+    EXPECT_LE(s.cpu_idle_pct, 100.0);
+    EXPECT_GE(s.page_faults_per_s, 0.0);
+  }
+  EXPECT_GT(idle_sum / static_cast<double>(samples.size()), 90.0);
+}
+
+TEST(Monitor, LoadedGuestLooksLoaded) {
+  MonitorConfig cfg = idle_config();
+  cfg.load_level = 1.0;
+  const auto samples = ResourceMonitor(cfg).record(300.0, {});
+  double idle_sum = 0;
+  double faults_sum = 0;
+  for (const auto& s : samples) {
+    idle_sum += s.cpu_idle_pct;
+    faults_sum += s.page_faults_per_s;
+  }
+  EXPECT_LT(idle_sum / static_cast<double>(samples.size()), 20.0);
+  EXPECT_GT(faults_sum / static_cast<double>(samples.size()), 300.0);
+}
+
+// ---- perturbation analysis ------------------------------------------------------------
+TEST(Analysis, NoEffectMeansNoSignificance) {
+  MonitorConfig cfg = idle_config(9);
+  cfg.access_effect_pct = 0.0;  // literally zero guest-visible effect
+  const auto samples =
+      ResourceMonitor(cfg).record(600.0, {{60, 120}, {300, 360}});
+  const auto stats = analyze_metric(samples, [](const ResourceSample& s) {
+    return s.cpu_privileged_pct;
+  });
+  EXPECT_GT(stats.n_in, 0u);
+  EXPECT_GT(stats.n_out, 0u);
+  EXPECT_FALSE(stats.significant());
+}
+
+TEST(Analysis, LargeForcedEffectIsDetected) {
+  // Sanity: the statistic is actually capable of detecting a real
+  // perturbation (an in-guest agent, say, costing 3 CPU points).
+  MonitorConfig cfg = idle_config(10);
+  cfg.access_effect_pct = 3.0;
+  const auto samples =
+      ResourceMonitor(cfg).record(600.0, {{60, 180}, {300, 420}});
+  const auto stats = analyze_metric(samples, [](const ResourceSample& s) {
+    return s.cpu_privileged_pct;
+  });
+  EXPECT_TRUE(stats.significant());
+  EXPECT_GT(stats.mean_in, stats.mean_out);
+}
+
+TEST(Analysis, DefaultAgentlessEffectStaysBelowNoise) {
+  // The Fig. 9 reproduction: the default (realistic, tiny) effect must not
+  // reach significance on any metric.
+  const auto samples = ResourceMonitor(idle_config(7))
+                           .record(240.0, {{30, 50}, {90, 110}, {150, 170},
+                                           {210, 230}});
+  const auto metrics = {
+      +[](const ResourceSample& s) { return s.cpu_idle_pct; },
+      +[](const ResourceSample& s) { return s.cpu_user_pct; },
+      +[](const ResourceSample& s) { return s.cpu_privileged_pct; },
+      +[](const ResourceSample& s) { return s.mem_free_pct; },
+      +[](const ResourceSample& s) { return s.page_faults_per_s; },
+  };
+  for (const auto metric : metrics) {
+    EXPECT_FALSE(analyze_metric(samples, metric).significant());
+  }
+}
+
+TEST(Analysis, HandlesDegenerateWindowSets) {
+  const auto samples = ResourceMonitor(idle_config()).record(60.0, {});
+  const auto stats = analyze_metric(
+      samples, [](const ResourceSample& s) { return s.cpu_idle_pct; });
+  EXPECT_EQ(stats.n_in, 0u);
+  EXPECT_FALSE(stats.significant());
+}
+
+TEST(Analysis, AutocorrelationIsMeasured) {
+  const auto samples = ResourceMonitor(idle_config(3)).record(300.0, {{10, 60}});
+  const auto stats = analyze_metric(
+      samples, [](const ResourceSample& s) { return s.cpu_user_pct; });
+  // The AR(1) generator uses rho=0.7; the estimate should land nearby.
+  EXPECT_GT(stats.lag1_autocorr, 0.3);
+  EXPECT_LT(stats.lag1_autocorr, 0.95);
+}
+
+}  // namespace

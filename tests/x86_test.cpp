@@ -1,0 +1,296 @@
+// Unit tests for mc_x86: instruction encodings, the length decoder, cave
+// scanning, and the synthetic driver code generator.
+#include <gtest/gtest.h>
+
+#include "x86/assembler.hpp"
+#include "x86/codegen.hpp"
+#include "x86/decoder.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::x86;
+
+// ---- encodings (exact bytes; E1 depends on these being genuine IA-32) --------
+TEST(Assembler, PaperOpcodePair) {
+  Assembler as;
+  as.dec_ecx();
+  EXPECT_EQ(as.code(), Bytes{0x49});
+
+  Assembler as2;
+  as2.sub_ecx_imm8(1);
+  EXPECT_EQ(as2.code(), (Bytes{0x83, 0xE9, 0x01}));
+}
+
+TEST(Assembler, SingleByteOps) {
+  Assembler as;
+  as.nop();
+  as.ret();
+  as.int3();
+  as.push_ebp();
+  as.pop_ebp();
+  as.inc_eax();
+  EXPECT_EQ(as.code(), (Bytes{0x90, 0xC3, 0xCC, 0x55, 0x5D, 0x40}));
+}
+
+TEST(Assembler, TwoByteOps) {
+  Assembler as;
+  as.mov_ebp_esp();
+  as.xor_eax_eax();
+  EXPECT_EQ(as.code(), (Bytes{0x89, 0xE5, 0x31, 0xC0}));
+}
+
+TEST(Assembler, MovEaxAbsEncodesA1AndRecordsFixup) {
+  Assembler as;
+  as.mov_eax_abs(0xF8CC2010);
+  ASSERT_EQ(as.code().size(), 5u);
+  EXPECT_EQ(as.code()[0], 0xA1);
+  EXPECT_EQ(load_le32(as.code(), 1), 0xF8CC2010u);
+  ASSERT_EQ(as.fixups().size(), 1u);
+  EXPECT_EQ(as.fixups()[0], 1u);  // operand offset
+}
+
+TEST(Assembler, MovRegImmIsNotAFixup) {
+  Assembler as;
+  as.mov_reg_imm32(Reg::kEcx, 0x12345678);
+  EXPECT_EQ(as.code()[0], 0xB9);
+  EXPECT_TRUE(as.fixups().empty());
+}
+
+TEST(Assembler, MovRegAddrIsAFixup) {
+  Assembler as;
+  as.mov_reg_addr(Reg::kEdx, 0xF8001000);
+  EXPECT_EQ(as.code()[0], 0xBA);
+  EXPECT_EQ(as.fixups().size(), 1u);
+}
+
+TEST(Assembler, CallIndirectAbs) {
+  Assembler as;
+  as.call_indirect_abs(0xF8003004);
+  ASSERT_EQ(as.code().size(), 6u);
+  EXPECT_EQ(as.code()[0], 0xFF);
+  EXPECT_EQ(as.code()[1], 0x15);
+  EXPECT_EQ(load_le32(as.code(), 2), 0xF8003004u);
+  EXPECT_EQ(as.fixups(), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Assembler, RelativeCallComputesDisplacement) {
+  Assembler as;
+  as.nop();          // offset 0
+  as.call_to(0x50);  // call at 1, next instruction at 6
+  ASSERT_EQ(as.code().size(), 6u);
+  EXPECT_EQ(as.code()[1], 0xE8);
+  EXPECT_EQ(static_cast<std::int32_t>(load_le32(as.code(), 2)), 0x50 - 6);
+}
+
+TEST(Assembler, BackwardJmp) {
+  Assembler as;
+  as.nop();
+  as.nop();
+  as.jmp_to(0);  // jmp at 2, ends at 7, rel = -7
+  EXPECT_EQ(static_cast<std::int32_t>(load_le32(as.code(), 3)), -7);
+}
+
+TEST(Assembler, CaveEmitsZeros) {
+  Assembler as;
+  as.cave(12);
+  EXPECT_EQ(as.code(), Bytes(12, 0x00));
+}
+
+// ---- decoder ---------------------------------------------------------------------
+TEST(Decoder, LengthsForEmittedSubset) {
+  Assembler as;
+  as.push_ebp();           // 1
+  as.mov_ebp_esp();        // 2
+  as.mov_reg_imm32(Reg::kEcx, 5);  // 5
+  as.dec_ecx();            // 1
+  as.sub_ecx_imm8(1);      // 3
+  as.cmp_eax_imm32(7);     // 5
+  as.jz_rel8(1);           // 2
+  as.call_rel32(0);        // 5
+  as.call_indirect_abs(0x1000);  // 6
+  as.ret();                // 1
+
+  const ByteView code = as.code();
+  std::size_t off = 0;
+  for (const std::uint32_t expected : {1u, 2u, 5u, 1u, 3u, 5u, 2u, 5u, 6u, 1u}) {
+    const auto len = instruction_length(code, off);
+    ASSERT_TRUE(len.has_value()) << "at offset " << off;
+    EXPECT_EQ(*len, expected) << "at offset " << off;
+    off += *len;
+  }
+  EXPECT_EQ(off, code.size());
+}
+
+TEST(Decoder, RejectsUnknownOpcode) {
+  const Bytes code = {0x0F, 0x05};  // syscall — outside the subset
+  EXPECT_FALSE(instruction_length(code, 0).has_value());
+}
+
+TEST(Decoder, RejectsTruncatedInstruction) {
+  const Bytes code = {0xE8, 0x01};  // call rel32 needs 5 bytes
+  EXPECT_FALSE(instruction_length(code, 0).has_value());
+}
+
+TEST(Decoder, CoverInstructionsFindsWholeBoundary) {
+  Assembler as;
+  as.push_ebp();     // 1
+  as.mov_ebp_esp();  // 2
+  as.mov_reg_imm32(Reg::kEcx, 9);  // 5
+  const auto covered = cover_instructions(as.code(), 0, 5);
+  ASSERT_TRUE(covered.has_value());
+  EXPECT_EQ(*covered, 8u);  // 1 + 2 + 5: must not split the mov
+}
+
+TEST(Decoder, CoverInstructionsFailsOnGarbage) {
+  const Bytes code = {0x90, 0x0F, 0xFF};
+  EXPECT_FALSE(cover_instructions(code, 0, 3).has_value());
+}
+
+TEST(Decoder, FindCaves) {
+  Bytes code = {0x90, 0x00, 0x00, 0x00, 0x90, 0x00, 0x00,
+                0x00, 0x00, 0x00, 0x00, 0x90};
+  const auto caves = find_caves(code, 4);
+  ASSERT_EQ(caves.size(), 1u);
+  EXPECT_EQ(caves[0].offset, 5u);
+  EXPECT_EQ(caves[0].length, 6u);
+
+  const auto small = find_caves(code, 3);
+  ASSERT_EQ(small.size(), 2u);
+  EXPECT_EQ(small[0].offset, 1u);
+  EXPECT_EQ(small[0].length, 3u);
+}
+
+TEST(Decoder, FindCavesAtBufferEnd) {
+  Bytes code = {0x90, 0x00, 0x00, 0x00};
+  const auto caves = find_caves(code, 3);
+  ASSERT_EQ(caves.size(), 1u);
+  EXPECT_EQ(caves[0].offset, 1u);
+}
+
+// ---- codegen ----------------------------------------------------------------------
+CodeGenParams small_params() {
+  CodeGenParams p;
+  p.seed = 11;
+  p.function_count = 5;
+  p.ops_per_function = 30;
+  p.data_rva = 0x3000;
+  p.data_size = 0x1000;
+  return p;
+}
+
+TEST(CodeGen, DeterministicForSameSeed) {
+  const CodeBlob a = generate_driver_text(small_params(), 0x10000);
+  const CodeBlob b = generate_driver_text(small_params(), 0x10000);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.fixups, b.fixups);
+  EXPECT_EQ(a.function_offsets, b.function_offsets);
+}
+
+TEST(CodeGen, DifferentSeedsProduceDifferentCode) {
+  auto p = small_params();
+  const CodeBlob a = generate_driver_text(p, 0x10000);
+  p.seed = 12;
+  const CodeBlob b = generate_driver_text(p, 0x10000);
+  EXPECT_NE(a.code, b.code);
+}
+
+TEST(CodeGen, SizeIndependentOfOperandValues) {
+  // The two-pass golden-image build relies on this: same shape params,
+  // different base/IAT values, identical size.
+  auto p = small_params();
+  p.iat_slot_rvas = {0x4000, 0x4004};
+  const CodeBlob a = generate_driver_text(p, 0x10000);
+  p.iat_slot_rvas = {0x7000, 0x7104};
+  const CodeBlob b = generate_driver_text(p, 0x00400000);
+  EXPECT_EQ(a.code.size(), b.code.size());
+  EXPECT_EQ(a.fixups, b.fixups);
+  EXPECT_EQ(a.function_offsets, b.function_offsets);
+}
+
+TEST(CodeGen, EveryFunctionIsFullyDecodable) {
+  const CodeBlob blob = generate_driver_text(small_params(), 0x10000);
+  // Decode from each function start until its ret; all instructions must
+  // be within the decoder subset.
+  for (std::size_t f = 0; f < blob.function_offsets.size(); ++f) {
+    std::size_t off = blob.function_offsets[f];
+    const std::size_t end = (f + 1 < blob.function_offsets.size())
+                                ? blob.function_offsets[f + 1]
+                                : blob.code.size();
+    bool saw_ret = false;
+    while (off < end) {
+      if (blob.code[off] == 0xC3) {
+        saw_ret = true;
+        break;
+      }
+      const auto len = instruction_length(blob.code, off);
+      ASSERT_TRUE(len.has_value()) << "fn " << f << " offset " << off;
+      off += *len;
+    }
+    EXPECT_TRUE(saw_ret) << "fn " << f;
+  }
+}
+
+TEST(CodeGen, FixupsPointAtPlausibleAddresses) {
+  const std::uint32_t image_base = 0x00400000;
+  const CodeBlob blob = generate_driver_text(small_params(), image_base);
+  EXPECT_FALSE(blob.fixups.empty());
+  for (const std::uint32_t off : blob.fixups) {
+    ASSERT_LE(off + 4, blob.code.size());
+    const std::uint32_t va = load_le32(blob.code, off);
+    EXPECT_GE(va, image_base);
+    EXPECT_LT(va, image_base + 0x01000000);
+  }
+}
+
+TEST(CodeGen, EntryIsLastFunction) {
+  const CodeBlob blob = generate_driver_text(small_params(), 0x10000);
+  EXPECT_EQ(blob.entry_offset, blob.function_offsets.back());
+}
+
+TEST(CodeGen, EveryFunctionContainsDecEcx) {
+  // E1's target instruction must exist in every generated module.
+  const CodeBlob blob = generate_driver_text(small_params(), 0x10000);
+  for (std::size_t f = 0; f < blob.function_offsets.size(); ++f) {
+    std::size_t off = blob.function_offsets[f];
+    bool found = false;
+    while (off < blob.code.size() && blob.code[off] != 0xC3) {
+      if (blob.code[off] == 0x49) {
+        found = true;
+        break;
+      }
+      const auto len = instruction_length(blob.code, off);
+      ASSERT_TRUE(len.has_value());
+      off += *len;
+    }
+    EXPECT_TRUE(found) << "fn " << f;
+  }
+}
+
+TEST(CodeGen, InterFunctionCavesExist) {
+  auto p = small_params();
+  p.cave_min = 16;
+  p.cave_max = 32;
+  const CodeBlob blob = generate_driver_text(p, 0x10000);
+  const auto caves = find_caves(blob.code, 16);
+  EXPECT_GE(caves.size(), p.function_count - 1);
+}
+
+TEST(CodeGen, IatCallsEmittedWhenSlotsProvided) {
+  auto p = small_params();
+  p.iat_slot_rvas = {0x4000};
+  p.address_op_fraction = 0.5;
+  const CodeBlob blob = generate_driver_text(p, 0x10000);
+  // Look for FF 15 with the slot VA.
+  bool found = false;
+  for (std::size_t i = 0; i + 6 <= blob.code.size(); ++i) {
+    if (blob.code[i] == 0xFF && blob.code[i + 1] == 0x15 &&
+        load_le32(blob.code, i + 2) == 0x10000 + 0x4000) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

@@ -1,0 +1,324 @@
+// modchecker — command-line driver for the simulated cloud.
+//
+// Subcommands:
+//   check   --module M [--subject N] [--guests G] [--parallel] [--algo A]
+//   audit   [--guests G] [--parallel]
+//   scan    --module M [--guests G]           (pool scan, per-VM verdicts)
+//   monitor [--guests G] [--horizon MS]       (scheduler over all modules)
+//   attack  --module M --attack T [--victim N] then re-check
+//   list    [--guests G]                      (loader list of Dom1)
+//   validate --module M                       (PE validator on golden file)
+//
+// Everything runs against a freshly built deterministic environment; the
+// tool exists to make the library explorable without writing code.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "attacks/dkom_hide.hpp"
+#include "attacks/dll_import_inject.hpp"
+#include "attacks/header_tamper.hpp"
+#include "attacks/iat_hook.hpp"
+#include "attacks/inline_hook.hpp"
+#include "attacks/opcode_replace.hpp"
+#include "attacks/stub_patch.hpp"
+#include "cloud/environment.hpp"
+#include <fstream>
+
+#include "modchecker/audit.hpp"
+#include "modchecker/forensics.hpp"
+#include "modchecker/modchecker.hpp"
+#include "modchecker/parser.hpp"
+#include "modchecker/report.hpp"
+#include "modchecker/report_json.hpp"
+#include "modchecker/scheduler.hpp"
+#include "modchecker/searcher.hpp"
+#include "pe/constants.hpp"
+#include "pe/resources.hpp"
+#include "vmi/dump.hpp"
+#include "pe/validate.hpp"
+#include "vmi/session.hpp"
+
+namespace {
+
+using namespace mc;
+
+struct Options {
+  std::string command;
+  std::string module = "hal.dll";
+  std::string attack = "inline-hook";
+  std::string algorithm = "md5";
+  std::size_t guests = 15;
+  std::size_t subject = 1;  // Dom index (1-based, as in the paper)
+  std::size_t victim = 1;
+  std::uint64_t horizon_ms = 10000;
+  bool parallel = false;
+  bool json = false;
+  std::string file;  // dump file path for dump/checkdump
+};
+
+void usage() {
+  std::printf(
+      "usage: modchecker_cli <command> [options]\n"
+      "commands: check | scan | audit | monitor | attack | list | validate\n"
+      "          dump | checkdump\n"
+      "options:\n"
+      "  --module <name>     target module (default hal.dll)\n"
+      "  --guests <n>        pool size (default 15)\n"
+      "  --subject <n>       subject Dom number (default 1)\n"
+      "  --victim <n>        victim Dom number for 'attack' (default 1)\n"
+      "  --attack <type>     opcode-replace | inline-hook | stub-patch |\n"
+      "                      dll-inject | iat-hook | header-tamper | dkom\n"
+      "  --algo <hash>       md5 | sha1 | sha256 (default md5)\n"
+      "  --horizon <ms>      simulated monitor horizon (default 10000)\n"
+      "  --parallel          use the parallel pool-scan engine\n"
+      "  --json              machine-readable output (check/scan/audit)\n"
+      "  --file <path>       dump file for dump/checkdump\n");
+}
+
+std::unique_ptr<attacks::Attack> make_attack(const std::string& name) {
+  if (name == "opcode-replace") {
+    return std::make_unique<attacks::OpcodeReplaceAttack>();
+  }
+  if (name == "inline-hook") {
+    return std::make_unique<attacks::InlineHookAttack>();
+  }
+  if (name == "stub-patch") {
+    return std::make_unique<attacks::StubPatchAttack>();
+  }
+  if (name == "dll-inject") {
+    return std::make_unique<attacks::DllImportInjectAttack>();
+  }
+  if (name == "iat-hook") {
+    return std::make_unique<attacks::IatHookAttack>();
+  }
+  if (name == "header-tamper") {
+    return std::make_unique<attacks::HeaderTamperAttack>();
+  }
+  if (name == "dkom") {
+    return std::make_unique<attacks::DkomHideAttack>();
+  }
+  throw InvalidArgument("unknown attack: " + name);
+}
+
+core::ModCheckerConfig make_config(const Options& options) {
+  core::ModCheckerConfig cfg;
+  cfg.algorithm = crypto::parse_hash_algorithm(options.algorithm);
+  cfg.parallel = options.parallel;
+  return cfg;
+}
+
+int run(const Options& options) {
+  cloud::CloudConfig cloud_cfg;
+  cloud_cfg.guest_count = options.guests;
+  cloud::CloudEnvironment env(cloud_cfg);
+  const auto& guests = env.guests();
+  MC_CHECK(options.subject >= 1 && options.subject <= guests.size(),
+           "subject out of range");
+  const vmm::DomainId subject = guests[options.subject - 1];
+
+  if (options.command == "check") {
+    core::ModChecker checker(env.hypervisor(), make_config(options));
+    const auto report = checker.check_module(subject, options.module);
+    std::printf("%s", options.json
+                          ? (core::to_json(report) + "\n").c_str()
+                          : core::format_report(report).c_str());
+    return report.subject_clean ? 0 : 2;
+  }
+
+  if (options.command == "scan") {
+    core::ModChecker checker(env.hypervisor(), make_config(options));
+    const auto report = checker.scan_pool(options.module, guests);
+    std::printf("%s", options.json
+                          ? (core::to_json(report) + "\n").c_str()
+                          : core::format_pool_report(report).c_str());
+    return 0;
+  }
+
+  if (options.command == "audit") {
+    const auto report = core::audit_modules(
+        env.hypervisor(), env.config().load_order, guests,
+        make_config(options));
+    std::printf("%s", options.json
+                          ? (core::to_json(report) + "\n").c_str()
+                          : core::format_audit_report(report).c_str());
+    return report.findings.empty() ? 0 : 2;
+  }
+
+  if (options.command == "dump") {
+    MC_CHECK(!options.file.empty(), "dump needs --file <path>");
+    const Bytes dump = vmi::dump_domain(env.hypervisor(), subject);
+    std::ofstream out(options.file, std::ios::binary);
+    MC_CHECK(out.good(), "cannot open output file");
+    out.write(reinterpret_cast<const char*>(dump.data()),
+              static_cast<std::streamsize>(dump.size()));
+    std::printf("wrote %zu bytes (Dom%u memory capture) to %s\n",
+                dump.size(), subject, options.file.c_str());
+    return 0;
+  }
+
+  if (options.command == "checkdump") {
+    MC_CHECK(!options.file.empty(), "checkdump needs --file <path>");
+    std::ifstream in(options.file, std::ios::binary);
+    MC_CHECK(in.good(), "cannot open dump file");
+    Bytes dump((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+
+    const vmi::DumpAnalysis analysis(dump);
+    SimClock clock;
+    vmi::VmiSession session(analysis.hypervisor(), analysis.domain_id(),
+                            clock);
+    core::ModuleSearcher searcher(session);
+    std::printf("offline analysis of %s:\n", options.file.c_str());
+    for (const auto& m : searcher.list_modules()) {
+      std::printf("  %08x  %7u bytes  %-14s", m.base, m.size_of_image,
+                  m.name.c_str());
+      const auto image = searcher.extract_module(m.name);
+      const pe::ParsedImage parsed(image->bytes);
+      const auto& dir =
+          parsed.optional_header().DataDirectories[pe::kDirResource];
+      if (dir.VirtualAddress != 0) {
+        const auto v =
+            pe::parse_version_resource(image->bytes, dir.VirtualAddress);
+        if (v) {
+          std::printf(" v%u.%u.%u.%u", v->file_major, v->file_minor,
+                      v->file_build, v->file_revision);
+        }
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  if (options.command == "monitor") {
+    core::ScanScheduler scheduler(env.hypervisor(),
+                                  std::vector<vmm::DomainId>(guests),
+                                  make_config(options));
+    SimNanos phase = 0;
+    for (const auto& module : env.config().load_order) {
+      scheduler.add_policy({module, sim_ms(2000), phase});
+      phase += sim_ms(150);
+    }
+    const auto report = scheduler.run_until(sim_ms(options.horizon_ms));
+    std::printf("%s", core::format_schedule_report(report).c_str());
+    return 0;
+  }
+
+  if (options.command == "attack") {
+    MC_CHECK(options.victim >= 1 && options.victim <= guests.size(),
+             "victim out of range");
+    const vmm::DomainId victim = guests[options.victim - 1];
+    const auto attack = make_attack(options.attack);
+    const auto result = attack->apply(env, victim, options.module);
+    std::printf("applied: %s\n%s\n\n", result.attack_name.c_str(),
+                result.description.c_str());
+
+    core::ModChecker checker(env.hypervisor(), make_config(options));
+    const auto report = checker.check_module(victim, options.module);
+    std::printf("%s", core::format_report(report).c_str());
+
+    // Forensic drill-down against a clean peer, like an analyst would.
+    if (!report.subject_clean && !report.comparisons.empty()) {
+      SimClock clock;
+      const core::ModuleParser parser;
+      vmi::VmiSession vs(env.hypervisor(), victim, clock);
+      vmi::VmiSession rs(env.hypervisor(),
+                         victim == guests[0] ? guests[1] : guests[0], clock);
+      const auto vimg =
+          core::ModuleSearcher(vs).extract_module(options.module);
+      const auto rimg =
+          core::ModuleSearcher(rs).extract_module(options.module);
+      if (vimg && rimg) {
+        const auto sub = parser.parse(*vimg, clock);
+        const auto ref = parser.parse(*rimg, clock);
+        for (const auto& f : core::analyze_all_flagged(sub, ref)) {
+          std::printf("\n%s", core::format_forensic_report(f).c_str());
+        }
+      }
+    }
+    return report.subject_clean ? 0 : 2;
+  }
+
+  if (options.command == "list") {
+    SimClock clock;
+    vmi::VmiSession session(env.hypervisor(), subject, clock);
+    core::ModuleSearcher searcher(session);
+    std::printf("modules on Dom%u (via introspection):\n", subject);
+    for (const auto& m : searcher.list_modules()) {
+      std::printf("  %08x  %7u bytes  %s\n", m.base, m.size_of_image,
+                  m.name.c_str());
+    }
+    std::printf("(introspection cost: %s simulated)\n",
+                format_sim_nanos(clock.now()).c_str());
+    return 0;
+  }
+
+  if (options.command == "validate") {
+    const auto report =
+        pe::validate_image_file(env.golden().file(options.module));
+    std::printf("%s", pe::format_validation_report(report).c_str());
+    return report.ok() ? 0 : 2;
+  }
+
+  usage();
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  Options options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw mc::InvalidArgument("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--module") {
+        options.module = next();
+      } else if (arg == "--guests") {
+        options.guests = std::stoul(next());
+      } else if (arg == "--subject") {
+        options.subject = std::stoul(next());
+      } else if (arg == "--victim") {
+        options.victim = std::stoul(next());
+      } else if (arg == "--attack") {
+        options.attack = next();
+      } else if (arg == "--algo") {
+        options.algorithm = next();
+      } else if (arg == "--horizon") {
+        options.horizon_ms = std::stoull(next());
+      } else if (arg == "--parallel") {
+        options.parallel = true;
+      } else if (arg == "--json") {
+        options.json = true;
+      } else if (arg == "--file") {
+        options.file = next();
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage();
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad argument: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  try {
+    return run(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
