@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rva.dir/bench/bench_ablation_rva.cpp.o"
+  "CMakeFiles/bench_ablation_rva.dir/bench/bench_ablation_rva.cpp.o.d"
+  "bench/bench_ablation_rva"
+  "bench/bench_ablation_rva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

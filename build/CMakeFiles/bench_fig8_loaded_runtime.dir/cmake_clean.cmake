@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_loaded_runtime.dir/bench/bench_fig8_loaded_runtime.cpp.o"
+  "CMakeFiles/bench_fig8_loaded_runtime.dir/bench/bench_fig8_loaded_runtime.cpp.o.d"
+  "bench/bench_fig8_loaded_runtime"
+  "bench/bench_fig8_loaded_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_loaded_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

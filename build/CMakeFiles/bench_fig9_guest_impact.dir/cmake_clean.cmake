@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_guest_impact.dir/bench/bench_fig9_guest_impact.cpp.o"
+  "CMakeFiles/bench_fig9_guest_impact.dir/bench/bench_fig9_guest_impact.cpp.o.d"
+  "bench/bench_fig9_guest_impact"
+  "bench/bench_fig9_guest_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_guest_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

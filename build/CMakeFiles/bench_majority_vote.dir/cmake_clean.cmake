@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_majority_vote.dir/bench/bench_majority_vote.cpp.o"
+  "CMakeFiles/bench_majority_vote.dir/bench/bench_majority_vote.cpp.o.d"
+  "bench/bench_majority_vote"
+  "bench/bench_majority_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_majority_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

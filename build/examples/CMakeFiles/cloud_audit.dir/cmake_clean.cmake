@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_audit.dir/cloud_audit.cpp.o"
+  "CMakeFiles/cloud_audit.dir/cloud_audit.cpp.o.d"
+  "cloud_audit"
+  "cloud_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_cloud.dir/mixed_cloud.cpp.o"
+  "CMakeFiles/mixed_cloud.dir/mixed_cloud.cpp.o.d"
+  "mixed_cloud"
+  "mixed_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tuning.dir/perf_tuning.cpp.o"
+  "CMakeFiles/perf_tuning.dir/perf_tuning.cpp.o.d"
+  "perf_tuning"
+  "perf_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/byte_patch.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/byte_patch.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/byte_patch.cpp.o.d"
+  "/root/repo/src/attacks/campaign.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/campaign.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/campaign.cpp.o.d"
+  "/root/repo/src/attacks/dkom_hide.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/dkom_hide.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/dkom_hide.cpp.o.d"
+  "/root/repo/src/attacks/dll_import_inject.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/dll_import_inject.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/dll_import_inject.cpp.o.d"
+  "/root/repo/src/attacks/eat_hook.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/eat_hook.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/eat_hook.cpp.o.d"
+  "/root/repo/src/attacks/guest_writer.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/guest_writer.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/guest_writer.cpp.o.d"
+  "/root/repo/src/attacks/header_tamper.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/header_tamper.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/header_tamper.cpp.o.d"
+  "/root/repo/src/attacks/hollowing.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/hollowing.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/hollowing.cpp.o.d"
+  "/root/repo/src/attacks/iat_hook.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/iat_hook.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/iat_hook.cpp.o.d"
+  "/root/repo/src/attacks/inline_hook.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/inline_hook.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/inline_hook.cpp.o.d"
+  "/root/repo/src/attacks/opcode_replace.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/opcode_replace.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/opcode_replace.cpp.o.d"
+  "/root/repo/src/attacks/stub_patch.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/stub_patch.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/stub_patch.cpp.o.d"
+  "/root/repo/src/attacks/version_spoof.cpp" "src/attacks/CMakeFiles/mc_attacks.dir/version_spoof.cpp.o" "gcc" "src/attacks/CMakeFiles/mc_attacks.dir/version_spoof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mc_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/mc_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/mc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/mc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/mc_vmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_attacks.dir/byte_patch.cpp.o"
+  "CMakeFiles/mc_attacks.dir/byte_patch.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/campaign.cpp.o"
+  "CMakeFiles/mc_attacks.dir/campaign.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/dkom_hide.cpp.o"
+  "CMakeFiles/mc_attacks.dir/dkom_hide.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/dll_import_inject.cpp.o"
+  "CMakeFiles/mc_attacks.dir/dll_import_inject.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/eat_hook.cpp.o"
+  "CMakeFiles/mc_attacks.dir/eat_hook.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/guest_writer.cpp.o"
+  "CMakeFiles/mc_attacks.dir/guest_writer.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/header_tamper.cpp.o"
+  "CMakeFiles/mc_attacks.dir/header_tamper.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/hollowing.cpp.o"
+  "CMakeFiles/mc_attacks.dir/hollowing.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/iat_hook.cpp.o"
+  "CMakeFiles/mc_attacks.dir/iat_hook.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/inline_hook.cpp.o"
+  "CMakeFiles/mc_attacks.dir/inline_hook.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/opcode_replace.cpp.o"
+  "CMakeFiles/mc_attacks.dir/opcode_replace.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/stub_patch.cpp.o"
+  "CMakeFiles/mc_attacks.dir/stub_patch.cpp.o.d"
+  "CMakeFiles/mc_attacks.dir/version_spoof.cpp.o"
+  "CMakeFiles/mc_attacks.dir/version_spoof.cpp.o.d"
+  "libmc_attacks.a"
+  "libmc_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

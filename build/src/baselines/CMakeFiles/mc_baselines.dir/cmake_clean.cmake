@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_baselines.dir/disk_crossview.cpp.o"
+  "CMakeFiles/mc_baselines.dir/disk_crossview.cpp.o.d"
+  "CMakeFiles/mc_baselines.dir/hash_dict.cpp.o"
+  "CMakeFiles/mc_baselines.dir/hash_dict.cpp.o.d"
+  "CMakeFiles/mc_baselines.dir/lkim_style.cpp.o"
+  "CMakeFiles/mc_baselines.dir/lkim_style.cpp.o.d"
+  "CMakeFiles/mc_baselines.dir/pioneer_style.cpp.o"
+  "CMakeFiles/mc_baselines.dir/pioneer_style.cpp.o.d"
+  "libmc_baselines.a"
+  "libmc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

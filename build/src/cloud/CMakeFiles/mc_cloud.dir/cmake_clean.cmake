@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_cloud.dir/catalog.cpp.o"
+  "CMakeFiles/mc_cloud.dir/catalog.cpp.o.d"
+  "CMakeFiles/mc_cloud.dir/environment.cpp.o"
+  "CMakeFiles/mc_cloud.dir/environment.cpp.o.d"
+  "CMakeFiles/mc_cloud.dir/golden.cpp.o"
+  "CMakeFiles/mc_cloud.dir/golden.cpp.o.d"
+  "libmc_cloud.a"
+  "libmc_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

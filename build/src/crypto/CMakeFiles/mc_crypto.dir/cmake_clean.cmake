@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_crypto.dir/crc32.cpp.o"
+  "CMakeFiles/mc_crypto.dir/crc32.cpp.o.d"
+  "CMakeFiles/mc_crypto.dir/digest.cpp.o"
+  "CMakeFiles/mc_crypto.dir/digest.cpp.o.d"
+  "CMakeFiles/mc_crypto.dir/hasher.cpp.o"
+  "CMakeFiles/mc_crypto.dir/hasher.cpp.o.d"
+  "CMakeFiles/mc_crypto.dir/md5.cpp.o"
+  "CMakeFiles/mc_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/mc_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/mc_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/mc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mc_crypto.dir/sha256.cpp.o.d"
+  "libmc_crypto.a"
+  "libmc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guestos/kernel.cpp" "src/guestos/CMakeFiles/mc_guestos.dir/kernel.cpp.o" "gcc" "src/guestos/CMakeFiles/mc_guestos.dir/kernel.cpp.o.d"
+  "/root/repo/src/guestos/module_loader.cpp" "src/guestos/CMakeFiles/mc_guestos.dir/module_loader.cpp.o" "gcc" "src/guestos/CMakeFiles/mc_guestos.dir/module_loader.cpp.o.d"
+  "/root/repo/src/guestos/profile.cpp" "src/guestos/CMakeFiles/mc_guestos.dir/profile.cpp.o" "gcc" "src/guestos/CMakeFiles/mc_guestos.dir/profile.cpp.o.d"
+  "/root/repo/src/guestos/winlike.cpp" "src/guestos/CMakeFiles/mc_guestos.dir/winlike.cpp.o" "gcc" "src/guestos/CMakeFiles/mc_guestos.dir/winlike.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mc_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/mc_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_guestos.dir/kernel.cpp.o"
+  "CMakeFiles/mc_guestos.dir/kernel.cpp.o.d"
+  "CMakeFiles/mc_guestos.dir/module_loader.cpp.o"
+  "CMakeFiles/mc_guestos.dir/module_loader.cpp.o.d"
+  "CMakeFiles/mc_guestos.dir/profile.cpp.o"
+  "CMakeFiles/mc_guestos.dir/profile.cpp.o.d"
+  "CMakeFiles/mc_guestos.dir/winlike.cpp.o"
+  "CMakeFiles/mc_guestos.dir/winlike.cpp.o.d"
+  "libmc_guestos.a"
+  "libmc_guestos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

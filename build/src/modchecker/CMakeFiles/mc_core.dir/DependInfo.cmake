@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modchecker/audit.cpp" "src/modchecker/CMakeFiles/mc_core.dir/audit.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/audit.cpp.o.d"
+  "/root/repo/src/modchecker/checker.cpp" "src/modchecker/CMakeFiles/mc_core.dir/checker.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/checker.cpp.o.d"
+  "/root/repo/src/modchecker/forensics.cpp" "src/modchecker/CMakeFiles/mc_core.dir/forensics.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/forensics.cpp.o.d"
+  "/root/repo/src/modchecker/history.cpp" "src/modchecker/CMakeFiles/mc_core.dir/history.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/history.cpp.o.d"
+  "/root/repo/src/modchecker/incremental.cpp" "src/modchecker/CMakeFiles/mc_core.dir/incremental.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/modchecker/modchecker.cpp" "src/modchecker/CMakeFiles/mc_core.dir/modchecker.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/modchecker.cpp.o.d"
+  "/root/repo/src/modchecker/parser.cpp" "src/modchecker/CMakeFiles/mc_core.dir/parser.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/parser.cpp.o.d"
+  "/root/repo/src/modchecker/report.cpp" "src/modchecker/CMakeFiles/mc_core.dir/report.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/report.cpp.o.d"
+  "/root/repo/src/modchecker/report_json.cpp" "src/modchecker/CMakeFiles/mc_core.dir/report_json.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/modchecker/rva_adjust.cpp" "src/modchecker/CMakeFiles/mc_core.dir/rva_adjust.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/rva_adjust.cpp.o.d"
+  "/root/repo/src/modchecker/scheduler.cpp" "src/modchecker/CMakeFiles/mc_core.dir/scheduler.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/modchecker/searcher.cpp" "src/modchecker/CMakeFiles/mc_core.dir/searcher.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/searcher.cpp.o.d"
+  "/root/repo/src/modchecker/triage.cpp" "src/modchecker/CMakeFiles/mc_core.dir/triage.cpp.o" "gcc" "src/modchecker/CMakeFiles/mc_core.dir/triage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mc_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/mc_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmi/CMakeFiles/mc_vmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/mc_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/mc_guestos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_core.dir/audit.cpp.o"
+  "CMakeFiles/mc_core.dir/audit.cpp.o.d"
+  "CMakeFiles/mc_core.dir/checker.cpp.o"
+  "CMakeFiles/mc_core.dir/checker.cpp.o.d"
+  "CMakeFiles/mc_core.dir/forensics.cpp.o"
+  "CMakeFiles/mc_core.dir/forensics.cpp.o.d"
+  "CMakeFiles/mc_core.dir/history.cpp.o"
+  "CMakeFiles/mc_core.dir/history.cpp.o.d"
+  "CMakeFiles/mc_core.dir/incremental.cpp.o"
+  "CMakeFiles/mc_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/mc_core.dir/modchecker.cpp.o"
+  "CMakeFiles/mc_core.dir/modchecker.cpp.o.d"
+  "CMakeFiles/mc_core.dir/parser.cpp.o"
+  "CMakeFiles/mc_core.dir/parser.cpp.o.d"
+  "CMakeFiles/mc_core.dir/report.cpp.o"
+  "CMakeFiles/mc_core.dir/report.cpp.o.d"
+  "CMakeFiles/mc_core.dir/report_json.cpp.o"
+  "CMakeFiles/mc_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/mc_core.dir/rva_adjust.cpp.o"
+  "CMakeFiles/mc_core.dir/rva_adjust.cpp.o.d"
+  "CMakeFiles/mc_core.dir/scheduler.cpp.o"
+  "CMakeFiles/mc_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mc_core.dir/searcher.cpp.o"
+  "CMakeFiles/mc_core.dir/searcher.cpp.o.d"
+  "CMakeFiles/mc_core.dir/triage.cpp.o"
+  "CMakeFiles/mc_core.dir/triage.cpp.o.d"
+  "libmc_core.a"
+  "libmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

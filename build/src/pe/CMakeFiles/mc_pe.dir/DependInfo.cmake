@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pe/builder.cpp" "src/pe/CMakeFiles/mc_pe.dir/builder.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/builder.cpp.o.d"
+  "/root/repo/src/pe/exports.cpp" "src/pe/CMakeFiles/mc_pe.dir/exports.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/exports.cpp.o.d"
+  "/root/repo/src/pe/imports.cpp" "src/pe/CMakeFiles/mc_pe.dir/imports.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/imports.cpp.o.d"
+  "/root/repo/src/pe/mapper.cpp" "src/pe/CMakeFiles/mc_pe.dir/mapper.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/mapper.cpp.o.d"
+  "/root/repo/src/pe/parser.cpp" "src/pe/CMakeFiles/mc_pe.dir/parser.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/parser.cpp.o.d"
+  "/root/repo/src/pe/reloc.cpp" "src/pe/CMakeFiles/mc_pe.dir/reloc.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/reloc.cpp.o.d"
+  "/root/repo/src/pe/resources.cpp" "src/pe/CMakeFiles/mc_pe.dir/resources.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/resources.cpp.o.d"
+  "/root/repo/src/pe/strings.cpp" "src/pe/CMakeFiles/mc_pe.dir/strings.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/strings.cpp.o.d"
+  "/root/repo/src/pe/structs.cpp" "src/pe/CMakeFiles/mc_pe.dir/structs.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/structs.cpp.o.d"
+  "/root/repo/src/pe/validate.cpp" "src/pe/CMakeFiles/mc_pe.dir/validate.cpp.o" "gcc" "src/pe/CMakeFiles/mc_pe.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

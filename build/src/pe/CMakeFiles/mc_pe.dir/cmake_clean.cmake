@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_pe.dir/builder.cpp.o"
+  "CMakeFiles/mc_pe.dir/builder.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/exports.cpp.o"
+  "CMakeFiles/mc_pe.dir/exports.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/imports.cpp.o"
+  "CMakeFiles/mc_pe.dir/imports.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/mapper.cpp.o"
+  "CMakeFiles/mc_pe.dir/mapper.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/parser.cpp.o"
+  "CMakeFiles/mc_pe.dir/parser.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/reloc.cpp.o"
+  "CMakeFiles/mc_pe.dir/reloc.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/resources.cpp.o"
+  "CMakeFiles/mc_pe.dir/resources.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/strings.cpp.o"
+  "CMakeFiles/mc_pe.dir/strings.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/structs.cpp.o"
+  "CMakeFiles/mc_pe.dir/structs.cpp.o.d"
+  "CMakeFiles/mc_pe.dir/validate.cpp.o"
+  "CMakeFiles/mc_pe.dir/validate.cpp.o.d"
+  "libmc_pe.a"
+  "libmc_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/error.cpp" "src/util/CMakeFiles/mc_util.dir/error.cpp.o" "gcc" "src/util/CMakeFiles/mc_util.dir/error.cpp.o.d"
+  "/root/repo/src/util/hexdump.cpp" "src/util/CMakeFiles/mc_util.dir/hexdump.cpp.o" "gcc" "src/util/CMakeFiles/mc_util.dir/hexdump.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/mc_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/mc_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/sim_clock.cpp" "src/util/CMakeFiles/mc_util.dir/sim_clock.cpp.o" "gcc" "src/util/CMakeFiles/mc_util.dir/sim_clock.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/mc_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/mc_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/utf16.cpp" "src/util/CMakeFiles/mc_util.dir/utf16.cpp.o" "gcc" "src/util/CMakeFiles/mc_util.dir/utf16.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_util.dir/error.cpp.o"
+  "CMakeFiles/mc_util.dir/error.cpp.o.d"
+  "CMakeFiles/mc_util.dir/hexdump.cpp.o"
+  "CMakeFiles/mc_util.dir/hexdump.cpp.o.d"
+  "CMakeFiles/mc_util.dir/log.cpp.o"
+  "CMakeFiles/mc_util.dir/log.cpp.o.d"
+  "CMakeFiles/mc_util.dir/sim_clock.cpp.o"
+  "CMakeFiles/mc_util.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/mc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mc_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mc_util.dir/utf16.cpp.o"
+  "CMakeFiles/mc_util.dir/utf16.cpp.o.d"
+  "libmc_util.a"
+  "libmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

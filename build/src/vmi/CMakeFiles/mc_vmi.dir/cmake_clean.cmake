@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_vmi.dir/cost_model.cpp.o"
+  "CMakeFiles/mc_vmi.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mc_vmi.dir/dump.cpp.o"
+  "CMakeFiles/mc_vmi.dir/dump.cpp.o.d"
+  "CMakeFiles/mc_vmi.dir/session.cpp.o"
+  "CMakeFiles/mc_vmi.dir/session.cpp.o.d"
+  "libmc_vmi.a"
+  "libmc_vmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_vmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

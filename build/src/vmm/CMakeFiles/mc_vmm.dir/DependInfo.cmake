@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/address_space.cpp" "src/vmm/CMakeFiles/mc_vmm.dir/address_space.cpp.o" "gcc" "src/vmm/CMakeFiles/mc_vmm.dir/address_space.cpp.o.d"
+  "/root/repo/src/vmm/contention.cpp" "src/vmm/CMakeFiles/mc_vmm.dir/contention.cpp.o" "gcc" "src/vmm/CMakeFiles/mc_vmm.dir/contention.cpp.o.d"
+  "/root/repo/src/vmm/domain.cpp" "src/vmm/CMakeFiles/mc_vmm.dir/domain.cpp.o" "gcc" "src/vmm/CMakeFiles/mc_vmm.dir/domain.cpp.o.d"
+  "/root/repo/src/vmm/hypervisor.cpp" "src/vmm/CMakeFiles/mc_vmm.dir/hypervisor.cpp.o" "gcc" "src/vmm/CMakeFiles/mc_vmm.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/vmm/phys_mem.cpp" "src/vmm/CMakeFiles/mc_vmm.dir/phys_mem.cpp.o" "gcc" "src/vmm/CMakeFiles/mc_vmm.dir/phys_mem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

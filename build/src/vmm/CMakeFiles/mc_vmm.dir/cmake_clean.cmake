@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_vmm.dir/address_space.cpp.o"
+  "CMakeFiles/mc_vmm.dir/address_space.cpp.o.d"
+  "CMakeFiles/mc_vmm.dir/contention.cpp.o"
+  "CMakeFiles/mc_vmm.dir/contention.cpp.o.d"
+  "CMakeFiles/mc_vmm.dir/domain.cpp.o"
+  "CMakeFiles/mc_vmm.dir/domain.cpp.o.d"
+  "CMakeFiles/mc_vmm.dir/hypervisor.cpp.o"
+  "CMakeFiles/mc_vmm.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/mc_vmm.dir/phys_mem.cpp.o"
+  "CMakeFiles/mc_vmm.dir/phys_mem.cpp.o.d"
+  "libmc_vmm.a"
+  "libmc_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_workload.dir/heavyload.cpp.o"
+  "CMakeFiles/mc_workload.dir/heavyload.cpp.o.d"
+  "CMakeFiles/mc_workload.dir/monitor.cpp.o"
+  "CMakeFiles/mc_workload.dir/monitor.cpp.o.d"
+  "libmc_workload.a"
+  "libmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/assembler.cpp" "src/x86/CMakeFiles/mc_x86.dir/assembler.cpp.o" "gcc" "src/x86/CMakeFiles/mc_x86.dir/assembler.cpp.o.d"
+  "/root/repo/src/x86/codegen.cpp" "src/x86/CMakeFiles/mc_x86.dir/codegen.cpp.o" "gcc" "src/x86/CMakeFiles/mc_x86.dir/codegen.cpp.o.d"
+  "/root/repo/src/x86/decoder.cpp" "src/x86/CMakeFiles/mc_x86.dir/decoder.cpp.o" "gcc" "src/x86/CMakeFiles/mc_x86.dir/decoder.cpp.o.d"
+  "/root/repo/src/x86/disasm.cpp" "src/x86/CMakeFiles/mc_x86.dir/disasm.cpp.o" "gcc" "src/x86/CMakeFiles/mc_x86.dir/disasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mc_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

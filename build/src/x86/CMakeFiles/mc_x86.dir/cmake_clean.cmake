@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_x86.dir/assembler.cpp.o"
+  "CMakeFiles/mc_x86.dir/assembler.cpp.o.d"
+  "CMakeFiles/mc_x86.dir/codegen.cpp.o"
+  "CMakeFiles/mc_x86.dir/codegen.cpp.o.d"
+  "CMakeFiles/mc_x86.dir/decoder.cpp.o"
+  "CMakeFiles/mc_x86.dir/decoder.cpp.o.d"
+  "CMakeFiles/mc_x86.dir/disasm.cpp.o"
+  "CMakeFiles/mc_x86.dir/disasm.cpp.o.d"
+  "libmc_x86.a"
+  "libmc_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmc_x86.a"
+)

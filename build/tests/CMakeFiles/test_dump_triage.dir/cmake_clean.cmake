@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dump_triage.dir/dump_triage_test.cpp.o"
+  "CMakeFiles/test_dump_triage.dir/dump_triage_test.cpp.o.d"
+  "test_dump_triage"
+  "test_dump_triage.pdb"
+  "test_dump_triage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dump_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

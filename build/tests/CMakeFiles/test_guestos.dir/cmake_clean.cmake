@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guestos.dir/guestos_test.cpp.o"
+  "CMakeFiles/test_guestos.dir/guestos_test.cpp.o.d"
+  "test_guestos"
+  "test_guestos.pdb"
+  "test_guestos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_sampling.dir/history_sampling_test.cpp.o"
+  "CMakeFiles/test_history_sampling.dir/history_sampling_test.cpp.o.d"
+  "test_history_sampling"
+  "test_history_sampling.pdb"
+  "test_history_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

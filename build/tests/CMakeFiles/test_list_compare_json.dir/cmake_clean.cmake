@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_list_compare_json.dir/list_compare_json_test.cpp.o"
+  "CMakeFiles/test_list_compare_json.dir/list_compare_json_test.cpp.o.d"
+  "test_list_compare_json"
+  "test_list_compare_json.pdb"
+  "test_list_compare_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_list_compare_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

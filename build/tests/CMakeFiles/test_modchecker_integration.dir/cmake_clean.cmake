@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modchecker_integration.dir/modchecker_integration_test.cpp.o"
+  "CMakeFiles/test_modchecker_integration.dir/modchecker_integration_test.cpp.o.d"
+  "test_modchecker_integration"
+  "test_modchecker_integration.pdb"
+  "test_modchecker_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modchecker_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

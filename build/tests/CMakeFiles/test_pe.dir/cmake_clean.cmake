@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pe.dir/pe_test.cpp.o"
+  "CMakeFiles/test_pe.dir/pe_test.cpp.o.d"
+  "test_pe"
+  "test_pe.pdb"
+  "test_pe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

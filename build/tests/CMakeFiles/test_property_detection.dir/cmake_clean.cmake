@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_detection.dir/property_detection_test.cpp.o"
+  "CMakeFiles/test_property_detection.dir/property_detection_test.cpp.o.d"
+  "test_property_detection"
+  "test_property_detection.pdb"
+  "test_property_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rva_adjust.dir/rva_adjust_test.cpp.o"
+  "CMakeFiles/test_rva_adjust.dir/rva_adjust_test.cpp.o.d"
+  "test_rva_adjust"
+  "test_rva_adjust.pdb"
+  "test_rva_adjust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rva_adjust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_audit.dir/scheduler_audit_test.cpp.o"
+  "CMakeFiles/test_scheduler_audit.dir/scheduler_audit_test.cpp.o.d"
+  "test_scheduler_audit"
+  "test_scheduler_audit.pdb"
+  "test_scheduler_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmi.dir/vmi_test.cpp.o"
+  "CMakeFiles/test_vmi.dir/vmi_test.cpp.o.d"
+  "test_vmi"
+  "test_vmi.pdb"
+  "test_vmi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modchecker_cli.dir/modchecker_cli.cpp.o"
+  "CMakeFiles/modchecker_cli.dir/modchecker_cli.cpp.o.d"
+  "modchecker_cli"
+  "modchecker_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modchecker_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
