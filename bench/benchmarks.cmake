@@ -2,11 +2,15 @@
 # DESIGN.md §4).  Declared with include() from the top-level lists file so
 # ${CMAKE_BINARY_DIR}/bench contains nothing but runnable binaries.
 
+# Every bench links mc_warnings: it carries the warning set AND the
+# MODCHECKER_SANITIZE compile/link flags, so sanitizer builds cover the
+# bench binaries identically to src/ and tests/ (DESIGN.md §6.1).
 function(mc_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
+    mc_warnings
     mc_core mc_cloud mc_attacks mc_baselines mc_workload
-    benchmark::benchmark mc_warnings)
+    benchmark::benchmark)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()

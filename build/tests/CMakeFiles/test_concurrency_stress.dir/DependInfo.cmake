@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concurrency_stress_test.cpp" "tests/CMakeFiles/test_concurrency_stress.dir/concurrency_stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency_stress.dir/concurrency_stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modchecker/CMakeFiles/mc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/mc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/mc_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmi/CMakeFiles/mc_vmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/mc_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/mc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mc_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/mc_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

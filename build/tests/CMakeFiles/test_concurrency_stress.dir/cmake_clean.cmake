@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency_stress.dir/concurrency_stress_test.cpp.o"
+  "CMakeFiles/test_concurrency_stress.dir/concurrency_stress_test.cpp.o.d"
+  "test_concurrency_stress"
+  "test_concurrency_stress.pdb"
+  "test_concurrency_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_lint.dir/main.cpp.o"
+  "CMakeFiles/mc_lint.dir/main.cpp.o.d"
+  "mc_lint"
+  "mc_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_lint_lib.dir/linter.cpp.o"
+  "CMakeFiles/mc_lint_lib.dir/linter.cpp.o.d"
+  "libmc_lint_lib.a"
+  "libmc_lint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_lint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/mc_lint
+# Build directory: /root/repo/build/tools/mc_lint
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tools/mc_lint/test_mc_lint[1]_include.cmake")
+add_test([=[mc_lint_src]=] "/root/repo/build/tools/mc_lint/mc_lint" "/root/repo/src")
+set_tests_properties([=[mc_lint_src]=] PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/mc_lint/CMakeLists.txt;22;add_test;/root/repo/tools/mc_lint/CMakeLists.txt;0;")

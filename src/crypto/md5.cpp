@@ -1,6 +1,7 @@
 #include "crypto/md5.hpp"
 
-#include <cstring>
+#include <algorithm>
+#include <iterator>
 
 namespace mc::crypto {
 
@@ -46,7 +47,7 @@ std::uint32_t word_at(const std::uint8_t* p) {
 }  // namespace
 
 void Md5::reset() {
-  std::memcpy(state_, kInit, sizeof state_);
+  std::copy(std::begin(kInit), std::end(kInit), state_);
   total_bytes_ = 0;
   buffered_ = 0;
 }
@@ -97,7 +98,7 @@ void Md5::update(ByteView data) {
 
   if (buffered_ != 0) {
     const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size());
-    std::memcpy(buffer_ + buffered_, data.data(), take);
+    copy_bytes(MutableByteView(buffer_).subspan(buffered_), data.first(take));
     buffered_ += take;
     offset += take;
     if (buffered_ == 64) {
@@ -112,7 +113,7 @@ void Md5::update(ByteView data) {
   }
 
   if (offset < data.size()) {
-    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    copy_bytes(MutableByteView(buffer_), data.subspan(offset));
     buffered_ = data.size() - offset;
   }
 }

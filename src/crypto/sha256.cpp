@@ -1,6 +1,7 @@
 #include "crypto/sha256.hpp"
 
-#include <cstring>
+#include <algorithm>
+
 
 namespace mc::crypto {
 
@@ -102,7 +103,7 @@ void Sha256::update(ByteView data) {
 
   if (buffered_ != 0) {
     const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size());
-    std::memcpy(buffer_ + buffered_, data.data(), take);
+    copy_bytes(MutableByteView(buffer_).subspan(buffered_), data.first(take));
     buffered_ += take;
     offset += take;
     if (buffered_ == 64) {
@@ -117,7 +118,7 @@ void Sha256::update(ByteView data) {
   }
 
   if (offset < data.size()) {
-    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    copy_bytes(MutableByteView(buffer_), data.subspan(offset));
     buffered_ = data.size() - offset;
   }
 }

@@ -1,6 +1,7 @@
 #include "modchecker/triage.hpp"
 
 #include "crypto/md5.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace mc::core {
@@ -14,9 +15,7 @@ crypto::Digest finding_fingerprint(const CheckReport& report) {
       continue;
     }
     for (const auto& item : pair.items) {
-      md5.update(ByteView(
-          reinterpret_cast<const std::uint8_t*>(item.item_name.data()),
-          item.item_name.size()));
+      md5.update(as_bytes(item.item_name));
       md5.update(item.digest_subject.bytes());
     }
     break;

@@ -32,12 +32,13 @@ std::string to_string(ItemKind kind);
 /// One hashable unit of a module (paper §III-B.3: "computes the hashes of
 /// the headers and the contents of the module ... separately").
 struct IntegrityItem {
-  ItemKind kind;
-  std::string name;    // ".text", "IMAGE_NT_HEADER", ...
-  std::uint32_t rva;   // where the bytes start within the image
-  Bytes bytes;         // the raw content (copied; RVA-adjustment mutates it)
-  bool rva_sensitive;  // true for executable section data (holds absolute
-                       // addresses that must be normalized before hashing)
+  ItemKind kind = ItemKind::kSectionData;
+  std::string name;        // ".text", "IMAGE_NT_HEADER", ...
+  std::uint32_t rva = 0;   // where the bytes start within the image
+  Bytes bytes;             // the raw content (copied; RVA-adjustment mutates it)
+  bool rva_sensitive = false;  // true for executable section data (holds
+                               // absolute addresses that must be normalized
+                               // before hashing)
 };
 
 /// Fully parsed view of a mapped module.

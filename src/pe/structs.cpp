@@ -1,6 +1,6 @@
 #include "pe/structs.hpp"
 
-#include <cstring>
+#include <algorithm>
 
 #include "util/error.hpp"
 
@@ -227,7 +227,7 @@ std::string SectionHeader::name() const {
 void SectionHeader::set_name(const std::string& n) {
   MC_CHECK(n.size() <= 8, "section name longer than 8 bytes");
   Name.fill('\0');
-  std::memcpy(Name.data(), n.data(), n.size());
+  std::copy(n.begin(), n.end(), Name.begin());
 }
 
 // ---- DOS stub -------------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
@@ -69,6 +70,26 @@ inline void append_le16(Bytes& out, std::uint16_t v) {
 inline void append_le32(Bytes& out, std::uint32_t v) {
   append_le16(out, static_cast<std::uint16_t>(v & 0xFFFF));
   append_le16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+/// Views the characters of `s` as bytes without copying.  This is the one
+/// blessed pointer-reinterpretation in the codebase: everything else calls
+/// this instead of spelling its own cast (mc_lint bans raw reinterpret_cast
+/// outside this header).
+inline ByteView as_bytes(std::string_view s) {
+  return ByteView(
+      reinterpret_cast<const std::uint8_t*>(s.data()),  // mc-lint: allow(raw-reinterpret-cast)
+      s.size());
+}
+
+/// Copies `src` into the front of `dst` (dst must be at least as large).
+/// The one blessed raw memcpy; callers pass spans, never raw pointers, so
+/// the size relation is checked here exactly once.
+inline void copy_bytes(MutableByteView dst, ByteView src) {
+  MC_CHECK(src.size() <= dst.size(), "copy_bytes destination too small");
+  if (!src.empty()) {
+    std::memcpy(dst.data(), src.data(), src.size());  // mc-lint: allow(raw-memcpy)
+  }
 }
 
 /// Appends raw bytes.

@@ -1,7 +1,6 @@
 #include "vmm/phys_mem.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "util/error.hpp"
 
@@ -59,9 +58,10 @@ void PhysicalMemory::read(std::uint64_t pa, MutableByteView out) const {
     const std::size_t take =
         std::min<std::size_t>(kFrameSize - in_frame, out.size() - done);
     if (const Frame* f = frame_if_present(frame_no)) {
-      std::memcpy(out.data() + done, f->data() + in_frame, take);
+      copy_bytes(out.subspan(done, take), ByteView(*f).subspan(in_frame, take));
     } else {
-      std::memset(out.data() + done, 0, take);
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(done), take,
+                  std::uint8_t{0});
     }
     done += take;
   }
@@ -78,7 +78,8 @@ void PhysicalMemory::write(std::uint64_t pa, ByteView data) {
     const std::size_t take =
         std::min<std::size_t>(kFrameSize - in_frame, data.size() - done);
     Frame& f = frame_for_write(frame_no);
-    std::memcpy(f.data() + in_frame, data.data() + done, take);
+    copy_bytes(MutableByteView(f).subspan(in_frame, take),
+               data.subspan(done, take));
     frame_versions_[frame_no] = write_counter_;
     done += take;
   }

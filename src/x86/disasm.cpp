@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "util/error.hpp"
 #include "x86/decoder.hpp"
 
 namespace mc::x86 {
@@ -32,6 +33,8 @@ std::optional<DecodedInstruction> disassemble_one(ByteView code,
   if (!len) {
     return std::nullopt;
   }
+  MC_CHECK(offset + *len <= code.size(),
+           "instruction_length overran the code buffer");
   DecodedInstruction out;
   out.offset = static_cast<std::uint32_t>(offset);
   out.length = *len;
@@ -171,6 +174,8 @@ std::string format_listing(ByteView code, std::size_t offset,
                            std::uint32_t display_base) {
   std::string out;
   for (const auto& insn : disassemble(code, offset, max_instructions)) {
+    MC_CHECK(std::size_t{insn.offset} + insn.length <= code.size(),
+             "decoded instruction out of range");
     char head[32];
     std::snprintf(head, sizeof head, "%08x  ", display_base + insn.offset);
     out += head;

@@ -1,0 +1,15 @@
+// Fixture: parser-bounds-check (scanned by mc_lint tests, never
+// compiled).
+#include <cstdint>
+#include <span>
+
+using ByteView = std::span<const std::uint8_t>;
+
+std::uint8_t unchecked_first(ByteView image) {
+  return image[0];
+}
+
+std::uint8_t checked_first(ByteView image) {
+  MC_CHECK(image.size() >= 1, "image too small");
+  return image[0];  // ok: bounds validated above
+}

@@ -1,0 +1,18 @@
+// Fixture: zero findings expected — the linter must not fire on comments,
+// string literals, or identifiers that merely contain banned substrings.
+#include <string>
+
+// reinterpret_cast in a comment; memcpy too; new Widget; delete w; rand().
+const char* kDoc = "call memcpy or reinterpret_cast or new Widget";
+
+struct Alert {
+  bool is_new = false;   // `new` inside an identifier
+  bool renewed = false;  // likewise
+};
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+int stranded = 0;  // "rand" inside a word

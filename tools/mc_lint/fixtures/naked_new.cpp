@@ -1,0 +1,11 @@
+// Fixture: naked-new / naked-delete violations (scanned by mc_lint tests,
+// never compiled).
+
+struct Widget {};
+
+Widget* make() { return new Widget(); }
+void unmake(Widget* w) { delete w; }
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;  // a deleted member is NOT a finding
+};

@@ -1,0 +1,7 @@
+// Fixture: raw-memcpy violation (scanned by mc_lint tests, never
+// compiled).
+#include <cstring>
+
+void copy(void* dst, const void* src, unsigned long n) {
+  std::memcpy(dst, src, n);
+}

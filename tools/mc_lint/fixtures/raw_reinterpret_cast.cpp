@@ -1,0 +1,7 @@
+// Fixture: raw-reinterpret-cast violation (scanned by mc_lint tests,
+// never compiled).
+#include <cstdint>
+
+const std::uint8_t* view(const char* p) {
+  return reinterpret_cast<const std::uint8_t*>(p);
+}

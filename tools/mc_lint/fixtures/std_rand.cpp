@@ -1,0 +1,8 @@
+// Fixture: std-rand violations (scanned by mc_lint tests, never
+// compiled).
+#include <cstdlib>
+
+int noisy() {
+  std::srand(42);
+  return std::rand();
+}

@@ -1,0 +1,174 @@
+// mc_lint self-tests: fixture files with known violations (exact rule IDs
+// and line numbers), the suppression mechanism, and the comment/string
+// stripper's corner cases.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace {
+
+using mc::lint::Finding;
+using mc::lint::lint_file;
+using mc::lint::lint_source;
+using mc::lint::lint_tree;
+
+std::string fixture(const std::string& name) {
+  return std::string(MC_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(LintRules, CatalogIsStable) {
+  const auto& ids = mc::lint::rule_ids();
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-reinterpret-cast"),
+            ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "parser-bounds-check"),
+            ids.end());
+}
+
+TEST(LintFixtures, RawReinterpretCast) {
+  const auto findings = lint_file(fixture("raw_reinterpret_cast.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-reinterpret-cast");
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LintFixtures, RawMemcpy) {
+  const auto findings = lint_file(fixture("raw_memcpy.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-memcpy");
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LintFixtures, StdRand) {
+  const auto findings = lint_file(fixture("std_rand.cpp"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "std-rand");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_EQ(findings[1].rule, "std-rand");
+  EXPECT_EQ(findings[1].line, 7);
+}
+
+TEST(LintFixtures, NakedNewAndDelete) {
+  const auto findings = lint_file(fixture("naked_new.cpp"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "naked-new");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_EQ(findings[1].rule, "naked-delete");
+  EXPECT_EQ(findings[1].line, 7);
+}
+
+TEST(LintFixtures, ParserBoundsCheck) {
+  const auto findings = lint_file(fixture("bounds.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "parser-bounds-check");
+  EXPECT_EQ(findings[0].line, 9);
+  EXPECT_NE(findings[0].message.find("'image'"), std::string::npos);
+}
+
+TEST(LintFixtures, SuppressionsSameLineAndPrecedingLine) {
+  // Lines 6 and 8 are suppressed; line 9 carries an allow() for the WRONG
+  // rule and must still be reported.
+  const auto findings = lint_file(fixture("suppressed.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-memcpy");
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(LintFixtures, CleanFileHasNoFindings) {
+  const auto findings = lint_file(fixture("clean.cpp"));
+  for (const auto& f : findings) {
+    ADD_FAILURE() << mc::lint::format_finding(f);
+  }
+}
+
+TEST(LintFixtures, TreeScanCoversEveryFixture) {
+  // 1 + 1 + 2 + 2 + 1 + 1 + 0 findings across the directory.
+  const auto findings = lint_tree(MC_LINT_FIXTURE_DIR);
+  EXPECT_EQ(findings.size(), 8u);
+}
+
+TEST(LintSource, CommentsAndStringsDoNotFire) {
+  const auto findings = lint_source("mem.cpp",
+                                    "// memcpy(a, b, n)\n"
+                                    "/* reinterpret_cast<int*>(p) */\n"
+                                    "const char* s = \"delete new rand\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, BlockCommentSpanningLinesIsStripped) {
+  const auto findings = lint_source("block.cpp",
+                                    "/* first line\n"
+                                    "   memcpy(a, b, n)\n"
+                                    "   last */\n"
+                                    "int x = 0;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, MemcpyAfterBlockCommentStillFires) {
+  const auto findings =
+      lint_source("mixed.cpp", "/* doc */ std::memcpy(a, b, n);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-memcpy");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintSource, SizeComparisonCountsAsValidation) {
+  const auto findings = lint_source(
+      "parse.cpp",
+      "int parse(ByteView b) {\n"
+      "  if (b.size() < 4) { return -1; }\n"
+      "  return b[0];\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, LoadLeCountsAsValidation) {
+  const auto findings =
+      lint_source("parse.cpp",
+                  "int parse(ByteView b) {\n"
+                  "  const auto magic = load_le16(b, 0);\n"
+                  "  return magic + b[2];\n"
+                  "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, MutableByteViewParameterIsTracked) {
+  const auto findings = lint_source("store.cpp",
+                                    "void put(MutableByteView out) {\n"
+                                    "  out[0] = 1;\n"
+                                    "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "parser-bounds-check");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintSource, LocalByteViewDeclarationIsNotAParameter) {
+  // A ByteView local introduced by a statement (terminated with ';')
+  // must not leak into the next brace scope.
+  const auto findings = lint_source("local.cpp",
+                                    "void f() {\n"
+                                    "  ByteView v = whole;\n"
+                                    "  if (cond) {\n"
+                                    "    use(v);\n"
+                                    "  }\n"
+                                    "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, FormatFindingIsGrepFriendly) {
+  const Finding f{"src/pe/parser.cpp", 12, "raw-memcpy", "msg"};
+  EXPECT_EQ(mc::lint::format_finding(f),
+            "src/pe/parser.cpp:12: [raw-memcpy] msg");
+}
+
+TEST(LintSource, MultipleRulesInOneAllowList) {
+  const auto findings = lint_source(
+      "multi.cpp",
+      "void* p = new int;  // mc-lint: allow(naked-new, raw-memcpy)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace

@@ -1,0 +1,390 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace mc::lint {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds `token` in `line` at a word boundary on both sides; npos if absent.
+std::size_t find_token(const std::string& line, const std::string& token,
+                       std::size_t from = 0) {
+  for (std::size_t pos = line.find(token, from); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) {
+      return pos;
+    }
+  }
+  return std::string::npos;
+}
+
+bool has_token(const std::string& line, const std::string& token) {
+  return find_token(line, token) != std::string::npos;
+}
+
+/// One source file split into scannable form: code with comments and
+/// literal contents blanked (quotes kept), plus the comment text per line
+/// (for suppression directives).
+struct ScannedSource {
+  std::vector<std::string> code;      // sanitized, 0-based
+  std::vector<std::string> comments;  // concatenated comment text per line
+};
+
+ScannedSource scan(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  ScannedSource out;
+  std::string code_line;
+  std::string comment_line;
+  State state = State::kCode;
+
+  const auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+bool is_blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+/// Parses every `mc-lint: allow(rule-a, rule-b)` directive and returns,
+/// per 0-based line, the set of rules suppressed on that line.  A directive
+/// on a code line covers that line; on a comment-only line it covers the
+/// following line.
+std::map<std::size_t, std::set<std::string>> suppressions(
+    const ScannedSource& src) {
+  static const std::string kMarker = "mc-lint: allow(";
+  std::map<std::size_t, std::set<std::string>> by_line;
+  for (std::size_t i = 0; i < src.comments.size(); ++i) {
+    const std::string& comment = src.comments[i];
+    for (std::size_t pos = comment.find(kMarker); pos != std::string::npos;
+         pos = comment.find(kMarker, pos + 1)) {
+      const std::size_t open = pos + kMarker.size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) {
+        continue;
+      }
+      std::stringstream list(comment.substr(open, close - open));
+      std::string rule;
+      const std::size_t target = is_blank(src.code[i]) ? i + 1 : i;
+      while (std::getline(list, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                  [](char c) {
+                                    return std::isspace(
+                                               static_cast<unsigned char>(c)) !=
+                                           0;
+                                  }),
+                   rule.end());
+        if (!rule.empty()) {
+          by_line[target].insert(rule);
+        }
+      }
+    }
+  }
+  return by_line;
+}
+
+/// The banned-token rules: one source token, one rule id, one message.
+struct TokenRule {
+  const char* token;
+  const char* rule;
+  const char* message;
+};
+
+constexpr TokenRule kTokenRules[] = {
+    {"reinterpret_cast", "raw-reinterpret-cast",
+     "raw reinterpret_cast on guest data; use mc::as_bytes / util/bytes.hpp"},
+    {"memcpy", "raw-memcpy",
+     "raw memcpy; use mc::copy_bytes / load_le* / store_le* (bounds-checked)"},
+    {"rand", "std-rand",
+     "std::rand is not reproducible; use the seeded generators in "
+     "util/rng.hpp"},
+    {"srand", "std-rand",
+     "srand is not reproducible; use the seeded generators in util/rng.hpp"},
+    {"new", "naked-new",
+     "naked new; express ownership with std::make_unique/std::make_shared "
+     "(R.11)"},
+    {"delete", "naked-delete",
+     "naked delete; express ownership with std::unique_ptr (R.11)"},
+};
+
+/// True for the `delete` occurrences that are declarations, not
+/// deallocations: `= delete` (deleted special members).
+bool is_deleted_function_decl(const std::string& line, std::size_t pos) {
+  for (std::size_t i = pos; i > 0; --i) {
+    const char c = line[i - 1];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      continue;
+    }
+    return c == '=';
+  }
+  return false;
+}
+
+void run_token_rules(const ScannedSource& src, const std::string& file,
+                     std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    for (const TokenRule& tr : kTokenRules) {
+      const std::size_t pos = find_token(line, tr.token);
+      if (pos == std::string::npos) {
+        continue;
+      }
+      if (std::string(tr.token) == "delete" &&
+          is_deleted_function_decl(line, pos)) {
+        continue;
+      }
+      findings.push_back(
+          {file, static_cast<int>(i + 1), tr.rule, tr.message});
+    }
+  }
+}
+
+/// parser-bounds-check: inside a function that takes a (Mutable)ByteView
+/// parameter, any direct subscript of that parameter must be preceded (in
+/// the body) by bounds validation — an MC_CHECK, a .size() comparison, or a
+/// bounds-checked load_le*/store_le* access.
+void run_bounds_rule(const ScannedSource& src, const std::string& file,
+                     std::vector<Finding>& findings) {
+  struct Scope {
+    std::vector<std::string> params;
+    int close_depth = 0;  // scope ends when depth returns to this
+    bool validated = false;
+  };
+  std::vector<Scope> scopes;
+  std::vector<std::string> pending;  // ByteView params seen before the '{'
+  int depth = 0;
+
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+
+    // Collect `ByteView <ident>` / `MutableByteView <ident>` parameters.
+    for (const char* type : {"MutableByteView", "ByteView"}) {
+      for (std::size_t pos = find_token(line, type); pos != std::string::npos;
+           pos = find_token(line, type, pos + 1)) {
+        std::size_t j = pos + std::string(type).size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        std::size_t end = j;
+        while (end < line.size() && is_word_char(line[end])) {
+          ++end;
+        }
+        if (end > j) {
+          pending.push_back(line.substr(j, end - j));
+        }
+      }
+    }
+
+    if (!scopes.empty()) {
+      Scope& scope = scopes.back();
+      if (has_token(line, "MC_CHECK") || line.find(".size()") != std::string::npos ||
+          line.find("load_le") != std::string::npos ||
+          line.find("store_le") != std::string::npos) {
+        scope.validated = true;
+      } else if (!scope.validated) {
+        for (const std::string& param : scope.params) {
+          for (std::size_t pos = find_token(line, param);
+               pos != std::string::npos; pos = find_token(line, param, pos + 1)) {
+            std::size_t j = pos + param.size();
+            while (j < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+              ++j;
+            }
+            if (j < line.size() && line[j] == '[') {
+              findings.push_back(
+                  {file, static_cast<int>(i + 1), "parser-bounds-check",
+                   "ByteView parameter '" + param +
+                       "' indexed before MC_CHECK/size validation"});
+            }
+          }
+        }
+      }
+    }
+
+    // Track braces; open a function scope at the '{' that follows a
+    // signature mentioning ByteView parameters, drop pending at ';'.
+    for (const char c : line) {
+      if (c == '{') {
+        if (!pending.empty()) {
+          scopes.push_back({pending, depth, false});
+          pending.clear();
+        }
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (!scopes.empty() && depth <= scopes.back().close_depth) {
+          scopes.pop_back();
+        }
+      } else if (c == ';' && scopes.empty() && depth >= 0) {
+        pending.clear();
+      } else if (c == ';' && !scopes.empty()) {
+        // Statement end inside a body: declarations like `ByteView v = ...;`
+        // introduce locals, not parameters — stop tracking them.
+        pending.clear();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "raw-reinterpret-cast", "raw-memcpy",   "std-rand",
+      "naked-new",            "naked-delete", "parser-bounds-check",
+  };
+  return kIds;
+}
+
+std::vector<Finding> lint_source(const std::string& file_name,
+                                 const std::string& content) {
+  const ScannedSource src = scan(content);
+  std::vector<Finding> findings;
+  run_token_rules(src, file_name, findings);
+  run_bounds_rule(src, file_name, findings);
+
+  const auto suppressed = suppressions(src);
+  std::erase_if(findings, [&](const Finding& f) {
+    const auto it = suppressed.find(static_cast<std::size_t>(f.line - 1));
+    return it != suppressed.end() && it->second.count(f.rule) > 0;
+  });
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("mc_lint: cannot read " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str());
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(root)) {
+    return lint_file(root);
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    const auto file_findings = lint_file(f);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+std::string format_finding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace mc::lint

@@ -1,0 +1,60 @@
+// mc_lint — in-repo static analysis enforcing ModChecker's guest-memory
+// safety invariants.
+//
+// The linter is deliberately a line-oriented scanner, not a real C++
+// front-end: every rule below is decidable from comment/string-stripped
+// source text, which keeps the tool dependency-free (it must build in the
+// same minimal toolchain as the checker itself) and fast enough to run as
+// an always-on ctest.  Rules:
+//
+//   raw-reinterpret-cast  reinterpret_cast outside util/bytes.hpp — guest
+//                         buffers are attacker-controlled; all pointer
+//                         reinterpretation goes through mc::as_bytes.
+//   raw-memcpy            memcpy outside util/bytes.hpp — use
+//                         mc::copy_bytes / load_le* / store_le*, which
+//                         bounds-check via MC_CHECK.
+//   std-rand              std::rand/srand — all stochastic behaviour flows
+//                         from the seeded generators in util/rng.hpp so
+//                         experiments stay bit-reproducible.
+//   naked-new             `new` expression outside a smart-pointer factory;
+//   naked-delete          manual `delete` — ownership is expressed with
+//                         std::unique_ptr/std::make_unique (R.11).
+//   parser-bounds-check   a function body indexes a ByteView parameter
+//                         before any MC_CHECK/size validation — parser
+//                         entries must validate bounds first.
+//
+// A finding on line N is suppressed by `// mc-lint: allow(<rule>)` either
+// at the end of line N or on an otherwise-empty comment line N-1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mc::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// All known rule identifiers (the strings accepted by allow(...)).
+const std::vector<std::string>& rule_ids();
+
+/// Lints one in-memory translation unit. `file_name` is used for reporting
+/// only. Findings are ordered by line.
+std::vector<Finding> lint_source(const std::string& file_name,
+                                 const std::string& content);
+
+/// Lints one file on disk. Throws mc::Error if unreadable.
+std::vector<Finding> lint_file(const std::string& path);
+
+/// Lints every *.cpp / *.hpp under `root` (recursively); `root` may also
+/// name a single file. Findings are ordered by (file, line).
+std::vector<Finding> lint_tree(const std::string& root);
+
+/// "file:line: [rule] message" — the grep/IDE-friendly format.
+std::string format_finding(const Finding& f);
+
+}  // namespace mc::lint

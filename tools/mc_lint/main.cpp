@@ -1,0 +1,54 @@
+// mc_lint CLI — lints the given files/directories and exits non-zero on
+// any finding.  Registered as a ctest over src/ so invariant violations
+// fail the build the same way a unit test does.
+//
+//   mc_lint <path>...       lint files or directory trees (*.cpp, *.hpp)
+//   mc_lint --list-rules    print the rule catalog and exit
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : mc::lint::rule_ids()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mc_lint [--list-rules] <path>...\n");
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: mc_lint [--list-rules] <path>...\n");
+    return 2;
+  }
+
+  std::vector<mc::lint::Finding> findings;
+  try {
+    for (const std::string& path : paths) {
+      const auto f = mc::lint::lint_tree(path);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  for (const auto& finding : findings) {
+    std::printf("%s\n", mc::lint::format_finding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "mc_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
