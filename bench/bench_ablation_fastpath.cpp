@@ -1,0 +1,224 @@
+// A8 — canonical-RVA fast-path ablation.
+//
+// The paper's pool scan compares every unordered VM pair, re-running
+// Algorithm 2 and re-hashing both copies per pair: O(t^2) image work.  The
+// fast path normalizes each copy once against a single reference and
+// decides pairs by digest-vector comparison — O(t) image work with a
+// per-pair cost of one fixed digest compare.  This bench sweeps the pool
+// size, checks verdict equivalence at every point, and emits a
+// machine-readable BENCH_modchecker.json consumed by CI.
+//
+// Exit status: non-zero if the checker-phase speedup at t=15 falls below
+// 5x or any verdict diverges, so the bench doubles as a regression gate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cloud/environment.hpp"
+#include "modchecker/modchecker.hpp"
+
+namespace {
+
+using namespace mc;
+
+constexpr const char* kModule = "http.sys";  // largest catalog module
+constexpr double kRequiredSpeedupAt15 = 5.0;
+
+core::ModCheckerConfig faithful_config() {
+  core::ModCheckerConfig cfg;
+  cfg.pool_fastpath = false;
+  cfg.digest_memo = false;
+  cfg.reuse_sessions = false;
+  return cfg;
+}
+
+struct Row {
+  std::size_t pool_size = 0;
+  core::PoolScanReport faithful;
+  core::PoolScanReport fast;
+  bool verdicts_match = false;
+};
+
+double checker_speedup(const Row& r) {
+  return static_cast<double>(r.faithful.cpu_times.checker) /
+         static_cast<double>(r.fast.cpu_times.checker);
+}
+
+double total_speedup(const Row& r) {
+  return static_cast<double>(r.faithful.cpu_times.total()) /
+         static_cast<double>(r.fast.cpu_times.total());
+}
+
+std::vector<Row> sweep() {
+  std::vector<Row> rows;
+  for (const std::size_t t : {2u, 3u, 5u, 8u, 10u, 12u, 15u}) {
+    cloud::CloudConfig cfg;
+    cfg.guest_count = t;
+    cloud::CloudEnvironment env(cfg);
+
+    Row row;
+    row.pool_size = t;
+    row.faithful = core::ModChecker(env.hypervisor(), faithful_config())
+                       .scan_pool(kModule, env.guests());
+    row.fast =
+        core::ModChecker(env.hypervisor()).scan_pool(kModule, env.guests());
+
+    row.verdicts_match =
+        row.faithful.verdicts.size() == row.fast.verdicts.size();
+    for (std::size_t i = 0; row.verdicts_match && i < t; ++i) {
+      row.verdicts_match =
+          row.faithful.verdicts[i].clean == row.fast.verdicts[i].clean &&
+          row.faithful.verdicts[i].successes == row.fast.verdicts[i].successes;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_component(std::FILE* f, const char* name,
+                     const core::PoolScanReport& r, bool trailing_comma) {
+  std::fprintf(f,
+               "      \"%s\": {\"searcher_ms\": %.6f, \"parser_ms\": %.6f, "
+               "\"checker_ms\": %.6f, \"total_cpu_ms\": %.6f, "
+               "\"wall_ms\": %.6f, \"fastpath_pairs\": %zu, "
+               "\"fallback_pairs\": %zu}%s\n",
+               name, to_ms(r.cpu_times.searcher), to_ms(r.cpu_times.parser),
+               to_ms(r.cpu_times.checker), to_ms(r.cpu_times.total()),
+               to_ms(r.wall_time), r.fastpath_pairs, r.fallback_pairs,
+               trailing_comma ? "," : "");
+}
+
+bool write_json(const std::string& path, const std::vector<Row>& rows,
+                const vmi::SessionPoolStats& pool_stats,
+                double warm_rescan_searcher_ms, bool pass) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"ablation_fastpath\",\n");
+  std::fprintf(f, "  \"module\": \"%s\",\n", kModule);
+  std::fprintf(f, "  \"required_checker_speedup_at_15\": %.1f,\n",
+               kRequiredSpeedupAt15);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f, "    {\n      \"pool_size\": %zu,\n", r.pool_size);
+    print_component(f, "faithful", r.faithful, true);
+    print_component(f, "fast", r.fast, true);
+    std::fprintf(f,
+                 "      \"checker_speedup\": %.3f,\n"
+                 "      \"total_speedup\": %.3f,\n"
+                 "      \"verdicts_match\": %s\n    }%s\n",
+                 checker_speedup(r), total_speedup(r),
+                 r.verdicts_match ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"session_pool\": {\"created\": %llu, \"reused\": %llu, "
+               "\"invalidated\": %llu},\n",
+               static_cast<unsigned long long>(pool_stats.created),
+               static_cast<unsigned long long>(pool_stats.reused),
+               static_cast<unsigned long long>(pool_stats.invalidated));
+  std::fprintf(f, "  \"warm_rescan_searcher_ms\": %.6f,\n",
+               warm_rescan_searcher_ms);
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
+/// Runs the sweep + a warm-rescan probe; returns the process exit code.
+int run_ablation(const std::string& json_path) {
+  const std::vector<Row> rows = sweep();
+
+  std::printf("=== A8: canonical-RVA fast path (module %s) ===\n", kModule);
+  std::printf("%-6s %14s %14s %9s %9s %8s %9s %8s\n", "pool",
+              "faithful[ms]", "fast[ms]", "chk-spdp", "tot-spdp", "fastpairs",
+              "fallback", "match");
+  for (const Row& r : rows) {
+    std::printf("%-6zu %14.3f %14.3f %8.2fx %8.2fx %8zu %9zu %8s\n",
+                r.pool_size, to_ms(r.faithful.cpu_times.total()),
+                to_ms(r.fast.cpu_times.total()), checker_speedup(r),
+                total_speedup(r), r.fast.fastpath_pairs,
+                r.fast.fallback_pairs, r.verdicts_match ? "yes" : "NO");
+  }
+
+  // Warm-rescan probe: a second scan through the same checker reuses the
+  // pooled sessions, eliminating attach + debug-block scan per VM.
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 15;
+  cloud::CloudEnvironment env(cfg);
+  core::ModChecker warm(env.hypervisor());
+  const auto cold_scan = warm.scan_pool(kModule, env.guests());
+  const auto warm_scan = warm.scan_pool(kModule, env.guests());
+  std::printf("\nwarm rescan (t=15): searcher %0.3f -> %0.3f ms, "
+              "sessions created %llu reused %llu\n",
+              to_ms(cold_scan.cpu_times.searcher),
+              to_ms(warm_scan.cpu_times.searcher),
+              static_cast<unsigned long long>(warm.session_pool_stats().created),
+              static_cast<unsigned long long>(warm.session_pool_stats().reused));
+
+  const Row& last = rows.back();
+  bool pass = last.pool_size == 15 &&
+              checker_speedup(last) >= kRequiredSpeedupAt15 &&
+              warm_scan.cpu_times.searcher < cold_scan.cpu_times.searcher;
+  for (const Row& r : rows) {
+    pass = pass && r.verdicts_match;
+  }
+  std::printf("checker speedup at t=15: %.2fx (required >= %.1fx) => %s\n\n",
+              checker_speedup(last), kRequiredSpeedupAt15,
+              pass ? "PASS" : "FAIL");
+
+  if (!write_json(json_path, rows, warm.session_pool_stats(),
+                  to_ms(warm_scan.cpu_times.searcher), pass)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return pass ? 0 : 1;
+}
+
+void BM_ScanPoolFaithful(benchmark::State& state) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = static_cast<std::size_t>(state.range(0));
+  cloud::CloudEnvironment env(cfg);
+  core::ModChecker checker(env.hypervisor(), faithful_config());
+  for (auto _ : state) {
+    auto report = checker.scan_pool(kModule, env.guests());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ScanPoolFaithful)->Arg(5)->Arg(15)->Unit(benchmark::kMillisecond);
+
+void BM_ScanPoolFastpath(benchmark::State& state) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = static_cast<std::size_t>(state.range(0));
+  cloud::CloudEnvironment env(cfg);
+  core::ModChecker checker(env.hypervisor());
+  for (auto _ : state) {
+    auto report = checker.scan_pool(kModule, env.guests());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ScanPoolFastpath)->Arg(5)->Arg(15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // First non-flag argument overrides the JSON output path.
+  std::string json_path = "BENCH_modchecker.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] != '-') {
+      json_path = arg;
+      break;
+    }
+  }
+  const int rc = run_ablation(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rc;
+}

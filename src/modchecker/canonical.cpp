@@ -1,0 +1,194 @@
+#include "modchecker/canonical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/crc32.hpp"
+#include "modchecker/rva_adjust.hpp"
+#include "util/error.hpp"
+
+namespace mc::core {
+
+namespace {
+
+std::string table_key(vmm::DomainId domain, const pe::IntegrityItem& item) {
+  std::string key = std::to_string(domain);
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(item.kind));
+  key += '\x1f';
+  key += item.name;
+  return key;
+}
+
+SimNanos hash_charge(const vmi::HostCostModel& costs,
+                     crypto::HashAlgorithm algorithm, std::size_t bytes) {
+  return static_cast<SimNanos>(static_cast<double>(costs.hash_per_byte * bytes) *
+                               digest_cost_factor(algorithm));
+}
+
+}  // namespace
+
+DigestTable::Entry& DigestTable::entry_for(vmm::DomainId domain,
+                                           const pe::IntegrityItem& item) {
+  return entries_[table_key(domain, item)];
+}
+
+crypto::Digest DigestTable::digest(vmm::DomainId domain,
+                                   const pe::IntegrityItem& item,
+                                   SimClock& clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_for(domain, item);
+  if (entry.digest) {
+    ++stats_.hits;
+    return *entry.digest;
+  }
+  ++stats_.misses;
+  entry.digest = crypto::hash_bytes(algorithm_, item.bytes);
+  clock.charge(hash_charge(costs_, algorithm_, item.bytes.size()));
+  return *entry.digest;
+}
+
+std::uint32_t DigestTable::crc(vmm::DomainId domain,
+                               const pe::IntegrityItem& item,
+                               SimClock& clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_for(domain, item);
+  if (entry.crc) {
+    ++stats_.hits;
+    return *entry.crc;
+  }
+  ++stats_.misses;
+  entry.crc = crypto::crc32(item.bytes);
+  clock.charge(costs_.crc_per_byte * item.bytes.size());
+  return *entry.crc;
+}
+
+DigestTable::Stats DigestTable::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
+  MC_CHECK(!finalized_, "CanonicalPool::add after finalize");
+
+  if (reference_ == nullptr) {
+    reference_ = &module;
+    canonical_.assign(module.items.size(), std::nullopt);
+    Entry entry;
+    entry.eligible = true;
+    entry.digests.resize(module.items.size());
+    for (std::size_t i = 0; i < module.items.size(); ++i) {
+      entry.ref_items.push_back(i);
+    }
+    entries_[module.domain] = std::move(entry);
+    ++stats_.eligible;
+    return;
+  }
+
+  Entry entry;
+  entry.digests.resize(reference_->items.size());
+  bool eligible = module.items.size() == reference_->items.size();
+  for (std::size_t i = 0; eligible && i < reference_->items.size(); ++i) {
+    const pe::IntegrityItem& r = reference_->items[i];
+    const pe::IntegrityItem& a = module.items[i];
+    if (a.kind != r.kind || a.name != r.name ||
+        a.rva_sensitive != r.rva_sensitive) {
+      // Shape mismatch: the slow path's (kind, name) pairing would not be
+      // positional — fall back rather than reason about it.
+      eligible = false;
+      break;
+    }
+
+    if (!a.rva_sensitive) {
+      entry.digests[i] = crypto::hash_bytes(algorithm_, a.bytes);
+      clock.charge(hash_charge(costs_, algorithm_, a.bytes.size()));
+      continue;
+    }
+
+    if (module.base == reference_->base) {
+      // Same load base: Algorithm 2 has nothing to adjust, so the slow
+      // path matches iff the raw bytes match the reference's.
+      clock.charge(costs_.rva_scan_per_byte *
+                   std::max(a.bytes.size(), r.bytes.size()));
+      if (a.bytes == r.bytes) {
+        entry.ref_items.push_back(i);  // shares the reference digest
+      } else {
+        eligible = false;
+      }
+      continue;
+    }
+
+    // Differing base: run the paper's pairwise adjustment against the
+    // reference on scratch copies.
+    Bytes ref_copy = r.bytes;
+    Bytes mod_copy = a.bytes;
+    const RvaAdjustResult adj =
+        adjust_rvas(ref_copy, reference_->base, mod_copy, module.base);
+    clock.charge(costs_.rva_scan_per_byte *
+                 std::max(ref_copy.size(), mod_copy.size()));
+    if (adj.unresolved_diffs > 0) {
+      eligible = false;
+      continue;
+    }
+    // Fully resolved: both copies now hold the canonical (RVA-normalized)
+    // bytes.  Digest once and pin the item's canonical digest to the
+    // first value seen — a later copy that resolves against the reference
+    // but to *different* canonical bytes is treated as divergent.
+    const crypto::Digest d = crypto::hash_bytes(algorithm_, mod_copy);
+    clock.charge(hash_charge(costs_, algorithm_, mod_copy.size()));
+    if (!canonical_[i]) {
+      canonical_[i] = d;
+      ++stats_.canonicals_established;
+    } else if (*canonical_[i] != d) {
+      eligible = false;
+      continue;
+    }
+    entry.digests[i] = d;
+  }
+
+  entry.eligible = eligible;
+  if (eligible) {
+    ++stats_.eligible;
+  } else {
+    ++stats_.ineligible;
+  }
+  entries_[module.domain] = std::move(entry);
+}
+
+void CanonicalPool::finalize(SimClock& clock) {
+  MC_CHECK(reference_ != nullptr, "CanonicalPool::finalize without modules");
+  if (finalized_) {
+    return;
+  }
+  ref_digests_.resize(reference_->items.size());
+  for (std::size_t i = 0; i < reference_->items.size(); ++i) {
+    const pe::IntegrityItem& r = reference_->items[i];
+    if (r.rva_sensitive && canonical_[i]) {
+      // The reference's canonical digest was already paid for when a
+      // differing-base partner established it.
+      ref_digests_[i] = *canonical_[i];
+    } else {
+      ref_digests_[i] = crypto::hash_bytes(algorithm_, r.bytes);
+      clock.charge(hash_charge(costs_, algorithm_, r.bytes.size()));
+    }
+  }
+  for (auto& [vm, entry] : entries_) {
+    for (const std::size_t i : entry.ref_items) {
+      entry.digests[i] = ref_digests_[i];
+    }
+  }
+  finalized_ = true;
+}
+
+bool CanonicalPool::eligible(vmm::DomainId vm) const {
+  const auto it = entries_.find(vm);
+  return it != entries_.end() && it->second.eligible;
+}
+
+const std::vector<crypto::Digest>& CanonicalPool::digests(
+    vmm::DomainId vm) const {
+  MC_CHECK(finalized_, "CanonicalPool::digests before finalize");
+  return entries_.at(vm).digests;
+}
+
+}  // namespace mc::core

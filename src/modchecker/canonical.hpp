@@ -1,0 +1,167 @@
+// Digest memoization and canonical-RVA pool normalization.
+//
+// The paper's pool scan is pairwise: every unordered VM pair re-runs
+// Algorithm 2 and re-hashes both module copies, so a t-VM scan does
+// O(t^2) full-image work even when all copies are clean — which is the
+// common case the scan exists to confirm.  Two observations collapse it
+// to O(t):
+//
+//   1. Items that are NOT rva-sensitive (headers, read-only data) are
+//      matched by digest equality of their raw bytes.  The digest of one
+//      VM's item never depends on the peer, so it can be computed once per
+//      VM and compared t-1 times for free (DigestTable).
+//
+//   2. rva-sensitive items CAN be normalized against a single reference.
+//      Pick the first VM as the reference R.  For any VM X at a different
+//      base, run the paper's own pairwise Algorithm 2 on (R, X): if every
+//      difference resolves, both post-adjust buffers equal "R with every
+//      relocation rewritten to its RVA" — a *canonical form* that is
+//      independent of X (each relocation window stores RVA + base, so two
+//      honest copies first differ exactly where the bases do; see the
+//      eligibility proof in DESIGN.md).  Digest the canonical form once;
+//      any two VMs whose copies reduce to the same canonical digest would
+//      also match under a direct pairwise comparison, and vice versa.
+//
+// Eligibility is deliberately conservative — any of the following drops a
+// VM to the exact pairwise fallback, reproducing the slow path bit for
+// bit: item shape differs from R's, an adjustment leaves unresolved
+// diffs, a same-base copy is not byte-identical to R, or a differing-base
+// copy resolves to a *different* canonical than the one already
+// established (the defense against a crafted copy that spuriously
+// resolves against R: it may pair with R, exactly as it would in the slow
+// path, but it cannot impersonate the honest majority's canonical).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/hasher.hpp"
+#include "modchecker/types.hpp"
+#include "util/sim_clock.hpp"
+#include "vmi/cost_model.hpp"
+
+namespace mc::core {
+
+/// Relative per-byte cost of the digest algorithms (MD5 = 1.0); roughly
+/// the OpenSSL-era software throughput ratios.
+constexpr double digest_cost_factor(crypto::HashAlgorithm algorithm) {
+  switch (algorithm) {
+    case crypto::HashAlgorithm::kMd5:
+      return 1.0;
+    case crypto::HashAlgorithm::kSha1:
+      return 1.4;
+    case crypto::HashAlgorithm::kSha256:
+      return 2.3;
+  }
+  return 1.0;
+}
+
+/// Memo of raw-byte digests (and CRC32s) keyed by (domain, item kind,
+/// item name).  Scoped to ONE scan operation: item bytes are re-extracted
+/// on the next scan and may have changed, so entries must not outlive the
+/// extractions they were computed from.  Thread-safe; a miss charges the
+/// hashing cost to the *caller's* clock, a hit charges nothing (the work
+/// truly happened once).
+class DigestTable {
+ public:
+  DigestTable(crypto::HashAlgorithm algorithm, const vmi::HostCostModel& costs)
+      : algorithm_(algorithm), costs_(costs) {}
+
+  /// Digest of the item's raw bytes (memoized).
+  crypto::Digest digest(vmm::DomainId domain, const pe::IntegrityItem& item,
+                        SimClock& clock);
+
+  /// CRC32 of the item's raw bytes (memoized; used by the prefilter).
+  std::uint32_t crc(vmm::DomainId domain, const pe::IntegrityItem& item,
+                    SimClock& clock);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::optional<crypto::Digest> digest;
+    std::optional<std::uint32_t> crc;
+  };
+
+  Entry& entry_for(vmm::DomainId domain, const pe::IntegrityItem& item);
+
+  crypto::HashAlgorithm algorithm_;
+  vmi::HostCostModel costs_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+/// Normalizes a pool of parsed copies of ONE module against a reference
+/// (the first module added) and assigns each eligible VM a per-item digest
+/// vector such that, for any two eligible VMs, vector equality is
+/// equivalent to the slow pairwise comparison's all_match verdict.
+///
+/// Usage: add() every successfully parsed copy (reference first), then
+/// finalize(), then query eligible()/digests().  Added modules must
+/// outlive the pool (the reference's item bytes are borrowed).
+/// Single-threaded by design: canonicalization is the O(t) part and runs
+/// on the orchestrator's clock.
+class CanonicalPool {
+ public:
+  CanonicalPool(crypto::HashAlgorithm algorithm,
+                const vmi::HostCostModel& costs)
+      : algorithm_(algorithm), costs_(costs) {}
+
+  /// Canonicalizes one VM's copy, charging adjustment/hashing time to
+  /// `clock`.  The first module added becomes the reference.
+  void add(const ParsedModule& module, SimClock& clock);
+
+  /// Resolves the reference's own digest vector (canonical digests where
+  /// established, raw digests elsewhere) and back-fills every same-base
+  /// entry that shares it.  Call after the last add().
+  void finalize(SimClock& clock);
+
+  /// True if `vm` was added and reduced cleanly to the canonical form.
+  bool eligible(vmm::DomainId vm) const;
+
+  /// Post-finalize: per-item digests in reference item order.  Two
+  /// eligible VMs' modules pairwise-match iff their vectors are equal.
+  const std::vector<crypto::Digest>& digests(vmm::DomainId vm) const;
+
+  struct Stats {
+    std::uint64_t eligible = 0;
+    std::uint64_t ineligible = 0;
+    /// rva-sensitive items whose canonical digest got established by a
+    /// differing-base partner.
+    std::uint64_t canonicals_established = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool eligible = false;
+    std::vector<crypto::Digest> digests;
+    /// Items whose digest equals the reference's (resolved in finalize()).
+    std::vector<std::size_t> ref_items;
+  };
+
+  crypto::HashAlgorithm algorithm_;
+  vmi::HostCostModel costs_;
+
+  const ParsedModule* reference_ = nullptr;
+  /// Per reference item: canonical digest established by the first
+  /// differing-base eligible partner (rva-sensitive items only).
+  std::vector<std::optional<crypto::Digest>> canonical_;
+  std::vector<crypto::Digest> ref_digests_;  // valid after finalize()
+  bool finalized_ = false;
+
+  std::map<vmm::DomainId, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace mc::core

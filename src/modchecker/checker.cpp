@@ -1,30 +1,28 @@
 #include "modchecker/checker.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <vector>
 
 #include "crypto/crc32.hpp"
 
 namespace mc::core {
 
 namespace {
-/// Relative per-byte cost of the digest algorithms (MD5 = 1.0); roughly
-/// the OpenSSL-era software throughput ratios.
-double hash_cost_factor(crypto::HashAlgorithm algorithm) {
-  switch (algorithm) {
-    case crypto::HashAlgorithm::kMd5:
-      return 1.0;
-    case crypto::HashAlgorithm::kSha1:
-      return 1.4;
-    case crypto::HashAlgorithm::kSha256:
-      return 2.3;
-  }
-  return 1.0;
+/// Item pairing key — the slow path matches items across the two modules
+/// by (kind, name), first unused wins.
+std::string pair_key(const pe::IntegrityItem& item) {
+  std::string key = std::to_string(static_cast<int>(item.kind));
+  key += '\x1f';
+  key += item.name;
+  return key;
 }
 }  // namespace
 
 PairComparison IntegrityChecker::compare(const ParsedModule& subject,
                                          const ParsedModule& other,
-                                         SimClock& clock) const {
+                                         SimClock& clock,
+                                         DigestTable* memo) const {
   PairComparison result;
   result.other_domain = other.domain;
   clock.charge(costs_.compare_fixed);
@@ -33,17 +31,49 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
 
   // Items are matched by (kind, name): identical module structure yields a
   // 1:1 pairing; structural attacks (an injected section, E4) leave
-  // unmatched items, which are definite mismatches.
+  // unmatched items, which are definite mismatches.  Indexing the other
+  // side once keeps the pairing O(n) instead of O(n^2).
   std::vector<bool> other_used(other.items.size(), false);
+  std::unordered_map<std::string, std::vector<std::size_t>> other_by_key;
+  other_by_key.reserve(other.items.size());
+  for (std::size_t j = 0; j < other.items.size(); ++j) {
+    other_by_key[pair_key(other.items[j])].push_back(j);
+  }
+  std::unordered_map<std::string, std::size_t> next_candidate;
   auto find_match = [&](const pe::IntegrityItem& a) -> const pe::IntegrityItem* {
-    for (std::size_t j = 0; j < other.items.size(); ++j) {
-      if (!other_used[j] && other.items[j].kind == a.kind &&
-          other.items[j].name == a.name) {
-        other_used[j] = true;
-        return &other.items[j];
+    const auto it = other_by_key.find(pair_key(a));
+    if (it == other_by_key.end()) {
+      return nullptr;
+    }
+    std::size_t& cursor = next_candidate[it->first];
+    if (cursor >= it->second.size()) {
+      return nullptr;
+    }
+    const std::size_t j = it->second[cursor++];
+    other_used[j] = true;
+    return &other.items[j];
+  };
+
+  // Prefilter + digest decision over one buffer pair (raw views for items
+  // that are not rva-sensitive, post-adjustment scratch buffers otherwise).
+  auto compare_buffers = [&](ItemComparison& cmp, ByteView buf_a,
+                             ByteView buf_b) {
+    if (crc_prefilter_) {
+      clock.charge(costs_.crc_per_byte * (buf_a.size() + buf_b.size()));
+      if (crypto::crc32(buf_a) == crypto::crc32(buf_b) &&
+          buf_a.size() == buf_b.size()) {
+        // Cheap path: CRCs agree — accept the match without the digest.
+        cmp.match = true;
+        return;
       }
     }
-    return nullptr;
+    cmp.digest_subject = crypto::hash_bytes(algorithm_, buf_a);
+    cmp.digest_other = crypto::hash_bytes(algorithm_, buf_b);
+    clock.charge(static_cast<SimNanos>(
+        static_cast<double>(costs_.hash_per_byte *
+                            (buf_a.size() + buf_b.size())) *
+        digest_cost_factor(algorithm_)));
+    cmp.match = cmp.digest_subject == cmp.digest_other;
   };
 
   for (const pe::IntegrityItem& a : subject.items) {
@@ -60,39 +90,37 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
       continue;
     }
 
-    // Work on copies: Algorithm 2 mutates the buffers, and each pairwise
-    // comparison must start from the pristine extractions.
-    Bytes buf_a = a.bytes;
-    Bytes buf_b = b->bytes;
-
     if (a.rva_sensitive) {
+      // Work on copies: Algorithm 2 mutates the buffers, and each pairwise
+      // comparison must start from the pristine extractions.
+      Bytes buf_a = a.bytes;
+      Bytes buf_b = b->bytes;
       const RvaAdjustResult adj =
           adjust_rvas(buf_a, subject.base, buf_b, other.base);
       cmp.rvas_adjusted = adj.adjusted;
       cmp.unresolved_diffs = adj.unresolved_diffs;
       clock.charge(costs_.rva_scan_per_byte *
                    std::max(buf_a.size(), buf_b.size()));
-    }
-
-    if (crc_prefilter_) {
-      clock.charge(costs_.crc_per_byte * (buf_a.size() + buf_b.size()));
-      if (crypto::crc32(buf_a) == crypto::crc32(buf_b) &&
-          buf_a.size() == buf_b.size()) {
-        // Cheap path: CRCs agree — accept the match without the digest.
-        cmp.match = true;
-        result.items.push_back(std::move(cmp));
-        continue;
+      compare_buffers(cmp, buf_a, buf_b);
+    } else if (memo != nullptr) {
+      // Raw-byte item: the match criterion is digest (or CRC) equality of
+      // the unmodified extractions, so memoized values are exact.
+      if (crc_prefilter_) {
+        const std::uint32_t crc_a = memo->crc(subject.domain, a, clock);
+        const std::uint32_t crc_b = memo->crc(other.domain, *b, clock);
+        if (crc_a == crc_b && a.bytes.size() == b->bytes.size()) {
+          cmp.match = true;
+          result.items.push_back(std::move(cmp));
+          continue;
+        }
       }
+      cmp.digest_subject = memo->digest(subject.domain, a, clock);
+      cmp.digest_other = memo->digest(other.domain, *b, clock);
+      cmp.match = cmp.digest_subject == cmp.digest_other;
+    } else {
+      compare_buffers(cmp, a.bytes, b->bytes);
     }
 
-    cmp.digest_subject = crypto::hash_bytes(algorithm_, buf_a);
-    cmp.digest_other = crypto::hash_bytes(algorithm_, buf_b);
-    clock.charge(static_cast<SimNanos>(
-        static_cast<double>(costs_.hash_per_byte *
-                            (buf_a.size() + buf_b.size())) *
-        hash_cost_factor(algorithm_)));
-
-    cmp.match = cmp.digest_subject == cmp.digest_other;
     all_match = all_match && cmp.match;
     result.items.push_back(std::move(cmp));
   }

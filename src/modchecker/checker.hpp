@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "crypto/hasher.hpp"
+#include "modchecker/canonical.hpp"
 #include "modchecker/rva_adjust.hpp"
 #include "modchecker/types.hpp"
 #include "util/sim_clock.hpp"
@@ -57,8 +58,15 @@ class IntegrityChecker {
   /// in shape when headers were tampered with (e.g. an injected section):
   /// items are matched by position and name; unmatched items count as
   /// mismatches.  Charges hashing/scan time to `clock`.
+  ///
+  /// With `memo`, digests (and prefilter CRCs) of items that are NOT
+  /// rva-sensitive are served from the table instead of being recomputed
+  /// per pair — match decisions are identical because those items compare
+  /// raw bytes.  rva-sensitive items always take the exact per-pair
+  /// adjustment path (their buffers are pair-specific after Algorithm 2).
   PairComparison compare(const ParsedModule& subject,
-                         const ParsedModule& other, SimClock& clock) const;
+                         const ParsedModule& other, SimClock& clock,
+                         DigestTable* memo = nullptr) const;
 
  private:
   crypto::HashAlgorithm algorithm_;

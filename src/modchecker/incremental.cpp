@@ -1,6 +1,7 @@
 #include "modchecker/incremental.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "modchecker/searcher.hpp"
 #include "util/error.hpp"
@@ -20,7 +21,8 @@ IncrementalScanner::IncrementalScanner(const vmm::Hypervisor& hypervisor,
     : hypervisor_(&hypervisor),
       config_(std::move(config)),
       parser_(config_.host_costs),
-      checker_(config_.algorithm, config_.host_costs, config_.crc_prefilter) {}
+      checker_(config_.algorithm, config_.host_costs, config_.crc_prefilter),
+      session_pool_(hypervisor, config_.vmi_costs) {}
 
 IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
     vmm::DomainId vm, const std::string& module_name, ComponentTimes& times) {
@@ -28,8 +30,16 @@ IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
   const vmm::PhysicalMemory& memory = hypervisor_->domain(vm).memory();
 
   SimClock searcher_clock;
-  vmi::VmiSession session(*hypervisor_, vm, searcher_clock,
+  // Keep a warm session when configured; fall back to attach-per-fetch.
+  std::optional<vmi::VmiSessionPool::Lease> lease;
+  std::optional<vmi::VmiSession> local_session;
+  if (config_.reuse_sessions) {
+    lease.emplace(session_pool_.acquire(vm, searcher_clock));
+  } else {
+    local_session.emplace(*hypervisor_, vm, searcher_clock,
                           config_.vmi_costs);
+  }
+  vmi::VmiSession& session = lease ? lease->session() : *local_session;
   ModuleSearcher searcher(session);
 
   // The list walk is always needed (cheap relative to a copy): the module

@@ -23,6 +23,7 @@
 #include "modchecker/modchecker.hpp"
 #include "modchecker/parser.hpp"
 #include "modchecker/types.hpp"
+#include "vmi/session_pool.hpp"
 
 namespace mc::core {
 
@@ -76,6 +77,10 @@ class IncrementalScanner {
   ModCheckerConfig config_;
   ModuleParser parser_;
   IntegrityChecker checker_;
+  /// Persistent per-domain sessions: a periodic scanner visits the same
+  /// guests every pass, so warm V2P caches compound with the dirty-frame
+  /// cache (used when config_.reuse_sessions).
+  vmi::VmiSessionPool session_pool_;
   std::map<std::pair<vmm::DomainId, std::string>, CacheEntry> cache_;
   std::map<std::tuple<std::string, vmm::DomainId, vmm::DomainId>,
            PairCacheEntry>

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <future>
 #include <map>
+#include <optional>
 #include <set>
+#include <unordered_set>
 
+#include "modchecker/canonical.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -18,18 +21,28 @@ ModChecker::ModChecker(const vmm::Hypervisor& hypervisor,
       config_(std::move(config)),
       parser_(config_.host_costs),
       checker_(config_.algorithm, config_.host_costs,
-               config_.crc_prefilter) {}
+               config_.crc_prefilter),
+      session_pool_(hypervisor, config_.vmi_costs) {}
 
 ModChecker::Extraction ModChecker::extract_and_parse(
     vmm::DomainId vm, const std::string& module_name) const {
   Extraction ex;
 
-  // Module-Searcher: all guest-memory access happens here.
+  // Module-Searcher: all guest-memory access happens here.  With session
+  // reuse the per-domain session (and its V2P cache) survives across
+  // calls; otherwise attach fresh, as the paper's prototype does.
   SimClock searcher_clock;
-  vmi::VmiSession session(*hypervisor_, vm, searcher_clock,
-                          config_.vmi_costs);
-  ModuleSearcher searcher(session);
-  auto image = searcher.extract_module(module_name);
+  std::optional<ModuleImage> image;
+  if (config_.reuse_sessions) {
+    auto lease = session_pool_.acquire(vm, searcher_clock);
+    ModuleSearcher searcher(lease.session());
+    image = searcher.extract_module(module_name);
+  } else {
+    vmi::VmiSession session(*hypervisor_, vm, searcher_clock,
+                            config_.vmi_costs);
+    ModuleSearcher searcher(session);
+    image = searcher.extract_module(module_name);
+  }
   ex.times.searcher = searcher_clock.now();
   if (!image) {
     return ex;
@@ -64,9 +77,11 @@ CheckReport ModChecker::check_module(vmm::DomainId subject,
   // duplicate entries double-counting a peer.
   std::vector<vmm::DomainId> others;
   others.reserve(raw_others.size());
+  std::unordered_set<vmm::DomainId> seen;
+  seen.reserve(raw_others.size() + 1);
+  seen.insert(subject);
   for (const vmm::DomainId vm : raw_others) {
-    if (vm != subject &&
-        std::find(others.begin(), others.end(), vm) == others.end()) {
+    if (seen.insert(vm).second) {
       others.push_back(vm);
     }
   }
@@ -79,6 +94,30 @@ CheckReport ModChecker::check_module(vmm::DomainId subject,
                         std::to_string(subject));
   }
   report.cpu_times += subject_ex.times;
+
+  // Digest memo: the subject's raw-byte items are hashed once here instead
+  // of once per peer inside compare().  Preloading on the orchestrator's
+  // clock (not inside the worker tasks) keeps parallel and sequential runs
+  // charging identical totals — no task's time depends on which one
+  // happened to miss the shared table first.
+  std::optional<DigestTable> memo;
+  SimNanos memo_preload = 0;
+  if (config_.digest_memo && !subject_ex.parse_failed) {
+    memo.emplace(config_.algorithm, config_.host_costs);
+    SimClock preload_clock;
+    preload_clock.set_slowdown(hypervisor_->dom0_slowdown());
+    for (const pe::IntegrityItem& item : subject_ex.parsed.items) {
+      if (item.rva_sensitive) {
+        continue;  // pair-specific after Algorithm 2; never memoized
+      }
+      if (config_.crc_prefilter) {
+        memo->crc(subject, item, preload_clock);
+      }
+      memo->digest(subject, item, preload_clock);
+    }
+    memo_preload = preload_clock.now();
+    report.cpu_times.checker += memo_preload;
+  }
 
   struct PerVm {
     vmm::DomainId vm;
@@ -94,7 +133,8 @@ CheckReport ModChecker::check_module(vmm::DomainId subject,
     if (r.ex.found && !r.ex.parse_failed && !subject_ex.parse_failed) {
       SimClock checker_clock;
       checker_clock.set_slowdown(hypervisor_->dom0_slowdown());
-      r.cmp = checker_.compare(subject_ex.parsed, r.ex.parsed, checker_clock);
+      r.cmp = checker_.compare(subject_ex.parsed, r.ex.parsed, checker_clock,
+                               memo ? &*memo : nullptr);
       r.checker_time = checker_clock.now();
     }
     return r;
@@ -124,7 +164,7 @@ CheckReport ModChecker::check_module(vmm::DomainId subject,
     const SimNanos makespan = std::max(
         longest_task, total_work / std::min<SimNanos>(config_.worker_threads,
                                                       others.size()));
-    report.wall_time = subject_ex.times.total() + makespan;
+    report.wall_time = subject_ex.times.total() + memo_preload + makespan;
   } else {
     for (const vmm::DomainId vm : others) {
       results.push_back(process_other(vm));
@@ -256,8 +296,36 @@ PoolScanReport ModChecker::scan_pool(const std::string& module_name,
   for (std::size_t i = 0; i < pool.size(); ++i) {
     verdicts[i].vm = pool[i];
   }
-  SimClock checker_clock;
-  checker_clock.set_slowdown(hypervisor_->dom0_slowdown());
+
+  // Canonical-RVA fast path: normalize every parsed copy against the first
+  // one (O(t) image work), then decide eligible pairs by digest-vector
+  // comparison.  Any copy that does not reduce cleanly drops its pairs to
+  // the exact pairwise fallback below — verdict-identical to the slow
+  // path.  The CRC prefilter accepts on CRC equality, which digests cannot
+  // reproduce, so the fast path stands down when it is enabled.
+  const bool use_fastpath = config_.pool_fastpath && !config_.crc_prefilter;
+  SimClock canon_clock;
+  canon_clock.set_slowdown(hypervisor_->dom0_slowdown());
+  std::optional<CanonicalPool> canon;
+  if (use_fastpath) {
+    canon.emplace(config_.algorithm, config_.host_costs);
+    bool any = false;
+    for (const auto& ex : extractions) {
+      if (ex.found && !ex.parse_failed) {
+        canon->add(ex.parsed, canon_clock);
+        any = true;
+      }
+    }
+    if (any) {
+      canon->finalize(canon_clock);
+    }
+  }
+
+  struct PairRef {
+    std::size_t i;
+    std::size_t j;
+  };
+  std::vector<PairRef> fallback;
   for (std::size_t i = 0; i < pool.size(); ++i) {
     if (!extractions[i].found) {
       continue;
@@ -271,16 +339,68 @@ PoolScanReport ModChecker::scan_pool(const std::string& module_name,
       if (extractions[i].parse_failed || extractions[j].parse_failed) {
         continue;  // an unparseable copy never matches anything
       }
-      const PairComparison cmp = checker_.compare(
-          extractions[i].parsed, extractions[j].parsed, checker_clock);
-      if (cmp.all_match) {
-        ++verdicts[i].successes;
-        ++verdicts[j].successes;
+      if (canon && canon->eligible(pool[i]) && canon->eligible(pool[j])) {
+        ++report.fastpath_pairs;
+        canon_clock.charge(config_.host_costs.digest_pair_fixed);
+        if (canon->digests(pool[i]) == canon->digests(pool[j])) {
+          ++verdicts[i].successes;
+          ++verdicts[j].successes;
+        }
+      } else {
+        fallback.push_back({i, j});
       }
     }
   }
-  report.cpu_times.checker += checker_clock.now();
-  report.wall_time += checker_clock.now();
+  report.fallback_pairs = fallback.size();
+  report.cpu_times.checker += canon_clock.now();
+  report.wall_time += canon_clock.now();
+
+  // Exact pairwise comparisons for the fallback set.  In parallel mode
+  // each pair is an independent task with its own clock and the wall cost
+  // is the list-scheduling makespan (the sequential code previously ran
+  // this phase on one clock even when config_.parallel was set, charging
+  // the full sum to wall time).
+  auto run_fallback_pair = [&](const PairRef& p) {
+    SimClock pair_clock;
+    pair_clock.set_slowdown(hypervisor_->dom0_slowdown());
+    const PairComparison cmp = checker_.compare(
+        extractions[p.i].parsed, extractions[p.j].parsed, pair_clock);
+    return std::pair<bool, SimNanos>(cmp.all_match, pair_clock.now());
+  };
+
+  if (config_.parallel && fallback.size() > 1) {
+    ThreadPool tp(std::min(config_.worker_threads, fallback.size()));
+    std::vector<std::future<std::pair<bool, SimNanos>>> futures;
+    futures.reserve(fallback.size());
+    for (const PairRef& p : fallback) {
+      futures.push_back(tp.submit([&, p] { return run_fallback_pair(p); }));
+    }
+    SimNanos longest = 0;
+    SimNanos total_work = 0;
+    for (std::size_t k = 0; k < fallback.size(); ++k) {
+      const auto [all_match, task_time] = futures[k].get();
+      if (all_match) {
+        ++verdicts[fallback[k].i].successes;
+        ++verdicts[fallback[k].j].successes;
+      }
+      longest = std::max(longest, task_time);
+      total_work += task_time;
+    }
+    report.cpu_times.checker += total_work;
+    report.wall_time += std::max(
+        longest, total_work / std::min<SimNanos>(config_.worker_threads,
+                                                 fallback.size()));
+  } else {
+    for (const PairRef& p : fallback) {
+      const auto [all_match, task_time] = run_fallback_pair(p);
+      if (all_match) {
+        ++verdicts[p.i].successes;
+        ++verdicts[p.j].successes;
+      }
+      report.cpu_times.checker += task_time;
+      report.wall_time += task_time;
+    }
+  }
 
   for (auto& v : verdicts) {
     v.clean = v.total > 0 && 2 * v.successes > v.total;
@@ -298,9 +418,15 @@ ListComparisonReport ModChecker::compare_module_lists(
   SimNanos wall = 0;
   for (const vmm::DomainId vm : pool) {
     SimClock clock;
-    vmi::VmiSession session(*hypervisor_, vm, clock, config_.vmi_costs);
-    ModuleSearcher searcher(session);
-    for (const auto& info : searcher.list_modules()) {
+    std::vector<ModuleInfo> modules;
+    if (config_.reuse_sessions) {
+      auto lease = session_pool_.acquire(vm, clock);
+      modules = ModuleSearcher(lease.session()).list_modules();
+    } else {
+      vmi::VmiSession session(*hypervisor_, vm, clock, config_.vmi_costs);
+      modules = ModuleSearcher(session).list_modules();
+    }
+    for (const auto& info : modules) {
       presence[info.name].push_back(vm);
     }
     wall += clock.now();

@@ -21,6 +21,7 @@
 #include "modchecker/searcher.hpp"
 #include "modchecker/types.hpp"
 #include "vmi/cost_model.hpp"
+#include "vmi/session_pool.hpp"
 #include "vmm/hypervisor.hpp"
 
 namespace mc::core {
@@ -34,6 +35,23 @@ struct ModCheckerConfig {
   /// CRC32 prefilter: skip the full digest when cheap checksums agree
   /// (see IntegrityChecker for the tradeoff).
   bool crc_prefilter = false;
+  /// Keep one VMI session per domain alive across calls (VmiSessionPool):
+  /// repeat scans skip the attach + debug-block scan and reuse the warm
+  /// V2P cache.  Sessions auto-invalidate when a domain's epoch/CR3 moves
+  /// (snapshot restore, clone-into).  Off reproduces the paper's
+  /// attach-per-check prototype.
+  bool reuse_sessions = true;
+  /// Canonical-RVA fast path for scan_pool: normalize every copy against
+  /// one reference, then decide each pair by comparing precomputed digest
+  /// vectors — O(t) image work instead of O(t^2).  Pairs involving any
+  /// copy that does not reduce cleanly fall back to the exact pairwise
+  /// comparison, so verdicts are identical to the slow path (see
+  /// canonical.hpp).  Disabled automatically with crc_prefilter (the
+  /// prefilter's CRC-collision acceptance is not digest-equivalent).
+  bool pool_fastpath = true;
+  /// Memoize per-item digests within one check_module call so the
+  /// subject's items are hashed once instead of once per peer.
+  bool digest_memo = true;
 };
 
 /// Result of checking one module on one subject VM against a pool.
@@ -66,6 +84,10 @@ struct PoolScanReport {
   std::vector<PoolVmVerdict> verdicts;
   ComponentTimes cpu_times;
   SimNanos wall_time = 0;
+  /// Pairs decided by the canonical-RVA digest comparison vs. pairs that
+  /// ran the exact pairwise comparison (diagnostics for the fast path).
+  std::size_t fastpath_pairs = 0;
+  std::size_t fallback_pairs = 0;
 };
 
 /// One module whose presence differs across the pool.
@@ -130,6 +152,16 @@ class ModChecker {
   /// PE magics/headers are corrupted) — a definite integrity violation.
   static constexpr const char* kUnparseableItem = "MODULE_UNPARSEABLE";
 
+  /// Cross-call session reuse counters (meaningful with reuse_sessions).
+  vmi::SessionPoolStats session_pool_stats() const {
+    return session_pool_.stats();
+  }
+
+  /// Drops all pooled sessions (next check re-attaches).  Epoch/CR3
+  /// staleness is detected automatically; this is for callers that mutate
+  /// guest page tables in place.
+  void invalidate_sessions() { session_pool_.invalidate_all(); }
+
  private:
   struct Extraction {
     ComponentTimes times;
@@ -147,6 +179,10 @@ class ModChecker {
   ModCheckerConfig config_;
   ModuleParser parser_;
   IntegrityChecker checker_;
+  /// Per-domain persistent sessions (used when config_.reuse_sessions).
+  /// Mutable: extraction is logically read-only on the checker, but warms
+  /// the session cache.
+  mutable vmi::VmiSessionPool session_pool_;
 };
 
 }  // namespace mc::core

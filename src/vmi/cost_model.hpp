@@ -27,10 +27,19 @@ struct VmiCostModel {
   SimNanos translate_cached = 150;  // ns
   /// Mapping one guest frame into the privileged VM.
   SimNanos page_map = sim_us(25);
+  /// Extending an existing mapping by one physically-contiguous frame
+  /// (xc_map_foreign_pages over a frame run amortizes the per-call setup;
+  /// only the first frame of a run pays the full `page_map`).
+  SimNanos page_map_batched = sim_us(4);
   /// Copying one byte out of a mapped frame.
   SimNanos copy_per_byte = 2;  // ns
   /// Fixed overhead per read call (API dispatch).
   SimNanos read_call = 400;  // ns
+  /// Coalesce virtually-contiguous pages that translate to
+  /// physically-contiguous frames into one mapping + one copy, charging
+  /// `page_map_batched` per extra frame.  Off reproduces the paper's strict
+  /// page-by-page access pattern (the A8 ablation sweeps this).
+  bool coalesce_reads = true;
 };
 
 /// Cost model for host-side (Dom0) CPU work: parsing and hashing.  Used by
@@ -48,6 +57,9 @@ struct HostCostModel {
   SimNanos rva_scan_per_byte = 2;  // ns
   /// Fixed per-comparison overhead.
   SimNanos compare_fixed = sim_us(5);
+  /// Fast-path pool scan: comparing two precomputed per-item digest vectors
+  /// (a handful of 16-byte memcmps — no image data is touched).
+  SimNanos digest_pair_fixed = 300;  // ns
 };
 
 }  // namespace mc::vmi

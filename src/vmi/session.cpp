@@ -135,8 +135,36 @@ void VmiSession::read_va(std::uint32_t va, MutableByteView out) {
       last_mapped_frame_ = frame;
     }
     const std::size_t in_page = cur & kPageMask;
-    const std::size_t take =
+    std::size_t take =
         std::min<std::size_t>(vmm::kFrameSize - in_page, out.size() - done);
+
+    if (costs_.coalesce_reads) {
+      // Extend the run while the following pages translate to physically
+      // contiguous frames: they join the existing mapping (cheap batched
+      // charge) and the whole run is copied out in one call.  Translations
+      // stay per-page — the page-table walk cannot be batched away.
+      std::uint64_t next_frame = frame + vmm::kFrameSize;
+      while (done + take < out.size()) {
+        const std::uint32_t next_va =
+            va + static_cast<std::uint32_t>(done + take);
+        const std::uint64_t next_pa = translate_kv2p(next_va);
+        if ((next_pa & ~std::uint64_t{kPageMask}) != next_frame) {
+          break;  // physical discontinuity; next loop iteration remaps
+        }
+        const std::size_t extra = std::min<std::size_t>(
+            vmm::kFrameSize, out.size() - done - take);
+        ++stats_.pages_mapped;
+        ++stats_.batched_pages;
+        charge(costs_.page_map_batched);
+        last_mapped_frame_ = next_frame;
+        take += extra;
+        next_frame += vmm::kFrameSize;
+        if (extra < vmm::kFrameSize) {
+          break;  // request ends inside this frame
+        }
+      }
+    }
+
     mem.read(pa, out.subspan(done, take));
     stats_.bytes_copied += take;
     charge(costs_.copy_per_byte * take);

@@ -32,6 +32,14 @@ struct VmiStats {
   std::uint64_t translation_cache_hits = 0;
   std::uint64_t read_calls = 0;
   std::uint64_t kdbg_frames_scanned = 0;
+  /// Pages that rode an existing mapping because their frame was physically
+  /// contiguous with the previous one (charged `page_map_batched`, not
+  /// `page_map`).
+  std::uint64_t batched_pages = 0;
+  /// Times this session was checked out again from a VmiSessionPool — the
+  /// cross-scan reuse counter (each reuse skips attach + debug-block scan
+  /// and keeps the V2P cache warm).
+  std::uint64_t session_reuses = 0;
 };
 
 class VmiSession {
@@ -45,6 +53,14 @@ class VmiSession {
   const VmiStats& stats() const { return stats_; }
   SimClock& clock() { return *clock_; }
   const VmiCostModel& costs() const { return costs_; }
+
+  /// Points subsequent charges at a different clock.  A pooled session
+  /// outlives any single scan; each checkout rebinds it to the caller's
+  /// clock so time is billed to the operation actually running.
+  void rebind_clock(SimClock& clock) { clock_ = &clock; }
+
+  /// Pool bookkeeping: bumps the cross-scan reuse counter.
+  void note_reuse() { ++stats_.session_reuses; }
 
   /// Resolves an exported kernel symbol ("PsLoadedModuleList",
   /// "KernBase").  First call triggers the debug-block scan.

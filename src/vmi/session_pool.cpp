@@ -1,0 +1,95 @@
+#include "vmi/session_pool.hpp"
+
+#include <vector>
+
+namespace mc::vmi {
+
+VmiSessionPool::VmiSessionPool(const vmm::Hypervisor& hypervisor,
+                               const VmiCostModel& costs)
+    : hypervisor_(&hypervisor), costs_(costs) {}
+
+VmiSessionPool::Lease VmiSessionPool::acquire(vmm::DomainId domain,
+                                              SimClock& clock) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    auto& slot = entries_[domain];
+    if (!slot) {
+      slot = std::make_unique<Entry>();
+    }
+    entry = slot.get();
+  }
+  // Per-domain lock taken after the map lock is released: acquires of
+  // different domains never serialize on each other.
+  std::unique_lock<std::mutex> lock(entry->mutex);
+
+  const vmm::Domain& dom = hypervisor_->domain(domain);
+  const bool stale = entry->session && (entry->epoch != dom.epoch() ||
+                                        entry->cr3 != dom.cr3());
+  if (stale) {
+    entry->session.reset();
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    ++stats_.invalidated;
+  }
+  if (entry->session) {
+    entry->session->rebind_clock(clock);
+    entry->session->note_reuse();
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    ++stats_.reused;
+  } else {
+    entry->session =
+        std::make_unique<VmiSession>(*hypervisor_, domain, clock, costs_);
+    entry->epoch = dom.epoch();
+    entry->cr3 = dom.cr3();
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    ++stats_.created;
+  }
+  return Lease(std::move(lock), entry->session.get());
+}
+
+void VmiSessionPool::invalidate(vmm::DomainId domain) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    const auto it = entries_.find(domain);
+    if (it == entries_.end()) {
+      return;
+    }
+    entry = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->session) {
+    entry->session.reset();
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    ++stats_.invalidated;
+  }
+}
+
+void VmiSessionPool::invalidate_all() {
+  // Snapshot the entry pointers under the map lock, then drop sessions
+  // under their own locks (entries are never erased, so pointers stay
+  // valid).
+  std::vector<Entry*> entries;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    entries.reserve(entries_.size());
+    for (auto& [id, entry] : entries_) {
+      entries.push_back(entry.get());
+    }
+  }
+  for (Entry* entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->session) {
+      entry->session.reset();
+      std::lock_guard<std::mutex> map_lock(map_mutex_);
+      ++stats_.invalidated;
+    }
+  }
+}
+
+SessionPoolStats VmiSessionPool::stats() const {
+  std::lock_guard<std::mutex> map_lock(map_mutex_);
+  return stats_;
+}
+
+}  // namespace mc::vmi

@@ -1,0 +1,102 @@
+// Persistent VMI session pool — cross-scan reuse of per-domain sessions.
+//
+// The seed design attached a fresh VmiSession for every module extraction:
+// each one pays the attach cost, rescans for the debug block, and rebuilds
+// its V2P translation cache from nothing.  In steady state (a scheduler
+// looping over the same guests, an IncrementalScanner polling one guest)
+// none of that work changes between scans, so the pool keeps one session
+// per domain alive and hands out leases.
+//
+// Staleness is detected, not declared: every acquire compares the domain's
+// bulk-state epoch (bumped by snapshot restore / clone-into) and CR3
+// against the values captured when the session was built, and rebuilds the
+// session when either moved.  Guest *content* writes leave page tables
+// untouched, so they correctly do not invalidate the V2P cache — the next
+// read sees the new bytes through the same translations, exactly as LibVMI
+// would.  Callers that know better (e.g. a test harness rewriting page
+// tables in place) can force the issue with invalidate().
+//
+// Thread safety: acquire() returns an RAII Lease holding the per-domain
+// mutex, so two threads scanning the same guest serialize on the session
+// while scans of different guests proceed in parallel.  The pool itself may
+// be shared freely across threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "vmi/session.hpp"
+
+namespace mc::vmi {
+
+struct SessionPoolStats {
+  /// Sessions built from scratch (first acquire, or rebuild after
+  /// staleness/invalidation).
+  std::uint64_t created = 0;
+  /// Acquires satisfied by an existing warm session.
+  std::uint64_t reused = 0;
+  /// Sessions dropped — explicit invalidate() plus automatic epoch/CR3
+  /// staleness detections.
+  std::uint64_t invalidated = 0;
+};
+
+class VmiSessionPool {
+ public:
+  explicit VmiSessionPool(const vmm::Hypervisor& hypervisor,
+                          const VmiCostModel& costs = {});
+
+  VmiSessionPool(const VmiSessionPool&) = delete;
+  VmiSessionPool& operator=(const VmiSessionPool&) = delete;
+
+  /// Exclusive checkout of one domain's session.  Holds the per-domain
+  /// lock for its lifetime; the session pointer is valid exactly that long.
+  class Lease {
+   public:
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+
+    VmiSession& session() { return *session_; }
+    VmiSession* operator->() { return session_; }
+
+   private:
+    friend class VmiSessionPool;
+    Lease(std::unique_lock<std::mutex> lock, VmiSession* session)
+        : lock_(std::move(lock)), session_(session) {}
+
+    std::unique_lock<std::mutex> lock_;
+    VmiSession* session_;
+  };
+
+  /// Checks out `domain`'s session, rebound to charge `clock`.  Builds (and
+  /// charges attach for) a fresh session on first use or when the domain's
+  /// epoch/CR3 says the cached one is stale; otherwise reuses the warm
+  /// session, V2P cache and all.
+  Lease acquire(vmm::DomainId domain, SimClock& clock);
+
+  /// Drops the cached session for `domain` (next acquire rebuilds).
+  void invalidate(vmm::DomainId domain);
+
+  /// Drops every cached session.
+  void invalidate_all();
+
+  SessionPoolStats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    std::unique_ptr<VmiSession> session;  // guarded by `mutex`
+    std::uint64_t epoch = 0;              // domain epoch at build time
+    std::uint64_t cr3 = 0;                // domain CR3 at build time
+  };
+
+  const vmm::Hypervisor* hypervisor_;
+  VmiCostModel costs_;
+
+  mutable std::mutex map_mutex_;  // guards entries_ map shape + stats_
+  std::map<vmm::DomainId, std::unique_ptr<Entry>> entries_;
+  SessionPoolStats stats_;
+};
+
+}  // namespace mc::vmi

@@ -18,6 +18,7 @@ void Domain::copy_state_from(const Domain& src) {
   memory_.restore_from(src.memory_);
   cr3_ = src.cr3_;
   load_level_ = src.load_level_;
+  ++epoch_;
 }
 
 }  // namespace mc::vmm

@@ -39,12 +39,19 @@ class Domain {
   /// Deep-copies memory/CR3/load from `src` (used by clone & restore).
   void copy_state_from(const Domain& src);
 
+  /// Bulk-state generation: bumped by every copy_state_from (snapshot
+  /// restore, clone-into).  Introspection caches keyed on guest layout
+  /// (e.g. a VmiSessionPool's V2P caches) compare epochs to detect that a
+  /// domain was wholesale replaced underneath them.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
   DomainId id_;
   std::string name_;
   PhysicalMemory memory_;
   std::uint64_t cr3_ = 0;
   double load_level_ = 0.0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace mc::vmm

@@ -1,0 +1,385 @@
+// Differential suite: the canonical-RVA fast path and the digest memo must
+// be *verdict-identical* to the paper-faithful pairwise implementation.
+//
+// Every test runs the same pool through a fast checker (pool_fastpath +
+// digest_memo + reuse_sessions) and a faithful one (everything off) and
+// demands bit-equal verdicts, flagged items and vote counts — across clean
+// pools of every size the paper used, the E1-E4 infections, and the
+// fallback corners (reference infected, unresolvable diffs, shape
+// mismatches).  CanonicalPool's eligibility rules get direct synthetic
+// coverage at the bottom.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/byte_patch.hpp"
+#include "attacks/dll_import_inject.hpp"
+#include "attacks/header_tamper.hpp"
+#include "attacks/inline_hook.hpp"
+#include "attacks/opcode_replace.hpp"
+#include "attacks/stub_patch.hpp"
+#include "cloud/environment.hpp"
+#include "modchecker/canonical.hpp"
+#include "modchecker/modchecker.hpp"
+
+namespace {
+
+using namespace mc;
+using namespace mc::core;
+
+std::unique_ptr<cloud::CloudEnvironment> make_env(std::size_t guests) {
+  cloud::CloudConfig cfg;
+  cfg.guest_count = guests;
+  return std::make_unique<cloud::CloudEnvironment>(cfg);
+}
+
+ModCheckerConfig fast_config() {
+  ModCheckerConfig cfg;  // fast path, memo and session reuse are defaults
+  EXPECT_TRUE(cfg.pool_fastpath);
+  EXPECT_TRUE(cfg.digest_memo);
+  EXPECT_TRUE(cfg.reuse_sessions);
+  return cfg;
+}
+
+ModCheckerConfig faithful_config() {
+  ModCheckerConfig cfg;
+  cfg.pool_fastpath = false;
+  cfg.digest_memo = false;
+  cfg.reuse_sessions = false;
+  return cfg;
+}
+
+void expect_same_verdicts(const PoolScanReport& a, const PoolScanReport& b) {
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    EXPECT_EQ(a.verdicts[i].vm, b.verdicts[i].vm);
+    EXPECT_EQ(a.verdicts[i].successes, b.verdicts[i].successes)
+        << "vm " << a.verdicts[i].vm;
+    EXPECT_EQ(a.verdicts[i].total, b.verdicts[i].total);
+    EXPECT_EQ(a.verdicts[i].clean, b.verdicts[i].clean)
+        << "vm " << a.verdicts[i].vm;
+  }
+}
+
+/// Scans the same env with both configs and requires identical verdicts.
+/// Returns the fast report for extra assertions.
+PoolScanReport scan_both_ways(cloud::CloudEnvironment& env,
+                              const std::string& module) {
+  ModChecker fast(env.hypervisor(), fast_config());
+  ModChecker faithful(env.hypervisor(), faithful_config());
+  const auto a = fast.scan_pool(module, env.guests());
+  const auto b = faithful.scan_pool(module, env.guests());
+  expect_same_verdicts(a, b);
+  EXPECT_EQ(b.fastpath_pairs, 0u);  // the faithful config never fast-paths
+  return a;
+}
+
+// ---- clean pools --------------------------------------------------------------
+
+class CleanPoolFastpath : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CleanPoolFastpath, VerdictsMatchAndEveryPairIsFast) {
+  auto env = make_env(GetParam());
+  for (const std::string module : {"hal.dll", "http.sys"}) {
+    const auto report = scan_both_ways(*env, module);
+    const std::size_t t = GetParam();
+    EXPECT_EQ(report.fastpath_pairs, t * (t - 1) / 2) << module;
+    EXPECT_EQ(report.fallback_pairs, 0u) << module;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, CleanPoolFastpath,
+                         ::testing::Values(2, 3, 5, 8, 15));
+
+// ---- the paper's experiments E1-E4 -------------------------------------------
+
+TEST(FastpathEquivalence, E1_OpcodeReplace) {
+  auto env = make_env(6);
+  attacks::OpcodeReplaceAttack{}.apply(*env, env->guests()[2], "hal.dll");
+  const auto report = scan_both_ways(*env, "hal.dll");
+  // The infected copy cannot reduce to the clean canonical: its 5 pairs
+  // (and only those) run the exact fallback.
+  EXPECT_EQ(report.fallback_pairs, 5u);
+  EXPECT_EQ(report.fastpath_pairs, 10u);
+}
+
+TEST(FastpathEquivalence, E2_InlineHook) {
+  auto env = make_env(7);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[4], "hal.dll");
+  scan_both_ways(*env, "hal.dll");
+}
+
+TEST(FastpathEquivalence, E3_StubPatch) {
+  auto env = make_env(5);
+  attacks::StubPatchAttack{}.apply(*env, env->guests()[1], "dummy.sys");
+  const auto report = scan_both_ways(*env, "dummy.sys");
+  // The DOS stub is not rva-sensitive: the infected copy stays *eligible*
+  // and is outvoted purely on digest-vector inequality — no fallback.
+  EXPECT_EQ(report.fallback_pairs, 0u);
+  EXPECT_EQ(report.fastpath_pairs, 10u);
+}
+
+TEST(FastpathEquivalence, E4_DllImportInject) {
+  auto env = make_env(5);
+  attacks::DllImportInjectAttack{}.apply(*env, env->guests()[3], "dummy.sys");
+  scan_both_ways(*env, "dummy.sys");
+}
+
+TEST(FastpathEquivalence, HeaderTamper) {
+  auto env = make_env(6);
+  attacks::HeaderTamperAttack{}.apply(*env, env->guests()[2], "ntfs.sys");
+  scan_both_ways(*env, "ntfs.sys");
+}
+
+TEST(FastpathEquivalence, InfectedReferenceStillLocalized) {
+  // The *first* pool VM seeds the canonical form.  Infecting it must not
+  // poison the majority: clean copies fail to reduce against the infected
+  // reference (or reduce to a canonical the majority contradicts) and the
+  // fallback reproduces the exact verdicts.
+  auto env = make_env(6);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+  const auto report = scan_both_ways(*env, "hal.dll");
+  std::size_t dirty = 0;
+  for (const auto& v : report.verdicts) {
+    if (!v.clean) {
+      ++dirty;
+      EXPECT_EQ(v.vm, env->guests()[0]);
+    }
+  }
+  EXPECT_EQ(dirty, 1u);
+}
+
+TEST(FastpathEquivalence, TwoInfectedVmsIncludingReference) {
+  auto env = make_env(8);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[0], "hal.dll");
+  attacks::OpcodeReplaceAttack{}.apply(*env, env->guests()[5], "hal.dll");
+  scan_both_ways(*env, "hal.dll");
+}
+
+TEST(FastpathEquivalence, BytePatchDropsOnlyVictimPairsToFallback) {
+  auto env = make_env(6);
+  attacks::BytePatchAttack(0x1080, 0x5A).apply(*env, env->guests()[3],
+                                               "ntfs.sys");
+  const auto report = scan_both_ways(*env, "ntfs.sys");
+  EXPECT_EQ(report.fallback_pairs, 5u);    // victim vs 5 clean peers
+  EXPECT_EQ(report.fastpath_pairs, 10u);   // clean C(5,2)
+}
+
+// ---- check_module digest memo -------------------------------------------------
+
+void expect_same_check(const CheckReport& a, const CheckReport& b) {
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.total_comparisons, b.total_comparisons);
+  EXPECT_EQ(a.subject_clean, b.subject_clean);
+  EXPECT_EQ(a.flagged_items, b.flagged_items);
+  ASSERT_EQ(a.comparisons.size(), b.comparisons.size());
+  for (std::size_t i = 0; i < a.comparisons.size(); ++i) {
+    const auto& ca = a.comparisons[i];
+    const auto& cb = b.comparisons[i];
+    EXPECT_EQ(ca.other_domain, cb.other_domain);
+    EXPECT_EQ(ca.all_match, cb.all_match);
+    ASSERT_EQ(ca.items.size(), cb.items.size());
+    for (std::size_t k = 0; k < ca.items.size(); ++k) {
+      EXPECT_EQ(ca.items[k].item_name, cb.items[k].item_name);
+      EXPECT_EQ(ca.items[k].match, cb.items[k].match);
+      EXPECT_EQ(ca.items[k].digest_subject.hex(),
+                cb.items[k].digest_subject.hex());
+      EXPECT_EQ(ca.items[k].digest_other.hex(),
+                cb.items[k].digest_other.hex());
+    }
+  }
+}
+
+TEST(DigestMemo, CheckModuleBitIdenticalCleanAndInfected) {
+  auto env = make_env(6);
+  attacks::HeaderTamperAttack{}.apply(*env, env->guests()[2], "ntfs.sys");
+  ModChecker fast(env->hypervisor(), fast_config());
+  ModChecker faithful(env->hypervisor(), faithful_config());
+  for (const std::string module : {"hal.dll", "ntfs.sys"}) {
+    expect_same_check(fast.check_module(env->guests()[0], module),
+                      faithful.check_module(env->guests()[0], module));
+  }
+}
+
+TEST(DigestMemo, CrcPrefilterDecisionsUnchanged) {
+  auto env = make_env(5);
+  attacks::StubPatchAttack{}.apply(*env, env->guests()[1], "dummy.sys");
+  ModCheckerConfig fast = fast_config();
+  fast.crc_prefilter = true;
+  ModCheckerConfig faithful = faithful_config();
+  faithful.crc_prefilter = true;
+  ModChecker a(env->hypervisor(), fast);
+  ModChecker b(env->hypervisor(), faithful);
+  for (const std::string module : {"dummy.sys", "tcpip.sys"}) {
+    expect_same_check(a.check_module(env->guests()[0], module),
+                      b.check_module(env->guests()[0], module));
+  }
+}
+
+TEST(DigestMemo, CrcPrefilterDisablesPoolFastpath) {
+  auto env = make_env(4);
+  ModCheckerConfig cfg = fast_config();
+  cfg.crc_prefilter = true;
+  const auto report =
+      ModChecker(env->hypervisor(), cfg).scan_pool("hal.dll", env->guests());
+  EXPECT_EQ(report.fastpath_pairs, 0u);
+  EXPECT_EQ(report.fallback_pairs, 6u);
+}
+
+// ---- parallel fallback accounting (the wall-time fix) --------------------------
+
+TEST(FastpathEquivalence, ParallelFallbackWallBelowCpu) {
+  auto env = make_env(8);
+  ModCheckerConfig cfg = faithful_config();  // every pair falls back
+  cfg.parallel = true;
+  cfg.worker_threads = 8;
+  const auto report =
+      ModChecker(env->hypervisor(), cfg).scan_pool("http.sys", env->guests());
+  // 28 comparison tasks on 8 workers: the charged wall time must now be
+  // the makespan, strictly below the summed CPU time.
+  EXPECT_LT(report.wall_time, report.cpu_times.total());
+  // And verdicts still match the sequential faithful scan.
+  const auto seq = ModChecker(env->hypervisor(), faithful_config())
+                       .scan_pool("http.sys", env->guests());
+  expect_same_verdicts(report, seq);
+}
+
+// ---- CanonicalPool synthetic eligibility corners -------------------------------
+
+ParsedModule synth_module(vmm::DomainId dom, std::uint32_t base,
+                          Bytes text_bytes) {
+  ParsedModule m;
+  m.domain = dom;
+  m.name = "synth.sys";
+  m.base = base;
+  pe::IntegrityItem header;
+  header.kind = pe::ItemKind::kDosHeader;
+  header.name = "IMAGE_DOS_HEADER";
+  header.bytes = {0x4D, 0x5A, 0x00, 0x01};
+  header.rva_sensitive = false;
+  m.items.push_back(std::move(header));
+  pe::IntegrityItem text;
+  text.kind = pe::ItemKind::kSectionData;
+  text.name = ".text";
+  text.bytes = std::move(text_bytes);
+  text.rva_sensitive = true;
+  m.items.push_back(std::move(text));
+  return m;
+}
+
+/// 16 bytes of "code" with one absolute-address operand at offset 4
+/// pointing at RVA `rva` for a module loaded at `base`.
+Bytes text_with_reloc(std::uint32_t base, std::uint32_t rva) {
+  Bytes b = {0x55, 0x8B, 0xEC, 0xA1, 0, 0, 0, 0,
+             0x90, 0x90, 0x90, 0x90, 0xC3, 0xCC, 0xCC, 0xCC};
+  store_le32(b, 4, base + rva);
+  return b;
+}
+
+TEST(CanonicalPoolUnit, HonestRelocationsShareOneCanonical) {
+  const auto ref = synth_module(1, 0x00010000, text_with_reloc(0x00010000, 0x42));
+  const auto same = synth_module(2, 0x00010000, text_with_reloc(0x00010000, 0x42));
+  const auto moved = synth_module(3, 0x00230000, text_with_reloc(0x00230000, 0x42));
+  const auto moved2 = synth_module(4, 0x00570000, text_with_reloc(0x00570000, 0x42));
+
+  CanonicalPool pool(crypto::HashAlgorithm::kMd5, vmi::HostCostModel{});
+  SimClock clock;
+  pool.add(ref, clock);
+  pool.add(same, clock);
+  pool.add(moved, clock);
+  pool.add(moved2, clock);
+  pool.finalize(clock);
+
+  EXPECT_TRUE(pool.eligible(1));
+  EXPECT_TRUE(pool.eligible(2));
+  EXPECT_TRUE(pool.eligible(3));
+  EXPECT_TRUE(pool.eligible(4));
+  EXPECT_EQ(pool.stats().canonicals_established, 1u);
+  // All four reduce to the same digest vector — including the same-base
+  // copy, whose digest must be the *canonical* one, not the raw one.
+  EXPECT_EQ(pool.digests(1), pool.digests(2));
+  EXPECT_EQ(pool.digests(1), pool.digests(3));
+  EXPECT_EQ(pool.digests(1), pool.digests(4));
+  EXPECT_GT(clock.now(), 0u);
+}
+
+TEST(CanonicalPoolUnit, SameBaseContentDivergenceIsIneligible) {
+  const auto ref = synth_module(1, 0x00010000, text_with_reloc(0x00010000, 0x42));
+  auto evil_bytes = text_with_reloc(0x00010000, 0x42);
+  evil_bytes[9] ^= 0xFF;  // same base, one patched byte
+  const auto evil = synth_module(2, 0x00010000, std::move(evil_bytes));
+
+  CanonicalPool pool(crypto::HashAlgorithm::kMd5, vmi::HostCostModel{});
+  SimClock clock;
+  pool.add(ref, clock);
+  pool.add(evil, clock);
+  pool.finalize(clock);
+  EXPECT_TRUE(pool.eligible(1));
+  EXPECT_FALSE(pool.eligible(2));
+}
+
+TEST(CanonicalPoolUnit, UnresolvedDiffIsIneligible) {
+  const auto ref = synth_module(1, 0x00010000, text_with_reloc(0x00010000, 0x42));
+  // Differing base, but the operand decodes to a different RVA: Algorithm 2
+  // must refuse to normalize it (rva1 != rva2).
+  const auto evil =
+      synth_module(2, 0x00230000, text_with_reloc(0x00230000, 0x1099));
+
+  CanonicalPool pool(crypto::HashAlgorithm::kMd5, vmi::HostCostModel{});
+  SimClock clock;
+  pool.add(ref, clock);
+  pool.add(evil, clock);
+  pool.finalize(clock);
+  EXPECT_FALSE(pool.eligible(2));
+}
+
+TEST(CanonicalPoolUnit, DivergentCanonicalIsRejected) {
+  // Two reloc sites A (offset 4) and B (offset 12).  Partner 2 relocates
+  // only A (B matches the reference bytes), establishing canonical
+  // "A->rva, B untouched".  Partner 3 relocates only B: it fully resolves
+  // against the reference too, but to a *different* canonical — the pool
+  // must refuse to treat 2 and 3 as equivalent (pairwise, 2 vs 3 would
+  // mismatch).
+  const std::uint32_t ref_base = 0x00010000;
+  auto make_text = [&](std::uint32_t a_word, std::uint32_t b_word) {
+    Bytes b(16, 0x90);
+    store_le32(b, 4, a_word);
+    store_le32(b, 12, b_word);
+    return b;
+  };
+  const std::uint32_t rva_a = 0x111, rva_b = 0x222;
+  const auto ref =
+      synth_module(1, ref_base, make_text(ref_base + rva_a, ref_base + rva_b));
+  const std::uint32_t base2 = 0x00230000;
+  const auto m2 =
+      synth_module(2, base2, make_text(base2 + rva_a, ref_base + rva_b));
+  const std::uint32_t base3 = 0x00570000;
+  const auto m3 =
+      synth_module(3, base3, make_text(ref_base + rva_a, base3 + rva_b));
+
+  CanonicalPool pool(crypto::HashAlgorithm::kMd5, vmi::HostCostModel{});
+  SimClock clock;
+  pool.add(ref, clock);
+  pool.add(m2, clock);
+  pool.add(m3, clock);
+  pool.finalize(clock);
+  EXPECT_TRUE(pool.eligible(2));   // established the canonical
+  EXPECT_FALSE(pool.eligible(3));  // resolves, but to a different canonical
+}
+
+TEST(CanonicalPoolUnit, ShapeMismatchIsIneligible) {
+  const auto ref = synth_module(1, 0x00010000, text_with_reloc(0x00010000, 0x42));
+  auto odd = synth_module(2, 0x00230000, text_with_reloc(0x00230000, 0x42));
+  odd.items[0].name = "IMAGE_DOS_HEADER_EX";  // renamed item
+  CanonicalPool pool(crypto::HashAlgorithm::kMd5, vmi::HostCostModel{});
+  SimClock clock;
+  pool.add(ref, clock);
+  pool.add(odd, clock);
+  pool.finalize(clock);
+  EXPECT_FALSE(pool.eligible(2));
+  EXPECT_EQ(pool.stats().ineligible, 1u);
+}
+
+}  // namespace

@@ -218,7 +218,12 @@ TEST(PoolScan, ParallelMatchesSequentialVerdicts) {
 // ---- timing invariants --------------------------------------------------------------------
 TEST(Timing, SearcherDominatesEveryModule) {
   auto env = make_env(5);
-  ModChecker checker(env->hypervisor());
+  // Searcher dominance (paper Fig. 7) is a property of a *cold* scan: pin
+  // attach-per-check so pooled warm sessions don't mask the page-wise
+  // extraction cost across the loop's later modules.
+  ModCheckerConfig cfg;
+  cfg.reuse_sessions = false;
+  ModChecker checker(env->hypervisor(), cfg);
   for (const auto& module : env->config().load_order) {
     const auto report = checker.check_module(env->guests()[0], module);
     EXPECT_GT(report.cpu_times.searcher, report.cpu_times.parser) << module;
@@ -243,7 +248,11 @@ TEST(Timing, RuntimeGrowsWithPoolSize) {
 
 TEST(Timing, HeavyLoadInflatesRuntime) {
   auto env = make_env(10);
-  ModChecker checker(env->hypervisor());
+  // Contention inflation must compare equal work: pin attach-per-check so
+  // the loaded run isn't quietly cheaper from warm pooled sessions.
+  ModCheckerConfig cfg;
+  cfg.reuse_sessions = false;
+  ModChecker checker(env->hypervisor(), cfg);
   const auto idle = checker.check_module(env->guests()[0], "http.sys");
 
   workload::HeavyLoad heavyload(*env);

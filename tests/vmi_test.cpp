@@ -8,6 +8,7 @@
 #include "cloud/environment.hpp"
 #include "guestos/winlike.hpp"
 #include "vmi/session.hpp"
+#include "vmi/session_pool.hpp"
 #include "workload/heavyload.hpp"
 
 namespace {
@@ -126,7 +127,12 @@ TEST_F(VmiTest, ReadUnicodeString) {
 }
 
 TEST_F(VmiTest, CostsScaleWithBytes) {
-  vmi::VmiSession s1(env_->hypervisor(), guest(), clock_);
+  // Superlinear page cost is a property of the *unbatched* read path (every
+  // page pays the full map cost); coalescing deliberately flattens it, so
+  // pin it off here.
+  vmi::VmiCostModel costs;
+  costs.coalesce_reads = false;
+  vmi::VmiSession s1(env_->hypervisor(), guest(), clock_, costs);
   const auto* hal = env_->loader(guest()).find("hal.dll");
   ASSERT_NE(hal, nullptr);
 
@@ -159,6 +165,93 @@ TEST_F(VmiTest, ContentionInflatesCharges) {
     session.read_region(hal->base, 4 * vmm::kFrameSize);
   }
   EXPECT_GT(loaded_clock.now(), idle_clock.now());
+}
+
+TEST_F(VmiTest, BatchedReadMatchesUnbatchedByteForByte) {
+  const auto* hal = env_->loader(guest()).find("hal.dll");
+  ASSERT_NE(hal, nullptr);
+  const std::size_t len = 5 * vmm::kFrameSize + 777;
+
+  vmi::VmiCostModel plain;
+  plain.coalesce_reads = false;
+  SimClock plain_clock;
+  vmi::VmiSession unbatched(env_->hypervisor(), guest(), plain_clock, plain);
+  const Bytes a = unbatched.read_region(hal->base, len);
+
+  SimClock batched_clock;
+  vmi::VmiSession batched(env_->hypervisor(), guest(), batched_clock);
+  const Bytes b = batched.read_region(hal->base, len);
+
+  EXPECT_EQ(a, b);
+  // Same work copied either way; batching only cheapens the page maps.
+  EXPECT_EQ(batched.stats().bytes_copied, unbatched.stats().bytes_copied);
+  EXPECT_EQ(batched.stats().pages_mapped, unbatched.stats().pages_mapped);
+  // Module images sit in physically contiguous frames, so the run after
+  // the first page coalesces.
+  EXPECT_GT(batched.stats().batched_pages, 0u);
+  EXPECT_EQ(unbatched.stats().batched_pages, 0u);
+  EXPECT_LT(batched_clock.now(), plain_clock.now());
+}
+
+TEST_F(VmiTest, SessionPoolReusesWarmSessions) {
+  vmi::VmiSessionPool pool(env_->hypervisor());
+
+  SimClock first_clock;
+  {
+    auto lease = pool.acquire(guest(), first_clock);
+    lease->symbol_to_va("PsLoadedModuleList");
+  }
+  const SimNanos cold = first_clock.now();
+
+  SimClock second_clock;
+  {
+    auto lease = pool.acquire(guest(), second_clock);
+    // Warm session: symbols resolved, no re-attach, no re-scan.
+    lease->symbol_to_va("PsLoadedModuleList");
+    EXPECT_GT(lease->stats().session_reuses, 0u);
+  }
+  EXPECT_LT(second_clock.now(), cold);
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.reused, 1u);
+  EXPECT_EQ(stats.invalidated, 0u);
+}
+
+TEST_F(VmiTest, SessionPoolKeepsDomainsSeparate) {
+  vmi::VmiSessionPool pool(env_->hypervisor());
+  auto a = pool.acquire(env_->guests()[0], clock_);
+  auto b = pool.acquire(env_->guests()[1], clock_);
+  EXPECT_NE(&a.session(), &b.session());
+  EXPECT_EQ(pool.stats().created, 2u);
+}
+
+TEST_F(VmiTest, SessionPoolInvalidatesOnSnapshotRestore) {
+  env_->snapshot_all();
+  vmi::VmiSessionPool pool(env_->hypervisor());
+  { auto lease = pool.acquire(guest(), clock_); }
+
+  // Restoring the snapshot rewinds the domain (epoch bump): the pooled
+  // session's V2P cache and symbol map may describe a stale world.
+  env_->revert(guest());
+  SimClock fresh_clock;
+  { auto lease = pool.acquire(guest(), fresh_clock); }
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.invalidated, 1u);
+  EXPECT_EQ(stats.created, 2u);
+  EXPECT_EQ(stats.reused, 0u);
+  // The re-attach pays the full cold cost again.
+  EXPECT_GE(fresh_clock.now(), vmi::VmiCostModel{}.attach);
+}
+
+TEST_F(VmiTest, SessionPoolExplicitInvalidation) {
+  vmi::VmiSessionPool pool(env_->hypervisor());
+  { auto lease = pool.acquire(guest(), clock_); }
+  pool.invalidate_all();
+  { auto lease = pool.acquire(guest(), clock_); }
+  EXPECT_EQ(pool.stats().created, 2u);
+  EXPECT_EQ(pool.stats().reused, 0u);
 }
 
 TEST_F(VmiTest, SessionIsReadOnlyByConstruction) {
