@@ -1,20 +1,31 @@
-// Continuous monitoring — ModChecker as a long-running cloud service.
+// Continuous monitoring — ModChecker as a long-running fleet service.
 //
 // The paper frames ModChecker as a periodic light-weight consistency check
-// whose alarms trigger heavier analysis (§VI).  This example wires that
-// deployment end to end on the simulated timeline:
+// whose alarms trigger heavier analysis (§VI).  This example runs that
+// deployment through the FleetService layer: a resident orchestrator that
+// owns several scan pools and executes prioritized, recurring SweepSpecs
+// on worker threads:
 //
-//   * per-module scan policies (critical modules scanned more often),
-//   * an infection that appears mid-timeline,
-//   * alert deduplication (the same finding is reported as new only once),
-//   * a duty-cycle figure showing the service stays light-weight.
+//   * two pools carved from one cloud (critical front-line VMs vs. the
+//     long tail), each with its own warm VMI session pool,
+//   * a high-priority recurring sweep of critical modules and a slower
+//     background sweep of the long tail,
+//   * an infection planted before monitoring starts, surfaced as sweep
+//     findings by every run that scans the infected pool,
+//   * cancellation (an operator retracts a sweep before it runs) and
+//     graceful drain,
+//   * pluggable report sinks: an in-memory ring for the checks below plus
+//     a JSON-lines stream as the SIEM integration surface.
 //
 // Build & run:  ./build/examples/continuous_monitoring
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <sstream>
 
 #include "attacks/inline_hook.hpp"
 #include "cloud/environment.hpp"
-#include "modchecker/scheduler.hpp"
+#include "service/fleet.hpp"
 
 int main() {
   using namespace mc;
@@ -23,39 +34,99 @@ int main() {
   config.guest_count = 12;
   cloud::CloudEnvironment env(config);
 
-  core::ScanScheduler scheduler(env.hypervisor(),
-                                std::vector<vmm::DomainId>(env.guests()));
-  // Critical modules every simulated second; the long tail every 4 s.
-  scheduler.add_policy({"hal.dll", sim_ms(1000), 0});
-  scheduler.add_policy({"ntoskrnl.exe", sim_ms(1000), sim_ms(120)});
-  scheduler.add_policy({"tcpip.sys", sim_ms(4000), sim_ms(240)});
-  scheduler.add_policy({"http.sys", sim_ms(4000), sim_ms(360)});
-  scheduler.add_policy({"ntfs.sys", sim_ms(4000), sim_ms(480)});
+  // Pool 0: the six front-line guests; pool 1: the long tail.
+  const std::vector<vmm::DomainId> frontline(env.guests().begin(),
+                                             env.guests().begin() + 6);
+  const std::vector<vmm::DomainId> longtail(env.guests().begin() + 6,
+                                            env.guests().end());
 
-  // Phase 1: two simulated seconds of a healthy cloud.
-  auto report = scheduler.run_until(sim_ms(2000));
-  std::printf("=== phase 1: healthy cloud (%zu scans) ===\n%s\n",
-              report.scans.size(),
-              core::format_schedule_report(report).c_str());
-
-  // Phase 2: a rootkit lands on Dom7, then monitoring continues.
-  attacks::InlineHookAttack{}.apply(env, env.guests()[6], "hal.dll");
+  // A rootkit lands on a front-line guest before monitoring starts.
+  const vmm::DomainId infected = frontline[3];
+  attacks::InlineHookAttack{}.apply(env, infected, "hal.dll");
   std::printf("[attacker] inline hook planted on Dom%u's hal.dll\n\n",
-              env.guests()[6]);
+              infected);
 
-  report = scheduler.run_until(sim_ms(6000));
-  std::printf("=== phase 2: post-infection (%zu scans) ===\n%s\n",
-              report.scans.size(),
-              core::format_schedule_report(report).c_str());
+  service::FleetService fleet({/*workers=*/2});
+  const std::size_t pool_critical = fleet.add_pool(env.hypervisor(),
+                                                   frontline);
+  const std::size_t pool_tail = fleet.add_pool(env.hypervisor(), longtail);
 
-  // The service must have raised exactly one NEW alert for (hal.dll, Dom7)
-  // and kept the duty cycle light.
-  std::size_t new_alerts = report.new_alert_count();
-  const bool ok = new_alerts == 1 && !report.alerts.empty() &&
-                  report.alerts.front().module == "hal.dll" &&
-                  report.duty_cycle() < 0.25;
-  std::printf("monitoring outcome: %s (new alerts: %zu, duty cycle %.1f%%)\n",
-              ok ? "OK" : "UNEXPECTED", new_alerts,
-              report.duty_cycle() * 100);
+  auto ring = std::make_shared<service::RingSink>();
+  std::ostringstream siem;  // stands in for a SIEM/alerting socket
+  auto json = std::make_shared<service::JsonLinesSink>(siem);
+  fleet.add_sink(ring);
+  fleet.add_sink(json);
+
+  // Critical modules every simulated second, three rounds; the long tail
+  // once, at lower priority.
+  service::SweepSpec critical;
+  critical.name = "critical";
+  critical.pool_index = pool_critical;
+  critical.modules = {"hal.dll", "ntoskrnl.exe"};
+  critical.priority = 10;
+  critical.repeat = 3;
+  critical.cadence = sim_ms(1000);
+  fleet.submit(critical);
+
+  service::SweepSpec tail;
+  tail.name = "long-tail";
+  tail.pool_index = pool_tail;
+  tail.modules = {"tcpip.sys", "http.sys", "ntfs.sys"};
+  tail.priority = 0;
+  fleet.submit(tail);
+
+  // An operator queues a third sweep, then retracts it before it runs.
+  service::SweepSpec retracted;
+  retracted.name = "retracted";
+  retracted.pool_index = pool_tail;
+  retracted.modules = {"ndis.sys"};
+  const service::SweepId retracted_id = fleet.submit(retracted);
+  fleet.cancel(retracted_id);
+
+  fleet.start();
+  fleet.drain();  // run the backlog to completion, then stop the workers
+
+  const auto reports = ring->snapshot();
+  const auto stats = fleet.stats();
+
+  std::size_t hal_findings = 0;
+  std::size_t tail_findings = 0;
+  SimNanos total_wall = 0;
+  for (const auto& report : reports) {
+    std::printf("sweep '%s' run %zu: %zu module scans, %zu findings, "
+                "%llu us simulated wall\n",
+                report.name.c_str(), report.run_index, report.scans.size(),
+                report.findings.size(),
+                static_cast<unsigned long long>(report.wall_time / 1000));
+    total_wall += report.wall_time;
+    for (const auto& finding : report.findings) {
+      std::printf("  ALERT %s on Dom%u (vote %zu/%zu)\n",
+                  finding.module.c_str(), finding.vm, finding.successes,
+                  finding.total);
+      if (report.name == "critical" && finding.module == "hal.dll" &&
+          finding.vm == infected) {
+        ++hal_findings;
+      }
+      if (report.name == "long-tail") {
+        ++tail_findings;
+      }
+    }
+  }
+  const std::string feed = siem.str();
+  std::printf("\nSIEM feed: %zu JSON lines\n",
+              static_cast<std::size_t>(
+                  std::count(feed.begin(), feed.end(), '\n')));
+
+  // Every critical run must flag exactly the infected guest; the clean
+  // long-tail pool must stay silent; the retracted sweep must never run.
+  const bool ok = hal_findings == 3 && tail_findings == 0 &&
+                  stats.completed_runs == 4 && stats.cancelled_runs == 0 &&
+                  stats.dropped_pending == 1 && reports.size() == 4;
+  std::printf("monitoring outcome: %s (runs %llu, dropped %llu, "
+              "%llu us total simulated wall)\n",
+              ok ? "OK" : "UNEXPECTED",
+              static_cast<unsigned long long>(stats.completed_runs),
+              static_cast<unsigned long long>(stats.dropped_pending),
+              static_cast<unsigned long long>(total_wall / 1000));
   return ok ? 0 : 1;
 }

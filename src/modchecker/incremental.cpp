@@ -1,11 +1,8 @@
 #include "modchecker/incremental.hpp"
 
 #include <algorithm>
-#include <optional>
 
-#include "modchecker/searcher.hpp"
 #include "util/error.hpp"
-#include "vmi/session.hpp"
 #include "vmm/phys_mem.hpp"
 
 namespace mc::core {
@@ -18,33 +15,20 @@ constexpr SimNanos kDirtyCheckPerPage = 200;  // ns
 
 IncrementalScanner::IncrementalScanner(const vmm::Hypervisor& hypervisor,
                                        ModCheckerConfig config)
-    : hypervisor_(&hypervisor),
-      config_(std::move(config)),
-      parser_(config_.host_costs),
-      checker_(config_.algorithm, config_.host_costs, config_.crc_prefilter),
-      session_pool_(hypervisor, config_.vmi_costs) {}
+    : context_(hypervisor, std::move(config)), pipeline_(context_) {}
 
 IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
     vmm::DomainId vm, const std::string& module_name, ComponentTimes& times) {
   CacheEntry& entry = cache_[{vm, module_name}];
-  const vmm::PhysicalMemory& memory = hypervisor_->domain(vm).memory();
+  const vmm::PhysicalMemory& memory = context_.hypervisor->domain(vm).memory();
 
   SimClock searcher_clock;
-  // Keep a warm session when configured; fall back to attach-per-fetch.
-  std::optional<vmi::VmiSessionPool::Lease> lease;
-  std::optional<vmi::VmiSession> local_session;
-  if (config_.reuse_sessions) {
-    lease.emplace(session_pool_.acquire(vm, searcher_clock));
-  } else {
-    local_session.emplace(*hypervisor_, vm, searcher_clock,
-                          config_.vmi_costs);
-  }
-  vmi::VmiSession& session = lease ? lease->session() : *local_session;
-  ModuleSearcher searcher(session);
+  const AcquireStage& acquire = pipeline_.acquire();
+  AcquireStage::Session session = acquire.open(vm, searcher_clock);
 
   // The list walk is always needed (cheap relative to a copy): the module
   // could have been unloaded or rebased since the last scan.
-  const auto info = searcher.find_module(module_name);
+  const auto info = acquire.find_module(session, module_name);
   if (!info) {
     entry = CacheEntry{};  // drop any stale cache
     times.searcher += searcher_clock.now();
@@ -71,9 +55,9 @@ IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
     ++stats_.invalidations;  // rebased (new base) — cache unusable
   }
 
-  // Full extraction path.
+  // Full extraction path (the pipeline's Acquire stage).
   ++stats_.full_extractions;
-  const auto image = searcher.extract_module(module_name);
+  const auto image = acquire.extract_module(session, module_name);
   MC_CHECK(image.has_value(), "module vanished between list walk and copy");
   times.searcher += searcher_clock.now();
 
@@ -86,7 +70,7 @@ IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
   std::uint64_t max_version = 0;
   for (std::uint32_t va = info->base & ~(vmm::kFrameSize - 1);
        va < info->base + info->size_of_image; va += vmm::kFrameSize) {
-    const std::uint64_t pa = session.translate_kv2p(va);
+    const std::uint64_t pa = session.session().translate_kv2p(va);
     const auto frame = static_cast<std::uint32_t>(pa >> vmm::kFrameShift);
     entry.frames.push_back(frame);
     max_version = std::max(max_version, memory.frame_version(frame));
@@ -94,8 +78,8 @@ IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
   entry.max_frame_version = max_version;
 
   SimClock parser_clock;
-  parser_clock.set_slowdown(hypervisor_->dom0_slowdown());
-  entry.parsed = parser_.parse(*image, parser_clock);
+  parser_clock.set_slowdown(context_.hypervisor->dom0_slowdown());
+  entry.parsed = pipeline_.parse().parse_strict(*image, parser_clock);
   times.parser += parser_clock.now();
   return entry;
 }
@@ -119,7 +103,7 @@ PoolScanReport IncrementalScanner::scan(
     verdicts[i].vm = pool[i];
   }
   SimClock checker_clock;
-  checker_clock.set_slowdown(hypervisor_->dom0_slowdown());
+  checker_clock.set_slowdown(context_.hypervisor->dom0_slowdown());
   for (std::size_t i = 0; i < pool.size(); ++i) {
     if (!entries[i]->found) {
       continue;
@@ -142,7 +126,7 @@ PoolScanReport IncrementalScanner::scan(
         all_match = pair.all_match;
       } else {
         ++stats_.comparisons_computed;
-        const PairComparison cmp = checker_.compare(
+        const PairComparison cmp = pipeline_.compare().compare(
             entries[i]->parsed, entries[j]->parsed, checker_clock);
         all_match = cmp.all_match;
         pair = {entries[i]->generation, entries[j]->generation, all_match};
@@ -156,9 +140,7 @@ PoolScanReport IncrementalScanner::scan(
   report.cpu_times.checker += checker_clock.now();
   report.wall_time += checker_clock.now();
 
-  for (auto& v : verdicts) {
-    v.clean = v.total > 0 && 2 * v.successes > v.total;
-  }
+  pipeline_.vote().finalize(verdicts);
   report.verdicts = std::move(verdicts);
   return report;
 }

@@ -8,6 +8,12 @@
 // module's frames were touched — the extraction cost drops from
 // O(module size) to O(pages) per unchanged module.
 //
+// Implementation-wise this is a custom front half over the shared
+// CheckPipeline: Acquire/Parse run through the pipeline's stages (the only
+// Searcher/Parser owners), with the dirty-frame cache deciding *whether*
+// the Acquire stage's extraction is needed at all; Compare/Vote reuse the
+// pipeline stages with a generation-keyed pair cache on top.
+//
 // Correctness invariant (tested): the incremental scanner's verdicts are
 // identical to a fresh ModChecker scan in every state, because any write
 // to a module's frames — the loader rebasing it, an attack patching it, a
@@ -19,11 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "modchecker/checker.hpp"
-#include "modchecker/modchecker.hpp"
-#include "modchecker/parser.hpp"
-#include "modchecker/types.hpp"
-#include "vmi/session_pool.hpp"
+#include "modchecker/pipeline.hpp"
 
 namespace mc::core {
 
@@ -68,19 +70,15 @@ class IncrementalScanner {
     bool all_match = false;
   };
 
-  /// Extracts (or reuses) one VM's copy; charges simulated time to
-  /// `times`.
+  /// Extracts (or reuses) one VM's copy via the pipeline's Acquire/Parse
+  /// stages; charges simulated time to `times`.
   CacheEntry& fetch(vmm::DomainId vm, const std::string& module_name,
                     ComponentTimes& times);
 
-  const vmm::Hypervisor* hypervisor_;
-  ModCheckerConfig config_;
-  ModuleParser parser_;
-  IntegrityChecker checker_;
-  /// Persistent per-domain sessions: a periodic scanner visits the same
-  /// guests every pass, so warm V2P caches compound with the dirty-frame
-  /// cache (used when config_.reuse_sessions).
-  vmi::VmiSessionPool session_pool_;
+  /// Stage context + pipeline: the scanner shares the session pool and
+  /// parser/checker components with every other entry point.
+  CheckContext context_;
+  CheckPipeline pipeline_;
   std::map<std::pair<vmm::DomainId, std::string>, CacheEntry> cache_;
   std::map<std::tuple<std::string, vmm::DomainId, vmm::DomainId>,
            PairCacheEntry>

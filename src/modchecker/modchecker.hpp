@@ -4,6 +4,12 @@
 // from the total number of comparisons (i.e. n > (t-1)/2) ... the module
 // has not been altered").
 //
+// Since the staged-pipeline refactor this class is a thin public facade:
+// every entry point composes the stages of CheckPipeline (pipeline.hpp),
+// which is the single implementation of the acquire → parse → normalize →
+// compare → vote → report flow.  Only sampling (the peer draw of
+// check_module_sampled) lives here — it is input selection, not checking.
+//
 // Two execution modes:
 //   * sequential — the paper's prototype: VMs are visited one after
 //     another; total runtime grows linearly with the pool size (Fig. 7).
@@ -16,103 +22,16 @@
 #include <string>
 #include <vector>
 
-#include "modchecker/checker.hpp"
-#include "modchecker/parser.hpp"
-#include "modchecker/searcher.hpp"
-#include "modchecker/types.hpp"
-#include "vmi/cost_model.hpp"
-#include "vmi/session_pool.hpp"
-#include "vmm/hypervisor.hpp"
+#include "modchecker/pipeline.hpp"
 
 namespace mc::core {
-
-struct ModCheckerConfig {
-  crypto::HashAlgorithm algorithm = crypto::HashAlgorithm::kMd5;
-  vmi::VmiCostModel vmi_costs{};
-  vmi::HostCostModel host_costs{};
-  bool parallel = false;
-  std::size_t worker_threads = 8;
-  /// CRC32 prefilter: skip the full digest when cheap checksums agree
-  /// (see IntegrityChecker for the tradeoff).
-  bool crc_prefilter = false;
-  /// Keep one VMI session per domain alive across calls (VmiSessionPool):
-  /// repeat scans skip the attach + debug-block scan and reuse the warm
-  /// V2P cache.  Sessions auto-invalidate when a domain's epoch/CR3 moves
-  /// (snapshot restore, clone-into).  Off reproduces the paper's
-  /// attach-per-check prototype.
-  bool reuse_sessions = true;
-  /// Canonical-RVA fast path for scan_pool: normalize every copy against
-  /// one reference, then decide each pair by comparing precomputed digest
-  /// vectors — O(t) image work instead of O(t^2).  Pairs involving any
-  /// copy that does not reduce cleanly fall back to the exact pairwise
-  /// comparison, so verdicts are identical to the slow path (see
-  /// canonical.hpp).  Disabled automatically with crc_prefilter (the
-  /// prefilter's CRC-collision acceptance is not digest-equivalent).
-  bool pool_fastpath = true;
-  /// Memoize per-item digests within one check_module call so the
-  /// subject's items are hashed once instead of once per peer.
-  bool digest_memo = true;
-};
-
-/// Result of checking one module on one subject VM against a pool.
-struct CheckReport {
-  std::string module_name;
-  vmm::DomainId subject = 0;
-  std::vector<PairComparison> comparisons;
-  std::size_t successes = 0;          // comparisons where every item matched
-  std::size_t total_comparisons = 0;  // t - 1
-  bool subject_clean = false;         // majority vote
-  /// Union of item names that mismatched in at least one comparison.
-  std::vector<std::string> flagged_items;
-  /// Pool VMs where the module was not loaded (excluded from the vote).
-  std::vector<vmm::DomainId> missing_on;
-
-  ComponentTimes cpu_times;  // summed across VMs (the Fig. 7/8 series)
-  SimNanos wall_time = 0;    // sequential: == cpu total; parallel: critical path
-};
-
-/// Per-VM verdict from a whole-pool scan (every VM takes the subject role).
-struct PoolVmVerdict {
-  vmm::DomainId vm = 0;
-  std::size_t successes = 0;
-  std::size_t total = 0;
-  bool clean = false;
-};
-
-struct PoolScanReport {
-  std::string module_name;
-  std::vector<PoolVmVerdict> verdicts;
-  ComponentTimes cpu_times;
-  SimNanos wall_time = 0;
-  /// Pairs decided by the canonical-RVA digest comparison vs. pairs that
-  /// ran the exact pairwise comparison (diagnostics for the fast path).
-  std::size_t fastpath_pairs = 0;
-  std::size_t fallback_pairs = 0;
-};
-
-/// One module whose presence differs across the pool.
-struct ListDiscrepancy {
-  std::string module_name;
-  std::vector<vmm::DomainId> present_on;
-  std::vector<vmm::DomainId> missing_on;
-};
-
-struct ListComparisonReport {
-  /// Module names seen anywhere, with presence maps; only modules whose
-  /// presence differs across VMs are listed.
-  std::vector<ListDiscrepancy> discrepancies;
-  std::size_t modules_seen = 0;
-  SimNanos wall_time = 0;
-
-  bool consistent() const { return discrepancies.empty(); }
-};
 
 class ModChecker {
  public:
   explicit ModChecker(const vmm::Hypervisor& hypervisor,
                       ModCheckerConfig config = {});
 
-  const ModCheckerConfig& config() const { return config_; }
+  const ModCheckerConfig& config() const { return context_.config; }
 
   /// Checks `module_name` on `subject` against `others` (the other t-1
   /// VMs).  Throws NotFoundError if the module is not loaded on the
@@ -150,39 +69,26 @@ class ModChecker {
 
   /// Item name reported when a module's copy cannot even be parsed (its
   /// PE magics/headers are corrupted) — a definite integrity violation.
-  static constexpr const char* kUnparseableItem = "MODULE_UNPARSEABLE";
+  static constexpr const char* kUnparseableItem = core::kUnparseableItem;
 
   /// Cross-call session reuse counters (meaningful with reuse_sessions).
   vmi::SessionPoolStats session_pool_stats() const {
-    return session_pool_.stats();
+    return context_.session_pool.stats();
   }
 
   /// Drops all pooled sessions (next check re-attaches).  Epoch/CR3
   /// staleness is detected automatically; this is for callers that mutate
   /// guest page tables in place.
-  void invalidate_sessions() { session_pool_.invalidate_all(); }
+  void invalidate_sessions() { context_.session_pool.invalidate_all(); }
+
+  /// The underlying staged pipeline (advanced callers: custom drivers,
+  /// stage-level instrumentation).
+  CheckPipeline& pipeline() { return pipeline_; }
 
  private:
-  struct Extraction {
-    ComponentTimes times;
-    bool found = false;
-    bool parse_failed = false;
-    std::string parse_error;
-    ParsedModule parsed;
-  };
-
-  /// Extracts + parses the module from one VM, charging per-phase time.
-  Extraction extract_and_parse(vmm::DomainId vm,
-                               const std::string& module_name) const;
-
-  const vmm::Hypervisor* hypervisor_;
-  ModCheckerConfig config_;
-  ModuleParser parser_;
-  IntegrityChecker checker_;
-  /// Per-domain persistent sessions (used when config_.reuse_sessions).
-  /// Mutable: extraction is logically read-only on the checker, but warms
-  /// the session cache.
-  mutable vmi::VmiSessionPool session_pool_;
+  /// Stage context: owns config, parser/checker and the session pool.
+  CheckContext context_;
+  CheckPipeline pipeline_;
 };
 
 }  // namespace mc::core

@@ -1,0 +1,470 @@
+#include "modchecker/pipeline.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "modchecker/searcher.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "vmi/session.hpp"
+
+namespace mc::core {
+
+// ---- Acquire ---------------------------------------------------------------
+
+AcquireStage::Session::Session(CheckContext& ctx, vmm::DomainId vm,
+                               SimClock& clock) {
+  if (ctx.config.reuse_sessions) {
+    lease_.emplace(ctx.session_pool.acquire(vm, clock));
+  } else {
+    local_.emplace(*ctx.hypervisor, vm, clock, ctx.config.vmi_costs);
+  }
+}
+
+vmi::VmiSession& AcquireStage::Session::session() {
+  return lease_ ? lease_->session() : *local_;
+}
+
+std::vector<ModuleInfo> AcquireStage::list_modules(Session& s) const {
+  return ModuleSearcher(s.session()).list_modules();
+}
+
+std::optional<ModuleInfo> AcquireStage::find_module(
+    Session& s, const std::string& module_name) const {
+  return ModuleSearcher(s.session()).find_module(module_name);
+}
+
+std::optional<ModuleImage> AcquireStage::extract_module(
+    Session& s, const std::string& module_name) const {
+  return ModuleSearcher(s.session()).extract_module(module_name);
+}
+
+// ---- Parse -----------------------------------------------------------------
+
+void ParseStage::parse(const ModuleImage& image, Extraction& ex) const {
+  // Host CPU work, contention-scaled (Dom0 shares the physical cores with
+  // the guests).
+  ex.found = true;
+  SimClock parser_clock;
+  parser_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
+  try {
+    ex.parsed = ctx_->parser.parse(image, parser_clock);
+  } catch (const FormatError& e) {
+    // Corrupted PE structure (e.g. a tampered magic or header field that
+    // breaks the walk): not a crash, a *finding*.
+    ex.parse_failed = true;
+    ex.parse_error = e.what();
+  }
+  ex.times.parser = parser_clock.now();
+}
+
+ParsedModule ParseStage::parse_strict(const ModuleImage& image,
+                                      SimClock& clock) const {
+  return ctx_->parser.parse(image, clock);
+}
+
+// ---- Normalize -------------------------------------------------------------
+
+bool NormalizeStage::enabled() const {
+  // The CRC prefilter accepts on CRC equality, which digests cannot
+  // reproduce, so the fast path stands down when it is enabled.
+  return ctx_->config.pool_fastpath && !ctx_->config.crc_prefilter;
+}
+
+std::optional<CanonicalPool> NormalizeStage::canonicalize(
+    const std::vector<Extraction>& extractions, SimClock& clock) const {
+  if (!enabled()) {
+    return std::nullopt;
+  }
+  std::optional<CanonicalPool> canon;
+  canon.emplace(ctx_->config.algorithm, ctx_->config.host_costs);
+  bool any = false;
+  for (const auto& ex : extractions) {
+    if (ex.found && !ex.parse_failed) {
+      canon->add(ex.parsed, clock);
+      any = true;
+    }
+  }
+  if (any) {
+    canon->finalize(clock);
+  }
+  return canon;
+}
+
+// ---- Compare ---------------------------------------------------------------
+
+PairComparison CompareStage::compare(const ParsedModule& subject,
+                                     const ParsedModule& other,
+                                     SimClock& clock,
+                                     DigestTable* memo) const {
+  return ctx_->checker.compare(subject, other, clock, memo);
+}
+
+// ---- Vote ------------------------------------------------------------------
+
+void VoteStage::finalize(std::vector<PoolVmVerdict>& verdicts) const {
+  for (auto& v : verdicts) {
+    v.clean = majority(v.successes, v.total);
+  }
+}
+
+// ---- Drivers ---------------------------------------------------------------
+
+Extraction CheckPipeline::acquire_and_parse(vmm::DomainId vm,
+                                            const std::string& module_name) {
+  Extraction ex;
+
+  // Module-Searcher: all guest-memory access happens here.  With session
+  // reuse the per-domain session (and its V2P cache) survives across
+  // calls; otherwise attach fresh, as the paper's prototype does.
+  SimClock searcher_clock;
+  std::optional<ModuleImage> image;
+  {
+    AcquireStage::Session session = acquire_.open(vm, searcher_clock);
+    image = acquire_.extract_module(session, module_name);
+  }
+  ex.times.searcher = searcher_clock.now();
+  if (!image) {
+    return ex;
+  }
+  parse_.parse(*image, ex);
+  return ex;
+}
+
+CheckReport CheckPipeline::check(vmm::DomainId subject,
+                                 const std::string& module_name,
+                                 const std::vector<vmm::DomainId>& raw_others) {
+  const ModCheckerConfig& config = ctx_->config;
+  CheckReport report;
+  report.module_name = module_name;
+  report.subject = subject;
+
+  // Guard against the subject sneaking into its own comparison pool (a
+  // self-comparison always matches and would dilute the vote) and against
+  // duplicate entries double-counting a peer.
+  std::vector<vmm::DomainId> others;
+  others.reserve(raw_others.size());
+  std::unordered_set<vmm::DomainId> seen;
+  seen.reserve(raw_others.size() + 1);
+  seen.insert(subject);
+  for (const vmm::DomainId vm : raw_others) {
+    if (seen.insert(vm).second) {
+      others.push_back(vm);
+    }
+  }
+
+  // Subject extraction first (both modes need it before comparing).
+  Extraction subject_ex = acquire_and_parse(subject, module_name);
+  if (!subject_ex.found) {
+    throw NotFoundError("module '" + module_name +
+                        "' not loaded on subject VM " +
+                        std::to_string(subject));
+  }
+  report.cpu_times += subject_ex.times;
+
+  // Digest memo: the subject's raw-byte items are hashed once here instead
+  // of once per peer inside compare().  Preloading on the orchestrator's
+  // clock (not inside the worker tasks) keeps parallel and sequential runs
+  // charging identical totals — no task's time depends on which one
+  // happened to miss the shared table first.
+  std::optional<DigestTable> memo;
+  SimNanos memo_preload = 0;
+  if (config.digest_memo && !subject_ex.parse_failed) {
+    memo.emplace(config.algorithm, config.host_costs);
+    SimClock preload_clock;
+    preload_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
+    for (const pe::IntegrityItem& item : subject_ex.parsed.items) {
+      if (item.rva_sensitive) {
+        continue;  // pair-specific after Algorithm 2; never memoized
+      }
+      if (config.crc_prefilter) {
+        memo->crc(subject, item, preload_clock);
+      }
+      memo->digest(subject, item, preload_clock);
+    }
+    memo_preload = preload_clock.now();
+    report.cpu_times.checker += memo_preload;
+  }
+
+  struct PerVm {
+    vmm::DomainId vm;
+    Extraction ex;
+    PairComparison cmp;
+    SimNanos checker_time = 0;
+  };
+
+  auto process_other = [&](vmm::DomainId vm) {
+    PerVm r;
+    r.vm = vm;
+    r.ex = acquire_and_parse(vm, module_name);
+    if (r.ex.found && !r.ex.parse_failed && !subject_ex.parse_failed) {
+      SimClock checker_clock;
+      checker_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
+      r.cmp = compare_.compare(subject_ex.parsed, r.ex.parsed, checker_clock,
+                               memo ? &*memo : nullptr);
+      r.checker_time = checker_clock.now();
+    }
+    return r;
+  };
+
+  std::vector<PerVm> results;
+  results.reserve(others.size());
+
+  if (config.parallel && others.size() > 1) {
+    ThreadPool pool(std::min(config.worker_threads, others.size()));
+    std::vector<std::future<PerVm>> futures;
+    futures.reserve(others.size());
+    for (const vmm::DomainId vm : others) {
+      futures.push_back(pool.submit([&, vm] { return process_other(vm); }));
+    }
+    // Simulated makespan on `worker_threads` workers: the list-scheduling
+    // estimate max(longest task, total work / workers).
+    SimNanos longest_task = 0;
+    SimNanos total_work = 0;
+    for (auto& f : futures) {
+      results.push_back(f.get());
+      const PerVm& r = results.back();
+      const SimNanos task = r.ex.times.total() + r.checker_time;
+      longest_task = std::max(longest_task, task);
+      total_work += task;
+    }
+    const SimNanos makespan = std::max(
+        longest_task, total_work / std::min<SimNanos>(config.worker_threads,
+                                                      others.size()));
+    report.wall_time = subject_ex.times.total() + memo_preload + makespan;
+  } else {
+    for (const vmm::DomainId vm : others) {
+      results.push_back(process_other(vm));
+    }
+  }
+
+  // Report aggregation.
+  std::set<std::string> flagged;
+  if (subject_ex.parse_failed) {
+    flagged.insert(kUnparseableItem);
+  }
+  for (auto& r : results) {
+    if (!r.ex.found) {
+      report.missing_on.push_back(r.vm);
+      continue;
+    }
+    report.cpu_times += r.ex.times;
+    report.cpu_times.checker += r.checker_time;
+    ++report.total_comparisons;
+    if (subject_ex.parse_failed || r.ex.parse_failed) {
+      // An unparseable copy can never corroborate: count the comparison as
+      // a definite mismatch.
+      if (r.ex.parse_failed) {
+        flagged.insert(kUnparseableItem);
+      }
+      r.cmp.other_domain = r.vm;
+      r.cmp.all_match = false;
+      report.comparisons.push_back(std::move(r.cmp));
+      continue;
+    }
+    if (r.cmp.all_match) {
+      ++report.successes;
+    } else {
+      for (const auto& item : r.cmp.items) {
+        if (!item.match) {
+          flagged.insert(item.item_name);
+        }
+      }
+    }
+    report.comparisons.push_back(std::move(r.cmp));
+  }
+  report.flagged_items.assign(flagged.begin(), flagged.end());
+
+  // Majority vote: n > (t-1)/2 where t-1 is the number of completed
+  // comparisons.
+  report.subject_clean =
+      VoteStage::majority(report.successes, report.total_comparisons);
+
+  if (!config.parallel || others.size() <= 1) {
+    report.wall_time = report.cpu_times.total();
+  }
+  return report;
+}
+
+PoolScanReport CheckPipeline::pool_scan(
+    const std::string& module_name, const std::vector<vmm::DomainId>& pool) {
+  const ModCheckerConfig& config = ctx_->config;
+  PoolScanReport report;
+  report.module_name = module_name;
+
+  // Acquire + Parse every VM once.
+  std::vector<Extraction> extractions;
+  extractions.reserve(pool.size());
+
+  if (config.parallel && pool.size() > 1) {
+    ThreadPool tp(std::min(config.worker_threads, pool.size()));
+    std::vector<std::future<Extraction>> futures;
+    for (const vmm::DomainId vm : pool) {
+      futures.push_back(
+          tp.submit([&, vm] { return acquire_and_parse(vm, module_name); }));
+    }
+    SimNanos longest = 0;
+    SimNanos total_work = 0;
+    for (auto& f : futures) {
+      extractions.push_back(f.get());
+      longest = std::max(longest, extractions.back().times.total());
+      total_work += extractions.back().times.total();
+    }
+    report.wall_time = std::max(
+        longest, total_work / std::min<SimNanos>(config.worker_threads,
+                                                 pool.size()));
+  } else {
+    for (const vmm::DomainId vm : pool) {
+      extractions.push_back(acquire_and_parse(vm, module_name));
+      report.wall_time += extractions.back().times.total();
+    }
+  }
+  for (const auto& ex : extractions) {
+    report.cpu_times += ex.times;
+  }
+
+  // Pairwise comparisons; each unordered pair evaluated once and credited
+  // to both VMs' vote tallies.
+  std::vector<PoolVmVerdict> verdicts(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    verdicts[i].vm = pool[i];
+  }
+
+  // Normalize: canonical-RVA reduction against the first copy (O(t) image
+  // work); eligible pairs are then decided by digest-vector comparison.
+  // Any copy that does not reduce cleanly drops its pairs to the exact
+  // pairwise fallback below — verdict-identical to the slow path.
+  SimClock canon_clock;
+  canon_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
+  std::optional<CanonicalPool> canon =
+      normalize_.canonicalize(extractions, canon_clock);
+
+  struct PairRef {
+    std::size_t i;
+    std::size_t j;
+  };
+  std::vector<PairRef> fallback;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!extractions[i].found) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      if (!extractions[j].found) {
+        continue;
+      }
+      ++verdicts[i].total;
+      ++verdicts[j].total;
+      if (extractions[i].parse_failed || extractions[j].parse_failed) {
+        continue;  // an unparseable copy never matches anything
+      }
+      if (canon && canon->eligible(pool[i]) && canon->eligible(pool[j])) {
+        ++report.fastpath_pairs;
+        canon_clock.charge(config.host_costs.digest_pair_fixed);
+        if (canon->digests(pool[i]) == canon->digests(pool[j])) {
+          ++verdicts[i].successes;
+          ++verdicts[j].successes;
+        }
+      } else {
+        fallback.push_back({i, j});
+      }
+    }
+  }
+  report.fallback_pairs = fallback.size();
+  report.cpu_times.checker += canon_clock.now();
+  report.wall_time += canon_clock.now();
+
+  // Exact pairwise comparisons for the fallback set.  In parallel mode
+  // each pair is an independent task with its own clock and the wall cost
+  // is the list-scheduling makespan.
+  auto run_fallback_pair = [&](const PairRef& p) {
+    SimClock pair_clock;
+    pair_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
+    const PairComparison cmp = compare_.compare(
+        extractions[p.i].parsed, extractions[p.j].parsed, pair_clock);
+    return std::pair<bool, SimNanos>(cmp.all_match, pair_clock.now());
+  };
+
+  if (config.parallel && fallback.size() > 1) {
+    ThreadPool tp(std::min(config.worker_threads, fallback.size()));
+    std::vector<std::future<std::pair<bool, SimNanos>>> futures;
+    futures.reserve(fallback.size());
+    for (const PairRef& p : fallback) {
+      futures.push_back(tp.submit([&, p] { return run_fallback_pair(p); }));
+    }
+    SimNanos longest = 0;
+    SimNanos total_work = 0;
+    for (std::size_t k = 0; k < fallback.size(); ++k) {
+      const auto [all_match, task_time] = futures[k].get();
+      if (all_match) {
+        ++verdicts[fallback[k].i].successes;
+        ++verdicts[fallback[k].j].successes;
+      }
+      longest = std::max(longest, task_time);
+      total_work += task_time;
+    }
+    report.cpu_times.checker += total_work;
+    report.wall_time += std::max(
+        longest, total_work / std::min<SimNanos>(config.worker_threads,
+                                                 fallback.size()));
+  } else {
+    for (const PairRef& p : fallback) {
+      const auto [all_match, task_time] = run_fallback_pair(p);
+      if (all_match) {
+        ++verdicts[p.i].successes;
+        ++verdicts[p.j].successes;
+      }
+      report.cpu_times.checker += task_time;
+      report.wall_time += task_time;
+    }
+  }
+
+  vote_.finalize(verdicts);
+  report.verdicts = std::move(verdicts);
+  return report;
+}
+
+ListComparisonReport CheckPipeline::compare_lists(
+    const std::vector<vmm::DomainId>& pool) {
+  ListComparisonReport report;
+
+  // Gather each VM's loader list through introspection.
+  std::map<std::string, std::vector<vmm::DomainId>> presence;
+  SimNanos wall = 0;
+  for (const vmm::DomainId vm : pool) {
+    SimClock clock;
+    std::vector<ModuleInfo> modules;
+    {
+      AcquireStage::Session session = acquire_.open(vm, clock);
+      modules = acquire_.list_modules(session);
+    }
+    for (const auto& info : modules) {
+      presence[info.name].push_back(vm);
+    }
+    wall += clock.now();
+  }
+  report.wall_time = wall;
+  report.modules_seen = presence.size();
+
+  for (const auto& [name, present_on] : presence) {
+    if (present_on.size() == pool.size()) {
+      continue;  // uniformly present
+    }
+    ListDiscrepancy d;
+    d.module_name = name;
+    d.present_on = present_on;
+    for (const vmm::DomainId vm : pool) {
+      if (std::find(present_on.begin(), present_on.end(), vm) ==
+          present_on.end()) {
+        d.missing_on.push_back(vm);
+      }
+    }
+    report.discrepancies.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,317 @@
+// Staged check pipeline — the single implementation of the paper's
+// acquire → parse → normalize → compare → vote → report flow.
+//
+// The prototype re-implemented that flow separately in check_module,
+// check_module_sampled, scan_pool, compare_module_lists and the
+// IncrementalScanner, so every optimisation (canonical fast path, session
+// pooling, digest memo) had to be threaded through each path by hand.
+// This header is the one seam: each stage is a small object over a shared
+// CheckContext, and every public entry point — ModChecker's methods, the
+// IncrementalScanner, the FleetService sweeps — is a thin driver that
+// composes the stages.
+//
+//   Acquire    guest-memory access: sessions (pooled or fresh), loader-list
+//              walks, whole-image extraction.  The ONLY place that may
+//              construct a ModuleSearcher (enforced by mc_lint's
+//              pipeline-bypass rule).
+//   Parse      PE decomposition into integrity items; a FormatError is a
+//              finding, not a crash.  The only ModuleParser owner.
+//   Normalize  Algorithm 2 / canonical-RVA reduction of a pool of copies
+//              against one reference (CanonicalPool).
+//   Compare    pairwise item comparison through the IntegrityChecker,
+//              with optional digest memoization.
+//   Vote       the paper's majority rule  n > (t-1)/2.
+//   Report     aggregation into CheckReport / PoolScanReport.
+//
+// Ownership rules (see DESIGN.md §7): the CheckContext owns the config,
+// the parser/checker components and the persistent VmiSessionPool — the
+// pool is a first-class mutable member here, not a `mutable` wart on a
+// logically-const checker.  Stages borrow the context; the context must
+// outlive the pipeline and every report it produced.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "modchecker/canonical.hpp"
+#include "modchecker/checker.hpp"
+#include "modchecker/parser.hpp"
+#include "modchecker/types.hpp"
+#include "vmi/cost_model.hpp"
+#include "vmi/session_pool.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace mc::core {
+
+struct ModCheckerConfig {
+  crypto::HashAlgorithm algorithm = crypto::HashAlgorithm::kMd5;
+  vmi::VmiCostModel vmi_costs{};
+  vmi::HostCostModel host_costs{};
+  bool parallel = false;
+  std::size_t worker_threads = 8;
+  /// CRC32 prefilter: skip the full digest when cheap checksums agree
+  /// (see IntegrityChecker for the tradeoff).
+  bool crc_prefilter = false;
+  /// Keep one VMI session per domain alive across calls (VmiSessionPool):
+  /// repeat scans skip the attach + debug-block scan and reuse the warm
+  /// V2P cache.  Sessions auto-invalidate when a domain's epoch/CR3 moves
+  /// (snapshot restore, clone-into).  Off reproduces the paper's
+  /// attach-per-check prototype.
+  bool reuse_sessions = true;
+  /// Canonical-RVA fast path for pool scans: normalize every copy against
+  /// one reference, then decide each pair by comparing precomputed digest
+  /// vectors — O(t) image work instead of O(t^2).  Pairs involving any
+  /// copy that does not reduce cleanly fall back to the exact pairwise
+  /// comparison, so verdicts are identical to the slow path (see
+  /// canonical.hpp).  Disabled automatically with crc_prefilter (the
+  /// prefilter's CRC-collision acceptance is not digest-equivalent).
+  bool pool_fastpath = true;
+  /// Memoize per-item digests within one check so the subject's items are
+  /// hashed once instead of once per peer.
+  bool digest_memo = true;
+};
+
+/// Result of checking one module on one subject VM against a pool.
+struct CheckReport {
+  std::string module_name;
+  vmm::DomainId subject = 0;
+  std::vector<PairComparison> comparisons;
+  std::size_t successes = 0;          // comparisons where every item matched
+  std::size_t total_comparisons = 0;  // t - 1
+  bool subject_clean = false;         // majority vote
+  /// Union of item names that mismatched in at least one comparison.
+  std::vector<std::string> flagged_items;
+  /// Pool VMs where the module was not loaded (excluded from the vote).
+  std::vector<vmm::DomainId> missing_on;
+
+  ComponentTimes cpu_times;  // summed across VMs (the Fig. 7/8 series)
+  SimNanos wall_time = 0;    // sequential: == cpu total; parallel: critical path
+};
+
+/// Per-VM verdict from a whole-pool scan (every VM takes the subject role).
+struct PoolVmVerdict {
+  vmm::DomainId vm = 0;
+  std::size_t successes = 0;
+  std::size_t total = 0;
+  bool clean = false;
+};
+
+struct PoolScanReport {
+  std::string module_name;
+  std::vector<PoolVmVerdict> verdicts;
+  ComponentTimes cpu_times;
+  SimNanos wall_time = 0;
+  /// Pairs decided by the canonical-RVA digest comparison vs. pairs that
+  /// ran the exact pairwise comparison (diagnostics for the fast path).
+  std::size_t fastpath_pairs = 0;
+  std::size_t fallback_pairs = 0;
+};
+
+/// One module whose presence differs across the pool.
+struct ListDiscrepancy {
+  std::string module_name;
+  std::vector<vmm::DomainId> present_on;
+  std::vector<vmm::DomainId> missing_on;
+};
+
+struct ListComparisonReport {
+  /// Module names seen anywhere, with presence maps; only modules whose
+  /// presence differs across VMs are listed.
+  std::vector<ListDiscrepancy> discrepancies;
+  std::size_t modules_seen = 0;
+  SimNanos wall_time = 0;
+
+  bool consistent() const { return discrepancies.empty(); }
+};
+
+/// Item name reported when a module's copy cannot even be parsed (its PE
+/// magics/headers are corrupted) — a definite integrity violation.
+inline constexpr const char* kUnparseableItem = "MODULE_UNPARSEABLE";
+
+/// Shared state for every stage of one pipeline.  Construction mirrors the
+/// old ModChecker constructor; the session pool lives here so the drivers
+/// stay logically const-correct.
+struct CheckContext {
+  CheckContext(const vmm::Hypervisor& hv, ModCheckerConfig cfg)
+      : hypervisor(&hv),
+        config(std::move(cfg)),
+        parser(config.host_costs),
+        checker(config.algorithm, config.host_costs, config.crc_prefilter),
+        session_pool(hv, config.vmi_costs) {}
+
+  CheckContext(const CheckContext&) = delete;
+  CheckContext& operator=(const CheckContext&) = delete;
+
+  const vmm::Hypervisor* hypervisor;
+  ModCheckerConfig config;
+  ModuleParser parser;
+  IntegrityChecker checker;
+  /// Per-domain persistent sessions (used when config.reuse_sessions).
+  vmi::VmiSessionPool session_pool;
+};
+
+/// Output of the Acquire+Parse front half for one VM.
+struct Extraction {
+  ComponentTimes times;
+  bool found = false;
+  bool parse_failed = false;
+  std::string parse_error;
+  ParsedModule parsed;
+};
+
+/// Stage 1 — Acquire: all guest-memory access.  Hands out RAII session
+/// scopes (pooled lease when reuse_sessions, fresh attach otherwise) and
+/// runs the Module-Searcher operations against them.
+class AcquireStage {
+ public:
+  explicit AcquireStage(CheckContext& ctx) : ctx_(&ctx) {}
+
+  /// One VM's introspection session for the duration of a stage call.
+  /// Charges attach (or pool-hit bookkeeping) to `clock`.
+  class Session {
+   public:
+    Session(CheckContext& ctx, vmm::DomainId vm, SimClock& clock);
+
+    vmi::VmiSession& session();
+
+   private:
+    std::optional<vmi::VmiSessionPool::Lease> lease_;
+    std::optional<vmi::VmiSession> local_;
+  };
+
+  Session open(vmm::DomainId vm, SimClock& clock) const {
+    return Session(*ctx_, vm, clock);
+  }
+
+  /// Loader-list walk: every module's basic facts.
+  std::vector<ModuleInfo> list_modules(Session& s) const;
+
+  /// Loader-list lookup of one module; nullopt if not loaded.
+  std::optional<ModuleInfo> find_module(Session& s,
+                                        const std::string& module_name) const;
+
+  /// Whole-image copy out of guest memory; nullopt if not loaded.
+  std::optional<ModuleImage> extract_module(
+      Session& s, const std::string& module_name) const;
+
+ private:
+  CheckContext* ctx_;
+};
+
+/// Stage 2 — Parse: PE decomposition on the host's (contention-scaled)
+/// clock.
+class ParseStage {
+ public:
+  explicit ParseStage(CheckContext& ctx) : ctx_(&ctx) {}
+
+  /// Tolerant parse: a FormatError marks the extraction parse_failed (a
+  /// finding the Vote stage turns into a definite mismatch).  Charges to
+  /// ex.times.parser on a fresh dom0-slowdown clock.
+  void parse(const ModuleImage& image, Extraction& ex) const;
+
+  /// Strict parse for callers that manage their own failure handling
+  /// (e.g. the incremental cache).  Throws FormatError.
+  ParsedModule parse_strict(const ModuleImage& image, SimClock& clock) const;
+
+ private:
+  CheckContext* ctx_;
+};
+
+/// Stage 3 — Normalize: canonical-RVA reduction of a pool of parsed copies
+/// (Algorithm 2 against one reference; see canonical.hpp).
+class NormalizeStage {
+ public:
+  explicit NormalizeStage(CheckContext& ctx) : ctx_(&ctx) {}
+
+  /// True when the config wants the fast path (pool_fastpath and no CRC
+  /// prefilter in the way).
+  bool enabled() const;
+
+  /// Builds the canonical pool over every successfully parsed extraction,
+  /// charging normalization to `clock`.  Disengaged when !enabled().
+  std::optional<CanonicalPool> canonicalize(
+      const std::vector<Extraction>& extractions, SimClock& clock) const;
+
+ private:
+  CheckContext* ctx_;
+};
+
+/// Stage 4 — Compare: exact pairwise item comparison (with optional digest
+/// memo) through the IntegrityChecker.
+class CompareStage {
+ public:
+  explicit CompareStage(CheckContext& ctx) : ctx_(&ctx) {}
+
+  PairComparison compare(const ParsedModule& subject,
+                         const ParsedModule& other, SimClock& clock,
+                         DigestTable* memo = nullptr) const;
+
+ private:
+  CheckContext* ctx_;
+};
+
+/// Stage 5 — Vote: the paper's majority rule.
+class VoteStage {
+ public:
+  /// n > (t-1)/2 over the completed comparisons.
+  static bool majority(std::size_t successes, std::size_t total) {
+    return total > 0 && 2 * successes > total;
+  }
+
+  /// Applies the rule to every per-VM tally.
+  void finalize(std::vector<PoolVmVerdict>& verdicts) const;
+};
+
+/// The staged pipeline.  Drivers (`check`, `pool_scan`, `compare_lists`)
+/// compose the stages end to end; callers with bespoke front halves (the
+/// IncrementalScanner's dirty-frame cache, the FleetService) use the stage
+/// accessors directly.
+class CheckPipeline {
+ public:
+  explicit CheckPipeline(CheckContext& ctx)
+      : ctx_(&ctx),
+        acquire_(ctx),
+        parse_(ctx),
+        normalize_(ctx),
+        compare_(ctx) {}
+
+  CheckContext& context() { return *ctx_; }
+  const CheckContext& context() const { return *ctx_; }
+
+  const AcquireStage& acquire() const { return acquire_; }
+  const ParseStage& parse() const { return parse_; }
+  const NormalizeStage& normalize() const { return normalize_; }
+  const CompareStage& compare() const { return compare_; }
+  const VoteStage& vote() const { return vote_; }
+
+  /// Acquire + Parse for one VM: the shared front half of every check.
+  Extraction acquire_and_parse(vmm::DomainId vm,
+                               const std::string& module_name);
+
+  /// Subject-vs-peers driver (ModChecker::check_module).  `raw_others` is
+  /// sanitized against self-comparison and duplicates.  Throws
+  /// NotFoundError if the module is not loaded on the subject.
+  CheckReport check(vmm::DomainId subject, const std::string& module_name,
+                    const std::vector<vmm::DomainId>& raw_others);
+
+  /// Whole-pool cross-check driver (ModChecker::scan_pool): every VM takes
+  /// the subject role; canonical fast path + exact fallback.
+  PoolScanReport pool_scan(const std::string& module_name,
+                           const std::vector<vmm::DomainId>& pool);
+
+  /// Loader-list presence comparison driver
+  /// (ModChecker::compare_module_lists).
+  ListComparisonReport compare_lists(const std::vector<vmm::DomainId>& pool);
+
+ private:
+  CheckContext* ctx_;
+  AcquireStage acquire_;
+  ParseStage parse_;
+  NormalizeStage normalize_;
+  CompareStage compare_;
+  VoteStage vote_;
+};
+
+}  // namespace mc::core

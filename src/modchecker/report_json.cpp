@@ -99,7 +99,12 @@ std::string to_json(const PoolScanReport& report) {
                           ",\"successes\":" + std::to_string(v.successes) +
                           ",\"total\":" + std::to_string(v.total) + "}";
                  })
-     << ",\"wall_ns\":" << report.wall_time << "}";
+     << ",\"wall_ns\":" << report.wall_time
+     << ",\"cpu_ns\":{\"searcher\":" << report.cpu_times.searcher
+     << ",\"parser\":" << report.cpu_times.parser
+     << ",\"checker\":" << report.cpu_times.checker << "}"
+     << ",\"fastpath_pairs\":" << report.fastpath_pairs
+     << ",\"fallback_pairs\":" << report.fallback_pairs << "}";
   return os.str();
 }
 

@@ -16,7 +16,8 @@ namespace mc::core {
 ///  "times_ns": {"searcher": ..., ...}, "comparisons": [...]}
 std::string to_json(const CheckReport& report);
 
-/// {"module": ..., "verdicts": [{"vm": ..., "clean": ...}, ...]}
+/// {"module": ..., "verdicts": [{"vm": ..., "clean": ...}, ...],
+///  "cpu_ns": {...}, "fastpath_pairs": ..., "fallback_pairs": ...}
 std::string to_json(const PoolScanReport& report);
 
 /// {"modules": [...], "findings": [...], "total_wall_ns": ...}

@@ -1,0 +1,274 @@
+#include "service/fleet.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "modchecker/report_json.hpp"
+#include "util/error.hpp"
+
+namespace mc::service {
+
+// ---- SweepReport JSON ------------------------------------------------------
+
+std::string to_json(const SweepReport& report) {
+  std::ostringstream os;
+  os << "{\"sweep\":\"" << core::json_escape(report.name) << "\""
+     << ",\"id\":" << report.id << ",\"pool\":" << report.pool_index
+     << ",\"run\":" << report.run_index << ",\"due_ns\":" << report.due
+     << ",\"cancelled\":" << (report.cancelled ? "true" : "false")
+     << ",\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const SweepFinding& f = report.findings[i];
+    os << (i == 0 ? "" : ",") << "{\"module\":\""
+       << core::json_escape(f.module) << "\",\"vm\":" << f.vm
+       << ",\"successes\":" << f.successes << ",\"total\":" << f.total
+       << "}";
+  }
+  os << "],\"scans\":[";
+  for (std::size_t i = 0; i < report.scans.size(); ++i) {
+    os << (i == 0 ? "" : ",") << core::to_json(report.scans[i]);
+  }
+  os << "],\"wall_ns\":" << report.wall_time
+     << ",\"cpu_ns\":{\"searcher\":" << report.cpu_times.searcher
+     << ",\"parser\":" << report.cpu_times.parser
+     << ",\"checker\":" << report.cpu_times.checker << "}}";
+  return os.str();
+}
+
+// ---- Sinks -----------------------------------------------------------------
+
+RingSink::RingSink(std::size_t capacity) : capacity_(capacity) {
+  MC_CHECK(capacity_ >= 1, "RingSink capacity must be at least 1");
+}
+
+void RingSink::on_sweep(const SweepReport& report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(report);
+  if (ring_.size() > capacity_) {
+    ring_.pop_front();
+  }
+  ++seen_;
+}
+
+std::vector<SweepReport> RingSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t RingSink::total_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seen_;
+}
+
+void JsonLinesSink::on_sweep(const SweepReport& report) {
+  const std::string line = to_json(report);
+  std::lock_guard<std::mutex> lock(mutex_);
+  *os_ << line << '\n';
+}
+
+// ---- FleetService ----------------------------------------------------------
+
+FleetService::FleetService(FleetConfig config) : config_(std::move(config)) {
+  MC_CHECK(config_.workers >= 1, "FleetService needs at least one worker");
+}
+
+FleetService::~FleetService() { stop(); }
+
+std::size_t FleetService::add_pool(const vmm::Hypervisor& hypervisor,
+                                   std::vector<vmm::DomainId> vms,
+                                   core::ModCheckerConfig config) {
+  MC_CHECK(vms.size() >= 2, "a sweep pool needs at least two VMs");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MC_CHECK(!started_, "add_pool must be called before start()");
+  }
+  auto pool = std::make_unique<Pool>();
+  pool->hypervisor = &hypervisor;
+  pool->vms = std::move(vms);
+  pool->context =
+      std::make_unique<core::CheckContext>(hypervisor, std::move(config));
+  pool->pipeline = std::make_unique<core::CheckPipeline>(*pool->context);
+  pools_.push_back(std::move(pool));
+  return pools_.size() - 1;
+}
+
+void FleetService::add_sink(std::shared_ptr<SweepSink> sink) {
+  MC_CHECK(sink != nullptr, "null sink");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MC_CHECK(!started_, "add_sink must be called before start()");
+  }
+  sinks_.push_back(std::move(sink));
+}
+
+void FleetService::set_module_hook(
+    std::function<void(SweepId, std::size_t, const std::string&)> hook) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MC_CHECK(!started_, "set_module_hook must be called before start()");
+  }
+  module_hook_ = std::move(hook);
+}
+
+void FleetService::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MC_CHECK(!started_, "FleetService::start called twice");
+    started_ = true;
+  }
+  workers_ = std::make_unique<ThreadPool>(config_.workers);
+  worker_futures_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    worker_futures_.push_back(workers_->submit([this] { worker_loop(); }));
+  }
+}
+
+SweepId FleetService::submit(SweepSpec spec) {
+  MC_CHECK(spec.pool_index < pools_.size(), "sweep names an unknown pool");
+  MC_CHECK(!spec.modules.empty(), "sweep needs at least one module");
+  MC_CHECK(spec.repeat >= 1, "sweep repeat count must be at least 1");
+
+  SweepId id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      return 0;  // drain/stop already began — refuse new work
+    }
+    id = next_id_++;
+  }
+  QueuedSweep run;
+  run.id = id;
+  run.spec = std::move(spec);
+  run.due = 0;  // first run is due immediately
+  run.run_index = 0;
+  if (!queue_.push(std::move(run))) {
+    return 0;  // draining / stopped
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+  return id;
+}
+
+bool FleetService::cancel(SweepId id) {
+  // The queue's cancelled set is the single source of truth: pending runs
+  // are struck here, in-flight runs observe is_cancelled() between module
+  // scans, and completed runs refuse to re-enqueue their recurrence.
+  const bool struck = queue_.cancel(id);
+  if (struck) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.dropped_pending;
+  }
+  return struck;
+}
+
+void FleetService::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  // Wait for the backlog — including finite recurrences re-enqueued by
+  // in-flight runs — then shut the queue so the workers see nullopt.
+  queue_.wait_idle();
+  queue_.close();
+  join_workers();
+}
+
+void FleetService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  queue_.close();  // refuse recurrences first, then drop the backlog
+  const std::size_t dropped = queue_.clear();
+  if (dropped > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.dropped_pending += dropped;
+  }
+  join_workers();
+}
+
+void FleetService::join_workers() {
+  if (!workers_) {
+    return;
+  }
+  for (auto& f : worker_futures_) {
+    f.get();  // propagate any worker exception
+  }
+  worker_futures_.clear();
+  workers_.reset();  // joins the threads
+}
+
+FleetService::Stats FleetService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FleetService::worker_loop() {
+  while (auto run = queue_.pop()) {
+    run_sweep(std::move(*run));
+    queue_.done();  // after run_sweep's recurrence push — see wait_idle()
+  }
+}
+
+void FleetService::run_sweep(QueuedSweep run) {
+  Pool& pool = *pools_[run.spec.pool_index];
+
+  SweepReport report;
+  report.id = run.id;
+  report.name = run.spec.name;
+  report.pool_index = run.spec.pool_index;
+  report.run_index = run.run_index;
+  report.due = run.due;
+
+  {
+    // One sweep at a time per pool: scans of different pools proceed in
+    // parallel, scans of the same pool serialize (shared warm sessions).
+    std::lock_guard<std::mutex> pool_lock(pool.mutex);
+    for (const std::string& module : run.spec.modules) {
+      if (queue_.is_cancelled(run.id)) {
+        report.cancelled = true;
+        break;
+      }
+      if (module_hook_) {
+        module_hook_(run.id, run.run_index, module);
+      }
+      core::PoolScanReport scan = pool.pipeline->pool_scan(module, pool.vms);
+      report.wall_time += scan.wall_time;
+      report.cpu_times += scan.cpu_times;
+      for (const core::PoolVmVerdict& v : scan.verdicts) {
+        if (!v.clean && v.total > 0) {
+          report.findings.push_back({module, v.vm, v.successes, v.total});
+        }
+      }
+      report.scans.push_back(std::move(scan));
+    }
+  }
+  emit(report);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (report.cancelled) {
+      ++stats_.cancelled_runs;
+    } else {
+      ++stats_.completed_runs;
+    }
+  }
+
+  // Recurrence: re-enqueue the next run on the sweep's simulated cadence.
+  // push() refuses once the queue is closed (drain) or the id cancelled.
+  if (!report.cancelled && run.run_index + 1 < run.spec.repeat) {
+    QueuedSweep next;
+    next.id = run.id;
+    next.spec = std::move(run.spec);
+    next.due = run.due + next.spec.cadence;
+    next.run_index = run.run_index + 1;
+    queue_.push(std::move(next));
+  }
+}
+
+void FleetService::emit(const SweepReport& report) {
+  for (const auto& sink : sinks_) {
+    sink->on_sweep(report);
+  }
+}
+
+}  // namespace mc::service

@@ -1,0 +1,209 @@
+// FleetService — ModChecker as a resident multi-pool monitor.
+//
+// The paper's prototype is a one-shot tool (§V: run, print, exit); related
+// VMI monitors run as long-lived services instead.  FleetService is that
+// service layer: it owns N registered pools (each with its own
+// CheckContext/CheckPipeline, so warm VMI sessions and cost accounting
+// stay per-pool), accepts SweepSpecs (module set × pool × cadence ×
+// priority), schedules their runs through a SweepQueue onto the existing
+// ThreadPool workers, supports cancellation of pending *and* in-flight
+// sweeps plus graceful drain, and emits one SweepReport per run to every
+// registered sink.
+//
+// Threading model (TSan-clean by construction):
+//   * pools, sinks and the progress hook are fixed before start() — the
+//     worker threads only ever read them;
+//   * a per-pool mutex serializes sweeps that target the same pool (the
+//     pipeline's session pool is thread-safe, but serializing per pool
+//     keeps per-pool timelines meaningful and contention predictable);
+//   * all cross-thread bookkeeping (queue, cancellation, stats) is behind
+//     the SweepQueue's and the service's own mutexes.
+//
+// Lifecycle: add_pool()/add_sink() → start() → submit()/cancel() →
+// drain() (run everything queued, then stop) or stop() (drop the backlog,
+// finish in-flight module scans, then stop).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "modchecker/pipeline.hpp"
+#include "service/sweep_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mc::service {
+
+/// One (module, VM) vote failure surfaced by a sweep.
+struct SweepFinding {
+  std::string module;
+  vmm::DomainId vm = 0;
+  std::size_t successes = 0;
+  std::size_t total = 0;
+};
+
+/// Result of one run of a sweep (a recurring sweep emits one per run).
+struct SweepReport {
+  SweepId id = 0;
+  std::string name;
+  std::size_t pool_index = 0;
+  std::size_t run_index = 0;  // 0-based recurrence counter
+  SimNanos due = 0;           // simulated due time of this run
+  /// True when the sweep was cancelled mid-run: `scans` then holds the
+  /// prefix of modules completed before the flag was seen.
+  bool cancelled = false;
+  /// Per-module pool scans, in SweepSpec::modules order.
+  std::vector<core::PoolScanReport> scans;
+  /// Flattened (module, VM) pairs whose vote failed.
+  std::vector<SweepFinding> findings;
+  SimNanos wall_time = 0;  // summed simulated scan wall time
+  core::ComponentTimes cpu_times;
+};
+
+/// {"sweep": ..., "run": ..., "cancelled": ..., "findings": [...],
+///  "scans": [...]} — reuses core::to_json(PoolScanReport) per scan.
+std::string to_json(const SweepReport& report);
+
+/// Pluggable sweep-report consumer.  on_sweep may be called concurrently
+/// from several workers; implementations must be thread-safe.
+class SweepSink {
+ public:
+  virtual ~SweepSink() = default;
+  virtual void on_sweep(const SweepReport& report) = 0;
+};
+
+/// Fixed-capacity in-memory ring of the most recent reports (the
+/// operator's "what happened lately" buffer).
+class RingSink : public SweepSink {
+ public:
+  explicit RingSink(std::size_t capacity = 256);
+
+  void on_sweep(const SweepReport& report) override;
+
+  /// Oldest-first copy of the buffered reports.
+  std::vector<SweepReport> snapshot() const;
+
+  /// Total reports ever seen (>= snapshot().size() once wrapped).
+  std::uint64_t total_seen() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<SweepReport> ring_;
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+};
+
+/// Serializes every report as one JSON line to a stream (the existing
+/// report_json schema — SIEM/alerting integration surface).
+class JsonLinesSink : public SweepSink {
+ public:
+  explicit JsonLinesSink(std::ostream& os) : os_(&os) {}
+
+  void on_sweep(const SweepReport& report) override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream* os_;
+};
+
+struct FleetConfig {
+  /// Worker threads pulling sweeps off the queue (>= 1).
+  std::size_t workers = 2;
+};
+
+class FleetService {
+ public:
+  explicit FleetService(FleetConfig config = {});
+
+  /// Stops the service (dropping any backlog) if still running.
+  ~FleetService();
+
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  /// Registers a pool of VMs on one hypervisor; returns the index
+  /// SweepSpec::pool_index refers to.  Call before start().
+  std::size_t add_pool(const vmm::Hypervisor& hypervisor,
+                       std::vector<vmm::DomainId> vms,
+                       core::ModCheckerConfig config = {});
+
+  /// Registers a report sink.  Call before start().
+  void add_sink(std::shared_ptr<SweepSink> sink);
+
+  /// Observability hook invoked before each module scan of each run
+  /// (sweep id, run index, module).  Call before start(); may be invoked
+  /// concurrently from several workers.
+  void set_module_hook(
+      std::function<void(SweepId, std::size_t, const std::string&)> hook);
+
+  /// Spins up the workers.  Sweeps submitted before start() sit in the
+  /// queue and run in priority order once workers exist.
+  void start();
+
+  /// Enqueues a sweep; returns its id, or 0 if the service is draining /
+  /// stopped (the sweep is dropped).  Validates pool_index and modules.
+  SweepId submit(SweepSpec spec);
+
+  /// Cancels a sweep: pending runs are struck from the queue, an
+  /// in-flight run stops before its next module scan (its report carries
+  /// cancelled = true), and recurrences stop.  Returns true if a pending
+  /// run was struck; an in-flight run is stopped asynchronously either
+  /// way.
+  bool cancel(SweepId id);
+
+  /// Graceful drain: refuse new submissions, run every queued sweep —
+  /// including the remaining runs of finite repeat chains — to
+  /// completion, then join the workers.
+  void drain();
+
+  /// Fast stop: drop the backlog, let in-flight module scans finish, join
+  /// the workers.
+  void stop();
+
+  std::size_t pool_count() const { return pools_.size(); }
+  std::size_t pending_sweeps() const { return queue_.pending(); }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed_runs = 0;   // runs that finished every module
+    std::uint64_t cancelled_runs = 0;   // runs stopped mid-sweep
+    std::uint64_t dropped_pending = 0;  // runs struck before starting
+  };
+  Stats stats() const;
+
+ private:
+  struct Pool {
+    const vmm::Hypervisor* hypervisor;
+    std::vector<vmm::DomainId> vms;
+    std::unique_ptr<core::CheckContext> context;
+    std::unique_ptr<core::CheckPipeline> pipeline;
+    std::mutex mutex;  // serializes sweeps targeting this pool
+  };
+
+  void worker_loop();
+  void run_sweep(QueuedSweep run);
+  void emit(const SweepReport& report);
+  void join_workers();
+
+  FleetConfig config_;
+  std::vector<std::unique_ptr<Pool>> pools_;
+  std::vector<std::shared_ptr<SweepSink>> sinks_;
+  std::function<void(SweepId, std::size_t, const std::string&)> module_hook_;
+
+  SweepQueue queue_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::vector<std::future<void>> worker_futures_;
+
+  mutable std::mutex mutex_;  // guards next_id_, stats_, started_, draining_
+  SweepId next_id_ = 1;
+  Stats stats_;
+  bool started_ = false;
+  bool draining_ = false;
+};
+
+}  // namespace mc::service

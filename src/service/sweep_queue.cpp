@@ -1,0 +1,107 @@
+#include "service/sweep_queue.hpp"
+
+namespace mc::service {
+
+bool SweepQueue::push(QueuedSweep sweep) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || cancelled_.count(sweep.id) > 0) {
+      return false;
+    }
+    sweep.seq = next_seq_++;
+    heap_.push(std::move(sweep));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<QueuedSweep> SweepQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return !heap_.empty() || closed_; });
+    if (heap_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    QueuedSweep top = heap_.top();
+    heap_.pop();
+    if (cancelled_.count(top.id) > 0) {
+      cv_.notify_all();  // heap may now be empty — wake wait_idle
+      continue;          // struck while pending
+    }
+    ++active_;
+    return top;
+  }
+}
+
+void SweepQueue::done() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
+  cv_.notify_all();
+}
+
+void SweepQueue::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return heap_.empty() && active_ == 0; });
+}
+
+bool SweepQueue::cancel(SweepId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_.insert(id);
+  // Strike pending runs immediately so pending() stays honest.  The heap
+  // has no search interface, so rebuild it — backlogs are small because
+  // workers drain the queue continuously.
+  std::priority_queue<QueuedSweep, std::vector<QueuedSweep>, Order> rebuilt;
+  bool struck = false;
+  while (!heap_.empty()) {
+    QueuedSweep top = heap_.top();
+    heap_.pop();
+    if (top.id == id) {
+      struck = true;
+      continue;  // drop it now; keeps pending() honest
+    }
+    rebuilt.push(std::move(top));
+  }
+  heap_ = std::move(rebuilt);
+  if (struck) {
+    cv_.notify_all();  // heap may now be empty — wake wait_idle
+  }
+  return struck;
+}
+
+bool SweepQueue::is_cancelled(SweepId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_.count(id) > 0;
+}
+
+void SweepQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t SweepQueue::clear() {
+  std::size_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dropped = heap_.size();
+    heap_ = {};
+  }
+  cv_.notify_all();  // wake wait_idle — the backlog is gone
+  return dropped;
+}
+
+bool SweepQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t SweepQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+}  // namespace mc::service

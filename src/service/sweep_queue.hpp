@@ -1,0 +1,122 @@
+// SweepQueue — the FleetService's thread-safe priority queue of pending
+// sweeps.
+//
+// Ordering: highest priority first; within a priority class, earliest
+// simulated due time; ties broken by submission order, so equal-priority
+// sweeps run FIFO.  pop() blocks until an item is available or the queue
+// is closed *and* empty — close() is the graceful-drain primitive: pushes
+// are refused afterwards, but everything already queued is still handed
+// out, so workers drain the backlog before seeing the nullopt that stops
+// their loop.  clear() is the fast-stop primitive: it drops the backlog
+// and returns how many sweeps were discarded.
+//
+// Cancellation of *pending* runs is queue-side (cancel(id) marks the id;
+// marked entries are silently dropped on pop).  Cancellation of a sweep
+// already handed to a worker is the FleetService's job — the queue cannot
+// reach in-flight work.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sim_clock.hpp"
+
+namespace mc::service {
+
+/// Stable identifier of one submitted sweep (all its recurrences share it).
+using SweepId = std::uint64_t;
+
+/// What to sweep: a module set on one registered pool, how urgently, and
+/// how often.
+struct SweepSpec {
+  std::string name;                  // operator-facing label
+  std::size_t pool_index = 0;        // FleetService::add_pool return value
+  std::vector<std::string> modules;  // scanned in order, one pool scan each
+  int priority = 0;                  // higher runs first
+  /// Total runs (>= 1).  Runs after the first are re-enqueued on
+  /// completion with due += cadence — a recurring sweep on the service's
+  /// simulated timeline.
+  std::size_t repeat = 1;
+  SimNanos cadence = 0;
+};
+
+/// One scheduled run of a sweep.
+struct QueuedSweep {
+  SweepId id = 0;
+  SweepSpec spec;
+  SimNanos due = 0;           // simulated due time of this run
+  std::size_t run_index = 0;  // 0-based recurrence counter
+  std::uint64_t seq = 0;      // FIFO tiebreak, assigned by push()
+};
+
+class SweepQueue {
+ public:
+  /// Enqueues a run.  Returns false (and drops the sweep) once the queue
+  /// is closed — a recurring sweep re-enqueued after drain() simply ends.
+  bool push(QueuedSweep sweep);
+
+  /// Blocks until a run is available or the queue is closed and empty
+  /// (nullopt → the worker loop should exit).  Cancelled pending runs are
+  /// dropped here, never returned.
+  std::optional<QueuedSweep> pop();
+
+  /// Marks every pending (and future re-enqueued) run of `id` cancelled.
+  /// Returns true if at least one pending run was struck.
+  bool cancel(SweepId id);
+
+  /// True once cancel(id) was called — the single source of truth workers
+  /// consult between module scans to stop an in-flight sweep.
+  bool is_cancelled(SweepId id) const;
+
+  /// Marks the run handed out by the matching pop() finished.  Workers
+  /// must call this after run_sweep (and after any recurrence push) so
+  /// wait_idle() can tell "empty because drained" from "empty because
+  /// every pending run is currently executing".
+  void done();
+
+  /// Blocks until the queue is empty *and* no popped run is still
+  /// executing — the graceful-drain barrier.  Recurrences pushed by
+  /// in-flight runs extend the wait; a finite repeat chain therefore
+  /// completes before wait_idle returns.
+  void wait_idle();
+
+  /// Refuses further pushes; pop() drains the backlog then returns
+  /// nullopt to every waiter.
+  void close();
+
+  /// Drops every pending run; returns how many were discarded (cancelled
+  /// entries included).  Does not close the queue.
+  std::size_t clear();
+
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  struct Order {
+    bool operator()(const QueuedSweep& a, const QueuedSweep& b) const {
+      if (a.spec.priority != b.spec.priority) {
+        return a.spec.priority < b.spec.priority;  // max-heap on priority
+      }
+      if (a.due != b.due) {
+        return a.due > b.due;  // then earliest due
+      }
+      return a.seq > b.seq;  // then FIFO
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<QueuedSweep, std::vector<QueuedSweep>, Order> heap_;
+  std::unordered_set<SweepId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t active_ = 0;  // runs popped but not yet done()
+  bool closed_ = false;
+};
+
+}  // namespace mc::service

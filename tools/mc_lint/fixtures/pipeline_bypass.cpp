@@ -1,0 +1,20 @@
+// Fixture: pipeline-bypass violations (scanned by mc_lint tests, never
+// compiled).  This file does not live under modchecker/, so constructing
+// or owning the Searcher/Parser components directly must be flagged.
+
+class ModuleSearcher;  // forward declaration: not a finding
+
+struct Holder {
+  ModuleParser owned_;  // owning member outside the pipeline: a finding
+};
+
+void scan(VmiSession& session, const ModuleImage& image) {
+  ModuleSearcher searcher(session);
+  auto modules = core::ModuleSearcher(session).list_modules();
+  const ModuleParser parser{};
+  // mc-lint: allow(pipeline-bypass)
+  ModuleSearcher sanctioned(session);
+  use(searcher, modules, parser, sanctioned);
+}
+
+void pass_through(ModuleSearcher& borrowed, const ModuleParser* ptr);

@@ -21,11 +21,12 @@ std::string fixture(const std::string& name) {
 
 TEST(LintRules, CatalogIsStable) {
   const auto& ids = mc::lint::rule_ids();
-  ASSERT_EQ(ids.size(), 6u);
+  ASSERT_EQ(ids.size(), 7u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-reinterpret-cast"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "parser-bounds-check"),
             ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "pipeline-bypass"), ids.end());
 }
 
 TEST(LintFixtures, RawReinterpretCast) {
@@ -68,6 +69,30 @@ TEST(LintFixtures, ParserBoundsCheck) {
   EXPECT_NE(findings[0].message.find("'image'"), std::string::npos);
 }
 
+TEST(LintFixtures, PipelineBypass) {
+  // Flagged: the owning member (8), the named local (12), the temporary
+  // (13) and the default-constructed local (14).  Not flagged: the forward
+  // declaration (5), the allow()-escaped construction (16) and the
+  // reference/pointer parameters (20).
+  const auto findings = lint_file(fixture("pipeline_bypass.cpp"));
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "pipeline-bypass");
+  }
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_EQ(findings[1].line, 12);
+  EXPECT_EQ(findings[2].line, 13);
+  EXPECT_EQ(findings[3].line, 14);
+}
+
+TEST(LintSource, PipelineOwnersAreExempt) {
+  const std::string body = "ModuleSearcher searcher(session);\n";
+  EXPECT_TRUE(lint_source("src/modchecker/pipeline.cpp", body).empty());
+  EXPECT_TRUE(lint_source("src/modchecker/searcher.cpp", body).empty());
+  EXPECT_TRUE(lint_source("/abs/path/src/modchecker/parser.hpp", body).empty());
+  EXPECT_EQ(lint_source("src/service/fleet.cpp", body).size(), 1u);
+}
+
 TEST(LintFixtures, SuppressionsSameLineAndPrecedingLine) {
   // Lines 6 and 8 are suppressed; line 9 carries an allow() for the WRONG
   // rule and must still be reported.
@@ -85,9 +110,9 @@ TEST(LintFixtures, CleanFileHasNoFindings) {
 }
 
 TEST(LintFixtures, TreeScanCoversEveryFixture) {
-  // 1 + 1 + 2 + 2 + 1 + 1 + 0 findings across the directory.
+  // 1 + 1 + 2 + 2 + 1 + 1 + 4 + 0 findings across the directory.
   const auto findings = lint_tree(MC_LINT_FIXTURE_DIR);
-  EXPECT_EQ(findings.size(), 8u);
+  EXPECT_EQ(findings.size(), 12u);
 }
 
 TEST(LintSource, CommentsAndStringsDoNotFire) {

@@ -317,12 +317,105 @@ void run_bounds_rule(const ScannedSource& src, const std::string& file,
   }
 }
 
+/// pipeline-bypass: ModuleSearcher/ModuleParser are CheckPipeline stage
+/// internals — constructing one anywhere else re-creates the pre-refactor
+/// duplicated extraction flow.  The pipeline itself and the components'
+/// own files are the only sanctioned construction sites.
+bool pipeline_component_owner(const std::string& file) {
+  static const char* kOwners[] = {
+      "modchecker/pipeline.hpp", "modchecker/pipeline.cpp",
+      "modchecker/searcher.hpp", "modchecker/searcher.cpp",
+      "modchecker/parser.hpp",   "modchecker/parser.cpp",
+  };
+  std::string norm = file;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* owner : kOwners) {
+    const std::string suffix(owner);
+    if (norm.size() >= suffix.size() &&
+        norm.compare(norm.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The word (identifier/keyword) immediately preceding `pos`, if any.
+std::string word_before(const std::string& line, std::size_t pos) {
+  std::size_t end = pos;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(line[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_word_char(line[begin - 1])) {
+    --begin;
+  }
+  return line.substr(begin, end - begin);
+}
+
+void run_pipeline_rule(const ScannedSource& src, const std::string& file,
+                       std::vector<Finding>& findings) {
+  if (pipeline_component_owner(file)) {
+    return;
+  }
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    for (const char* type : {"ModuleSearcher", "ModuleParser"}) {
+      const std::string token(type);
+      for (std::size_t pos = find_token(line, token); pos != std::string::npos;
+           pos = find_token(line, token, pos + 1)) {
+        // Type mentions that are not constructions: forward declarations,
+        // friend declarations, references/pointers in signatures, and
+        // qualified member access (ModuleSearcher::...).
+        const std::string prev = word_before(line, pos);
+        if (prev == "class" || prev == "struct" || prev == "friend") {
+          continue;
+        }
+        std::size_t j = pos + token.size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        bool construction = false;
+        if (j < line.size() && line[j] == '(') {
+          construction = true;  // temporary: ModuleSearcher(session)
+        } else if (j < line.size() && is_word_char(line[j])) {
+          // Declaration with initializer: ModuleSearcher name(...) / {...}.
+          std::size_t end = j;
+          while (end < line.size() && is_word_char(line[end])) {
+            ++end;
+          }
+          while (end < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[end])) != 0) {
+            ++end;
+          }
+          // `(`/`{`: explicit construction; `;`/`=`: a default-constructed
+          // local or owning member — ownership outside the pipeline is the
+          // exact thing this rule exists to flag.
+          construction = end < line.size() &&
+                         (line[end] == '(' || line[end] == '{' ||
+                          line[end] == ';' || line[end] == '=');
+        }
+        if (construction) {
+          findings.push_back(
+              {file, static_cast<int>(i + 1), "pipeline-bypass",
+               token + " constructed outside the CheckPipeline; drive the "
+                       "AcquireStage/ParseStage of modchecker/pipeline.hpp "
+                       "instead"});
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
       "raw-reinterpret-cast", "raw-memcpy",   "std-rand",
       "naked-new",            "naked-delete", "parser-bounds-check",
+      "pipeline-bypass",
   };
   return kIds;
 }
@@ -333,6 +426,7 @@ std::vector<Finding> lint_source(const std::string& file_name,
   std::vector<Finding> findings;
   run_token_rules(src, file_name, findings);
   run_bounds_rule(src, file_name, findings);
+  run_pipeline_rule(src, file_name, findings);
 
   const auto suppressed = suppressions(src);
   std::erase_if(findings, [&](const Finding& f) {

@@ -22,6 +22,12 @@
 //   parser-bounds-check   a function body indexes a ByteView parameter
 //                         before any MC_CHECK/size validation — parser
 //                         entries must validate bounds first.
+//   pipeline-bypass       ModuleSearcher/ModuleParser constructed outside
+//                         modchecker/pipeline.{hpp,cpp} (or the components'
+//                         own files) — all extraction flows through the
+//                         CheckPipeline's Acquire/Parse stages; a second
+//                         construction site re-grows the duplicated flow
+//                         the staged-pipeline refactor removed.
 //
 // A finding on line N is suppressed by `// mc-lint: allow(<rule>)` either
 // at the end of line N or on an otherwise-empty comment line N-1.
