@@ -34,22 +34,28 @@ int main() {
   // One of the not-yet-upgraded guests is compromised on disk.
   attacks::OpcodeReplaceAttack{}.apply(env, env.guests()[2], "hal.dll");
 
-  // 1-2. Group the pool by guest build.
-  const auto groups =
-      core::group_by_guest_version(env.hypervisor(), env.guests());
+  // 1-2. Group the pool by guest build.  The fault-aware grouping never
+  // throws on an odd guest: an unknown build or an unanswering VM lands in
+  // `unrecognized` with a FaultRecord, and the rest of the cloud still
+  // gets checked.
+  const core::VersionGroups groups =
+      core::group_pool_by_version(env.hypervisor(), env.guests());
   std::printf("pool grouping by guest build:\n");
-  for (const auto& [version, members] : groups) {
+  for (const auto& [version, members] : groups.recognized) {
     std::printf("  %s:", guestos::profile_by_version(version).name.c_str());
     for (const auto vm : members) {
       std::printf(" Dom%u", vm);
     }
     std::printf("\n");
   }
+  for (const auto& fault : groups.faults) {
+    std::printf("  excluded: %s\n", format_fault(fault).c_str());
+  }
 
   // 3. Check each group independently.
   core::ModChecker checker(env.hypervisor());
   std::size_t findings = 0;
-  for (const auto& [version, members] : groups) {
+  for (const auto& [version, members] : groups.recognized) {
     const auto& profile = guestos::profile_by_version(version);
     if (members.size() < 2) {
       std::printf("\n[%s] group too small for cross-comparison — skipped\n",

@@ -40,15 +40,24 @@ const GuestProfile& win2003_sp1_profile() {
   return profile;
 }
 
-const GuestProfile& profile_by_version(std::uint32_t version_id) {
+const GuestProfile* find_profile_by_version(
+    std::uint32_t version_id) noexcept {
   if (version_id == winxp_sp2_profile().version_id) {
-    return winxp_sp2_profile();
+    return &winxp_sp2_profile();
   }
   if (version_id == win2003_sp1_profile().version_id) {
-    return win2003_sp1_profile();
+    return &win2003_sp1_profile();
   }
-  throw NotFoundError("no guest profile for version id " +
-                      std::to_string(version_id));
+  return nullptr;
+}
+
+const GuestProfile& profile_by_version(std::uint32_t version_id) {
+  const GuestProfile* profile = find_profile_by_version(version_id);
+  if (profile == nullptr) {
+    throw NotFoundError("no guest profile for version id " +
+                        std::to_string(version_id));
+  }
+  return *profile;
 }
 
 }  // namespace mc::guestos

@@ -44,4 +44,9 @@ const GuestProfile& win2003_sp1_profile();
 /// Throws VmiError-compatible NotFoundError for unknown builds.
 const GuestProfile& profile_by_version(std::uint32_t version_id);
 
+/// Non-throwing lookup: nullptr when the version id matches no known
+/// build.  The fault-aware paths use this so an unrecognized guest becomes
+/// a FaultRecord instead of an uncaught exception.
+const GuestProfile* find_profile_by_version(std::uint32_t version_id) noexcept;
+
 }  // namespace mc::guestos

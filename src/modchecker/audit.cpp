@@ -1,7 +1,10 @@
 #include "modchecker/audit.hpp"
 
 #include <sstream>
+#include <utility>
 
+#include "guestos/profile.hpp"
+#include "util/error.hpp"
 #include "vmi/session.hpp"
 
 namespace mc::core {
@@ -70,6 +73,46 @@ std::map<std::uint32_t, std::vector<vmm::DomainId>> group_by_guest_version(
     groups[session.guest_version()].push_back(vm);
   }
   return groups;
+}
+
+VersionGroups group_pool_by_version(const vmm::Hypervisor& hypervisor,
+                                    const std::vector<vmm::DomainId>& pool,
+                                    const vmi::VmiCostModel& costs) {
+  VersionGroups out;
+  for (const vmm::DomainId vm : pool) {
+    SimClock clock;
+    try {
+      vmi::VmiSession session(hypervisor, vm, clock, costs);
+      Fallible<std::uint32_t> version = session.try_guest_version();
+      if (!version.ok()) {
+        out.faults.push_back(std::move(version.fault()));
+        out.unrecognized.push_back(vm);
+        continue;
+      }
+      if (guestos::find_profile_by_version(version.value()) == nullptr) {
+        FaultRecord fault;
+        fault.code = FaultCode::kUnrecognizedBuild;
+        fault.domain = vm;
+        fault.stage = CheckStage::kAcquire;
+        fault.detail = "no guest profile for version id " +
+                       std::to_string(version.value());
+        out.faults.push_back(std::move(fault));
+        out.unrecognized.push_back(vm);
+        continue;
+      }
+      out.recognized[version.value()].push_back(vm);
+    } catch (const NotFoundError& e) {
+      // Domain listed but gone by attach time.
+      FaultRecord fault;
+      fault.code = FaultCode::kDomainGone;
+      fault.domain = vm;
+      fault.stage = CheckStage::kAcquire;
+      fault.detail = e.what();
+      out.faults.push_back(std::move(fault));
+      out.unrecognized.push_back(vm);
+    }
+  }
+  return out;
 }
 
 }  // namespace mc::core

@@ -44,4 +44,21 @@ std::map<std::uint32_t, std::vector<vmm::DomainId>> group_by_guest_version(
     const vmm::Hypervisor& hypervisor, const std::vector<vmm::DomainId>& pool,
     const vmi::VmiCostModel& costs = {});
 
+/// Fault-aware version grouping.  `recognized` holds only version ids a
+/// GuestProfile exists for; every other VM lands in `unrecognized` with a
+/// FaultRecord saying why (kUnrecognizedBuild for an unknown build id,
+/// kDebugBlockMissing / kDomainGone when introspection itself failed) —
+/// one odd guest no longer aborts grouping the rest of the cloud.
+struct VersionGroups {
+  std::map<std::uint32_t, std::vector<vmm::DomainId>> recognized;
+  /// VMs excluded from every recognized group, in pool order.
+  std::vector<vmm::DomainId> unrecognized;
+  /// One record per excluded VM explaining the exclusion.
+  std::vector<FaultRecord> faults;
+};
+
+VersionGroups group_pool_by_version(const vmm::Hypervisor& hypervisor,
+                                    const std::vector<vmm::DomainId>& pool,
+                                    const vmi::VmiCostModel& costs = {});
+
 }  // namespace mc::core

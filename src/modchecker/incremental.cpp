@@ -101,6 +101,11 @@ PoolScanReport IncrementalScanner::scan(
   std::vector<PoolVmVerdict> verdicts(pool.size());
   for (std::size_t i = 0; i < pool.size(); ++i) {
     verdicts[i].vm = pool[i];
+    // The incremental front half keeps the legacy throwing contract (a
+    // guest fault unwinds the scan), so every VM that reaches this point
+    // answered: full quorum by construction.
+    verdicts[i].peers_total = pool.empty() ? 0 : pool.size() - 1;
+    verdicts[i].peers_answered = verdicts[i].peers_total;
   }
   SimClock checker_clock;
   checker_clock.set_slowdown(context_.hypervisor->dom0_slowdown());

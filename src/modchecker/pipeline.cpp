@@ -14,6 +14,72 @@
 
 namespace mc::core {
 
+namespace {
+
+/// Converts the exceptions one acquire attempt can legitimately raise into
+/// FaultRecords: GuestFaultError carries its record verbatim; a vanished
+/// domain (NotFoundError from attach) becomes kDomainGone; a hostile page
+/// table pointing outside guest RAM (MemoryError from the physical layer)
+/// becomes a read fault.  Anything else — InvalidArgument, plain VmiError —
+/// is API misuse and keeps unwinding.
+template <typename T, typename Fn>
+Fallible<T> run_acquire_attempt(vmm::DomainId vm, Fn&& attempt_fn) {
+  try {
+    return attempt_fn();
+  } catch (const GuestFaultError& e) {
+    return e.record();
+  } catch (const NotFoundError& e) {
+    FaultRecord fault;
+    fault.code = FaultCode::kDomainGone;
+    fault.domain = vm;
+    fault.stage = CheckStage::kAcquire;
+    fault.detail = e.what();
+    return fault;
+  } catch (const MemoryError& e) {
+    FaultRecord fault;
+    fault.code = FaultCode::kReadFault;
+    fault.domain = vm;
+    fault.stage = CheckStage::kAcquire;
+    fault.detail = e.what();
+    return fault;
+  }
+}
+
+/// The Acquire retry loop: runs `attempt_fn` under `retry`, sleeping the
+/// deterministic backoff (unscaled — waiting, not CPU) between tries.
+/// Every fault is stamped with its attempt number and appended to
+/// `faults`; non-retryable codes give up immediately.  Disengaged return
+/// means the VM never answered.
+template <typename T, typename Fn>
+std::optional<T> acquire_with_retry(const RetryPolicy& retry,
+                                    vmm::DomainId vm, SimClock& clock,
+                                    std::vector<FaultRecord>& faults,
+                                    std::uint32_t& attempts, Fn&& attempt_fn) {
+  const std::uint32_t max_attempts =
+      retry.max_attempts > 0 ? retry.max_attempts : 1;
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    attempts = attempt;
+    if (attempt > 1) {
+      clock.advance_raw(retry.delay_before(attempt));
+    }
+    Fallible<T> result = run_acquire_attempt<T>(vm, attempt_fn);
+    if (result.ok()) {
+      return std::move(result.value());
+    }
+    FaultRecord fault = std::move(result.fault());
+    fault.attempt = attempt;
+    fault.stage = CheckStage::kAcquire;
+    const bool transient = retryable_fault(fault.code);
+    faults.push_back(std::move(fault));
+    if (!transient) {
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 // ---- Acquire ---------------------------------------------------------------
 
 AcquireStage::Session::Session(CheckContext& ctx, vmm::DomainId vm,
@@ -41,6 +107,38 @@ std::optional<ModuleInfo> AcquireStage::find_module(
 std::optional<ModuleImage> AcquireStage::extract_module(
     Session& s, const std::string& module_name) const {
   return ModuleSearcher(s.session()).extract_module(module_name);
+}
+
+Fallible<std::vector<ModuleInfo>> AcquireStage::try_list_modules(
+    Session& s) const {
+  return ModuleSearcher(s.session()).try_list_modules();
+}
+
+Fallible<std::optional<ModuleImage>> AcquireStage::try_extract_module(
+    Session& s, const std::string& module_name) const {
+  return ModuleSearcher(s.session()).try_extract_module(module_name);
+}
+
+std::optional<std::optional<ModuleImage>> AcquireStage::extract_with_retry(
+    vmm::DomainId vm, const std::string& module_name, SimClock& clock,
+    std::vector<FaultRecord>& faults, std::uint32_t& attempts) const {
+  return acquire_with_retry<std::optional<ModuleImage>>(
+      ctx_->config.retry, vm, clock, faults, attempts,
+      [&]() -> Fallible<std::optional<ModuleImage>> {
+        Session session(*ctx_, vm, clock);
+        return try_extract_module(session, module_name);
+      });
+}
+
+std::optional<std::vector<ModuleInfo>> AcquireStage::list_with_retry(
+    vmm::DomainId vm, SimClock& clock, std::vector<FaultRecord>& faults,
+    std::uint32_t& attempts) const {
+  return acquire_with_retry<std::vector<ModuleInfo>>(
+      ctx_->config.retry, vm, clock, faults, attempts,
+      [&]() -> Fallible<std::vector<ModuleInfo>> {
+        Session session(*ctx_, vm, clock);
+        return try_list_modules(session);
+      });
 }
 
 // ---- Parse -----------------------------------------------------------------
@@ -109,6 +207,8 @@ PairComparison CompareStage::compare(const ParsedModule& subject,
 void VoteStage::finalize(std::vector<PoolVmVerdict>& verdicts) const {
   for (auto& v : verdicts) {
     v.clean = majority(v.successes, v.total);
+    v.quorum_lost =
+        !v.quarantined && quorum_lost(v.peers_answered, v.peers_total);
   }
 }
 
@@ -120,18 +220,23 @@ Extraction CheckPipeline::acquire_and_parse(vmm::DomainId vm,
 
   // Module-Searcher: all guest-memory access happens here.  With session
   // reuse the per-domain session (and its V2P cache) survives across
-  // calls; otherwise attach fresh, as the paper's prototype does.
+  // calls; otherwise attach fresh, as the paper's prototype does.  A guest
+  // fault is retried under the config's RetryPolicy; a VM that exhausts
+  // its attempts comes back `unavailable` (quarantined), never as an
+  // exception.  On a fault-free run attempt 1 succeeds and the charges are
+  // bit-identical to the pre-fault-domain pipeline.
   SimClock searcher_clock;
-  std::optional<ModuleImage> image;
-  {
-    AcquireStage::Session session = acquire_.open(vm, searcher_clock);
-    image = acquire_.extract_module(session, module_name);
-  }
+  std::optional<std::optional<ModuleImage>> image = acquire_.extract_with_retry(
+      vm, module_name, searcher_clock, ex.faults, ex.attempts);
   ex.times.searcher = searcher_clock.now();
   if (!image) {
+    ex.unavailable = true;  // never answered; found stays false
     return ex;
   }
-  parse_.parse(*image, ex);
+  if (!*image) {
+    return ex;  // answered: module not loaded here
+  }
+  parse_.parse(**image, ex);
   return ex;
 }
 
@@ -159,6 +264,20 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
 
   // Subject extraction first (both modes need it before comparing).
   Extraction subject_ex = acquire_and_parse(subject, module_name);
+  for (FaultRecord& fault : subject_ex.faults) {
+    report.faults.push_back(std::move(fault));
+  }
+  report.peers_total = others.size();
+  if (subject_ex.unavailable) {
+    // The subject itself never answered: no verdict is possible.  This is
+    // a degraded outcome, not caller error — report it (the module being
+    // genuinely absent, below, still throws as it always has).
+    report.subject_unavailable = true;
+    report.cpu_times += subject_ex.times;
+    report.quorum_lost = VoteStage::quorum_lost(0, report.peers_total);
+    report.wall_time = report.cpu_times.total();
+    return report;
+  }
   if (!subject_ex.found) {
     throw NotFoundError("module '" + module_name +
                         "' not loaded on subject VM " +
@@ -248,6 +367,15 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
     flagged.insert(kUnparseableItem);
   }
   for (auto& r : results) {
+    for (FaultRecord& fault : r.ex.faults) {
+      report.faults.push_back(std::move(fault));
+    }
+    if (r.ex.unavailable) {
+      // Retries exhausted: this peer casts no vote (like missing_on, its
+      // time is not billed to cpu_times — it produced no comparison).
+      report.unavailable_on.push_back(r.vm);
+      continue;
+    }
     if (!r.ex.found) {
       report.missing_on.push_back(r.vm);
       continue;
@@ -283,6 +411,13 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
   // comparisons.
   report.subject_clean =
       VoteStage::majority(report.successes, report.total_comparisons);
+
+  // Degraded-quorum bookkeeping: a missing-but-answering peer counts as
+  // answered ("not loaded" is an answer); only quarantined peers erode the
+  // quorum.
+  report.peers_answered = others.size() - report.unavailable_on.size();
+  report.quorum_lost =
+      VoteStage::quorum_lost(report.peers_answered, report.peers_total);
 
   if (!config.parallel || others.size() <= 1) {
     report.wall_time = report.cpu_times.total();
@@ -328,10 +463,28 @@ PoolScanReport CheckPipeline::pool_scan(
   }
 
   // Pairwise comparisons; each unordered pair evaluated once and credited
-  // to both VMs' vote tallies.
+  // to both VMs' vote tallies.  A quarantined VM (acquire retries
+  // exhausted) has found == false, so the pair loops below exclude it
+  // naturally; it is surfaced here rather than silently looking "missing".
   std::vector<PoolVmVerdict> verdicts(pool.size());
+  std::size_t answered = 0;
   for (std::size_t i = 0; i < pool.size(); ++i) {
     verdicts[i].vm = pool[i];
+    verdicts[i].peers_total = pool.empty() ? 0 : pool.size() - 1;
+    Extraction& ex = extractions[i];
+    for (FaultRecord& fault : ex.faults) {
+      report.faults.push_back(std::move(fault));
+    }
+    if (ex.unavailable) {
+      verdicts[i].quarantined = true;
+      report.quarantined.push_back(pool[i]);
+    } else {
+      ++answered;
+    }
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    verdicts[i].peers_answered =
+        answered - (extractions[i].unavailable ? 0 : 1);
   }
 
   // Normalize: canonical-RVA reduction against the first copy (O(t) image
@@ -431,32 +584,40 @@ ListComparisonReport CheckPipeline::compare_lists(
     const std::vector<vmm::DomainId>& pool) {
   ListComparisonReport report;
 
-  // Gather each VM's loader list through introspection.
+  // Gather each VM's loader list through introspection (retried under the
+  // RetryPolicy).  A VM that never answers is *unknown*, not
+  // module-absent: it drops out of the presence denominator entirely so a
+  // quarantined guest does not fabricate discrepancies.
   std::map<std::string, std::vector<vmm::DomainId>> presence;
+  std::vector<vmm::DomainId> responders;
+  responders.reserve(pool.size());
   SimNanos wall = 0;
   for (const vmm::DomainId vm : pool) {
     SimClock clock;
-    std::vector<ModuleInfo> modules;
-    {
-      AcquireStage::Session session = acquire_.open(vm, clock);
-      modules = acquire_.list_modules(session);
+    std::uint32_t attempts = 1;
+    std::optional<std::vector<ModuleInfo>> modules =
+        acquire_.list_with_retry(vm, clock, report.faults, attempts);
+    wall += clock.now();
+    if (!modules) {
+      report.unavailable.push_back(vm);
+      continue;
     }
-    for (const auto& info : modules) {
+    responders.push_back(vm);
+    for (const auto& info : *modules) {
       presence[info.name].push_back(vm);
     }
-    wall += clock.now();
   }
   report.wall_time = wall;
   report.modules_seen = presence.size();
 
   for (const auto& [name, present_on] : presence) {
-    if (present_on.size() == pool.size()) {
-      continue;  // uniformly present
+    if (present_on.size() == responders.size()) {
+      continue;  // uniformly present across every VM that answered
     }
     ListDiscrepancy d;
     d.module_name = name;
     d.present_on = present_on;
-    for (const vmm::DomainId vm : pool) {
+    for (const vmm::DomainId vm : responders) {
       if (std::find(present_on.begin(), present_on.end(), vm) ==
           present_on.end()) {
         d.missing_on.push_back(vm);

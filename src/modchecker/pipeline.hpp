@@ -39,11 +39,61 @@
 #include "modchecker/checker.hpp"
 #include "modchecker/parser.hpp"
 #include "modchecker/types.hpp"
+#include "util/fault.hpp"
+#include "util/sim_clock.hpp"
 #include "vmi/cost_model.hpp"
 #include "vmi/session_pool.hpp"
 #include "vmm/hypervisor.hpp"
 
 namespace mc::core {
+
+/// Acquire-stage retry policy: how hard to push a faulting guest before
+/// quarantining it for the rest of the sweep.  Backoff is deterministic
+/// simulated time (charged unscaled — the checker is *waiting*, not
+/// burning Dom0 CPU), so runs replay bit-identically.
+struct RetryPolicy {
+  enum class Backoff : std::uint8_t {
+    kFixed,        // every gap is backoff_base
+    kExponential,  // backoff_base << (attempt - 1)
+  };
+
+  /// Total tries per VM per acquire (1 = no retry).
+  std::uint32_t max_attempts = 3;
+  SimNanos backoff_base = sim_us(50);
+  Backoff backoff = Backoff::kExponential;
+
+  /// The simulated gap slept before retry number `next_attempt` (2-based:
+  /// the wait happens after a failed attempt `next_attempt - 1`).
+  SimNanos delay_before(std::uint32_t next_attempt) const {
+    if (next_attempt < 2) {
+      return 0;
+    }
+    if (backoff == Backoff::kFixed) {
+      return backoff_base;
+    }
+    const std::uint32_t shift =
+        next_attempt - 2 < 20 ? next_attempt - 2 : 20;  // clamp the doubling
+    return backoff_base << shift;
+  }
+};
+
+/// Faults worth retrying are the transient ones (a paged-out read, a
+/// mid-update page table, a guest still booting).  A vanished domain, a
+/// guest with no debug block or an unrecognized build will not heal on a
+/// 50us backoff — they quarantine immediately.
+inline bool retryable_fault(FaultCode code) {
+  switch (code) {
+    case FaultCode::kReadFault:
+    case FaultCode::kTranslationFault:
+    case FaultCode::kNoAddressSpace:
+      return true;
+    case FaultCode::kDomainGone:
+    case FaultCode::kDebugBlockMissing:
+    case FaultCode::kUnrecognizedBuild:
+      return false;
+  }
+  return false;
+}
 
 struct ModCheckerConfig {
   crypto::HashAlgorithm algorithm = crypto::HashAlgorithm::kMd5;
@@ -71,6 +121,8 @@ struct ModCheckerConfig {
   /// Memoize per-item digests within one check so the subject's items are
   /// hashed once instead of once per peer.
   bool digest_memo = true;
+  /// Acquire-stage retry/quarantine policy (see RetryPolicy).
+  RetryPolicy retry{};
 };
 
 /// Result of checking one module on one subject VM against a pool.
@@ -85,6 +137,24 @@ struct CheckReport {
   std::vector<std::string> flagged_items;
   /// Pool VMs where the module was not loaded (excluded from the vote).
   std::vector<vmm::DomainId> missing_on;
+  /// Peers quarantined after exhausting acquire retries (excluded from the
+  /// vote, like missing_on, but for a different reason: they never
+  /// answered).
+  std::vector<vmm::DomainId> unavailable_on;
+  /// Every fault observed during this check, across all retry attempts.
+  std::vector<FaultRecord> faults;
+  /// Degraded-quorum bookkeeping: how many peers were asked vs. how many
+  /// answered (missing-but-answering peers count as answered — "not
+  /// loaded" is an answer).  quorum_lost flags a verdict reached with
+  /// peers_answered <= (t-1)/2 — too few voters for the paper's majority
+  /// rule to mean anything.
+  std::size_t peers_total = 0;
+  std::size_t peers_answered = 0;
+  bool quorum_lost = false;
+  /// The subject itself exhausted its retries; no verdict was attempted
+  /// (subject_clean stays false, comparisons empty).  Distinct from the
+  /// module being genuinely absent, which still throws NotFoundError.
+  bool subject_unavailable = false;
 
   ComponentTimes cpu_times;  // summed across VMs (the Fig. 7/8 series)
   SimNanos wall_time = 0;    // sequential: == cpu total; parallel: critical path
@@ -96,6 +166,16 @@ struct PoolVmVerdict {
   std::size_t successes = 0;
   std::size_t total = 0;
   bool clean = false;
+  /// Degraded-quorum bookkeeping: of this VM's t-1 peers, how many
+  /// answered their acquire (missing-but-answering counts as answered).
+  std::size_t peers_total = 0;
+  std::size_t peers_answered = 0;
+  /// This VM exhausted its acquire retries and sat the scan out.
+  bool quarantined = false;
+  /// Verdict reached with peers_answered <= (t-1)/2: the majority rule no
+  /// longer has enough voters behind it.  Never set on quarantined VMs
+  /// (they have no verdict to degrade).
+  bool quorum_lost = false;
 };
 
 struct PoolScanReport {
@@ -107,6 +187,12 @@ struct PoolScanReport {
   /// ran the exact pairwise comparison (diagnostics for the fast path).
   std::size_t fastpath_pairs = 0;
   std::size_t fallback_pairs = 0;
+  /// VMs quarantined this scan (acquire retries exhausted), and every
+  /// fault observed along the way.  Both empty on a healthy pool.
+  std::vector<vmm::DomainId> quarantined;
+  std::vector<FaultRecord> faults;
+
+  bool degraded() const { return !quarantined.empty() || !faults.empty(); }
 };
 
 /// One module whose presence differs across the pool.
@@ -118,10 +204,14 @@ struct ListDiscrepancy {
 
 struct ListComparisonReport {
   /// Module names seen anywhere, with presence maps; only modules whose
-  /// presence differs across VMs are listed.
+  /// presence differs across *answering* VMs are listed (a quarantined VM
+  /// is unknown, not absent).
   std::vector<ListDiscrepancy> discrepancies;
   std::size_t modules_seen = 0;
   SimNanos wall_time = 0;
+  /// VMs whose loader-list walk exhausted its retries, plus the faults.
+  std::vector<vmm::DomainId> unavailable;
+  std::vector<FaultRecord> faults;
 
   bool consistent() const { return discrepancies.empty(); }
 };
@@ -159,6 +249,14 @@ struct Extraction {
   bool parse_failed = false;
   std::string parse_error;
   ParsedModule parsed;
+  /// Every fault observed across the acquire attempts (empty on a clean
+  /// run — the usual case allocates nothing).
+  std::vector<FaultRecord> faults;
+  /// All attempts faulted: the VM never answered and is quarantined for
+  /// this scan.  `found` stays false.
+  bool unavailable = false;
+  /// Acquire attempts consumed (1 on the clean path).
+  std::uint32_t attempts = 1;
 };
 
 /// Stage 1 — Acquire: all guest-memory access.  Hands out RAII session
@@ -195,6 +293,27 @@ class AcquireStage {
   /// Whole-image copy out of guest memory; nullopt if not loaded.
   std::optional<ModuleImage> extract_module(
       Session& s, const std::string& module_name) const;
+
+  /// Fault-returning variants: a guest fault (injected or real) comes back
+  /// as a FaultRecord instead of unwinding the scan.
+  Fallible<std::vector<ModuleInfo>> try_list_modules(Session& s) const;
+  Fallible<std::optional<ModuleImage>> try_extract_module(
+      Session& s, const std::string& module_name) const;
+
+  /// One retried acquire under the config's RetryPolicy: runs `attempt`
+  /// (session open + searcher work on `clock`) up to max_attempts times,
+  /// sleeping the deterministic backoff between tries.  Faults (including
+  /// a NotFoundError from opening a vanished domain, surfaced as
+  /// kDomainGone) are appended to `faults` with their attempt number;
+  /// non-retryable codes stop early.  Returns the first successful result,
+  /// or disengaged when every attempt faulted.
+  std::optional<std::optional<ModuleImage>> extract_with_retry(
+      vmm::DomainId vm, const std::string& module_name, SimClock& clock,
+      std::vector<FaultRecord>& faults, std::uint32_t& attempts) const;
+
+  std::optional<std::vector<ModuleInfo>> list_with_retry(
+      vmm::DomainId vm, SimClock& clock, std::vector<FaultRecord>& faults,
+      std::uint32_t& attempts) const;
 
  private:
   CheckContext* ctx_;
@@ -252,7 +371,7 @@ class CompareStage {
   CheckContext* ctx_;
 };
 
-/// Stage 5 — Vote: the paper's majority rule.
+/// Stage 5 — Vote: the paper's majority rule, quorum-aware.
 class VoteStage {
  public:
   /// n > (t-1)/2 over the completed comparisons.
@@ -260,7 +379,16 @@ class VoteStage {
     return total > 0 && 2 * successes > total;
   }
 
-  /// Applies the rule to every per-VM tally.
+  /// Did enough peers answer for the majority rule to be meaningful?
+  /// Lost when the answering peers can no longer form a strict majority
+  /// of the intended electorate: peers_answered <= (t-1)/2.
+  static bool quorum_lost(std::size_t peers_answered,
+                          std::size_t peers_total) {
+    return peers_total > 0 && 2 * peers_answered <= peers_total;
+  }
+
+  /// Applies the rule to every per-VM tally and flags degraded verdicts
+  /// (quorum_lost is never raised on quarantined VMs — they cast no vote).
   void finalize(std::vector<PoolVmVerdict>& verdicts) const;
 };
 

@@ -8,9 +8,25 @@ std::string format_report(const CheckReport& report) {
   std::ostringstream os;
   os << "ModChecker report: module '" << report.module_name << "' on Dom"
      << report.subject << "\n";
-  os << "  verdict: " << (report.subject_clean ? "CLEAN" : "FLAGGED")
-     << "  (matches " << report.successes << "/" << report.total_comparisons
-     << ", majority threshold > " << (report.total_comparisons / 2) << ")\n";
+  if (report.subject_unavailable) {
+    os << "  verdict: UNAVAILABLE (subject exhausted acquire retries; no "
+          "vote taken)\n";
+  } else {
+    os << "  verdict: " << (report.subject_clean ? "CLEAN" : "FLAGGED")
+       << "  (matches " << report.successes << "/" << report.total_comparisons
+       << ", majority threshold > " << (report.total_comparisons / 2) << ")\n";
+  }
+  if (report.quorum_lost) {
+    os << "  QUORUM LOST: only " << report.peers_answered << "/"
+       << report.peers_total << " peers answered\n";
+  }
+  if (!report.unavailable_on.empty()) {
+    os << "  peers quarantined (no answer):";
+    for (const auto vm : report.unavailable_on) {
+      os << " Dom" << vm;
+    }
+    os << "\n";
+  }
   if (!report.missing_on.empty()) {
     os << "  module missing on:";
     for (const auto vm : report.missing_on) {
@@ -47,6 +63,12 @@ std::string format_report(const CheckReport& report) {
     }
     os << "\n";
   }
+  if (!report.faults.empty()) {
+    os << "  faults observed:\n";
+    for (const auto& fault : report.faults) {
+      os << "    - " << format_fault(fault) << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -55,8 +77,23 @@ std::string format_pool_report(const PoolScanReport& report) {
   os << "Pool scan: module '" << report.module_name << "' across "
      << report.verdicts.size() << " VMs\n";
   for (const auto& v : report.verdicts) {
+    if (v.quarantined) {
+      os << "  Dom" << v.vm << ": QUARANTINED (acquire retries exhausted)\n";
+      continue;
+    }
     os << "  Dom" << v.vm << ": " << (v.clean ? "clean " : "FLAGGED")
-       << " (" << v.successes << "/" << v.total << " matches)\n";
+       << " (" << v.successes << "/" << v.total << " matches)";
+    if (v.quorum_lost) {
+      os << " [quorum lost: " << v.peers_answered << "/" << v.peers_total
+         << " peers answered]";
+    }
+    os << "\n";
+  }
+  if (!report.faults.empty()) {
+    os << "  faults observed:\n";
+    for (const auto& fault : report.faults) {
+      os << "    - " << format_fault(fault) << "\n";
+    }
   }
   os << "  wall time (simulated): " << format_sim_nanos(report.wall_time)
      << "\n";

@@ -54,6 +54,16 @@ std::string array_of(const std::vector<T>& items, Fn&& render) {
 
 }  // namespace
 
+std::string to_json(const FaultRecord& fault) {
+  std::ostringstream os;
+  os << "{\"code\":" << quoted(to_string(fault.code))
+     << ",\"domain\":" << fault.domain << ",\"va\":" << fault.va
+     << ",\"pa\":" << fault.pa << ",\"attempt\":" << fault.attempt
+     << ",\"stage\":" << quoted(to_string(fault.stage))
+     << ",\"detail\":" << quoted(fault.detail) << "}";
+  return os.str();
+}
+
 std::string to_json(const CheckReport& report) {
   std::ostringstream os;
   os << "{\"module\":" << quoted(report.module_name)
@@ -84,27 +94,69 @@ std::string to_json(const CheckReport& report) {
           return "{\"other\":" + std::to_string(pair.other_domain) +
                  ",\"all_match\":" + (pair.all_match ? "true" : "false") +
                  ",\"items\":" + items + "}";
-        })
-     << "}";
+        });
+  // Fault-domain fields only appear on degraded runs, so a fault-free
+  // report stays byte-identical to the historical schema (consumers diff
+  // and hash these).
+  const bool degraded = !report.faults.empty() ||
+                        !report.unavailable_on.empty() ||
+                        report.subject_unavailable || report.quorum_lost;
+  if (degraded) {
+    os << ",\"unavailable_on\":"
+       << array_of(report.unavailable_on,
+                   [](vmm::DomainId id) { return std::to_string(id); })
+       << ",\"peers_total\":" << report.peers_total
+       << ",\"peers_answered\":" << report.peers_answered
+       << ",\"quorum_lost\":" << (report.quorum_lost ? "true" : "false")
+       << ",\"subject_unavailable\":"
+       << (report.subject_unavailable ? "true" : "false") << ",\"faults\":"
+       << array_of(report.faults,
+                   [](const FaultRecord& f) { return to_json(f); });
+  }
+  os << "}";
   return os.str();
 }
 
 std::string to_json(const PoolScanReport& report) {
+  // Per-verdict quorum fields and the report-level quarantine/fault arrays
+  // only appear on degraded runs — a clean scan's JSON is byte-identical
+  // to the historical schema.
+  const bool degraded = report.degraded();
   std::ostringstream os;
   os << "{\"module\":" << quoted(report.module_name) << ",\"verdicts\":"
      << array_of(report.verdicts,
-                 [](const PoolVmVerdict& v) {
-                   return "{\"vm\":" + std::to_string(v.vm) +
-                          ",\"clean\":" + (v.clean ? "true" : "false") +
-                          ",\"successes\":" + std::to_string(v.successes) +
-                          ",\"total\":" + std::to_string(v.total) + "}";
+                 [degraded](const PoolVmVerdict& v) {
+                   std::string out =
+                       "{\"vm\":" + std::to_string(v.vm) +
+                       ",\"clean\":" + (v.clean ? "true" : "false") +
+                       ",\"successes\":" + std::to_string(v.successes) +
+                       ",\"total\":" + std::to_string(v.total);
+                   if (degraded) {
+                     out += ",\"peers_total\":" + std::to_string(v.peers_total) +
+                            ",\"peers_answered\":" +
+                            std::to_string(v.peers_answered) +
+                            ",\"quarantined\":" +
+                            (v.quarantined ? "true" : "false") +
+                            ",\"quorum_lost\":" +
+                            (v.quorum_lost ? "true" : "false");
+                   }
+                   return out + "}";
                  })
      << ",\"wall_ns\":" << report.wall_time
      << ",\"cpu_ns\":{\"searcher\":" << report.cpu_times.searcher
      << ",\"parser\":" << report.cpu_times.parser
      << ",\"checker\":" << report.cpu_times.checker << "}"
      << ",\"fastpath_pairs\":" << report.fastpath_pairs
-     << ",\"fallback_pairs\":" << report.fallback_pairs << "}";
+     << ",\"fallback_pairs\":" << report.fallback_pairs;
+  if (degraded) {
+    os << ",\"quarantined\":"
+       << array_of(report.quarantined,
+                   [](vmm::DomainId id) { return std::to_string(id); })
+       << ",\"faults\":"
+       << array_of(report.faults,
+                   [](const FaultRecord& f) { return to_json(f); });
+  }
+  os << "}";
   return os.str();
 }
 

@@ -11,13 +11,22 @@
 
 namespace mc::core {
 
+/// {"code": "read-fault", "domain": ..., "va": ..., "pa": ...,
+///  "attempt": ..., "stage": "acquire", "detail": "..."}
+std::string to_json(const FaultRecord& fault);
+
 /// {"module": ..., "subject": ..., "clean": ..., "successes": ...,
 ///  "flagged_items": [...], "missing_on": [...],
 ///  "times_ns": {"searcher": ..., ...}, "comparisons": [...]}
+/// Degraded runs append "unavailable_on", "faults" and the quorum fields;
+/// a fault-free report emits the historical schema byte-for-byte.
 std::string to_json(const CheckReport& report);
 
 /// {"module": ..., "verdicts": [{"vm": ..., "clean": ...}, ...],
 ///  "cpu_ns": {...}, "fastpath_pairs": ..., "fallback_pairs": ...}
+/// Degraded runs append "quarantined" and "faults" arrays plus per-verdict
+/// quorum fields; fault-free reports keep the historical schema
+/// byte-for-byte.
 std::string to_json(const PoolScanReport& report);
 
 /// {"modules": [...], "findings": [...], "total_wall_ns": ...}

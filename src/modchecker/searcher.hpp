@@ -6,13 +6,22 @@
 // case-insensitively, and copies the whole module image (DllBase,
 // SizeOfImage) from guest memory into a local buffer — page by page, which
 // is why this component dominates runtime (§V-C.1).
+//
+// The `try_*` entry points are the fault-aware core: any guest fault the
+// session reports (or an unrecognized guest build) comes back as a
+// FaultRecord rather than unwinding the caller.  The legacy throwing
+// methods wrap them, re-raising GuestFaultError — or NotFoundError for an
+// unrecognized build, preserving the historical profile_by_version
+// contract.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "guestos/profile.hpp"
 #include "modchecker/types.hpp"
+#include "util/fault.hpp"
 #include "vmi/session.hpp"
 
 namespace mc::core {
@@ -21,17 +30,32 @@ class ModuleSearcher {
  public:
   explicit ModuleSearcher(vmi::VmiSession& session) : session_(&session) {}
 
-  /// Walks the loader list and returns every module's basic facts.
-  std::vector<ModuleInfo> list_modules();
+  // ---- Fault-returning core ------------------------------------------------
 
-  /// Finds `module_name` in the list; nullopt if not loaded.
-  std::optional<ModuleInfo> find_module(const std::string& module_name);
+  /// Walks the loader list and returns every module's basic facts.
+  Fallible<std::vector<ModuleInfo>> try_list_modules();
+
+  /// Finds `module_name` in the list; an engaged optional means found, a
+  /// disengaged one means the walk completed and the module is not loaded
+  /// (which is an answer, not a fault).
+  Fallible<std::optional<ModuleInfo>> try_find_module(
+      const std::string& module_name);
 
   /// Finds the module and copies its entire image out of guest memory.
-  /// Returns nullopt if the module is not loaded.
+  Fallible<std::optional<ModuleImage>> try_extract_module(
+      const std::string& module_name);
+
+  // ---- Legacy throwing wrappers --------------------------------------------
+
+  std::vector<ModuleInfo> list_modules();
+  std::optional<ModuleInfo> find_module(const std::string& module_name);
   std::optional<ModuleImage> extract_module(const std::string& module_name);
 
  private:
+  /// Resolves the guest's profile or reports why it cannot (debug-block
+  /// fault or unrecognized build).
+  Fallible<const guestos::GuestProfile*> try_profile();
+
   vmi::VmiSession* session_;
 };
 

@@ -1,5 +1,6 @@
 #include "service/fleet.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -31,7 +32,18 @@ std::string to_json(const SweepReport& report) {
   os << "],\"wall_ns\":" << report.wall_time
      << ",\"cpu_ns\":{\"searcher\":" << report.cpu_times.searcher
      << ",\"parser\":" << report.cpu_times.parser
-     << ",\"checker\":" << report.cpu_times.checker << "}}";
+     << ",\"checker\":" << report.cpu_times.checker << "}";
+  // Quarantine fields only on degraded runs: a healthy sweep's JSON line
+  // stays byte-identical to the historical schema.
+  if (!report.quarantined.empty() || report.pool_exhausted) {
+    os << ",\"quarantined\":[";
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+      os << (i == 0 ? "" : ",") << report.quarantined[i];
+    }
+    os << "],\"pool_exhausted\":"
+       << (report.pool_exhausted ? "true" : "false");
+  }
+  os << "}";
   return os.str();
 }
 
@@ -64,6 +76,19 @@ void JsonLinesSink::on_sweep(const SweepReport& report) {
   const std::string line = to_json(report);
   std::lock_guard<std::mutex> lock(mutex_);
   *os_ << line << '\n';
+  if (!os_->good()) {
+    // The stream rejected the line (disk full, closed pipe, failbit left
+    // by a consumer).  Count the drop and clear the state so the next
+    // report gets a fresh chance — a logging sink must never wedge the
+    // sweep workers.
+    ++write_failures_;
+    os_->clear();
+  }
+}
+
+std::uint64_t JsonLinesSink::write_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_failures_;
 }
 
 // ---- FleetService ----------------------------------------------------------
@@ -223,22 +248,37 @@ void FleetService::run_sweep(QueuedSweep run) {
   {
     // One sweep at a time per pool: scans of different pools proceed in
     // parallel, scans of the same pool serialize (shared warm sessions).
+    // VMs quarantined by one module scan sit out the rest of *this run*
+    // (re-polling a dead guest per module would just burn retries); the
+    // recurrence below restarts from the full pool, so a guest that
+    // recovers by the next cadence tick rejoins automatically.
     std::lock_guard<std::mutex> pool_lock(pool.mutex);
+    std::vector<vmm::DomainId> active = pool.vms;
     for (const std::string& module : run.spec.modules) {
       if (queue_.is_cancelled(run.id)) {
         report.cancelled = true;
         break;
       }
+      if (active.size() < 2) {
+        // Cross-comparison needs at least two answering VMs.
+        report.pool_exhausted = true;
+        break;
+      }
       if (module_hook_) {
         module_hook_(run.id, run.run_index, module);
       }
-      core::PoolScanReport scan = pool.pipeline->pool_scan(module, pool.vms);
+      core::PoolScanReport scan = pool.pipeline->pool_scan(module, active);
       report.wall_time += scan.wall_time;
       report.cpu_times += scan.cpu_times;
       for (const core::PoolVmVerdict& v : scan.verdicts) {
         if (!v.clean && v.total > 0) {
           report.findings.push_back({module, v.vm, v.successes, v.total});
         }
+      }
+      for (const vmm::DomainId vm : scan.quarantined) {
+        report.quarantined.push_back(vm);
+        active.erase(std::remove(active.begin(), active.end(), vm),
+                     active.end());
       }
       report.scans.push_back(std::move(scan));
     }
@@ -250,6 +290,10 @@ void FleetService::run_sweep(QueuedSweep run) {
       ++stats_.cancelled_runs;
     } else {
       ++stats_.completed_runs;
+    }
+    stats_.quarantine_events += report.quarantined.size();
+    if (report.pool_exhausted) {
+      ++stats_.exhausted_runs;
     }
   }
 

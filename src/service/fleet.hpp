@@ -61,6 +61,14 @@ struct SweepReport {
   std::vector<core::PoolScanReport> scans;
   /// Flattened (module, VM) pairs whose vote failed.
   std::vector<SweepFinding> findings;
+  /// VMs quarantined during this run (union across its module scans,
+  /// first-observation order).  A quarantined VM sits out the *rest of
+  /// this run*; the next cadence tick starts again from the full pool, so
+  /// a recovered guest rejoins automatically.
+  std::vector<vmm::DomainId> quarantined;
+  /// Quarantine shrank the pool below two answering VMs: the remaining
+  /// module scans of this run were skipped (cross-comparison needs peers).
+  bool pool_exhausted = false;
   SimNanos wall_time = 0;  // summed simulated scan wall time
   core::ComponentTimes cpu_times;
 };
@@ -99,16 +107,23 @@ class RingSink : public SweepSink {
 };
 
 /// Serializes every report as one JSON line to a stream (the existing
-/// report_json schema — SIEM/alerting integration surface).
+/// report_json schema — SIEM/alerting integration surface).  A stream
+/// write failure must not take the monitoring service down with it: the
+/// sink counts the failure, clears the stream's error state and keeps
+/// accepting reports (each line is retried independently).
 class JsonLinesSink : public SweepSink {
  public:
   explicit JsonLinesSink(std::ostream& os) : os_(&os) {}
 
   void on_sweep(const SweepReport& report) override;
 
+  /// Reports dropped because the stream went bad mid-write.
+  std::uint64_t write_failures() const;
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::ostream* os_;
+  std::uint64_t write_failures_ = 0;
 };
 
 struct FleetConfig {
@@ -173,6 +188,12 @@ class FleetService {
     std::uint64_t completed_runs = 0;   // runs that finished every module
     std::uint64_t cancelled_runs = 0;   // runs stopped mid-sweep
     std::uint64_t dropped_pending = 0;  // runs struck before starting
+    /// VM-quarantine observations across all runs (one per VM per run in
+    /// which it exhausted its acquire retries).
+    std::uint64_t quarantine_events = 0;
+    /// Runs cut short because quarantine left fewer than two answering
+    /// VMs.
+    std::uint64_t exhausted_runs = 0;
   };
   Stats stats() const;
 

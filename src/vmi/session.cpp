@@ -1,6 +1,7 @@
 #include "vmi/session.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "guestos/winlike.hpp"
 #include "util/error.hpp"
@@ -31,9 +32,22 @@ void VmiSession::charge(SimNanos nanos) {
   clock_->charge(nanos);
 }
 
-void VmiSession::ensure_debug_block() {
+FaultRecord VmiSession::make_fault(FaultCode code, std::uint32_t va,
+                                   std::uint64_t pa, std::string detail) {
+  ++stats_.faults_observed;
+  FaultRecord record;
+  record.code = code;
+  record.domain = domain_id_;
+  record.va = va;
+  record.pa = pa;
+  record.stage = CheckStage::kAcquire;
+  record.detail = std::move(detail);
+  return record;
+}
+
+MaybeFault VmiSession::try_ensure_debug_block() {
   if (ps_loaded_module_list_va_) {
-    return;
+    return std::nullopt;
   }
   // Scan guest physical memory for the KDBG-style debug block, frame by
   // frame at 4-byte alignment — LibVMI's Windows bootstrapping strategy.
@@ -52,7 +66,7 @@ void VmiSession::ensure_debug_block() {
         kernel_base_va_ =
             load_le32(frame, off + guestos::kOffDbgKernelBase);
         guest_version_ = load_le32(frame, off + guestos::kOffDbgVersion);
-        return;
+        return std::nullopt;
       }
     }
     // Simulator shortcut: guests allocate kernel frames from the bottom,
@@ -63,28 +77,21 @@ void VmiSession::ensure_debug_block() {
     }
   }
   if (!ps_loaded_module_list_va_) {
-    throw VmiError("debug block not found in guest " +
-                   std::to_string(domain_id_));
+    return make_fault(FaultCode::kDebugBlockMissing, 0, 0,
+                      "debug block not found in guest " +
+                          std::to_string(domain_id_));
   }
+  return std::nullopt;
 }
 
-std::uint32_t VmiSession::symbol_to_va(const std::string& symbol) {
-  ensure_debug_block();
-  if (symbol == "PsLoadedModuleList") {
-    return *ps_loaded_module_list_va_;
+Fallible<std::uint32_t> VmiSession::try_guest_version() {
+  if (MaybeFault f = try_ensure_debug_block()) {
+    return std::move(*f);
   }
-  if (symbol == "KernBase") {
-    return *kernel_base_va_;
-  }
-  throw VmiError("unknown kernel symbol: " + symbol);
-}
-
-std::uint32_t VmiSession::guest_version() {
-  ensure_debug_block();
   return *guest_version_;
 }
 
-std::uint64_t VmiSession::translate_kv2p(std::uint32_t va) {
+Fallible<std::uint64_t> VmiSession::try_translate_kv2p(std::uint32_t va) {
   const std::uint32_t page = va & ~kPageMask;
   ++stats_.translations;
   const auto it = v2p_cache_.find(page);
@@ -94,9 +101,19 @@ std::uint64_t VmiSession::translate_kv2p(std::uint32_t va) {
     return it->second | (va & kPageMask);
   }
 
+  // Injection gate sits in front of the walk: a cached translation never
+  // faults (the mapping is already known to Dom0), an uncached one rolls
+  // against the domain's profile before touching guest page tables.
+  vmm::FaultInjector& injector = hypervisor_->fault_injector();
+  if (injector.armed() && injector.should_fault_translation(domain_id_)) {
+    return make_fault(FaultCode::kTranslationFault, va, 0,
+                      "injected translation fault");
+  }
+
   const vmm::Domain& dom = hypervisor_->domain(domain_id_);
   if (dom.cr3() == 0) {
-    throw VmiError("guest has no address space (not booted?)");
+    return make_fault(FaultCode::kNoAddressSpace, va, 0,
+                      "guest has no address space (not booted?)");
   }
   // VMI implements its own two-level walk over guest physical memory
   // (exactly what LibVMI does: read CR3, then PDE, then PTE).
@@ -104,28 +121,43 @@ std::uint64_t VmiSession::translate_kv2p(std::uint32_t va) {
   const std::uint32_t pde = mem.read_u32(dom.cr3() + 4ull * (va >> 22));
   charge(costs_.translate_walk);
   if ((pde & vmm::kPtePresent) == 0) {
-    throw VmiError("unmapped guest VA (no PDE) in translate_kv2p");
+    return make_fault(FaultCode::kTranslationFault, va, 0,
+                      "unmapped guest VA (no PDE) in translate_kv2p");
   }
   const std::uint64_t pt_base = pde & ~std::uint64_t{kPageMask};
   const std::uint32_t pte =
       mem.read_u32(pt_base + 4ull * ((va >> 12) & 0x3FF));
   if ((pte & vmm::kPtePresent) == 0) {
-    throw VmiError("unmapped guest VA (no PTE) in translate_kv2p");
+    return make_fault(FaultCode::kTranslationFault, va, 0,
+                      "unmapped guest VA (no PTE) in translate_kv2p");
   }
   const std::uint64_t frame_pa = pte & ~std::uint64_t{kPageMask};
   v2p_cache_.emplace(page, frame_pa);
   return frame_pa | (va & kPageMask);
 }
 
-void VmiSession::read_va(std::uint32_t va, MutableByteView out) {
+MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
   ++stats_.read_calls;
   charge(costs_.read_call);
+
+  // One injection roll per read call (mirrors a hypercall failing as a
+  // unit, whatever its length).  The gate is a relaxed atomic load when
+  // injection is disarmed, so the clean path pays a single branch.
+  vmm::FaultInjector& injector = hypervisor_->fault_injector();
+  if (injector.armed() && injector.should_fault_read(domain_id_)) {
+    return make_fault(FaultCode::kReadFault, va, 0, "injected read fault");
+  }
+
   const vmm::PhysicalMemory& mem = hypervisor_->domain(domain_id_).memory();
 
   std::size_t done = 0;
   while (done < out.size()) {
     const std::uint32_t cur = va + static_cast<std::uint32_t>(done);
-    const std::uint64_t pa = translate_kv2p(cur);
+    Fallible<std::uint64_t> translated = try_translate_kv2p(cur);
+    if (!translated.ok()) {
+      return std::move(translated.fault());
+    }
+    const std::uint64_t pa = translated.value();
     const std::uint64_t frame = pa & ~std::uint64_t{kPageMask};
     // Map the frame into the privileged VM unless it is the one we already
     // have mapped (LibVMI keeps the last mapping hot).
@@ -147,7 +179,11 @@ void VmiSession::read_va(std::uint32_t va, MutableByteView out) {
       while (done + take < out.size()) {
         const std::uint32_t next_va =
             va + static_cast<std::uint32_t>(done + take);
-        const std::uint64_t next_pa = translate_kv2p(next_va);
+        Fallible<std::uint64_t> next_translated = try_translate_kv2p(next_va);
+        if (!next_translated.ok()) {
+          return std::move(next_translated.fault());
+        }
+        const std::uint64_t next_pa = next_translated.value();
         if ((next_pa & ~std::uint64_t{kPageMask}) != next_frame) {
           break;  // physical discontinuity; next loop iteration remaps
         }
@@ -170,34 +206,123 @@ void VmiSession::read_va(std::uint32_t va, MutableByteView out) {
     charge(costs_.copy_per_byte * take);
     done += take;
   }
+  return std::nullopt;
 }
 
-std::uint32_t VmiSession::read_u32(std::uint32_t va) {
+Fallible<std::uint32_t> VmiSession::try_read_u32(std::uint32_t va) {
   std::uint8_t buf[4];
-  read_va(va, MutableByteView(buf, 4));
+  if (MaybeFault f = try_read_va(va, MutableByteView(buf, 4))) {
+    return std::move(*f);
+  }
   return load_le32(ByteView(buf, 4), 0);
 }
 
-std::uint16_t VmiSession::read_u16(std::uint32_t va) {
+Fallible<std::uint16_t> VmiSession::try_read_u16(std::uint32_t va) {
   std::uint8_t buf[2];
-  read_va(va, MutableByteView(buf, 2));
+  if (MaybeFault f = try_read_va(va, MutableByteView(buf, 2))) {
+    return std::move(*f);
+  }
   return load_le16(ByteView(buf, 2), 0);
 }
 
-Bytes VmiSession::read_region(std::uint32_t va, std::size_t len) {
+Fallible<Bytes> VmiSession::try_read_region(std::uint32_t va,
+                                            std::size_t len) {
   Bytes out(len, 0);
-  read_va(va, out);
+  if (MaybeFault f = try_read_va(va, out)) {
+    return std::move(*f);
+  }
   return out;
 }
 
-std::string VmiSession::read_unicode_string(std::uint32_t us_va) {
-  const std::uint16_t length = read_u16(us_va + guestos::kOffUsLength);
-  const std::uint32_t buffer = read_u32(us_va + guestos::kOffUsBuffer);
-  if (length == 0 || buffer == 0) {
-    return {};
+Fallible<std::string> VmiSession::try_read_unicode_string(
+    std::uint32_t us_va) {
+  Fallible<std::uint16_t> length =
+      try_read_u16(us_va + guestos::kOffUsLength);
+  if (!length.ok()) {
+    return std::move(length.fault());
   }
-  const Bytes raw = read_region(buffer, length);
-  return utf16le_to_ascii(raw);
+  Fallible<std::uint32_t> buffer =
+      try_read_u32(us_va + guestos::kOffUsBuffer);
+  if (!buffer.ok()) {
+    return std::move(buffer.fault());
+  }
+  if (length.value() == 0 || buffer.value() == 0) {
+    return std::string{};
+  }
+  Fallible<Bytes> raw = try_read_region(buffer.value(), length.value());
+  if (!raw.ok()) {
+    return std::move(raw.fault());
+  }
+  return utf16le_to_ascii(raw.value());
+}
+
+// ---- Legacy throwing wrappers ----------------------------------------------
+
+std::uint32_t VmiSession::symbol_to_va(const std::string& symbol) {
+  if (MaybeFault f = try_ensure_debug_block()) {
+    throw GuestFaultError(std::move(*f));
+  }
+  if (symbol == "PsLoadedModuleList") {
+    return *ps_loaded_module_list_va_;
+  }
+  if (symbol == "KernBase") {
+    return *kernel_base_va_;
+  }
+  throw VmiError("unknown kernel symbol: " + symbol);
+}
+
+std::uint32_t VmiSession::guest_version() {
+  Fallible<std::uint32_t> version = try_guest_version();
+  if (!version.ok()) {
+    throw GuestFaultError(std::move(version.fault()));
+  }
+  return version.value();
+}
+
+std::uint64_t VmiSession::translate_kv2p(std::uint32_t va) {
+  Fallible<std::uint64_t> pa = try_translate_kv2p(va);
+  if (!pa.ok()) {
+    throw GuestFaultError(std::move(pa.fault()));
+  }
+  return pa.value();
+}
+
+void VmiSession::read_va(std::uint32_t va, MutableByteView out) {
+  if (MaybeFault f = try_read_va(va, out)) {
+    throw GuestFaultError(std::move(*f));
+  }
+}
+
+std::uint32_t VmiSession::read_u32(std::uint32_t va) {
+  Fallible<std::uint32_t> value = try_read_u32(va);
+  if (!value.ok()) {
+    throw GuestFaultError(std::move(value.fault()));
+  }
+  return value.value();
+}
+
+std::uint16_t VmiSession::read_u16(std::uint32_t va) {
+  Fallible<std::uint16_t> value = try_read_u16(va);
+  if (!value.ok()) {
+    throw GuestFaultError(std::move(value.fault()));
+  }
+  return value.value();
+}
+
+Bytes VmiSession::read_region(std::uint32_t va, std::size_t len) {
+  Fallible<Bytes> out = try_read_region(va, len);
+  if (!out.ok()) {
+    throw GuestFaultError(std::move(out.fault()));
+  }
+  return std::move(out.value());
+}
+
+std::string VmiSession::read_unicode_string(std::uint32_t us_va) {
+  Fallible<std::string> out = try_read_unicode_string(us_va);
+  if (!out.ok()) {
+    throw GuestFaultError(std::move(out.fault()));
+  }
+  return std::move(out.value());
 }
 
 }  // namespace mc::vmi

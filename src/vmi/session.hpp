@@ -11,6 +11,15 @@
 // statistics.  There is deliberately no write path: the paper's threat
 // model has ModChecker strictly observing (§III-B: "performs read-only
 // operations of the memory of guest VMs").
+//
+// Fault model: the `try_*` methods are the primary API — a failed guest
+// read or translation (real, or injected by the hypervisor's
+// FaultInjector) comes back as a FaultRecord in a Fallible/MaybeFault
+// return, never as control flow.  The historical throwing methods remain
+// as thin wrappers that raise GuestFaultError (a VmiError) carrying the
+// same record, so legacy callers and tests keep their contract; genuine
+// API misuse (nonexistent domain at attach, unknown symbol name) still
+// throws NotFoundError / VmiError directly.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,7 @@
 #include <unordered_map>
 
 #include "util/bytes.hpp"
+#include "util/fault.hpp"
 #include "util/sim_clock.hpp"
 #include "vmi/cost_model.hpp"
 #include "vmm/hypervisor.hpp"
@@ -40,12 +50,16 @@ struct VmiStats {
   /// cross-scan reuse counter (each reuse skips attach + debug-block scan
   /// and keeps the V2P cache warm).
   std::uint64_t session_reuses = 0;
+  /// Faults surfaced by this session (injected or real), counted at the
+  /// point of observation.
+  std::uint64_t faults_observed = 0;
 };
 
 class VmiSession {
  public:
-  /// Attaches to `domain` (throws NotFoundError if absent).  The debug
-  /// block scan is performed lazily on first symbol lookup.
+  /// Attaches to `domain` (throws NotFoundError if absent — attaching to a
+  /// domain that does not exist is caller error, not a guest fault).  The
+  /// debug block scan is performed lazily on first symbol lookup.
   VmiSession(const vmm::Hypervisor& hypervisor, vmm::DomainId domain,
              SimClock& clock, const VmiCostModel& costs = {});
 
@@ -62,36 +76,55 @@ class VmiSession {
   /// Pool bookkeeping: bumps the cross-scan reuse counter.
   void note_reuse() { ++stats_.session_reuses; }
 
-  /// Resolves an exported kernel symbol ("PsLoadedModuleList",
-  /// "KernBase").  First call triggers the debug-block scan.
-  std::uint32_t symbol_to_va(const std::string& symbol);
+  // ---- Fault-returning core (the scan hot path) ----------------------------
 
   /// The guest OS build id from the debug block (triggers the scan).
-  /// Profile-aware consumers map it with guestos::profile_by_version.
-  std::uint32_t guest_version();
+  Fallible<std::uint32_t> try_guest_version();
 
-  /// Kernel-virtual to physical translation (cached).
-  std::uint64_t translate_kv2p(std::uint32_t va);
+  /// Kernel-virtual to physical translation (cached).  Injected and real
+  /// translation faults come back as records.
+  Fallible<std::uint64_t> try_translate_kv2p(std::uint32_t va);
 
   /// Reads guest memory by kernel-virtual address, page by page: each page
   /// is translated, mapped (charged) and copied (charged) — the access
-  /// pattern that makes whole-module extraction expensive.
-  void read_va(std::uint32_t va, MutableByteView out);
+  /// pattern that makes whole-module extraction expensive.  One injection
+  /// roll per call (not per byte).
+  MaybeFault try_read_va(std::uint32_t va, MutableByteView out);
 
-  /// Convenience typed reads.
-  std::uint32_t read_u32(std::uint32_t va);
-  std::uint16_t read_u16(std::uint32_t va);
+  /// Convenience typed reads over try_read_va.
+  Fallible<std::uint32_t> try_read_u32(std::uint32_t va);
+  Fallible<std::uint16_t> try_read_u16(std::uint32_t va);
 
   /// Reads `len` bytes into a fresh buffer.
-  Bytes read_region(std::uint32_t va, std::size_t len);
+  Fallible<Bytes> try_read_region(std::uint32_t va, std::size_t len);
 
   /// Decodes a UNICODE_STRING structure at `us_va` (reads the descriptor,
   /// then the UTF-16LE buffer it points to).
+  Fallible<std::string> try_read_unicode_string(std::uint32_t us_va);
+
+  // ---- Legacy throwing wrappers --------------------------------------------
+  // Each forwards to its try_* core and raises GuestFaultError on a fault.
+
+  /// Resolves an exported kernel symbol ("PsLoadedModuleList",
+  /// "KernBase").  First call triggers the debug-block scan.  An unknown
+  /// symbol name is API misuse and throws plain VmiError.
+  std::uint32_t symbol_to_va(const std::string& symbol);
+
+  /// Profile-aware consumers map the id with guestos::profile_by_version.
+  std::uint32_t guest_version();
+
+  std::uint64_t translate_kv2p(std::uint32_t va);
+  void read_va(std::uint32_t va, MutableByteView out);
+  std::uint32_t read_u32(std::uint32_t va);
+  std::uint16_t read_u16(std::uint32_t va);
+  Bytes read_region(std::uint32_t va, std::size_t len);
   std::string read_unicode_string(std::uint32_t us_va);
 
  private:
   void charge(SimNanos nanos);
-  void ensure_debug_block();
+  MaybeFault try_ensure_debug_block();
+  FaultRecord make_fault(FaultCode code, std::uint32_t va, std::uint64_t pa,
+                         std::string detail);
 
   const vmm::Hypervisor* hypervisor_;
   vmm::DomainId domain_id_;

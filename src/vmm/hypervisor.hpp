@@ -14,6 +14,7 @@
 
 #include "vmm/contention.hpp"
 #include "vmm/domain.hpp"
+#include "vmm/fault_injection.hpp"
 
 namespace mc::vmm {
 
@@ -77,11 +78,19 @@ class Hypervisor {
   DomainSnapshot snapshot(DomainId id) const;
   void restore(const DomainSnapshot& snap);
 
+  /// Deterministic per-domain guest-fault injection (see
+  /// fault_injection.hpp).  Mutable through a const hypervisor: the VMI
+  /// layer holds `const Hypervisor*` (read-only guest access) but the
+  /// injector must count reads and advance its RNG streams — observation
+  /// bookkeeping, not domain state.
+  FaultInjector& fault_injector() const { return fault_injector_; }
+
  private:
   HardwareConfig hardware_;
   ContentionModel contention_;
   DomainId next_id_ = 1;
   std::map<DomainId, Domain> domains_;
+  mutable FaultInjector fault_injector_;
 };
 
 }  // namespace mc::vmm

@@ -9,6 +9,10 @@
 #include <memory>
 
 #include "attacks/byte_patch.hpp"
+#include "attacks/dll_import_inject.hpp"
+#include "attacks/inline_hook.hpp"
+#include "attacks/opcode_replace.hpp"
+#include "attacks/stub_patch.hpp"
 #include "cloud/catalog.hpp"
 #include "cloud/golden.hpp"
 #include "cloud/environment.hpp"
@@ -17,6 +21,7 @@
 #include "pe/parser.hpp"
 #include "pe/validate.hpp"
 #include "util/rng.hpp"
+#include "vmm/fault_injection.hpp"
 
 namespace {
 
@@ -91,6 +96,65 @@ TEST_P(FuzzSeeds, HeaderCorruptionInGuestNeverCrashesChecker) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<std::uint64_t>(1, 16));
+
+// ---- randomized fault profiles x the paper's attacks --------------------------
+//
+// Detection must survive an unreliable cloud: whatever transient faults
+// the guests throw, an infected VM that still answers its acquire is
+// flagged whenever the vote has quorum behind it — faults may erode the
+// electorate, never the verdict of the voters that remain.
+
+struct FaultyAttackCase {
+  const char* module;
+  int attack;  // 0..3 = E1..E4
+};
+
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, InfectedAnsweringVmsAreFlaggedWheneverQuorumHolds) {
+  Xoshiro256 rng(GetParam() * 6151 + 11);
+  static const FaultyAttackCase kCases[] = {
+      {"hal.dll", 0}, {"hal.dll", 1}, {"dummy.sys", 2}, {"dummy.sys", 3}};
+  const FaultyAttackCase& c = kCases[rng.below(4)];
+
+  cloud::CloudConfig cfg;
+  cfg.guest_count = 6;
+  cloud::CloudEnvironment env(cfg);
+  const auto& guests = env.guests();
+  const vmm::DomainId victim = guests[rng.below(guests.size())];
+
+  switch (c.attack) {
+    case 0: attacks::OpcodeReplaceAttack{}.apply(env, victim, c.module); break;
+    case 1: attacks::InlineHookAttack{}.apply(env, victim, c.module); break;
+    case 2: attacks::StubPatchAttack{}.apply(env, victim, c.module); break;
+    default: attacks::DllImportInjectAttack{}.apply(env, victim, c.module);
+  }
+
+  // Random fault weather: each guest independently gets a random (possibly
+  // zero) read-fault rate with its own RNG stream.
+  static const double kRates[] = {0.0, 0.002, 0.005, 0.01};
+  for (const vmm::DomainId vm : guests) {
+    vmm::FaultProfile profile;
+    profile.read_fault_rate = kRates[rng.below(4)];
+    profile.seed = rng.next();
+    env.hypervisor().fault_injector().arm(vm, profile);
+  }
+
+  core::ModChecker checker(env.hypervisor());
+  const auto scan = checker.scan_pool(c.module, guests);
+  ASSERT_EQ(scan.verdicts.size(), guests.size());
+  for (const auto& v : scan.verdicts) {
+    if (v.quarantined || v.quorum_lost) {
+      continue;  // no (trustworthy) verdict to hold to account
+    }
+    EXPECT_EQ(v.clean, v.vm != victim)
+        << "Dom" << v.vm << " module " << c.module << " attack E"
+        << (c.attack + 1) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultWeather, FaultFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
 
 TEST(FuzzTruncation, EveryPrefixLengthIsHandled) {
   const Bytes& file = golden_file();

@@ -34,9 +34,11 @@
 #include "modchecker/incremental.hpp"
 #include "modchecker/modchecker.hpp"
 #include "modchecker/parser.hpp"
+#include "modchecker/report_json.hpp"
 #include "modchecker/searcher.hpp"
 #include "util/error.hpp"
 #include "vmi/session.hpp"
+#include "vmm/fault_injection.hpp"
 
 namespace {
 
@@ -396,6 +398,62 @@ TEST(PipelineStages, NormalizeStandsDownWhenDisabled) {
   EXPECT_FALSE(prefiltered.pipeline().normalize().enabled());
   ModChecker fast(env->hypervisor(), ModCheckerConfig{});
   EXPECT_TRUE(fast.pipeline().normalize().enabled());
+}
+
+// ---- fault-domain differential proof ------------------------------------------
+//
+// The fault refactor's zero-fault contract: on a pool where nothing
+// faults, the retry policy, the injector's armed gate and the degraded-
+// quorum bookkeeping must all be invisible — verdicts, simulated times
+// and the serialized reports stay byte-identical whichever way the fault
+// machinery is configured.
+
+TEST(FaultDomainDifferential, ZeroFaultScanJsonIsByteIdentical) {
+  auto env = make_env(6);
+  attacks::InlineHookAttack{}.apply(*env, env->guests()[2], "hal.dll");
+
+  ModCheckerConfig no_retry;  // fast defaults, but the pre-refactor shape:
+  no_retry.retry.max_attempts = 1;  // one attempt, no backoff ever taken
+
+  const std::string base = to_json(
+      ModChecker(env->hypervisor()).scan_pool("hal.dll", env->guests()));
+  const std::string single_attempt = to_json(
+      ModChecker(env->hypervisor(), no_retry)
+          .scan_pool("hal.dll", env->guests()));
+
+  // Arm the injector with all-zero rates: the fast gate opens, the dice
+  // roll on every read, nothing ever faults — and nothing may change.
+  for (const vmm::DomainId vm : env->guests()) {
+    env->hypervisor().fault_injector().arm(vm, vmm::FaultProfile{});
+  }
+  const std::string armed_zero = to_json(
+      ModChecker(env->hypervisor()).scan_pool("hal.dll", env->guests()));
+  env->hypervisor().fault_injector().disarm_all();
+
+  EXPECT_EQ(base, single_attempt);
+  EXPECT_EQ(base, armed_zero);
+  EXPECT_EQ(base.find("\"faults\""), std::string::npos);
+  EXPECT_EQ(base.find("\"quarantined\""), std::string::npos);
+}
+
+TEST(FaultDomainDifferential, ZeroFaultCheckJsonIsByteIdentical) {
+  auto env = make_env(5);
+  attacks::OpcodeReplaceAttack{}.apply(*env, env->guests()[3], "hal.dll");
+
+  const std::string faithful_json =
+      to_json(ModChecker(env->hypervisor(), faithful_config())
+                  .check_module(env->guests()[0], "hal.dll"));
+
+  for (const vmm::DomainId vm : env->guests()) {
+    env->hypervisor().fault_injector().arm(vm, vmm::FaultProfile{});
+  }
+  const std::string armed_json =
+      to_json(ModChecker(env->hypervisor(), faithful_config())
+                  .check_module(env->guests()[0], "hal.dll"));
+  env->hypervisor().fault_injector().disarm_all();
+
+  EXPECT_EQ(faithful_json, armed_json);
+  EXPECT_EQ(faithful_json.find("\"quorum_lost\""), std::string::npos);
 }
 
 TEST(PipelineStages, VoteMajorityRule) {

@@ -1,0 +1,36 @@
+// Fixture: catch-swallow violations (scanned by mc_lint tests, never
+// compiled).  Flagged: the catch-all (7), the empty typed handler (12),
+// the comment-only handler (21 — comments don't make a body non-empty)
+// and the multi-line catch-all (26).  Not flagged: the non-empty typed
+// handler (16) and the allow()-escaped catch-all (33).
+void swallow() {
+  try { work(); } catch (...) {
+    log("ignored");
+  }
+  try {
+    work();
+  } catch (const Error& e) {
+  }
+  try {
+    work();
+  } catch (const Error& e) {
+    handle(e);
+  }
+  try {
+    work();
+  } catch (const Error& e) {
+    // a comment does not make the handler non-empty
+  }
+  try {
+    work();
+  } catch (
+      ...) {
+    handle_all();
+  }
+  try {
+    work();
+    // mc-lint: allow(catch-swallow)
+  } catch (...) {
+    retry();
+  }
+}

@@ -21,12 +21,13 @@ std::string fixture(const std::string& name) {
 
 TEST(LintRules, CatalogIsStable) {
   const auto& ids = mc::lint::rule_ids();
-  ASSERT_EQ(ids.size(), 7u);
+  ASSERT_EQ(ids.size(), 8u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-reinterpret-cast"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "parser-bounds-check"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "pipeline-bypass"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "catch-swallow"), ids.end());
 }
 
 TEST(LintFixtures, RawReinterpretCast) {
@@ -85,6 +86,44 @@ TEST(LintFixtures, PipelineBypass) {
   EXPECT_EQ(findings[3].line, 14);
 }
 
+TEST(LintFixtures, CatchSwallow) {
+  // Flagged: the same-line catch-all (7), the empty typed handler (12),
+  // the comment-only handler (21) and the multi-line catch-all (26).
+  // Not flagged: the non-empty typed handler (16) and the
+  // allow()-escaped catch-all (33).
+  const auto findings = lint_file(fixture("catch_swallow.cpp"));
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "catch-swallow");
+  }
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_EQ(findings[1].line, 12);
+  EXPECT_EQ(findings[2].line, 21);
+  EXPECT_EQ(findings[3].line, 26);
+  EXPECT_NE(findings[0].message.find("catch (...)"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("empty catch body"), std::string::npos);
+}
+
+TEST(LintSource, TypedNonEmptyHandlerIsClean) {
+  const auto findings = lint_source(
+      "ok.cpp",
+      "void f() {\n"
+      "  try { g(); } catch (const VmiError& e) { record(e); }\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, CatchBodyHoldingOnlyAStringIsNotEmpty) {
+  // The stripper blanks string *contents* but keeps the quotes, so a body
+  // that does something with a literal must not read as whitespace-only.
+  const auto findings = lint_source(
+      "str.cpp",
+      "void f() {\n"
+      "  try { g(); } catch (const VmiError&) { log(\"vmi\"); }\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintSource, PipelineOwnersAreExempt) {
   const std::string body = "ModuleSearcher searcher(session);\n";
   EXPECT_TRUE(lint_source("src/modchecker/pipeline.cpp", body).empty());
@@ -110,9 +149,9 @@ TEST(LintFixtures, CleanFileHasNoFindings) {
 }
 
 TEST(LintFixtures, TreeScanCoversEveryFixture) {
-  // 1 + 1 + 2 + 2 + 1 + 1 + 4 + 0 findings across the directory.
+  // 1 + 1 + 2 + 2 + 1 + 1 + 4 + 4 + 0 findings across the directory.
   const auto findings = lint_tree(MC_LINT_FIXTURE_DIR);
-  EXPECT_EQ(findings.size(), 12u);
+  EXPECT_EQ(findings.size(), 16u);
 }
 
 TEST(LintSource, CommentsAndStringsDoNotFire) {

@@ -409,13 +409,116 @@ void run_pipeline_rule(const ScannedSource& src, const std::string& file,
   }
 }
 
+/// catch-swallow: a handler that intercepts every exception (`catch (...)`)
+/// or intercepts one and does nothing (empty body) erases the fault it
+/// caught — exactly the control flow the FaultRecord refactor removed from
+/// the scan path.  Handlers must be typed and must either handle the error
+/// or convert it into a FaultRecord / rethrow.
+
+/// Skips whitespace (across lines) from (line, col); true if the next
+/// non-whitespace character is `target`, leaving the cursor on it.
+bool advance_to(const ScannedSource& src, std::size_t& line,
+                std::size_t& col, char target) {
+  for (; line < src.code.size(); ++line, col = 0) {
+    const std::string& text = src.code[line];
+    while (col < text.size()) {
+      const char c = text[col];
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        return c == target;
+      }
+      ++col;
+    }
+  }
+  return false;
+}
+
+/// The cursor must sit on `open`; walks past the matching `close`
+/// (across lines), appending the enclosed text to `*body`.  False when
+/// the file ends first (unbalanced input — the rule then stays quiet
+/// rather than guessing).
+bool skip_balanced(const ScannedSource& src, std::size_t& line,
+                   std::size_t& col, char open, char close,
+                   std::string* body) {
+  int depth = 0;
+  for (; line < src.code.size(); ++line, col = 0) {
+    const std::string& text = src.code[line];
+    for (; col < text.size(); ++col) {
+      const char c = text[col];
+      if (c == open) {
+        if (++depth == 1) {
+          continue;  // the opener itself is not body text
+        }
+      } else if (c == close) {
+        if (--depth == 0) {
+          ++col;
+          return true;
+        }
+      }
+      if (depth >= 1 && body != nullptr) {
+        *body += c;
+      }
+    }
+    if (depth >= 1 && body != nullptr) {
+      *body += '\n';
+    }
+  }
+  return false;
+}
+
+void run_catch_rule(const ScannedSource& src, const std::string& file,
+                    std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    for (std::size_t pos = find_token(src.code[i], "catch");
+         pos != std::string::npos;
+         pos = find_token(src.code[i], "catch", pos + 1)) {
+      std::size_t line = i;
+      std::size_t col = pos + 5;  // past "catch"
+      if (!advance_to(src, line, col, '(')) {
+        continue;  // not a handler clause
+      }
+      std::string param;
+      if (!skip_balanced(src, line, col, '(', ')', &param)) {
+        continue;
+      }
+      std::string stripped = param;
+      stripped.erase(std::remove_if(stripped.begin(), stripped.end(),
+                                    [](char c) {
+                                      return std::isspace(
+                                                 static_cast<unsigned char>(
+                                                     c)) != 0;
+                                    }),
+                     stripped.end());
+      if (stripped == "...") {
+        findings.push_back(
+            {file, static_cast<int>(i + 1), "catch-swallow",
+             "catch (...) swallows every fault; catch a typed error and "
+             "convert it into a FaultRecord (util/fault.hpp) or rethrow"});
+        continue;
+      }
+      if (!advance_to(src, line, col, '{')) {
+        continue;
+      }
+      std::string body;
+      if (!skip_balanced(src, line, col, '{', '}', &body)) {
+        continue;
+      }
+      if (is_blank(body)) {
+        findings.push_back(
+            {file, static_cast<int>(i + 1), "catch-swallow",
+             "empty catch body swallows the fault; handle it, record a "
+             "FaultRecord, or rethrow"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
       "raw-reinterpret-cast", "raw-memcpy",   "std-rand",
       "naked-new",            "naked-delete", "parser-bounds-check",
-      "pipeline-bypass",
+      "pipeline-bypass",      "catch-swallow",
   };
   return kIds;
 }
@@ -427,6 +530,7 @@ std::vector<Finding> lint_source(const std::string& file_name,
   run_token_rules(src, file_name, findings);
   run_bounds_rule(src, file_name, findings);
   run_pipeline_rule(src, file_name, findings);
+  run_catch_rule(src, file_name, findings);
 
   const auto suppressed = suppressions(src);
   std::erase_if(findings, [&](const Finding& f) {

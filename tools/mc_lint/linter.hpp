@@ -28,6 +28,10 @@
 //                         CheckPipeline's Acquire/Parse stages; a second
 //                         construction site re-grows the duplicated flow
 //                         the staged-pipeline refactor removed.
+//   catch-swallow         `catch (...)`, or a catch clause with an empty
+//                         body — both erase the fault they intercepted.
+//                         Handlers must be typed and must handle, convert
+//                         to a FaultRecord (util/fault.hpp), or rethrow.
 //
 // A finding on line N is suppressed by `// mc-lint: allow(<rule>)` either
 // at the end of line N or on an otherwise-empty comment line N-1.

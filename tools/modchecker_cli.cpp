@@ -40,6 +40,7 @@
 #include "vmi/dump.hpp"
 #include "pe/validate.hpp"
 #include "vmi/session.hpp"
+#include "vmm/fault_injection.hpp"
 
 namespace {
 
@@ -57,6 +58,11 @@ struct Options {
   bool parallel = false;
   bool json = false;
   std::string file;  // dump file path for dump/checkdump
+  // Fault-injection quickstart: --fault-rate arms the hypervisor's
+  // injector before the command runs (see DESIGN.md §8).
+  double fault_rate = 0.0;        // per-read fault probability
+  std::size_t fault_victim = 0;   // Dom number; 0 = every guest
+  std::uint64_t fault_seed = 1;   // deterministic per-domain stream seed
 };
 
 void usage() {
@@ -75,7 +81,12 @@ void usage() {
       "  --horizon <ms>      simulated monitor horizon (default 10000)\n"
       "  --parallel          use the parallel pool-scan engine\n"
       "  --json              machine-readable output (check/scan/audit)\n"
-      "  --file <path>       dump file for dump/checkdump\n");
+      "  --file <path>       dump file for dump/checkdump\n"
+      "  --fault-rate <p>    inject guest read faults with probability p\n"
+      "                      (0..1; try: scan --fault-rate 1 "
+      "--fault-victim 3)\n"
+      "  --fault-victim <n>  Dom number to inject into (default: all)\n"
+      "  --fault-seed <s>    fault-injection RNG seed (default 1)\n");
 }
 
 std::unique_ptr<attacks::Attack> make_attack(const std::string& name) {
@@ -118,6 +129,23 @@ int run(const Options& options) {
   MC_CHECK(options.subject >= 1 && options.subject <= guests.size(),
            "subject out of range");
   const vmm::DomainId subject = guests[options.subject - 1];
+
+  if (options.fault_rate > 0.0) {
+    MC_CHECK(options.fault_rate <= 1.0, "--fault-rate must be in [0, 1]");
+    MC_CHECK(options.fault_victim <= guests.size(),
+             "fault victim out of range");
+    vmm::FaultProfile profile;
+    profile.read_fault_rate = options.fault_rate;
+    profile.seed = options.fault_seed;
+    vmm::FaultInjector& injector = env.hypervisor().fault_injector();
+    if (options.fault_victim == 0) {
+      for (const vmm::DomainId vm : guests) {
+        injector.arm(vm, profile);
+      }
+    } else {
+      injector.arm(guests[options.fault_victim - 1], profile);
+    }
+  }
 
   if (options.command == "check") {
     core::ModChecker checker(env.hypervisor(), make_config(options));
@@ -310,6 +338,12 @@ int main(int argc, char** argv) {
         options.json = true;
       } else if (arg == "--file") {
         options.file = next();
+      } else if (arg == "--fault-rate") {
+        options.fault_rate = std::stod(next());
+      } else if (arg == "--fault-victim") {
+        options.fault_victim = std::stoul(next());
+      } else if (arg == "--fault-seed") {
+        options.fault_seed = std::stoull(next());
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         usage();
