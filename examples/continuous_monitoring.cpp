@@ -14,8 +14,11 @@
 //     findings by every run that scans the infected pool,
 //   * cancellation (an operator retracts a sweep before it runs) and
 //     graceful drain,
-//   * pluggable report sinks: an in-memory ring for the checks below plus
-//     a JSON-lines stream as the SIEM integration surface.
+//   * pluggable report sinks: an in-memory ring for the checks below, a
+//     JSON-lines stream as the SIEM integration surface, and a Chrome
+//     trace sink — load the emitted JSON in chrome://tracing or
+//     https://ui.perfetto.dev to see every sweep, acquire, parse and
+//     compare span on a per-pool timeline.
 //
 // Build & run:  ./build/examples/continuous_monitoring
 #include <algorithm>
@@ -26,6 +29,7 @@
 #include "attacks/inline_hook.hpp"
 #include "cloud/environment.hpp"
 #include "service/fleet.hpp"
+#include "telemetry/trace.hpp"
 
 int main() {
   using namespace mc;
@@ -46,7 +50,11 @@ int main() {
   std::printf("[attacker] inline hook planted on Dom%u's hal.dll\n\n",
               infected);
 
-  service::FleetService fleet({/*workers=*/2});
+  telemetry::TraceRecorder tracer;
+  service::FleetConfig fleet_cfg;
+  fleet_cfg.workers = 2;
+  fleet_cfg.tracer = &tracer;  // every pool pipeline shares this recorder
+  service::FleetService fleet(fleet_cfg);
   const std::size_t pool_critical = fleet.add_pool(env.hypervisor(),
                                                    frontline);
   const std::size_t pool_tail = fleet.add_pool(env.hypervisor(), longtail);
@@ -54,8 +62,12 @@ int main() {
   auto ring = std::make_shared<service::RingSink>();
   std::ostringstream siem;  // stands in for a SIEM/alerting socket
   auto json = std::make_shared<service::JsonLinesSink>(siem);
+  std::ostringstream trace_stream;  // write to a .json file in production
+  auto trace = std::make_shared<service::ChromeTraceSink>(trace_stream,
+                                                          tracer);
   fleet.add_sink(ring);
   fleet.add_sink(json);
+  fleet.add_sink(trace);
 
   // Critical modules every simulated second, three rounds; the long tail
   // once, at lower priority.
@@ -116,12 +128,18 @@ int main() {
   std::printf("\nSIEM feed: %zu JSON lines\n",
               static_cast<std::size_t>(
                   std::count(feed.begin(), feed.end(), '\n')));
+  trace->finish();
+  std::printf("Chrome trace: %llu events, %zu bytes "
+              "(open in chrome://tracing / Perfetto)\n",
+              static_cast<unsigned long long>(trace->events_written()),
+              trace_stream.str().size());
 
   // Every critical run must flag exactly the infected guest; the clean
   // long-tail pool must stay silent; the retracted sweep must never run.
   const bool ok = hal_findings == 3 && tail_findings == 0 &&
                   stats.completed_runs == 4 && stats.cancelled_runs == 0 &&
-                  stats.dropped_pending == 1 && reports.size() == 4;
+                  stats.dropped_pending == 1 && reports.size() == 4 &&
+                  trace->events_written() > 0;
   std::printf("monitoring outcome: %s (runs %llu, dropped %llu, "
               "%llu us total simulated wall)\n",
               ok ? "OK" : "UNEXPECTED",

@@ -39,10 +39,10 @@ crypto::Digest DigestTable::digest(vmm::DomainId domain,
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entry_for(domain, item);
   if (entry.digest) {
-    ++stats_.hits;
+    hits_.inc();
     return *entry.digest;
   }
-  ++stats_.misses;
+  misses_.inc();
   entry.digest = crypto::hash_bytes(algorithm_, item.bytes);
   clock.charge(hash_charge(costs_, algorithm_, item.bytes.size()));
   return *entry.digest;
@@ -54,18 +54,20 @@ std::uint32_t DigestTable::crc(vmm::DomainId domain,
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entry_for(domain, item);
   if (entry.crc) {
-    ++stats_.hits;
+    hits_.inc();
     return *entry.crc;
   }
-  ++stats_.misses;
+  misses_.inc();
   entry.crc = crypto::crc32(item.bytes);
   clock.charge(costs_.crc_per_byte * item.bytes.size());
   return *entry.crc;
 }
 
 DigestTable::Stats DigestTable::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats snap;
+  snap.hits = hits_.value();
+  snap.misses = misses_.value();
+  return snap;
 }
 
 void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
@@ -81,7 +83,7 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
       entry.ref_items.push_back(i);
     }
     entries_[module.domain] = std::move(entry);
-    ++stats_.eligible;
+    eligible_count_.inc();
     return;
   }
 
@@ -138,7 +140,7 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
     clock.charge(hash_charge(costs_, algorithm_, mod_copy.size()));
     if (!canonical_[i]) {
       canonical_[i] = d;
-      ++stats_.canonicals_established;
+      canonicals_established_.inc();
     } else if (*canonical_[i] != d) {
       eligible = false;
       continue;
@@ -148,9 +150,9 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
 
   entry.eligible = eligible;
   if (eligible) {
-    ++stats_.eligible;
+    eligible_count_.inc();
   } else {
-    ++stats_.ineligible;
+    ineligible_count_.inc();
   }
   entries_[module.domain] = std::move(entry);
 }

@@ -42,6 +42,7 @@
 
 #include "crypto/hasher.hpp"
 #include "modchecker/types.hpp"
+#include "telemetry/registry.hpp"
 #include "util/sim_clock.hpp"
 #include "vmi/cost_model.hpp"
 
@@ -69,8 +70,15 @@ constexpr double digest_cost_factor(crypto::HashAlgorithm algorithm) {
 /// truly happened once).
 class DigestTable {
  public:
-  DigestTable(crypto::HashAlgorithm algorithm, const vmi::HostCostModel& costs)
-      : algorithm_(algorithm), costs_(costs) {}
+  /// `metrics` backs the hit/miss counters ("digest_memo.*"; null = the
+  /// process default registry).
+  DigestTable(crypto::HashAlgorithm algorithm, const vmi::HostCostModel& costs,
+              telemetry::MetricRegistry* metrics = nullptr)
+      : algorithm_(algorithm), costs_(costs) {
+    telemetry::MetricRegistry& reg = telemetry::resolve(metrics);
+    hits_ = reg.owned_counter("digest_memo.hits");
+    misses_ = reg.owned_counter("digest_memo.misses");
+  }
 
   /// Digest of the item's raw bytes (memoized).
   crypto::Digest digest(vmm::DomainId domain, const pe::IntegrityItem& item,
@@ -80,6 +88,8 @@ class DigestTable {
   std::uint32_t crc(vmm::DomainId domain, const pe::IntegrityItem& item,
                     SimClock& clock);
 
+  /// Deprecated view over the registry aggregates "digest_memo.*".
+  // mc-lint: allow(adhoc-stats)
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -98,7 +108,8 @@ class DigestTable {
   vmi::HostCostModel costs_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;
-  Stats stats_;
+  telemetry::OwnedCounter hits_;
+  telemetry::OwnedCounter misses_;
 };
 
 /// Normalizes a pool of parsed copies of ONE module against a reference
@@ -113,9 +124,18 @@ class DigestTable {
 /// on the orchestrator's clock.
 class CanonicalPool {
  public:
+  /// `metrics` backs the eligibility counters ("canonical.*"; null = the
+  /// process default registry).
   CanonicalPool(crypto::HashAlgorithm algorithm,
-                const vmi::HostCostModel& costs)
-      : algorithm_(algorithm), costs_(costs) {}
+                const vmi::HostCostModel& costs,
+                telemetry::MetricRegistry* metrics = nullptr)
+      : algorithm_(algorithm), costs_(costs) {
+    telemetry::MetricRegistry& reg = telemetry::resolve(metrics);
+    eligible_count_ = reg.owned_counter("canonical.eligible");
+    ineligible_count_ = reg.owned_counter("canonical.ineligible");
+    canonicals_established_ =
+        reg.owned_counter("canonical.canonicals_established");
+  }
 
   /// Canonicalizes one VM's copy, charging adjustment/hashing time to
   /// `clock`.  The first module added becomes the reference.
@@ -133,6 +153,8 @@ class CanonicalPool {
   /// eligible VMs' modules pairwise-match iff their vectors are equal.
   const std::vector<crypto::Digest>& digests(vmm::DomainId vm) const;
 
+  /// Deprecated view over the registry aggregates "canonical.*".
+  // mc-lint: allow(adhoc-stats)
   struct Stats {
     std::uint64_t eligible = 0;
     std::uint64_t ineligible = 0;
@@ -140,7 +162,13 @@ class CanonicalPool {
     /// differing-base partner.
     std::uint64_t canonicals_established = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats snap;
+    snap.eligible = eligible_count_.value();
+    snap.ineligible = ineligible_count_.value();
+    snap.canonicals_established = canonicals_established_.value();
+    return snap;
+  }
 
  private:
   struct Entry {
@@ -161,7 +189,9 @@ class CanonicalPool {
   bool finalized_ = false;
 
   std::map<vmm::DomainId, Entry> entries_;
-  Stats stats_;
+  telemetry::OwnedCounter eligible_count_;
+  telemetry::OwnedCounter ineligible_count_;
+  telemetry::OwnedCounter canonicals_established_;
 };
 
 }  // namespace mc::core

@@ -29,6 +29,9 @@
 
 namespace mc::core {
 
+/// Scanner-local cache effectiveness counters: produced per scanner and
+/// consumed directly by experiments, so they stay a plain value type.
+// mc-lint: allow(adhoc-stats)
 struct IncrementalStats {
   std::uint64_t full_extractions = 0;
   std::uint64_t cache_reuses = 0;

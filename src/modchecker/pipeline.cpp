@@ -87,7 +87,8 @@ AcquireStage::Session::Session(CheckContext& ctx, vmm::DomainId vm,
   if (ctx.config.reuse_sessions) {
     lease_.emplace(ctx.session_pool.acquire(vm, clock));
   } else {
-    local_.emplace(*ctx.hypervisor, vm, clock, ctx.config.vmi_costs);
+    local_.emplace(*ctx.hypervisor, vm, clock, ctx.config.vmi_costs,
+                   ctx.metrics);
   }
 }
 
@@ -179,7 +180,8 @@ std::optional<CanonicalPool> NormalizeStage::canonicalize(
     return std::nullopt;
   }
   std::optional<CanonicalPool> canon;
-  canon.emplace(ctx_->config.algorithm, ctx_->config.host_costs);
+  canon.emplace(ctx_->config.algorithm, ctx_->config.host_costs,
+                ctx_->metrics);
   bool any = false;
   for (const auto& ex : extractions) {
     if (ex.found && !ex.parse_failed) {
@@ -217,6 +219,7 @@ void VoteStage::finalize(std::vector<PoolVmVerdict>& verdicts) const {
 Extraction CheckPipeline::acquire_and_parse(vmm::DomainId vm,
                                             const std::string& module_name) {
   Extraction ex;
+  const std::uint64_t pid = ctx_->config.trace_pid;
 
   // Module-Searcher: all guest-memory access happens here.  With session
   // reuse the per-domain session (and its V2P cache) survives across
@@ -226,17 +229,50 @@ Extraction CheckPipeline::acquire_and_parse(vmm::DomainId vm,
   // exception.  On a fault-free run attempt 1 succeeds and the charges are
   // bit-identical to the pre-fault-domain pipeline.
   SimClock searcher_clock;
+  telemetry::SpanScope acquire_span = telemetry::span(
+      ctx_->tracer, "acquire", "pipeline", pid, vm, &searcher_clock);
+  acquire_span.arg("module", module_name);
   std::optional<std::optional<ModuleImage>> image = acquire_.extract_with_retry(
       vm, module_name, searcher_clock, ex.faults, ex.attempts);
   ex.times.searcher = searcher_clock.now();
+
+  ctx_->pm.acquire_attempts.inc(ex.attempts);
+  if (ex.attempts > 1) {
+    ctx_->pm.acquire_retries.inc(ex.attempts - 1);
+  }
+  if (!ex.faults.empty()) {
+    ctx_->pm.faults.inc(ex.faults.size());
+  }
+  ctx_->pm.acquire_ns.observe(ex.times.searcher);
+  acquire_span.arg("attempts", std::uint64_t{ex.attempts});
+  if (!ex.faults.empty()) {
+    acquire_span.arg("faults", std::uint64_t{ex.faults.size()});
+  }
+
   if (!image) {
     ex.unavailable = true;  // never answered; found stays false
+    ctx_->pm.quarantines.inc();
+    acquire_span.arg("quarantined", std::uint64_t{1});
     return ex;
   }
+  acquire_span.end();
   if (!*image) {
     return ex;  // answered: module not loaded here
   }
-  parse_.parse(**image, ex);
+  {
+    telemetry::SpanScope parse_span =
+        telemetry::span(ctx_->tracer, "parse", "pipeline", pid, vm);
+    parse_span.arg("module", module_name);
+    parse_.parse(**image, ex);
+    parse_span.arg("sim_ns", ex.times.parser);
+    if (ex.parse_failed) {
+      parse_span.arg("parse_failed", std::uint64_t{1});
+    }
+  }
+  ctx_->pm.parse_ns.observe(ex.times.parser);
+  if (ex.parse_failed) {
+    ctx_->pm.parse_failures.inc();
+  }
   return ex;
 }
 
@@ -244,6 +280,7 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
                                  const std::string& module_name,
                                  const std::vector<vmm::DomainId>& raw_others) {
   const ModCheckerConfig& config = ctx_->config;
+  ctx_->pm.checks.inc();
   CheckReport report;
   report.module_name = module_name;
   report.subject = subject;
@@ -293,7 +330,7 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
   std::optional<DigestTable> memo;
   SimNanos memo_preload = 0;
   if (config.digest_memo && !subject_ex.parse_failed) {
-    memo.emplace(config.algorithm, config.host_costs);
+    memo.emplace(config.algorithm, config.host_costs, ctx_->metrics);
     SimClock preload_clock;
     preload_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
     for (const pe::IntegrityItem& item : subject_ex.parsed.items) {
@@ -323,9 +360,14 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
     if (r.ex.found && !r.ex.parse_failed && !subject_ex.parse_failed) {
       SimClock checker_clock;
       checker_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
+      telemetry::SpanScope compare_span =
+          telemetry::span(ctx_->tracer, "compare", "pipeline",
+                          config.trace_pid, vm, &checker_clock);
       r.cmp = compare_.compare(subject_ex.parsed, r.ex.parsed, checker_clock,
                                memo ? &*memo : nullptr);
       r.checker_time = checker_clock.now();
+      compare_span.end();
+      ctx_->pm.compare_ns.observe(r.checker_time);
     }
     return r;
   };
@@ -428,6 +470,11 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
 PoolScanReport CheckPipeline::pool_scan(
     const std::string& module_name, const std::vector<vmm::DomainId>& pool) {
   const ModCheckerConfig& config = ctx_->config;
+  ctx_->pm.pool_scans.inc();
+  telemetry::SpanScope scan_span = telemetry::span(
+      ctx_->tracer, "pool_scan", "pipeline", config.trace_pid, 0);
+  scan_span.arg("module", module_name);
+  scan_span.arg("pool_size", std::uint64_t{pool.size()});
   PoolScanReport report;
   report.module_name = module_name;
 
@@ -493,8 +540,21 @@ PoolScanReport CheckPipeline::pool_scan(
   // pairwise fallback below — verdict-identical to the slow path.
   SimClock canon_clock;
   canon_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
+  telemetry::SpanScope normalize_span = telemetry::span(
+      ctx_->tracer, "normalize", "pipeline", config.trace_pid, 0,
+      &canon_clock);
   std::optional<CanonicalPool> canon =
       normalize_.canonicalize(extractions, canon_clock);
+  const SimNanos normalize_ns = canon_clock.now();
+  normalize_span.arg("fastpath_enabled",
+                     std::uint64_t{canon.has_value() ? 1u : 0u});
+  normalize_span.end();
+  ctx_->pm.normalize_ns.observe(normalize_ns);
+
+  // Compare covers the rest of canon_clock (the fast-path digest-vector
+  // decisions) plus every exact fallback pair.
+  telemetry::SpanScope compare_span = telemetry::span(
+      ctx_->tracer, "compare", "pipeline", config.trace_pid, 0, &canon_clock);
 
   struct PairRef {
     std::size_t i;
@@ -575,14 +635,34 @@ PoolScanReport CheckPipeline::pool_scan(
     }
   }
 
-  vote_.finalize(verdicts);
+  compare_span.arg("fastpath_pairs", std::uint64_t{report.fastpath_pairs});
+  compare_span.arg("fallback_pairs", std::uint64_t{report.fallback_pairs});
+  compare_span.end();
+  ctx_->pm.fastpath_pairs.inc(report.fastpath_pairs);
+  ctx_->pm.fallback_pairs.inc(report.fallback_pairs);
+  ctx_->pm.compare_ns.observe(report.cpu_times.checker - normalize_ns);
+
+  {
+    telemetry::SpanScope vote_span = telemetry::span(
+        ctx_->tracer, "vote", "pipeline", config.trace_pid, 0);
+    vote_.finalize(verdicts);
+    vote_span.arg("verdicts", std::uint64_t{verdicts.size()});
+  }
   report.verdicts = std::move(verdicts);
+  if (!report.quarantined.empty()) {
+    scan_span.arg("quarantined", std::uint64_t{report.quarantined.size()});
+  }
+  scan_span.arg("sim_wall_ns", report.wall_time);
+  if (config.emit_telemetry) {
+    report.telemetry_json = telemetry::to_json(ctx_->metrics->snapshot());
+  }
   return report;
 }
 
 ListComparisonReport CheckPipeline::compare_lists(
     const std::vector<vmm::DomainId>& pool) {
   ListComparisonReport report;
+  ctx_->pm.list_scans.inc();
 
   // Gather each VM's loader list through introspection (retried under the
   // RetryPolicy).  A VM that never answers is *unknown*, not
@@ -595,8 +675,13 @@ ListComparisonReport CheckPipeline::compare_lists(
   for (const vmm::DomainId vm : pool) {
     SimClock clock;
     std::uint32_t attempts = 1;
+    telemetry::SpanScope list_span =
+        telemetry::span(ctx_->tracer, "acquire_list", "pipeline",
+                        ctx_->config.trace_pid, vm, &clock);
     std::optional<std::vector<ModuleInfo>> modules =
         acquire_.list_with_retry(vm, clock, report.faults, attempts);
+    list_span.arg("attempts", std::uint64_t{attempts});
+    list_span.end();
     wall += clock.now();
     if (!modules) {
       report.unavailable.push_back(vm);

@@ -39,6 +39,8 @@
 #include "modchecker/checker.hpp"
 #include "modchecker/parser.hpp"
 #include "modchecker/types.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/fault.hpp"
 #include "util/sim_clock.hpp"
 #include "vmi/cost_model.hpp"
@@ -123,6 +125,20 @@ struct ModCheckerConfig {
   bool digest_memo = true;
   /// Acquire-stage retry/quarantine policy (see RetryPolicy).
   RetryPolicy retry{};
+  /// Registry backing every pipeline/VMI counter and histogram.  Null means
+  /// the process default; &telemetry::MetricRegistry::disabled() turns the
+  /// whole metric layer into no-ops.
+  telemetry::MetricRegistry* metrics = nullptr;
+  /// Span recorder for per-stage traces.  Null (the default) records
+  /// nothing and costs nothing on the hot path.
+  telemetry::TraceRecorder* tracer = nullptr;
+  /// Chrome trace "pid" spans from this pipeline carry (FleetService
+  /// assigns one per pool so multi-pool traces get separate lanes).
+  std::uint64_t trace_pid = 0;
+  /// Attach a registry snapshot to PoolScanReport ("telemetry" JSON field).
+  /// Off by default, keeping report bytes identical to the pre-telemetry
+  /// schema.
+  bool emit_telemetry = false;
 };
 
 /// Result of checking one module on one subject VM against a pool.
@@ -191,6 +207,10 @@ struct PoolScanReport {
   /// fault observed along the way.  Both empty on a healthy pool.
   std::vector<vmm::DomainId> quarantined;
   std::vector<FaultRecord> faults;
+  /// Registry snapshot JSON, filled only when config.emit_telemetry; the
+  /// serializer appends it as a "telemetry" field when (and only when)
+  /// non-empty.
+  std::string telemetry_json;
 
   bool degraded() const { return !quarantined.empty() || !faults.empty(); }
 };
@@ -224,22 +244,65 @@ inline constexpr const char* kUnparseableItem = "MODULE_UNPARSEABLE";
 /// old ModChecker constructor; the session pool lives here so the drivers
 /// stay logically const-correct.
 struct CheckContext {
+  /// Setup-time handles to the pipeline's registry aggregates; stages bump
+  /// them on the hot path without touching the registry lock.  All handles
+  /// are no-ops when the config points at the disabled registry.
+  struct PipelineMetrics {
+    explicit PipelineMetrics(telemetry::MetricRegistry& reg)
+        : checks(reg.counter("pipeline.checks")),
+          pool_scans(reg.counter("pipeline.pool_scans")),
+          list_scans(reg.counter("pipeline.list_scans")),
+          acquire_attempts(reg.counter("pipeline.acquire.attempts")),
+          acquire_retries(reg.counter("pipeline.acquire.retries")),
+          quarantines(reg.counter("pipeline.acquire.quarantines")),
+          faults(reg.counter("pipeline.acquire.faults")),
+          parse_failures(reg.counter("pipeline.parse.failures")),
+          fastpath_pairs(reg.counter("pipeline.compare.fastpath_pairs")),
+          fallback_pairs(reg.counter("pipeline.compare.fallback_pairs")),
+          acquire_ns(reg.histogram("pipeline.acquire.sim_ns")),
+          parse_ns(reg.histogram("pipeline.parse.sim_ns")),
+          normalize_ns(reg.histogram("pipeline.normalize.sim_ns")),
+          compare_ns(reg.histogram("pipeline.compare.sim_ns")) {}
+
+    telemetry::Counter checks;
+    telemetry::Counter pool_scans;
+    telemetry::Counter list_scans;
+    telemetry::Counter acquire_attempts;
+    telemetry::Counter acquire_retries;
+    telemetry::Counter quarantines;
+    telemetry::Counter faults;
+    telemetry::Counter parse_failures;
+    telemetry::Counter fastpath_pairs;
+    telemetry::Counter fallback_pairs;
+    telemetry::Histogram acquire_ns;
+    telemetry::Histogram parse_ns;
+    telemetry::Histogram normalize_ns;
+    telemetry::Histogram compare_ns;
+  };
+
   CheckContext(const vmm::Hypervisor& hv, ModCheckerConfig cfg)
       : hypervisor(&hv),
         config(std::move(cfg)),
+        metrics(&telemetry::resolve(config.metrics)),
+        tracer(config.tracer),
         parser(config.host_costs),
         checker(config.algorithm, config.host_costs, config.crc_prefilter),
-        session_pool(hv, config.vmi_costs) {}
+        session_pool(hv, config.vmi_costs, metrics),
+        pm(*metrics) {}
 
   CheckContext(const CheckContext&) = delete;
   CheckContext& operator=(const CheckContext&) = delete;
 
   const vmm::Hypervisor* hypervisor;
   ModCheckerConfig config;
+  /// Resolved registry (never null) and the optional span recorder.
+  telemetry::MetricRegistry* metrics;
+  telemetry::TraceRecorder* tracer;
   ModuleParser parser;
   IntegrityChecker checker;
   /// Per-domain persistent sessions (used when config.reuse_sessions).
   vmi::VmiSessionPool session_pool;
+  PipelineMetrics pm;
 };
 
 /// Output of the Acquire+Parse front half for one VM.

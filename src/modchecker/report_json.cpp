@@ -142,10 +142,7 @@ std::string to_json(const PoolScanReport& report) {
                    }
                    return out + "}";
                  })
-     << ",\"wall_ns\":" << report.wall_time
-     << ",\"cpu_ns\":{\"searcher\":" << report.cpu_times.searcher
-     << ",\"parser\":" << report.cpu_times.parser
-     << ",\"checker\":" << report.cpu_times.checker << "}"
+     << ",\"wall_ns\":" << report.wall_time << ',' << cpu_ns_json(report.cpu_times)
      << ",\"fastpath_pairs\":" << report.fastpath_pairs
      << ",\"fallback_pairs\":" << report.fallback_pairs;
   if (degraded) {
@@ -156,7 +153,21 @@ std::string to_json(const PoolScanReport& report) {
        << array_of(report.faults,
                    [](const FaultRecord& f) { return to_json(f); });
   }
+  // Telemetry snapshot only when the scan was asked to embed one
+  // (emit_telemetry) — absent, the schema is byte-identical to the
+  // pre-telemetry output.
+  if (!report.telemetry_json.empty()) {
+    os << ",\"telemetry\":" << report.telemetry_json;
+  }
   os << "}";
+  return os.str();
+}
+
+std::string cpu_ns_json(const ComponentTimes& times) {
+  std::ostringstream os;
+  os << "\"cpu_ns\":{\"searcher\":" << times.searcher
+     << ",\"parser\":" << times.parser << ",\"checker\":" << times.checker
+     << "}";
   return os.str();
 }
 

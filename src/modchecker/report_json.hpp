@@ -32,6 +32,13 @@ std::string to_json(const PoolScanReport& report);
 /// {"modules": [...], "findings": [...], "total_wall_ns": ...}
 std::string to_json(const AuditReport& report);
 
+/// `"cpu_ns":{"searcher":...,"parser":...,"checker":...}` — the single
+/// renderer of component-time JSON.  Both to_json(PoolScanReport) and the
+/// service layer's to_json(SweepReport) call this, so the two serializers
+/// cannot drift apart (they used to hand-aggregate the same three fields
+/// independently).
+std::string cpu_ns_json(const ComponentTimes& times);
+
 /// Escapes a string for embedding in JSON output.
 std::string json_escape(const std::string& s);
 

@@ -29,10 +29,8 @@ std::string to_json(const SweepReport& report) {
   for (std::size_t i = 0; i < report.scans.size(); ++i) {
     os << (i == 0 ? "" : ",") << core::to_json(report.scans[i]);
   }
-  os << "],\"wall_ns\":" << report.wall_time
-     << ",\"cpu_ns\":{\"searcher\":" << report.cpu_times.searcher
-     << ",\"parser\":" << report.cpu_times.parser
-     << ",\"checker\":" << report.cpu_times.checker << "}";
+  os << "],\"wall_ns\":" << report.wall_time << ','
+     << core::cpu_ns_json(report.cpu_times);
   // Quarantine fields only on degraded runs: a healthy sweep's JSON line
   // stays byte-identical to the historical schema.
   if (!report.quarantined.empty() || report.pool_exhausted) {
@@ -42,6 +40,9 @@ std::string to_json(const SweepReport& report) {
     }
     os << "],\"pool_exhausted\":"
        << (report.pool_exhausted ? "true" : "false");
+  }
+  if (!report.telemetry_json.empty()) {
+    os << ",\"telemetry\":" << report.telemetry_json;
   }
   os << "}";
   return os.str();
@@ -91,9 +92,60 @@ std::uint64_t JsonLinesSink::write_failures() const {
   return write_failures_;
 }
 
+void ChromeTraceSink::on_sweep(const SweepReport& /*report*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) {
+    return;
+  }
+  write_events_locked();
+}
+
+void ChromeTraceSink::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) {
+    return;
+  }
+  write_events_locked();
+  if (!header_written_) {
+    *os_ << "[\n";  // empty run: still emit a valid (empty) array
+  }
+  *os_ << "\n]\n";
+  os_->flush();
+  finished_ = true;
+}
+
+std::uint64_t ChromeTraceSink::events_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void ChromeTraceSink::write_events_locked() {
+  const std::vector<telemetry::SpanRecord> spans = recorder_->drain();
+  for (const telemetry::SpanRecord& span : spans) {
+    if (!header_written_) {
+      *os_ << "[\n";
+      header_written_ = true;
+    } else {
+      *os_ << ",\n";
+    }
+    *os_ << telemetry::chrome_trace_event(span);
+    ++events_;
+  }
+}
+
 // ---- FleetService ----------------------------------------------------------
 
-FleetService::FleetService(FleetConfig config) : config_(std::move(config)) {
+FleetService::FleetService(FleetConfig config)
+    : config_(std::move(config)),
+      metrics_(&telemetry::resolve(config_.metrics)),
+      submitted_(metrics_->owned_counter("service.submitted")),
+      completed_runs_(metrics_->owned_counter("service.completed_runs")),
+      cancelled_runs_(metrics_->owned_counter("service.cancelled_runs")),
+      dropped_pending_(metrics_->owned_counter("service.dropped_pending")),
+      quarantine_events_(metrics_->owned_counter("service.quarantine_events")),
+      exhausted_runs_(metrics_->owned_counter("service.exhausted_runs")),
+      queue_depth_(metrics_->gauge("service.queue_depth")),
+      sweeps_in_flight_(metrics_->gauge("service.sweeps_in_flight")) {
   MC_CHECK(config_.workers >= 1, "FleetService needs at least one worker");
 }
 
@@ -106,6 +158,18 @@ std::size_t FleetService::add_pool(const vmm::Hypervisor& hypervisor,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     MC_CHECK(!started_, "add_pool must be called before start()");
+  }
+  // Pools inherit the fleet's telemetry wiring unless their config brought
+  // its own; trace_pid defaults to pool index + 1 so each pool renders as
+  // a separate process row in chrome://tracing.
+  if (config.metrics == nullptr) {
+    config.metrics = metrics_;
+  }
+  if (config.tracer == nullptr) {
+    config.tracer = config_.tracer;
+  }
+  if (config.trace_pid == 0) {
+    config.trace_pid = pools_.size() + 1;
   }
   auto pool = std::make_unique<Pool>();
   pool->hypervisor = &hypervisor;
@@ -169,8 +233,8 @@ SweepId FleetService::submit(SweepSpec spec) {
   if (!queue_.push(std::move(run))) {
     return 0;  // draining / stopped
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.submitted;
+  submitted_.inc();
+  queue_depth_.set(static_cast<std::int64_t>(queue_.pending()));
   return id;
 }
 
@@ -180,8 +244,7 @@ bool FleetService::cancel(SweepId id) {
   // scans, and completed runs refuse to re-enqueue their recurrence.
   const bool struck = queue_.cancel(id);
   if (struck) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.dropped_pending;
+    dropped_pending_.inc();
   }
   return struck;
 }
@@ -206,9 +269,9 @@ void FleetService::stop() {
   queue_.close();  // refuse recurrences first, then drop the backlog
   const std::size_t dropped = queue_.clear();
   if (dropped > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.dropped_pending += dropped;
+    dropped_pending_.inc(dropped);
   }
+  queue_depth_.set(0);
   join_workers();
 }
 
@@ -224,19 +287,34 @@ void FleetService::join_workers() {
 }
 
 FleetService::Stats FleetService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out;
+  out.submitted = submitted_.value();
+  out.completed_runs = completed_runs_.value();
+  out.cancelled_runs = cancelled_runs_.value();
+  out.dropped_pending = dropped_pending_.value();
+  out.quarantine_events = quarantine_events_.value();
+  out.exhausted_runs = exhausted_runs_.value();
+  return out;
 }
 
 void FleetService::worker_loop() {
   while (auto run = queue_.pop()) {
+    queue_depth_.set(static_cast<std::int64_t>(queue_.pending()));
+    sweeps_in_flight_.add(1);
     run_sweep(std::move(*run));
+    sweeps_in_flight_.add(-1);
     queue_.done();  // after run_sweep's recurrence push — see wait_idle()
   }
 }
 
 void FleetService::run_sweep(QueuedSweep run) {
   Pool& pool = *pools_[run.spec.pool_index];
+
+  telemetry::SpanScope sweep_span =
+      telemetry::span(config_.tracer, "sweep", "service",
+                      /*process=*/run.spec.pool_index + 1, /*track=*/0);
+  sweep_span.arg("name", run.spec.name);
+  sweep_span.arg("run", static_cast<std::uint64_t>(run.run_index));
 
   SweepReport report;
   report.id = run.id;
@@ -283,19 +361,22 @@ void FleetService::run_sweep(QueuedSweep run) {
       report.scans.push_back(std::move(scan));
     }
   }
-  emit(report);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (report.cancelled) {
-      ++stats_.cancelled_runs;
-    } else {
-      ++stats_.completed_runs;
-    }
-    stats_.quarantine_events += report.quarantined.size();
-    if (report.pool_exhausted) {
-      ++stats_.exhausted_runs;
-    }
+  if (report.cancelled) {
+    cancelled_runs_.inc();
+  } else {
+    completed_runs_.inc();
   }
+  quarantine_events_.inc(report.quarantined.size());
+  if (report.pool_exhausted) {
+    exhausted_runs_.inc();
+  }
+  sweep_span.arg("findings",
+                 static_cast<std::uint64_t>(report.findings.size()));
+  sweep_span.end();  // close before emit so a ChromeTraceSink drains it
+  if (config_.emit_telemetry) {
+    report.telemetry_json = telemetry::to_json(metrics_->snapshot());
+  }
+  emit(report);
 
   // Recurrence: re-enqueue the next run on the sweep's simulated cadence.
   // push() refuses once the queue is closed (drain) or the id cancelled.

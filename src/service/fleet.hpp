@@ -35,6 +35,8 @@
 
 #include "modchecker/pipeline.hpp"
 #include "service/sweep_queue.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mc::service {
@@ -71,6 +73,9 @@ struct SweepReport {
   bool pool_exhausted = false;
   SimNanos wall_time = 0;  // summed simulated scan wall time
   core::ComponentTimes cpu_times;
+  /// Registry snapshot JSON, filled only when FleetConfig::emit_telemetry;
+  /// serialized as a "telemetry" field when (and only when) non-empty.
+  std::string telemetry_json;
 };
 
 /// {"sweep": ..., "run": ..., "cancelled": ..., "findings": [...],
@@ -126,9 +131,50 @@ class JsonLinesSink : public SweepSink {
   std::uint64_t write_failures_ = 0;
 };
 
+/// Streams completed trace spans as Chrome trace_event JSONL (the JSON
+/// Array Format) — point it at a file, hand the same TraceRecorder to the
+/// FleetConfig, and the whole multi-pool sweep timeline opens in
+/// chrome://tracing / Perfetto.  Each on_sweep drains the recorder, so the
+/// file grows as the fleet runs; finish() (or destruction) drains one last
+/// time and closes the JSON array.
+class ChromeTraceSink : public SweepSink {
+ public:
+  ChromeTraceSink(std::ostream& os, telemetry::TraceRecorder& recorder)
+      : os_(&os), recorder_(&recorder) {}
+
+  ~ChromeTraceSink() override { finish(); }
+
+  void on_sweep(const SweepReport& report) override;
+
+  /// Drains any remaining spans and writes the closing bracket.
+  /// Idempotent; further on_sweep calls become no-ops.
+  void finish();
+
+  std::uint64_t events_written() const;
+
+ private:
+  void write_events_locked();
+
+  mutable std::mutex mutex_;
+  std::ostream* os_;
+  telemetry::TraceRecorder* recorder_;
+  bool header_written_ = false;
+  bool finished_ = false;
+  std::uint64_t events_ = 0;
+};
+
 struct FleetConfig {
   /// Worker threads pulling sweeps off the queue (>= 1).
   std::size_t workers = 2;
+  /// Registry backing the service's counters/gauges and, unless a pool's
+  /// own config says otherwise, every pool pipeline (null = process
+  /// default).
+  telemetry::MetricRegistry* metrics = nullptr;
+  /// Span recorder shared with every pool pipeline that does not bring its
+  /// own; pair it with a ChromeTraceSink for a browsable fleet timeline.
+  telemetry::TraceRecorder* tracer = nullptr;
+  /// Attach a registry snapshot to every SweepReport ("telemetry" field).
+  bool emit_telemetry = false;
 };
 
 class FleetService {
@@ -183,6 +229,8 @@ class FleetService {
   std::size_t pool_count() const { return pools_.size(); }
   std::size_t pending_sweeps() const { return queue_.pending(); }
 
+  /// Deprecated view over the registry aggregates "service.*".
+  // mc-lint: allow(adhoc-stats)
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t completed_runs = 0;   // runs that finished every module
@@ -212,6 +260,18 @@ class FleetService {
   void join_workers();
 
   FleetConfig config_;
+  telemetry::MetricRegistry* metrics_;  // resolved, never null
+
+  // Atomic registry cells ("service.*") + live-level gauges.
+  telemetry::OwnedCounter submitted_;
+  telemetry::OwnedCounter completed_runs_;
+  telemetry::OwnedCounter cancelled_runs_;
+  telemetry::OwnedCounter dropped_pending_;
+  telemetry::OwnedCounter quarantine_events_;
+  telemetry::OwnedCounter exhausted_runs_;
+  telemetry::Gauge queue_depth_;
+  telemetry::Gauge sweeps_in_flight_;
+
   std::vector<std::unique_ptr<Pool>> pools_;
   std::vector<std::shared_ptr<SweepSink>> sinks_;
   std::function<void(SweepId, std::size_t, const std::string&)> module_hook_;
@@ -220,9 +280,8 @@ class FleetService {
   std::unique_ptr<ThreadPool> workers_;
   std::vector<std::future<void>> worker_futures_;
 
-  mutable std::mutex mutex_;  // guards next_id_, stats_, started_, draining_
+  mutable std::mutex mutex_;  // guards next_id_, started_, draining_
   SweepId next_id_ = 1;
-  Stats stats_;
   bool started_ = false;
   bool draining_ = false;
 };

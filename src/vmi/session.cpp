@@ -17,14 +17,40 @@ constexpr std::uint32_t kPageMask = vmm::kFrameSize - 1;
 
 VmiSession::VmiSession(const vmm::Hypervisor& hypervisor,
                        vmm::DomainId domain, SimClock& clock,
-                       const VmiCostModel& costs)
+                       const VmiCostModel& costs,
+                       telemetry::MetricRegistry* metrics)
     : hypervisor_(&hypervisor),
       domain_id_(domain),
       clock_(&clock),
       costs_(costs) {
+  telemetry::MetricRegistry& reg = telemetry::resolve(metrics);
+  counters_.pages_mapped = reg.owned_counter("vmi.pages_mapped");
+  counters_.bytes_copied = reg.owned_counter("vmi.bytes_copied");
+  counters_.translations = reg.owned_counter("vmi.translations");
+  counters_.translation_cache_hits =
+      reg.owned_counter("vmi.translation_cache_hits");
+  counters_.read_calls = reg.owned_counter("vmi.read_calls");
+  counters_.kdbg_frames_scanned = reg.owned_counter("vmi.kdbg_frames_scanned");
+  counters_.batched_pages = reg.owned_counter("vmi.batched_pages");
+  counters_.session_reuses = reg.owned_counter("vmi.session_reuses");
+  counters_.faults_observed = reg.owned_counter("vmi.faults_observed");
   // Validate the domain exists up front (mirrors vmi_init failing fast).
   (void)hypervisor_->domain(domain_id_);
   charge(costs_.attach);
+}
+
+VmiStats VmiSession::stats() const {
+  VmiStats snap;
+  snap.pages_mapped = counters_.pages_mapped.value();
+  snap.bytes_copied = counters_.bytes_copied.value();
+  snap.translations = counters_.translations.value();
+  snap.translation_cache_hits = counters_.translation_cache_hits.value();
+  snap.read_calls = counters_.read_calls.value();
+  snap.kdbg_frames_scanned = counters_.kdbg_frames_scanned.value();
+  snap.batched_pages = counters_.batched_pages.value();
+  snap.session_reuses = counters_.session_reuses.value();
+  snap.faults_observed = counters_.faults_observed.value();
+  return snap;
 }
 
 void VmiSession::charge(SimNanos nanos) {
@@ -34,7 +60,7 @@ void VmiSession::charge(SimNanos nanos) {
 
 FaultRecord VmiSession::make_fault(FaultCode code, std::uint32_t va,
                                    std::uint64_t pa, std::string detail) {
-  ++stats_.faults_observed;
+  counters_.faults_observed.inc();
   FaultRecord record;
   record.code = code;
   record.domain = domain_id_;
@@ -56,7 +82,7 @@ MaybeFault VmiSession::try_ensure_debug_block() {
   const std::uint32_t frames = mem.frame_count();
   for (std::uint32_t f = 0; f < frames; ++f) {
     mem.read(std::uint64_t{f} << vmm::kFrameShift, frame);
-    ++stats_.kdbg_frames_scanned;
+    counters_.kdbg_frames_scanned.inc();
     charge(costs_.kdbg_scan_per_frame);
     for (std::uint32_t off = 0; off + guestos::kDebugBlockSize <= frame.size();
          off += 4) {
@@ -93,10 +119,10 @@ Fallible<std::uint32_t> VmiSession::try_guest_version() {
 
 Fallible<std::uint64_t> VmiSession::try_translate_kv2p(std::uint32_t va) {
   const std::uint32_t page = va & ~kPageMask;
-  ++stats_.translations;
+  counters_.translations.inc();
   const auto it = v2p_cache_.find(page);
   if (it != v2p_cache_.end()) {
-    ++stats_.translation_cache_hits;
+    counters_.translation_cache_hits.inc();
     charge(costs_.translate_cached);
     return it->second | (va & kPageMask);
   }
@@ -137,7 +163,7 @@ Fallible<std::uint64_t> VmiSession::try_translate_kv2p(std::uint32_t va) {
 }
 
 MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
-  ++stats_.read_calls;
+  counters_.read_calls.inc();
   charge(costs_.read_call);
 
   // One injection roll per read call (mirrors a hypercall failing as a
@@ -162,7 +188,7 @@ MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
     // Map the frame into the privileged VM unless it is the one we already
     // have mapped (LibVMI keeps the last mapping hot).
     if (!last_mapped_frame_ || *last_mapped_frame_ != frame) {
-      ++stats_.pages_mapped;
+      counters_.pages_mapped.inc();
       charge(costs_.page_map);
       last_mapped_frame_ = frame;
     }
@@ -189,8 +215,8 @@ MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
         }
         const std::size_t extra = std::min<std::size_t>(
             vmm::kFrameSize, out.size() - done - take);
-        ++stats_.pages_mapped;
-        ++stats_.batched_pages;
+        counters_.pages_mapped.inc();
+        counters_.batched_pages.inc();
         charge(costs_.page_map_batched);
         last_mapped_frame_ = next_frame;
         take += extra;
@@ -202,7 +228,7 @@ MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
     }
 
     mem.read(pa, out.subspan(done, take));
-    stats_.bytes_copied += take;
+    counters_.bytes_copied.inc(take);
     charge(costs_.copy_per_byte * take);
     done += take;
   }

@@ -27,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "telemetry/registry.hpp"
 #include "util/bytes.hpp"
 #include "util/fault.hpp"
 #include "util/sim_clock.hpp"
@@ -35,6 +36,10 @@
 
 namespace mc::vmi {
 
+/// Deprecated view: a point-in-time snapshot of one session's counters,
+/// which now live in the telemetry registry (aggregate names "vmi.*").
+/// Kept so existing callers and tests read the same fields they always did.
+// mc-lint: allow(adhoc-stats)
 struct VmiStats {
   std::uint64_t pages_mapped = 0;
   std::uint64_t bytes_copied = 0;
@@ -60,11 +65,18 @@ class VmiSession {
   /// Attaches to `domain` (throws NotFoundError if absent — attaching to a
   /// domain that does not exist is caller error, not a guest fault).  The
   /// debug block scan is performed lazily on first symbol lookup.
+  /// Counters register with `metrics` (null = the process default registry).
   VmiSession(const vmm::Hypervisor& hypervisor, vmm::DomainId domain,
-             SimClock& clock, const VmiCostModel& costs = {});
+             SimClock& clock, const VmiCostModel& costs = {},
+             telemetry::MetricRegistry* metrics = nullptr);
 
   vmm::DomainId domain_id() const { return domain_id_; }
-  const VmiStats& stats() const { return stats_; }
+
+  /// Coherent snapshot of this session's counters.  Safe to call while
+  /// another thread is inside read_va: every counter is an atomic registry
+  /// cell (the historical plain-struct version tore under concurrency).
+  VmiStats stats() const;
+
   SimClock& clock() { return *clock_; }
   const VmiCostModel& costs() const { return costs_; }
 
@@ -74,7 +86,7 @@ class VmiSession {
   void rebind_clock(SimClock& clock) { clock_ = &clock; }
 
   /// Pool bookkeeping: bumps the cross-scan reuse counter.
-  void note_reuse() { ++stats_.session_reuses; }
+  void note_reuse() { counters_.session_reuses.inc(); }
 
   // ---- Fault-returning core (the scan hot path) ----------------------------
 
@@ -126,11 +138,25 @@ class VmiSession {
   FaultRecord make_fault(FaultCode code, std::uint32_t va, std::uint64_t pa,
                          std::string detail);
 
+  /// Atomic per-session cells of the fleet-wide "vmi.*" aggregates; hot-path
+  /// increments are relaxed fetch_adds, so stats() never tears.
+  struct SessionCounters {
+    telemetry::OwnedCounter pages_mapped;
+    telemetry::OwnedCounter bytes_copied;
+    telemetry::OwnedCounter translations;
+    telemetry::OwnedCounter translation_cache_hits;
+    telemetry::OwnedCounter read_calls;
+    telemetry::OwnedCounter kdbg_frames_scanned;
+    telemetry::OwnedCounter batched_pages;
+    telemetry::OwnedCounter session_reuses;
+    telemetry::OwnedCounter faults_observed;
+  };
+
   const vmm::Hypervisor* hypervisor_;
   vmm::DomainId domain_id_;
   SimClock* clock_;
   VmiCostModel costs_;
-  VmiStats stats_;
+  SessionCounters counters_;
 
   std::optional<std::uint32_t> ps_loaded_module_list_va_;
   std::optional<std::uint32_t> kernel_base_va_;

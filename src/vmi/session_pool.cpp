@@ -5,8 +5,14 @@
 namespace mc::vmi {
 
 VmiSessionPool::VmiSessionPool(const vmm::Hypervisor& hypervisor,
-                               const VmiCostModel& costs)
-    : hypervisor_(&hypervisor), costs_(costs) {}
+                               const VmiCostModel& costs,
+                               telemetry::MetricRegistry* metrics)
+    : hypervisor_(&hypervisor),
+      costs_(costs),
+      metrics_(&telemetry::resolve(metrics)),
+      created_(metrics_->owned_counter("vmi.pool.created")),
+      reused_(metrics_->owned_counter("vmi.pool.reused")),
+      invalidated_(metrics_->owned_counter("vmi.pool.invalidated")) {}
 
 VmiSessionPool::Lease VmiSessionPool::acquire(vmm::DomainId domain,
                                               SimClock& clock) {
@@ -28,21 +34,18 @@ VmiSessionPool::Lease VmiSessionPool::acquire(vmm::DomainId domain,
                                         entry->cr3 != dom.cr3());
   if (stale) {
     entry->session.reset();
-    std::lock_guard<std::mutex> map_lock(map_mutex_);
-    ++stats_.invalidated;
+    invalidated_.inc();
   }
   if (entry->session) {
     entry->session->rebind_clock(clock);
     entry->session->note_reuse();
-    std::lock_guard<std::mutex> map_lock(map_mutex_);
-    ++stats_.reused;
+    reused_.inc();
   } else {
-    entry->session =
-        std::make_unique<VmiSession>(*hypervisor_, domain, clock, costs_);
+    entry->session = std::make_unique<VmiSession>(*hypervisor_, domain, clock,
+                                                  costs_, metrics_);
     entry->epoch = dom.epoch();
     entry->cr3 = dom.cr3();
-    std::lock_guard<std::mutex> map_lock(map_mutex_);
-    ++stats_.created;
+    created_.inc();
   }
   return Lease(std::move(lock), entry->session.get());
 }
@@ -60,8 +63,7 @@ void VmiSessionPool::invalidate(vmm::DomainId domain) {
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->session) {
     entry->session.reset();
-    std::lock_guard<std::mutex> map_lock(map_mutex_);
-    ++stats_.invalidated;
+    invalidated_.inc();
   }
 }
 
@@ -81,15 +83,17 @@ void VmiSessionPool::invalidate_all() {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (entry->session) {
       entry->session.reset();
-      std::lock_guard<std::mutex> map_lock(map_mutex_);
-      ++stats_.invalidated;
+      invalidated_.inc();
     }
   }
 }
 
 SessionPoolStats VmiSessionPool::stats() const {
-  std::lock_guard<std::mutex> map_lock(map_mutex_);
-  return stats_;
+  SessionPoolStats snap;
+  snap.created = created_.value();
+  snap.reused = reused_.value();
+  snap.invalidated = invalidated_.value();
+  return snap;
 }
 
 }  // namespace mc::vmi

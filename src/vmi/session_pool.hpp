@@ -31,6 +31,9 @@
 
 namespace mc::vmi {
 
+/// Deprecated view over the registry aggregates "vmi.pool.*" — see
+/// telemetry/registry.hpp.  Kept so existing callers read the same fields.
+// mc-lint: allow(adhoc-stats)
 struct SessionPoolStats {
   /// Sessions built from scratch (first acquire, or rebuild after
   /// staleness/invalidation).
@@ -44,8 +47,11 @@ struct SessionPoolStats {
 
 class VmiSessionPool {
  public:
+  /// `metrics` backs the pool's counters and every session it builds
+  /// (null = the process default registry).
   explicit VmiSessionPool(const vmm::Hypervisor& hypervisor,
-                          const VmiCostModel& costs = {});
+                          const VmiCostModel& costs = {},
+                          telemetry::MetricRegistry* metrics = nullptr);
 
   VmiSessionPool(const VmiSessionPool&) = delete;
   VmiSessionPool& operator=(const VmiSessionPool&) = delete;
@@ -93,10 +99,15 @@ class VmiSessionPool {
 
   const vmm::Hypervisor* hypervisor_;
   VmiCostModel costs_;
+  telemetry::MetricRegistry* metrics_;  // resolved, never null
 
-  mutable std::mutex map_mutex_;  // guards entries_ map shape + stats_
+  mutable std::mutex map_mutex_;  // guards entries_ map shape
   std::map<vmm::DomainId, std::unique_ptr<Entry>> entries_;
-  SessionPoolStats stats_;
+
+  // Atomic registry cells ("vmi.pool.*"); bumped without map_mutex_.
+  telemetry::OwnedCounter created_;
+  telemetry::OwnedCounter reused_;
+  telemetry::OwnedCounter invalidated_;
 };
 
 }  // namespace mc::vmi

@@ -1,9 +1,38 @@
 #include "vmm/hypervisor.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace mc::vmm {
+
+namespace {
+
+// Domain lifecycle is process-global state (hypervisors are shared across
+// pipelines), so its telemetry lands on the process-default registry.
+struct DomainCounters {
+  telemetry::Counter created;
+  telemetry::Counter cloned;
+  telemetry::Counter destroyed;
+  telemetry::Counter snapshots;
+  telemetry::Counter restores;
+  telemetry::Gauge live;
+};
+
+const DomainCounters& domain_counters() {
+  static const DomainCounters counters = [] {
+    telemetry::MetricRegistry& r = telemetry::MetricRegistry::process_default();
+    return DomainCounters{r.counter("vmm.domains.created"),
+                          r.counter("vmm.domains.cloned"),
+                          r.counter("vmm.domains.destroyed"),
+                          r.counter("vmm.domains.snapshots"),
+                          r.counter("vmm.domains.restores"),
+                          r.gauge("vmm.domains.live")};
+  }();
+  return counters;
+}
+
+}  // namespace
 
 DomainSnapshot::DomainSnapshot(DomainId id, const Domain& source)
     : id_(id),
@@ -22,6 +51,8 @@ DomainId Hypervisor::create_domain(const std::string& name,
                                    std::uint64_t memory_bytes) {
   const DomainId id = next_id_++;
   domains_.emplace(id, Domain(id, name, memory_bytes));
+  domain_counters().created.inc();
+  domain_counters().live.add(1);
   log_debug("created domain %u (%s), %llu MiB", id, name.c_str(),
             static_cast<unsigned long long>(memory_bytes >> 20));
   return id;
@@ -31,6 +62,7 @@ DomainId Hypervisor::clone_domain(DomainId source, const std::string& name) {
   const Domain& src = domain(source);
   const DomainId id = create_domain(name, src.memory().size());
   domain(id).copy_state_from(src);
+  domain_counters().cloned.inc();
   return id;
 }
 
@@ -38,6 +70,8 @@ void Hypervisor::destroy_domain(DomainId id) {
   if (domains_.erase(id) == 0) {
     throw NotFoundError("no such domain: " + std::to_string(id));
   }
+  domain_counters().destroyed.inc();
+  domain_counters().live.add(-1);
 }
 
 Domain& Hypervisor::domain(DomainId id) {
@@ -74,11 +108,13 @@ double Hypervisor::total_busy_load() const {
 }
 
 DomainSnapshot Hypervisor::snapshot(DomainId id) const {
+  domain_counters().snapshots.inc();
   return DomainSnapshot(id, domain(id));
 }
 
 void Hypervisor::restore(const DomainSnapshot& snap) {
   domain(snap.domain_id()).copy_state_from(snap.state());
+  domain_counters().restores.inc();
 }
 
 }  // namespace mc::vmm

@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 
 namespace mc::vmm {
+
+namespace {
+
+// Physical memory sits below any pipeline's choice of registry (a single
+// PhysicalMemory is shared by every scan of its guest), so its page-op
+// totals land on the process-default registry.  Handles are copyable
+// atomic-shard references; the statics are initialized once, thread-safely.
+struct PhysCounters {
+  telemetry::Counter reads;
+  telemetry::Counter writes;
+  telemetry::Counter bytes_read;
+  telemetry::Counter bytes_written;
+  telemetry::Counter frames_materialized;
+};
+
+const PhysCounters& phys_counters() {
+  static const PhysCounters counters = [] {
+    telemetry::MetricRegistry& r = telemetry::MetricRegistry::process_default();
+    return PhysCounters{r.counter("vmm.phys.reads"),
+                        r.counter("vmm.phys.writes"),
+                        r.counter("vmm.phys.bytes_read"),
+                        r.counter("vmm.phys.bytes_written"),
+                        r.counter("vmm.phys.frames_materialized")};
+  }();
+  return counters;
+}
+
+}  // namespace
 
 PhysicalMemory::PhysicalMemory(std::uint64_t size_bytes)
     : size_((size_bytes + kFrameSize - 1) & ~std::uint64_t{kFrameSize - 1}),
@@ -37,6 +66,7 @@ PhysicalMemory::Frame& PhysicalMemory::frame_for_write(std::uint32_t frame_no) {
   if (!slot) {
     slot = std::make_unique<Frame>();
     slot->fill(0);
+    phys_counters().frames_materialized.inc();
   }
   return *slot;
 }
@@ -50,6 +80,8 @@ void PhysicalMemory::check_range(std::uint64_t pa, std::uint64_t len) const {
 
 void PhysicalMemory::read(std::uint64_t pa, MutableByteView out) const {
   check_range(pa, out.size());
+  phys_counters().reads.inc();
+  phys_counters().bytes_read.inc(out.size());
   std::size_t done = 0;
   while (done < out.size()) {
     const std::uint64_t cur = pa + done;
@@ -69,6 +101,8 @@ void PhysicalMemory::read(std::uint64_t pa, MutableByteView out) const {
 
 void PhysicalMemory::write(std::uint64_t pa, ByteView data) {
   check_range(pa, data.size());
+  phys_counters().writes.inc();
+  phys_counters().bytes_written.inc(data.size());
   ++write_counter_;
   std::size_t done = 0;
   while (done < data.size()) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include "telemetry/registry.hpp"
 
 namespace mc::workload {
 
@@ -112,6 +113,15 @@ std::vector<ResourceSample> ResourceMonitor::record(
 PerturbationStats analyze_metric(
     const std::vector<ResourceSample>& samples,
     const std::function<double(const ResourceSample&)>& metric) {
+  // Analysis counts land on the process-default registry: the monitor is a
+  // measurement harness with no per-pipeline registry of its own.
+  static const telemetry::Counter analyses =
+      telemetry::MetricRegistry::process_default().counter(
+          "workload.analyses");
+  static const telemetry::Counter significant_count =
+      telemetry::MetricRegistry::process_default().counter(
+          "workload.significant");
+  analyses.inc();
   PerturbationStats stats;
   double sum_in = 0;
   double sum_out = 0;
@@ -175,6 +185,9 @@ PerturbationStats analyze_metric(
   stats.welch_t = var_term > 0
                       ? (stats.mean_in - stats.mean_out) / std::sqrt(var_term)
                       : 0;
+  if (stats.significant()) {
+    significant_count.inc();
+  }
   return stats;
 }
 

@@ -76,6 +76,10 @@ class ResourceMonitor {
 /// t statistic uses effective sample sizes n_eff = n * (1-r1) / (1+r1)
 /// where r1 is the series' lag-1 autocorrelation — the standard correction
 /// for comparing means of AR(1)-like measurements.
+/// Result of one analysis, not an accumulating counter set — the registry
+/// records how many analyses ran ("workload.analyses"/".significant");
+/// the per-metric statistics stay a plain value type.
+// mc-lint: allow(adhoc-stats)
 struct PerturbationStats {
   double mean_in = 0;
   double mean_out = 0;

@@ -1,0 +1,18 @@
+// Fixture: adhoc-stats violations (scanned by mc_lint tests, never
+// compiled).
+#include <cstdint>
+
+struct ScanStats {
+  std::uint64_t reads = 0;
+};
+
+struct Stats { int n = 0; };
+
+struct PoolStats;
+
+// mc-lint: allow(adhoc-stats)
+struct ResultStats {
+  double mean = 0;
+};
+
+struct Status { int s = 0; };

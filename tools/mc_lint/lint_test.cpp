@@ -21,13 +21,14 @@ std::string fixture(const std::string& name) {
 
 TEST(LintRules, CatalogIsStable) {
   const auto& ids = mc::lint::rule_ids();
-  ASSERT_EQ(ids.size(), 8u);
+  ASSERT_EQ(ids.size(), 9u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-reinterpret-cast"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "parser-bounds-check"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "pipeline-bypass"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "catch-swallow"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "adhoc-stats"), ids.end());
 }
 
 TEST(LintFixtures, RawReinterpretCast) {
@@ -104,6 +105,26 @@ TEST(LintFixtures, CatchSwallow) {
   EXPECT_NE(findings[1].message.find("empty catch body"), std::string::npos);
 }
 
+TEST(LintFixtures, AdhocStats) {
+  // Flagged: the named stats struct (5) and the bare `struct Stats` (9).
+  // Not flagged: the forward declaration (11), the allow()-escaped
+  // definition (14) and the non-Stats struct (18).
+  const auto findings = lint_file(fixture("adhoc_stats.cpp"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "adhoc-stats");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("'ScanStats'"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "adhoc-stats");
+  EXPECT_EQ(findings[1].line, 9);
+}
+
+TEST(LintSource, TelemetryOwnsItsStatsStructs) {
+  const std::string body = "struct ReaderStats { int n = 0; };\n";
+  EXPECT_TRUE(lint_source("src/telemetry/registry.hpp", body).empty());
+  EXPECT_TRUE(lint_source("/abs/src/telemetry/internal.cpp", body).empty());
+  EXPECT_EQ(lint_source("src/vmi/session.hpp", body).size(), 1u);
+}
+
 TEST(LintSource, TypedNonEmptyHandlerIsClean) {
   const auto findings = lint_source(
       "ok.cpp",
@@ -149,9 +170,9 @@ TEST(LintFixtures, CleanFileHasNoFindings) {
 }
 
 TEST(LintFixtures, TreeScanCoversEveryFixture) {
-  // 1 + 1 + 2 + 2 + 1 + 1 + 4 + 4 + 0 findings across the directory.
+  // 2 + 1 + 1 + 2 + 2 + 1 + 1 + 4 + 4 + 0 findings across the directory.
   const auto findings = lint_tree(MC_LINT_FIXTURE_DIR);
-  EXPECT_EQ(findings.size(), 16u);
+  EXPECT_EQ(findings.size(), 18u);
 }
 
 TEST(LintSource, CommentsAndStringsDoNotFire) {

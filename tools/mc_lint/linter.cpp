@@ -512,13 +512,68 @@ void run_catch_rule(const ScannedSource& src, const std::string& file,
   }
 }
 
+/// adhoc-stats: counters belong in the telemetry registry
+/// (src/telemetry/registry.hpp), where they are thread-safe, nameable, and
+/// exportable — a fresh `struct FooStats { uint64_t ...; }` recreates the
+/// pre-registry world of torn snapshots and six bespoke accessors.  The
+/// telemetry library itself is exempt; deliberate plain-value result types
+/// carry an explicit allow(adhoc-stats).
+bool telemetry_owner(const std::string& file) {
+  std::string norm = file;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.find("/telemetry/") != std::string::npos ||
+         norm.rfind("telemetry/", 0) == 0;
+}
+
+void run_adhoc_stats_rule(const ScannedSource& src, const std::string& file,
+                          std::vector<Finding>& findings) {
+  if (telemetry_owner(file)) {
+    return;
+  }
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    for (std::size_t pos = find_token(line, "struct"); pos != std::string::npos;
+         pos = find_token(line, "struct", pos + 1)) {
+      std::size_t j = pos + 6;  // past "struct"
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+        ++j;
+      }
+      std::size_t end = j;
+      while (end < line.size() && is_word_char(line[end])) {
+        ++end;
+      }
+      if (end == j) {
+        continue;  // anonymous struct
+      }
+      const std::string name = line.substr(j, end - j);
+      if (name != "Stats" &&
+          (name.size() < 5 ||
+           name.compare(name.size() - 5, 5, "Stats") != 0)) {
+        continue;
+      }
+      // Definitions only: a `{` must follow the name (possibly after
+      // `final` or a base clause) on the same line.  `struct FooStats;`
+      // forward declarations and `const Stats&` mentions stay quiet.
+      if (line.find('{', end) == std::string::npos) {
+        continue;
+      }
+      findings.push_back(
+          {file, static_cast<int>(i + 1), "adhoc-stats",
+           "ad-hoc stats struct '" + name +
+               "'; counters belong in the telemetry registry "
+               "(src/telemetry/registry.hpp)"});
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
       "raw-reinterpret-cast", "raw-memcpy",   "std-rand",
       "naked-new",            "naked-delete", "parser-bounds-check",
-      "pipeline-bypass",      "catch-swallow",
+      "pipeline-bypass",      "catch-swallow", "adhoc-stats",
   };
   return kIds;
 }
@@ -531,6 +586,7 @@ std::vector<Finding> lint_source(const std::string& file_name,
   run_bounds_rule(src, file_name, findings);
   run_pipeline_rule(src, file_name, findings);
   run_catch_rule(src, file_name, findings);
+  run_adhoc_stats_rule(src, file_name, findings);
 
   const auto suppressed = suppressions(src);
   std::erase_if(findings, [&](const Finding& f) {

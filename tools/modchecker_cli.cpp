@@ -37,6 +37,8 @@
 #include "modchecker/searcher.hpp"
 #include "pe/constants.hpp"
 #include "pe/resources.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "vmi/dump.hpp"
 #include "pe/validate.hpp"
 #include "vmi/session.hpp"
@@ -63,6 +65,10 @@ struct Options {
   double fault_rate = 0.0;        // per-read fault probability
   std::size_t fault_victim = 0;   // Dom number; 0 = every guest
   std::uint64_t fault_seed = 1;   // deterministic per-domain stream seed
+  // Observability: registry snapshot / Chrome trace written after the
+  // command runs (see DESIGN.md §9).
+  std::string telemetry_out;
+  std::string trace_out;
 };
 
 void usage() {
@@ -86,7 +92,9 @@ void usage() {
       "                      (0..1; try: scan --fault-rate 1 "
       "--fault-victim 3)\n"
       "  --fault-victim <n>  Dom number to inject into (default: all)\n"
-      "  --fault-seed <s>    fault-injection RNG seed (default 1)\n");
+      "  --fault-seed <s>    fault-injection RNG seed (default 1)\n"
+      "  --telemetry-out <f> write a metric-registry JSON snapshot to f\n"
+      "  --trace-out <f>     write a Chrome trace (chrome://tracing) to f\n");
 }
 
 std::unique_ptr<attacks::Attack> make_attack(const std::string& name) {
@@ -114,14 +122,16 @@ std::unique_ptr<attacks::Attack> make_attack(const std::string& name) {
   throw InvalidArgument("unknown attack: " + name);
 }
 
-core::ModCheckerConfig make_config(const Options& options) {
+core::ModCheckerConfig make_config(const Options& options,
+                                   telemetry::TraceRecorder* tracer = nullptr) {
   core::ModCheckerConfig cfg;
   cfg.algorithm = crypto::parse_hash_algorithm(options.algorithm);
   cfg.parallel = options.parallel;
+  cfg.tracer = tracer;
   return cfg;
 }
 
-int run(const Options& options) {
+int run(const Options& options, telemetry::TraceRecorder* tracer) {
   cloud::CloudConfig cloud_cfg;
   cloud_cfg.guest_count = options.guests;
   cloud::CloudEnvironment env(cloud_cfg);
@@ -148,7 +158,7 @@ int run(const Options& options) {
   }
 
   if (options.command == "check") {
-    core::ModChecker checker(env.hypervisor(), make_config(options));
+    core::ModChecker checker(env.hypervisor(), make_config(options, tracer));
     const auto report = checker.check_module(subject, options.module);
     std::printf("%s", options.json
                           ? (core::to_json(report) + "\n").c_str()
@@ -157,7 +167,7 @@ int run(const Options& options) {
   }
 
   if (options.command == "scan") {
-    core::ModChecker checker(env.hypervisor(), make_config(options));
+    core::ModChecker checker(env.hypervisor(), make_config(options, tracer));
     const auto report = checker.scan_pool(options.module, guests);
     std::printf("%s", options.json
                           ? (core::to_json(report) + "\n").c_str()
@@ -168,7 +178,7 @@ int run(const Options& options) {
   if (options.command == "audit") {
     const auto report = core::audit_modules(
         env.hypervisor(), env.config().load_order, guests,
-        make_config(options));
+        make_config(options, tracer));
     std::printf("%s", options.json
                           ? (core::to_json(report) + "\n").c_str()
                           : core::format_audit_report(report).c_str());
@@ -226,7 +236,7 @@ int run(const Options& options) {
   if (options.command == "monitor") {
     core::ScanScheduler scheduler(env.hypervisor(),
                                   std::vector<vmm::DomainId>(guests),
-                                  make_config(options));
+                                  make_config(options, tracer));
     SimNanos phase = 0;
     for (const auto& module : env.config().load_order) {
       scheduler.add_policy({module, sim_ms(2000), phase});
@@ -246,7 +256,7 @@ int run(const Options& options) {
     std::printf("applied: %s\n%s\n\n", result.attack_name.c_str(),
                 result.description.c_str());
 
-    core::ModChecker checker(env.hypervisor(), make_config(options));
+    core::ModChecker checker(env.hypervisor(), make_config(options, tracer));
     const auto report = checker.check_module(victim, options.module);
     std::printf("%s", core::format_report(report).c_str());
 
@@ -344,6 +354,10 @@ int main(int argc, char** argv) {
         options.fault_victim = std::stoul(next());
       } else if (arg == "--fault-seed") {
         options.fault_seed = std::stoull(next());
+      } else if (arg == "--telemetry-out") {
+        options.telemetry_out = next();
+      } else if (arg == "--trace-out") {
+        options.trace_out = next();
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         usage();
@@ -356,7 +370,26 @@ int main(int argc, char** argv) {
   }
 
   try {
-    return run(options);
+    // The recorder (when asked for) outlives the command so the artifacts
+    // capture everything, including error paths up to the throw.
+    std::unique_ptr<mc::telemetry::TraceRecorder> recorder;
+    if (!options.trace_out.empty()) {
+      recorder = std::make_unique<mc::telemetry::TraceRecorder>();
+    }
+    const int rc = run(options, recorder.get());
+    if (!options.telemetry_out.empty()) {
+      std::ofstream out(options.telemetry_out);
+      MC_CHECK(out.good(), "cannot open --telemetry-out file");
+      out << mc::telemetry::to_json(
+                 mc::telemetry::MetricRegistry::process_default().snapshot())
+          << '\n';
+    }
+    if (recorder) {
+      std::ofstream out(options.trace_out);
+      MC_CHECK(out.good(), "cannot open --trace-out file");
+      mc::telemetry::write_chrome_trace(out, recorder->drain());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
