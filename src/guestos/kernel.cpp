@@ -8,6 +8,12 @@ namespace mc::guestos {
 
 namespace {
 constexpr std::uint32_t kGlobalsPageMask = ~(vmm::kFrameSize - 1);
+
+/// Largest BaseDllName we accept from guest memory (UTF-16 bytes).  A
+/// UNICODE_STRING length is a u16, so an unclamped value lets a hostile
+/// guest size a 64 KiB allocation per module entry; real driver names fit
+/// comfortably under this.
+constexpr std::uint16_t kMaxDllNameBytes = 2048;
 }
 
 GuestKernel::GuestKernel(vmm::Domain& domain, const GuestConfig& config)
@@ -138,6 +144,8 @@ LdrEntry GuestKernel::read_entry(std::uint32_t entry_va) const {
 
   const std::uint16_t name_len =
       load_le16(raw, profile_->off_base_dll_name + kOffUsLength);
+  MC_CHECK(name_len <= kMaxDllNameBytes,
+           "guest BaseDllName length out of bounds");
   const std::uint32_t name_va =
       load_le32(raw, profile_->off_base_dll_name + kOffUsBuffer);
   Bytes name_raw(name_len, 0);

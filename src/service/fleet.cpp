@@ -97,6 +97,9 @@ void ChromeTraceSink::on_sweep(const SweepReport& /*report*/) {
   if (finished_) {
     return;
   }
+  // audit: recorder_->drain() is the telemetry SpanRecorder's lock-free
+  // buffer swap, not SweepQueue::drain; nothing here waits.
+  // mc-lint: allow(lock-order)
   write_events_locked();
 }
 
@@ -105,6 +108,8 @@ void ChromeTraceSink::finish() {
   if (finished_) {
     return;
   }
+  // audit: same as on_sweep — the telemetry drain() is a buffer swap.
+  // mc-lint: allow(lock-order)
   write_events_locked();
   if (!header_written_) {
     *os_ << "[\n";  // empty run: still emit a valid (empty) array
@@ -345,6 +350,11 @@ void FleetService::run_sweep(QueuedSweep run) {
       if (module_hook_) {
         module_hook_(run.id, run.run_index, module);
       }
+      // audit: holding pool.mutex across the scan IS the serialization
+      // contract documented above — per-pool scans must not interleave
+      // (shared warm sessions); other pools use other mutexes and proceed
+      // in parallel.
+      // mc-lint: allow(lock-order)
       core::PoolScanReport scan = pool.pipeline->pool_scan(module, active);
       report.wall_time += scan.wall_time;
       report.cpu_times += scan.cpu_times;

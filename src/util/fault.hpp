@@ -85,9 +85,12 @@ class GuestFaultError : public VmiError {
 
 /// Result-style return: either a value or the fault that prevented it.
 /// Deliberately minimal (no monadic sugar) — call sites read as
-/// `if (!r.ok()) return r.fault();`.
+/// `if (!r.ok()) return r.fault();`.  The class itself is [[nodiscard]]:
+/// dropping a Fallible return silently converts a guest fault into
+/// "nothing happened" (the tier-2 fallible-discard rule enforces the same
+/// contract across files, with or without the attribute in scope).
 template <typename T>
-class Fallible {
+class [[nodiscard]] Fallible {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, so
   // plain `return value;` / `return fault;` both work at call sites.

@@ -101,7 +101,7 @@ class VmiSession {
   /// is translated, mapped (charged) and copied (charged) — the access
   /// pattern that makes whole-module extraction expensive.  One injection
   /// roll per call (not per byte).
-  MaybeFault try_read_va(std::uint32_t va, MutableByteView out);
+  [[nodiscard]] MaybeFault try_read_va(std::uint32_t va, MutableByteView out);
 
   /// Convenience typed reads over try_read_va.
   Fallible<std::uint32_t> try_read_u32(std::uint32_t va);
@@ -134,7 +134,7 @@ class VmiSession {
 
  private:
   void charge(SimNanos nanos);
-  MaybeFault try_ensure_debug_block();
+  [[nodiscard]] MaybeFault try_ensure_debug_block();
   FaultRecord make_fault(FaultCode code, std::uint32_t va, std::uint64_t pa,
                          std::string detail);
 

@@ -1,0 +1,38 @@
+// Fixture: fallible-discard (scanned by mc_analyze tests, never compiled).
+// The declarations below are what the cross-file index sees; the bodies
+// exercise discard (flagged), suppression, and every sanctioned use.
+#include <tuple>
+
+#include "util/fault.hpp"
+
+Fallible<int> try_fetch();
+MaybeFault try_store(int v);
+
+struct Session {
+  Fallible<int> try_probe();
+};
+
+void discards(Session& s) {
+  try_fetch();     // flagged: full-statement discard
+  try_store(7);    // flagged: MaybeFault discarded
+  s.try_probe();   // flagged: member call through a receiver chain
+  if (ready()) try_fetch();  // flagged: discard inside a control body
+}
+
+void suppressed() {
+  try_fetch();  // mc-lint: allow(fallible-discard)
+}
+
+int uses(Session& s) {
+  Fallible<int> r = try_fetch();  // ok: bound
+  if (!r.ok()) {
+    return 0;
+  }
+  (void)try_store(1);          // ok: explicit audited discard
+  std::ignore = try_fetch();   // ok: assigned to std::ignore
+  while (try_fetch().ok()) {   // ok: branched on
+    break;
+  }
+  consume(try_fetch());        // ok: passed on
+  return r.value() + s.try_probe().value();  // ok: used in an expression
+}

@@ -1,0 +1,42 @@
+// Fixture: guest-taint (scanned by mc_analyze tests, never compiled).
+// Guest-read results flow to sinks with and without intervening bounds
+// checks; only the unchecked flows are flagged.
+#include <cstdint>
+#include <vector>
+
+void unchecked(Session& s, std::vector<int>& v, Bytes& buf) {
+  auto len = s.read_u32(base);
+  buf.resize(len);                     // flagged: unchecked resize
+  auto idx = s.read_u16(base);
+  v[idx] = 1;                          // flagged: unchecked subscript
+  auto count = s.try_read_u32(base2);
+  auto blob = s.read_region(base3, count);  // flagged: unchecked read len
+}
+
+void suppressed(Session& s, Bytes& buf) {
+  auto len = s.read_u32(base);
+  buf.resize(len);  // mc-lint: allow(guest-taint)
+}
+
+void checked(Session& s, std::vector<int>& v, Bytes& buf) {
+  auto len = s.read_u32(base);
+  MC_CHECK(len <= kMaxLen, "guest length out of bounds");
+  buf.resize(len);                     // ok: MC_CHECK bound it
+  auto n = s.read_u16(base);
+  if (n < kMaxIdx) {
+    v[n] = 2;                          // ok: comparison bound it
+  }
+  auto m = s.read_u16(base);
+  auto capped = std::min(m, kMaxIdx);  // ok: min() clamps, kills the taint
+  v[capped] = 3;
+  auto fresh = local_default();
+  v[fresh] = 4;                        // ok: never tainted
+}
+
+void propagated(Session& s, Bytes& buf) {
+  auto len = s.read_u32(base);
+  auto doubled = len;
+  buf.resize(doubled);                 // flagged: taint flows via copy
+  len = kFixedSize;
+  buf.resize(len);                     // ok: reassignment killed the taint
+}

@@ -1,0 +1,48 @@
+// Fixture: lock-order ABBA inversion (scanned by mc_analyze tests, never
+// compiled).  `bad_first`/`bad_second` take the pair in opposite orders —
+// both sites are flagged.  `fine_first`/`fine_second` agree on one order
+// (near miss).  The suppressed inversion carries its audit directive.
+#include <mutex>
+
+struct State {
+  std::mutex m_a;
+  std::mutex m_b;
+  std::mutex m_c;
+  std::mutex m_d;
+  std::mutex m_e;
+  std::mutex m_f;
+};
+
+void bad_first(State& st) {
+  std::scoped_lock a(st.m_a);
+  std::scoped_lock b(st.m_b);  // flagged: opposite order in bad_second
+}
+
+void bad_second(State& st) {
+  std::scoped_lock b(st.m_b);
+  std::scoped_lock a(st.m_a);  // flagged: opposite order in bad_first
+}
+
+void fine_first(State& st) {
+  std::scoped_lock c(st.m_c);
+  std::scoped_lock d(st.m_d);  // ok: same order everywhere
+}
+
+void fine_second(State& st) {
+  std::scoped_lock c(st.m_c);
+  std::scoped_lock d(st.m_d);
+}
+
+void audited_one(State& st) {
+  std::scoped_lock e(st.m_e);
+  // audit: tool self-test — a deliberate inversion with both sites
+  // carrying the directive stays silent.
+  // mc-lint: allow(lock-order)
+  std::scoped_lock f(st.m_f);
+}
+
+void audited_two(State& st) {
+  std::scoped_lock f(st.m_f);
+  // mc-lint: allow(lock-order)
+  std::scoped_lock e(st.m_e);
+}

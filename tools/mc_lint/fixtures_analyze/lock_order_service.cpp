@@ -1,0 +1,40 @@
+// Fixture: lock-order blocking-under-service-mutex (scanned by mc_analyze
+// tests, never compiled).  The file name contains "service", so its
+// mutexes count as service-layer: a guest read and a pool wait under a
+// held guard are flagged; the condvar wait that *releases* the held guard
+// is the sanctioned idiom; the suppressed site carries its audit.
+#include <condition_variable>
+#include <mutex>
+
+struct Pump {
+  void tick();
+  void pop();
+  void flush();
+  void audited_probe();
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+void Pump::tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  session.read_va(va, out);  // flagged: guest read under service mutex
+  pool.wait_idle();          // flagged: pool drain under service mutex
+}
+
+void Pump::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock);  // ok: the wait releases the held guard
+}
+
+void Pump::flush() {
+  refresh();  // ok: no lock held at this call
+  std::lock_guard<std::mutex> lock(mutex_);
+  counter += 1;  // ok: no blocking call under the lock
+}
+
+void Pump::audited_probe() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // audit: tool self-test — deliberate blocking call, directive honored.
+  // mc-lint: allow(lock-order)
+  session.read_u32(va);
+}

@@ -1,0 +1,34 @@
+// Fixture: sim-determinism (scanned by mc_analyze tests, never compiled).
+// This TU charges SimClock costs, so host clocks, hardware entropy and
+// unordered iteration are all flagged; the ordered-container loop and the
+// suppressed line are not.
+#include <chrono>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+#include "util/sim_clock.hpp"
+
+void charged(SimClock& clock) {
+  clock.charge(SimNanos{100});
+}
+
+void wall_clock_leak() {
+  auto t0 = std::chrono::steady_clock::now();   // flagged: host clock
+  auto t1 = std::chrono::system_clock::now();   // flagged: host clock
+  std::random_device entropy;                   // flagged: hardware entropy
+}
+
+void suppressed_span() {
+  auto t = std::chrono::steady_clock::now();  // mc-lint: allow(sim-determinism)
+}
+
+void iteration(const std::unordered_map<int, int>& table,
+               const std::map<int, int>& sorted) {
+  for (const auto& kv : table) {   // flagged: unordered iteration order
+    consume(kv);
+  }
+  for (const auto& kv : sorted) {  // ok: ordered container
+    consume(kv);
+  }
+}

@@ -1,0 +1,14 @@
+// Fixture: sim-determinism near miss (scanned by mc_analyze tests, never
+// compiled).  This TU never touches simulated time, so host clocks and
+// entropy are its own business — nothing here is flagged.
+#include <chrono>
+#include <random>
+
+long host_timestamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+unsigned hardware_seed() {
+  std::random_device entropy;
+  return entropy();
+}

@@ -4,174 +4,14 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "source.hpp"
 
 namespace mc::lint {
 
 namespace {
-
-bool is_word_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Finds `token` in `line` at a word boundary on both sides; npos if absent.
-std::size_t find_token(const std::string& line, const std::string& token,
-                       std::size_t from = 0) {
-  for (std::size_t pos = line.find(token, from); pos != std::string::npos;
-       pos = line.find(token, pos + 1)) {
-    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
-    if (left_ok && right_ok) {
-      return pos;
-    }
-  }
-  return std::string::npos;
-}
-
-bool has_token(const std::string& line, const std::string& token) {
-  return find_token(line, token) != std::string::npos;
-}
-
-/// One source file split into scannable form: code with comments and
-/// literal contents blanked (quotes kept), plus the comment text per line
-/// (for suppression directives).
-struct ScannedSource {
-  std::vector<std::string> code;      // sanitized, 0-based
-  std::vector<std::string> comments;  // concatenated comment text per line
-};
-
-ScannedSource scan(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  ScannedSource out;
-  std::string code_line;
-  std::string comment_line;
-  State state = State::kCode;
-
-  const auto flush_line = [&] {
-    out.code.push_back(code_line);
-    out.comments.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) {
-        state = State::kCode;
-      }
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-          code_line += '"';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += '\'';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          code_line += '"';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_line += '\'';
-        } else {
-          code_line += ' ';
-        }
-        break;
-    }
-  }
-  flush_line();
-  return out;
-}
-
-bool is_blank(const std::string& s) {
-  return std::all_of(s.begin(), s.end(), [](char c) {
-    return std::isspace(static_cast<unsigned char>(c)) != 0;
-  });
-}
-
-/// Parses every `mc-lint: allow(rule-a, rule-b)` directive and returns,
-/// per 0-based line, the set of rules suppressed on that line.  A directive
-/// on a code line covers that line; on a comment-only line it covers the
-/// following line.
-std::map<std::size_t, std::set<std::string>> suppressions(
-    const ScannedSource& src) {
-  static const std::string kMarker = "mc-lint: allow(";
-  std::map<std::size_t, std::set<std::string>> by_line;
-  for (std::size_t i = 0; i < src.comments.size(); ++i) {
-    const std::string& comment = src.comments[i];
-    for (std::size_t pos = comment.find(kMarker); pos != std::string::npos;
-         pos = comment.find(kMarker, pos + 1)) {
-      const std::size_t open = pos + kMarker.size();
-      const std::size_t close = comment.find(')', open);
-      if (close == std::string::npos) {
-        continue;
-      }
-      std::stringstream list(comment.substr(open, close - open));
-      std::string rule;
-      const std::size_t target = is_blank(src.code[i]) ? i + 1 : i;
-      while (std::getline(list, rule, ',')) {
-        rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                  [](char c) {
-                                    return std::isspace(
-                                               static_cast<unsigned char>(c)) !=
-                                           0;
-                                  }),
-                   rule.end());
-        if (!rule.empty()) {
-          by_line[target].insert(rule);
-        }
-      }
-    }
-  }
-  return by_line;
-}
 
 /// The banned-token rules: one source token, one rule id, one message.
 struct TokenRule {
@@ -315,43 +155,6 @@ void run_bounds_rule(const ScannedSource& src, const std::string& file,
       }
     }
   }
-}
-
-/// pipeline-bypass: ModuleSearcher/ModuleParser are CheckPipeline stage
-/// internals — constructing one anywhere else re-creates the pre-refactor
-/// duplicated extraction flow.  The pipeline itself and the components'
-/// own files are the only sanctioned construction sites.
-bool pipeline_component_owner(const std::string& file) {
-  static const char* kOwners[] = {
-      "modchecker/pipeline.hpp", "modchecker/pipeline.cpp",
-      "modchecker/searcher.hpp", "modchecker/searcher.cpp",
-      "modchecker/parser.hpp",   "modchecker/parser.cpp",
-  };
-  std::string norm = file;
-  std::replace(norm.begin(), norm.end(), '\\', '/');
-  for (const char* owner : kOwners) {
-    const std::string suffix(owner);
-    if (norm.size() >= suffix.size() &&
-        norm.compare(norm.size() - suffix.size(), suffix.size(), suffix) ==
-            0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-/// The word (identifier/keyword) immediately preceding `pos`, if any.
-std::string word_before(const std::string& line, std::size_t pos) {
-  std::size_t end = pos;
-  while (end > 0 &&
-         std::isspace(static_cast<unsigned char>(line[end - 1])) != 0) {
-    --end;
-  }
-  std::size_t begin = end;
-  while (begin > 0 && is_word_char(line[begin - 1])) {
-    --begin;
-  }
-  return line.substr(begin, end - begin);
 }
 
 void run_pipeline_rule(const ScannedSource& src, const std::string& file,
@@ -518,13 +321,6 @@ void run_catch_rule(const ScannedSource& src, const std::string& file,
 /// pre-registry world of torn snapshots and six bespoke accessors.  The
 /// telemetry library itself is exempt; deliberate plain-value result types
 /// carry an explicit allow(adhoc-stats).
-bool telemetry_owner(const std::string& file) {
-  std::string norm = file;
-  std::replace(norm.begin(), norm.end(), '\\', '/');
-  return norm.find("/telemetry/") != std::string::npos ||
-         norm.rfind("telemetry/", 0) == 0;
-}
-
 void run_adhoc_stats_rule(const ScannedSource& src, const std::string& file,
                           std::vector<Finding>& findings) {
   if (telemetry_owner(file)) {
@@ -569,6 +365,32 @@ void run_adhoc_stats_rule(const ScannedSource& src, const std::string& file,
 
 }  // namespace
 
+bool pipeline_component_owner(const std::string& file) {
+  static const char* kOwners[] = {
+      "modchecker/pipeline.hpp", "modchecker/pipeline.cpp",
+      "modchecker/searcher.hpp", "modchecker/searcher.cpp",
+      "modchecker/parser.hpp",   "modchecker/parser.cpp",
+  };
+  std::string norm = file;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* owner : kOwners) {
+    const std::string suffix(owner);
+    if (norm.size() >= suffix.size() &&
+        norm.compare(norm.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool telemetry_owner(const std::string& file) {
+  std::string norm = file;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.find("/telemetry/") != std::string::npos ||
+         norm.rfind("telemetry/", 0) == 0;
+}
+
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
       "raw-reinterpret-cast", "raw-memcpy",   "std-rand",
@@ -612,26 +434,42 @@ std::vector<Finding> lint_file(const std::string& path) {
 }
 
 std::vector<Finding> lint_tree(const std::string& root) {
+  return lint_tree(root, nullptr);
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               std::vector<std::string>* errors) {
   namespace fs = std::filesystem;
-  if (!fs::is_directory(root)) {
-    return lint_file(root);
-  }
   std::vector<std::string> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) {
-      continue;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    files.push_back(root);
+  } else {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp") {
+        files.push_back(entry.path().string());
+      }
     }
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".cpp" || ext == ".hpp") {
-      files.push_back(entry.path().string());
-    }
+    std::sort(files.begin(), files.end());
   }
-  std::sort(files.begin(), files.end());
   std::vector<Finding> findings;
   for (const std::string& f : files) {
-    const auto file_findings = lint_file(f);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+    // A file that vanished or turned unreadable mid-walk must not abort
+    // the whole run: record it, keep going, let the caller exit non-zero.
+    try {
+      const auto file_findings = lint_file(f);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    } catch (const std::exception& e) {
+      if (errors == nullptr) {
+        throw;
+      }
+      errors->push_back(f + ": " + e.what());
+    }
   }
   return findings;
 }

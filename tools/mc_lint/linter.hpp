@@ -64,7 +64,20 @@ std::vector<Finding> lint_file(const std::string& path);
 /// name a single file. Findings are ordered by (file, line).
 std::vector<Finding> lint_tree(const std::string& root);
 
+/// Like lint_tree, but resilient: files that cannot be read are reported
+/// into `errors` ("path: reason") and the walk continues.  `errors` may be
+/// null (errors are then dropped).
+std::vector<Finding> lint_tree(const std::string& root,
+                               std::vector<std::string>* errors);
+
 /// "file:line: [rule] message" — the grep/IDE-friendly format.
 std::string format_finding(const Finding& f);
+
+/// Files sanctioned to construct ModuleSearcher/ModuleParser (the
+/// pipeline-bypass rule's owner set).  Shared with the tier-2 port.
+bool pipeline_component_owner(const std::string& file);
+
+/// Files exempt from adhoc-stats (the telemetry library itself).
+bool telemetry_owner(const std::string& file);
 
 }  // namespace mc::lint

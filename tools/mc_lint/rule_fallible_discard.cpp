@@ -1,0 +1,121 @@
+// fallible-discard — the cross-file [[nodiscard]] the fault domain needs.
+//
+// A Fallible<T>/MaybeFault return *is* the fault-propagation channel: a
+// call whose result is dropped on the floor silently converts a guest
+// fault into "nothing happened", which is exactly the bug class PR 4's
+// structured fault domain exists to kill.  The compiler's [[nodiscard]]
+// only fires where the attribute is spelled; this rule enforces it from
+// the index, across files, with or without the annotation.
+//
+// A call counts as discarded when it forms a complete expression
+// statement: `s.try_read_va(va, out);` — including one nested inside an
+// `if (...) call();` body.  Binding the value, branching on it, returning
+// it, passing it on, `std::ignore = ...`, and an explicit `(void)` cast
+// are all uses.
+#include "rules.hpp"
+
+namespace mc::lint::rules {
+
+namespace {
+
+/// Walks left over a `recv.chain->name` receiver to the first token of the
+/// full call expression.  Returns the index of that first token.
+std::size_t chain_start(const std::vector<Token>& toks, std::size_t callee) {
+  std::size_t j = callee;
+  while (j >= 2) {
+    const Token& sep = toks[j - 1];
+    if (!is_punct(sep, ".") && !is_punct(sep, "->") && !is_punct(sep, "::")) {
+      break;
+    }
+    const Token& recv = toks[j - 2];
+    if (recv.kind == Tok::kIdent) {
+      j -= 2;
+      continue;
+    }
+    if (is_punct(recv, ")")) {
+      // Receiver is itself a call: `session().try_x(...)`.  Walk over the
+      // balanced parens and the name before them.
+      const std::size_t open = match_backward(toks, j - 2, "(", ")");
+      if (open == std::string::npos || open == 0 ||
+          toks[open - 1].kind != Tok::kIdent) {
+        break;
+      }
+      j = open - 1;
+      continue;
+    }
+    break;
+  }
+  return j;
+}
+
+/// True when the token before the statement is a statement boundary — the
+/// call's value has nowhere to go.
+bool at_statement_position(const std::vector<Token>& toks, std::size_t first) {
+  if (first == 0) {
+    return true;
+  }
+  const Token& p = toks[first - 1];
+  if (is_punct(p, ";") || is_punct(p, "{") || is_punct(p, "}")) {
+    return true;
+  }
+  if (is_ident(p, "else") || is_ident(p, "do")) {
+    return true;
+  }
+  if (is_punct(p, ")")) {
+    // Either a control-flow head `if (...) call();` (discard) or a cast
+    // `(void) call();` (sanctioned explicit discard) or something we can't
+    // classify (stay quiet).
+    const std::size_t open = match_backward(toks, first - 1, "(", ")");
+    if (open == std::string::npos) {
+      return false;
+    }
+    if (open + 2 == first - 1 && is_ident(toks[open + 1], "void")) {
+      return false;  // (void)call() — explicit, audited discard
+    }
+    if (open > 0) {
+      const Token& head = toks[open - 1];
+      if (head.kind == Tok::kIdent &&
+          (head.text == "if" || head.text == "for" || head.text == "while" ||
+           head.text == "switch")) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+void fallible_discard(const std::vector<Token>& toks, const FunctionIndex& idx,
+                      const std::string& file, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent || !idx.fallible(t.text) ||
+        !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == std::string::npos || close + 1 >= toks.size() ||
+        !is_punct(toks[close + 1], ";")) {
+      continue;  // not a full expression statement
+    }
+    const std::size_t first = chain_start(toks, i);
+    if (!at_statement_position(toks, first)) {
+      continue;
+    }
+    const IndexedDecl* decl = nullptr;
+    const auto it = idx.decls().find(t.text);
+    if (it != idx.decls().end()) {
+      decl = &it->second;
+    }
+    out.push_back(
+        {file, t.line, "fallible-discard",
+         "result of fallible '" + t.text + "' (" +
+             (decl != nullptr ? decl->return_type : "Fallible") +
+             ") is discarded — the fault would be silently dropped; bind "
+             "it, branch on ok(), or assign to std::ignore"});
+  }
+}
+
+}  // namespace mc::lint::rules

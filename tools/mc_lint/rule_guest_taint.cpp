@@ -1,0 +1,282 @@
+// guest-taint — intraprocedural taint from guest reads to trusting sinks.
+//
+// Everything a guest read returns is attacker-controlled (the paper's own
+// threat model): a length, an RVA, a count.  Using such a value to index
+// an array, size a resize/reserve, or size a further guest read without
+// first bounding it is the classic VMI parser bug.  The rule tracks, per
+// function body:
+//
+//   sources   read_u16/u32, read_region, read_unicode_string and their
+//             try_* forms, read_va/try_read_va, load_le16/32/64, as_bytes
+//   checks    an MC_CHECK involving the value, a comparison operator
+//             adjacent to it, or passing it through min/max/clamp
+//   sinks     array subscript, .resize()/.reserve(), Bytes-sized-by-value
+//             construction, and the length argument of read_region
+//
+// A value assigned from a non-tainted expression is killed; a checked
+// value stays usable everywhere.  Purely intraprocedural by design —
+// cross-function lengths must be re-checked at the consuming boundary,
+// which is exactly the discipline the parser entry points already follow
+// (parser-bounds-check).
+#include "rules.hpp"
+
+namespace mc::lint::rules {
+
+namespace {
+
+bool is_source(const std::string& s) {
+  static const std::set<std::string> kSources = {
+      "read_u16",      "read_u32",      "try_read_u16",  "try_read_u32",
+      "read_region",   "try_read_region", "read_va",     "try_read_va",
+      "read_unicode_string", "try_read_unicode_string",
+      "load_le16",     "load_le32",     "load_le64",     "as_bytes",
+  };
+  return kSources.count(s) > 0;
+}
+
+bool is_comparison(const Token& t) {
+  return t.kind == Tok::kPunct &&
+         (t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" ||
+          t.text == "==" || t.text == "!=");
+}
+
+struct TaintState {
+  std::set<std::string> tainted;
+  std::set<std::string> checked;
+
+  bool hot(const std::string& v) const {
+    return tainted.count(v) > 0 && checked.count(v) == 0;
+  }
+};
+
+void flag(const std::string& file, int line, const std::string& var,
+          const std::string& sink, std::vector<Finding>& out) {
+  out.push_back(
+      {file, line, "guest-taint",
+       "guest-derived value '" + var + "' reaches " + sink +
+           " without a bounds check (MC_CHECK / comparison / min-max "
+           "clamp); guest data is attacker-controlled"});
+}
+
+void analyze_statement(const std::vector<Token>& toks, std::size_t begin,
+                       std::size_t end, TaintState& st,
+                       const std::string& file, std::vector<Finding>& out) {
+  // --- 1. Checks: mark tainted values this statement bounds. ------------
+  // A comparison bounds every identifier in the operand expressions on
+  // either side, walking through member/call chains: `len.value() == 0`
+  // checks `len`, not just the token adjacent to `==`.
+  const auto mark_operand_left = [&](std::size_t from) {
+    std::size_t j = from + 1;
+    while (j-- > begin) {
+      const Token& t = toks[j];
+      if (is_punct(t, ")")) {
+        const std::size_t open = match_backward(toks, j, "(", ")");
+        if (open == std::string::npos || open < begin) {
+          return;
+        }
+        j = open;  // decremented by the loop; the '(' itself continues
+      } else if (t.kind == Tok::kIdent) {
+        if (st.tainted.count(t.text) > 0) {
+          st.checked.insert(t.text);
+        }
+      } else if (t.kind != Tok::kNumber && !is_punct(t, ".") &&
+                 !is_punct(t, "->") && !is_punct(t, "::") &&
+                 !is_punct(t, "(")) {
+        return;
+      }
+    }
+  };
+  const auto mark_operand_right = [&](std::size_t from) {
+    for (std::size_t j = from; j < end; ++j) {
+      const Token& t = toks[j];
+      if (is_punct(t, "(")) {
+        const std::size_t close = match_forward(toks, j, "(", ")");
+        if (close == std::string::npos || close >= end) {
+          return;
+        }
+        j = close;
+      } else if (t.kind == Tok::kIdent) {
+        if (st.tainted.count(t.text) > 0) {
+          st.checked.insert(t.text);
+        }
+      } else if (t.kind != Tok::kNumber && !is_punct(t, ".") &&
+                 !is_punct(t, "->") && !is_punct(t, "::")) {
+        return;
+      }
+    }
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (is_comparison(t)) {
+      if (i > begin) {
+        mark_operand_left(i - 1);
+      }
+      if (i + 1 < end) {
+        mark_operand_right(i + 1);
+      }
+    }
+    // MC_CHECK(...) / std::min/max/clamp(...) bound every tainted ident
+    // they enclose.
+    if (t.kind == Tok::kIdent &&
+        (t.text == "MC_CHECK" || t.text == "min" || t.text == "max" ||
+         t.text == "clamp") &&
+        i + 1 < end && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close != std::string::npos && close <= end) {
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (toks[k].kind == Tok::kIdent &&
+              st.tainted.count(toks[k].text) > 0) {
+            st.checked.insert(toks[k].text);
+          }
+        }
+      }
+    }
+  }
+
+  // --- 2. Sinks. --------------------------------------------------------
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    // Array subscript: `expr[ ... tainted ... ]`.
+    if (is_punct(t, "[") && i > begin) {
+      const Token& prev = toks[i - 1];
+      const bool subscript = prev.kind == Tok::kIdent ||
+                             is_punct(prev, ")") || is_punct(prev, "]");
+      if (subscript) {
+        const std::size_t close = match_forward(toks, i, "[", "]");
+        if (close != std::string::npos && close <= end) {
+          for (std::size_t k = i + 1; k < close; ++k) {
+            if (toks[k].kind == Tok::kIdent && st.hot(toks[k].text)) {
+              flag(file, t.line, toks[k].text, "an array subscript", out);
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (t.kind != Tok::kIdent || i + 1 >= end || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == std::string::npos || close > end) {
+      continue;
+    }
+    // resize/reserve sized by an unchecked guest value.
+    if (t.text == "resize" || t.text == "reserve") {
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (toks[k].kind == Tok::kIdent && st.hot(toks[k].text)) {
+          flag(file, t.line, toks[k].text, "." + t.text + "()", out);
+          break;
+        }
+      }
+    }
+    // read_region(va, len): a guest-derived, unchecked length sizes the
+    // next read's allocation.
+    if (t.text == "read_region" || t.text == "try_read_region") {
+      int depth = 0;
+      std::size_t arg = 0;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        const Token& p = toks[k];
+        if (p.kind == Tok::kPunct) {
+          if (p.text == "(" || p.text == "[" || p.text == "{") {
+            ++depth;
+          } else if (p.text == ")" || p.text == "]" || p.text == "}") {
+            --depth;
+          } else if (p.text == "," && depth == 0) {
+            ++arg;
+          }
+        } else if (p.kind == Tok::kIdent && arg >= 1 && st.hot(p.text)) {
+          flag(file, t.line, p.text, "the length of a guest read", out);
+          break;
+        }
+      }
+    }
+  }
+  // `Bytes buf(len)` — an allocation sized directly by a guest value.
+  for (std::size_t i = begin; i + 2 < end; ++i) {
+    if (is_ident(toks[i], "Bytes") && toks[i + 1].kind == Tok::kIdent &&
+        is_punct(toks[i + 2], "(")) {
+      const std::size_t close = match_forward(toks, i + 2, "(", ")");
+      if (close != std::string::npos && close <= end) {
+        for (std::size_t k = i + 3; k < close; ++k) {
+          if (toks[k].kind == Tok::kIdent && st.hot(toks[k].text)) {
+            flag(file, toks[i].line, toks[k].text, "a buffer allocation",
+                 out);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- 3. Assignment: propagate or kill. --------------------------------
+  std::size_t assign = std::string::npos;
+  int depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kPunct) {
+      continue;
+    }
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+    } else if (t.text == "=" && depth == 0) {
+      assign = i;
+      break;
+    }
+  }
+  if (assign == std::string::npos || assign == begin) {
+    return;
+  }
+  // LHS variable: the last ident before '='; a subscripted LHS (`v[i] =`)
+  // is a store, not a binding.
+  if (is_punct(toks[assign - 1], "]")) {
+    return;
+  }
+  std::string lhs;
+  for (std::size_t i = assign; i-- > begin;) {
+    if (toks[i].kind == Tok::kIdent) {
+      lhs = toks[i].text;
+      break;
+    }
+  }
+  if (lhs.empty()) {
+    return;
+  }
+  bool rhs_tainted = false;
+  for (std::size_t i = assign + 1; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kIdent && (is_source(t.text) || st.hot(t.text))) {
+      rhs_tainted = true;
+      break;
+    }
+  }
+  if (rhs_tainted) {
+    st.tainted.insert(lhs);
+    st.checked.erase(lhs);
+  } else {
+    st.tainted.erase(lhs);
+    st.checked.erase(lhs);
+  }
+}
+
+}  // namespace
+
+void guest_taint(const std::vector<Token>& toks, const std::string& file,
+                 std::vector<Finding>& out) {
+  for (const FunctionBody& fn : split_functions(toks)) {
+    TaintState st;
+    std::size_t stmt_begin = fn.body_begin + 1;
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      if (is_punct(toks[i], ";")) {
+        analyze_statement(toks, stmt_begin, i, st, file, out);
+        stmt_begin = i + 1;
+      }
+    }
+    if (stmt_begin < fn.body_end) {
+      analyze_statement(toks, stmt_begin, fn.body_end, st, file, out);
+    }
+  }
+}
+
+}  // namespace mc::lint::rules

@@ -1,0 +1,140 @@
+// sim-determinism — protects the bit-identical-replay property.
+//
+// Every differential suite in this repo (fast-path equivalence, fault
+// overhead, telemetry overhead) asserts that simulated costs are
+// *bit-identical* across configurations.  That property dies quietly the
+// moment a TU that charges SimClock costs consults a host wall clock,
+// hardware entropy, or hash-table iteration order.  This rule fires on:
+//
+//   * steady_clock / system_clock / high_resolution_clock mentions,
+//   * std::random_device,
+//   * range-for iteration over a container declared unordered_* in the
+//     same TU,
+//
+// in any TU that references the simulated-time vocabulary (SimClock,
+// SimNanos, charge, advance_raw, sim_ms/sim_us).  src/telemetry/ is the
+// audited allowlist: trace spans measure *host* time by design and the
+// overhead gate proves the sim stream is unaffected (DESIGN.md §9).
+#include "rules.hpp"
+
+namespace mc::lint::rules {
+
+namespace {
+
+bool sim_time_tu(const std::vector<Token>& toks) {
+  for (const Token& t : toks) {
+    if (t.kind != Tok::kIdent) {
+      continue;
+    }
+    if (t.text == "SimClock" || t.text == "SimNanos" || t.text == "charge" ||
+        t.text == "advance_raw" || t.text == "sim_ms" || t.text == "sim_us") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool unordered_type(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+}  // namespace
+
+void sim_determinism(const std::vector<Token>& toks, const std::string& file,
+                     std::vector<Finding>& out) {
+  if (telemetry_owner(file)) {
+    return;  // audited allowlist: host-time tracing is its contract
+  }
+  if (!sim_time_tu(toks)) {
+    return;
+  }
+
+  // Containers declared unordered in this TU: `unordered_map<...> name`.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !unordered_type(toks[i].text) ||
+        !is_punct(toks[i + 1], "<")) {
+      continue;
+    }
+    const std::size_t c = match_forward(toks, i + 1, "<", ">");
+    if (c == std::string::npos) {
+      continue;
+    }
+    // Skip ref/pointer declarators between the template args and the name.
+    std::size_t j = c + 1;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_punct(toks[j], "&&"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent) {
+      continue;
+    }
+    unordered_vars.insert(toks[j].text);
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) {
+      continue;
+    }
+    if (t.text == "steady_clock" || t.text == "system_clock" ||
+        t.text == "high_resolution_clock") {
+      out.push_back(
+          {file, t.line, "sim-determinism",
+           "'" + t.text +
+               "' reads the host wall clock in a simulated-time TU; charge "
+               "SimClock costs instead (bit-identical replay)"});
+      continue;
+    }
+    if (t.text == "random_device") {
+      out.push_back(
+          {file, t.line, "sim-determinism",
+           "std::random_device is nondeterministic; use the seeded "
+           "generators in util/rng.hpp"});
+      continue;
+    }
+    // Range-for over an unordered container declared in this TU.
+    if (t.text == "for" && i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close == std::string::npos) {
+        continue;
+      }
+      // Find the top-level ':' (not '::') — the range-for separator.
+      std::size_t colon = std::string::npos;
+      int depth = 0;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        const Token& p = toks[k];
+        if (p.kind != Tok::kPunct) {
+          continue;
+        }
+        if (p.text == "(" || p.text == "[" || p.text == "{" || p.text == "<") {
+          ++depth;
+        } else if (p.text == ")" || p.text == "]" || p.text == "}" ||
+                   p.text == ">") {
+          --depth;
+        } else if (p.text == ":" && depth == 0) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon == std::string::npos) {
+        continue;
+      }
+      for (std::size_t k = colon + 1; k < close; ++k) {
+        if (toks[k].kind == Tok::kIdent &&
+            unordered_vars.count(toks[k].text) > 0) {
+          out.push_back(
+              {file, toks[k].line, "sim-determinism",
+               "iteration over unordered container '" + toks[k].text +
+                   "' has platform-dependent order in a simulated-time TU; "
+                   "use an ordered container or sort the keys first"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mc::lint::rules

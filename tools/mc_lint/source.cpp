@@ -1,0 +1,169 @@
+#include "source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace mc::lint {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+std::size_t find_token(const std::string& line, const std::string& token,
+                       std::size_t from) {
+  for (std::size_t pos = line.find(token, from); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) {
+      return pos;
+    }
+  }
+  return std::string::npos;
+}
+
+bool has_token(const std::string& line, const std::string& token) {
+  return find_token(line, token) != std::string::npos;
+}
+
+std::string word_before(const std::string& line, std::size_t pos) {
+  std::size_t end = pos;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(line[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_word_char(line[begin - 1])) {
+    --begin;
+  }
+  return line.substr(begin, end - begin);
+}
+
+ScannedSource scan(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  ScannedSource out;
+  std::string code_line;
+  std::string comment_line;
+  State state = State::kCode;
+
+  const auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+std::map<std::size_t, std::set<std::string>> suppressions(
+    const ScannedSource& src) {
+  static const std::string kMarker = "mc-lint: allow(";
+  std::map<std::size_t, std::set<std::string>> by_line;
+  for (std::size_t i = 0; i < src.comments.size(); ++i) {
+    const std::string& comment = src.comments[i];
+    for (std::size_t pos = comment.find(kMarker); pos != std::string::npos;
+         pos = comment.find(kMarker, pos + 1)) {
+      const std::size_t open = pos + kMarker.size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) {
+        continue;
+      }
+      std::stringstream list(comment.substr(open, close - open));
+      std::string rule;
+      const std::size_t target = is_blank(src.code[i]) ? i + 1 : i;
+      while (std::getline(list, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                  [](char c) {
+                                    return std::isspace(
+                                               static_cast<unsigned char>(c)) !=
+                                           0;
+                                  }),
+                   rule.end());
+        if (!rule.empty()) {
+          by_line[target].insert(rule);
+        }
+      }
+    }
+  }
+  return by_line;
+}
+
+}  // namespace mc::lint

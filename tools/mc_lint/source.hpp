@@ -1,0 +1,52 @@
+// Shared source model for both analysis tiers.
+//
+// Tier 1 (linter.hpp) scans sanitized lines; tier 2 (analyzer.hpp) scans a
+// token stream — but both start from the same comment/string stripper and
+// share one suppression syntax (`// mc-lint: allow(rule)`), so a directive
+// written for a tier-1 rule keeps working unchanged when the rule moves to
+// the token engine.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mc::lint {
+
+/// One source file split into scannable form: code with comments and
+/// literal contents blanked (quotes kept), plus the comment text per line
+/// (for suppression directives).
+struct ScannedSource {
+  std::vector<std::string> code;      // sanitized, 0-based
+  std::vector<std::string> comments;  // concatenated comment text per line
+};
+
+/// Strips comments and string/char literal contents (keeping the quotes) so
+/// rules never fire on prose; comment text is preserved per line for the
+/// suppression parser.
+ScannedSource scan(const std::string& content);
+
+/// Parses every `mc-lint: allow(rule-a, rule-b)` directive and returns,
+/// per 0-based line, the set of rules suppressed on that line.  A directive
+/// on a code line covers that line; on a comment-only line it covers the
+/// following line.
+std::map<std::size_t, std::set<std::string>> suppressions(
+    const ScannedSource& src);
+
+// ---- Small text helpers shared by both tiers -------------------------------
+
+bool is_word_char(char c);
+bool is_blank(const std::string& s);
+
+/// Finds `token` in `line` at a word boundary on both sides; npos if absent.
+std::size_t find_token(const std::string& line, const std::string& token,
+                       std::size_t from = 0);
+
+bool has_token(const std::string& line, const std::string& token);
+
+/// The word (identifier/keyword) immediately preceding `pos`, if any.
+std::string word_before(const std::string& line, std::size_t pos);
+
+}  // namespace mc::lint
