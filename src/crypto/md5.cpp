@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "util/wordload.hpp"
+
 namespace mc::crypto {
 
 namespace {
@@ -37,13 +39,6 @@ constexpr std::uint32_t rotl(std::uint32_t x, int s) {
   return (x << s) | (x >> (32 - s));
 }
 
-std::uint32_t word_at(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
 }  // namespace
 
 void Md5::reset() {
@@ -55,7 +50,7 @@ void Md5::reset() {
 void Md5::process_block(const std::uint8_t* block) {
   std::uint32_t m[16];
   for (int i = 0; i < 16; ++i) {
-    m[i] = word_at(block + 4 * i);
+    m[i] = load_le32_word(block + 4 * i);
   }
 
   std::uint32_t a = state_[0];

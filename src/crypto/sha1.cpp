@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/wordload.hpp"
 
 namespace mc::crypto {
 
@@ -10,12 +11,6 @@ constexpr std::uint32_t rotl(std::uint32_t x, int s) {
   return (x << s) | (x >> (32 - s));
 }
 
-std::uint32_t word_be(const std::uint8_t* p) {
-  return (static_cast<std::uint32_t>(p[0]) << 24) |
-         (static_cast<std::uint32_t>(p[1]) << 16) |
-         (static_cast<std::uint32_t>(p[2]) << 8) |
-         static_cast<std::uint32_t>(p[3]);
-}
 }  // namespace
 
 void Sha1::reset() {
@@ -31,7 +26,7 @@ void Sha1::reset() {
 void Sha1::process_block(const std::uint8_t* block) {
   std::uint32_t w[80];
   for (int i = 0; i < 16; ++i) {
-    w[i] = word_be(block + 4 * i);
+    w[i] = load_be32_word(block + 4 * i);
   }
   for (int i = 16; i < 80; ++i) {
     w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/wordload.hpp"
 
 namespace mc::crypto {
 
@@ -26,12 +27,6 @@ constexpr std::uint32_t rotr(std::uint32_t x, int s) {
   return (x >> s) | (x << (32 - s));
 }
 
-std::uint32_t word_be(const std::uint8_t* p) {
-  return (static_cast<std::uint32_t>(p[0]) << 24) |
-         (static_cast<std::uint32_t>(p[1]) << 16) |
-         (static_cast<std::uint32_t>(p[2]) << 8) |
-         static_cast<std::uint32_t>(p[3]);
-}
 
 }  // namespace
 
@@ -51,7 +46,7 @@ void Sha256::reset() {
 void Sha256::process_block(const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
-    w[i] = word_be(block + 4 * i);
+    w[i] = load_be32_word(block + 4 * i);
   }
   for (int i = 16; i < 64; ++i) {
     const std::uint32_t s0 =

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "crypto/crc32.hpp"
+#include "modchecker/item_content.hpp"
 #include "modchecker/rva_adjust.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 
 namespace mc::core {
@@ -43,8 +45,8 @@ crypto::Digest DigestTable::digest(vmm::DomainId domain,
     return *entry.digest;
   }
   misses_.inc();
-  entry.digest = crypto::hash_bytes(algorithm_, item.bytes);
-  clock.charge(hash_charge(costs_, algorithm_, item.bytes.size()));
+  entry.digest = hash_item_content(algorithm_, item);
+  clock.charge(hash_charge(costs_, algorithm_, item.content_size()));
   return *entry.digest;
 }
 
@@ -58,8 +60,8 @@ std::uint32_t DigestTable::crc(vmm::DomainId domain,
     return *entry.crc;
   }
   misses_.inc();
-  entry.crc = crypto::crc32(item.bytes);
-  clock.charge(costs_.crc_per_byte * item.bytes.size());
+  entry.crc = crc_item_content(item);
+  clock.charge(costs_.crc_per_byte * item.content_size());
   return *entry.crc;
 }
 
@@ -102,8 +104,8 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
     }
 
     if (!a.rva_sensitive) {
-      entry.digests[i] = crypto::hash_bytes(algorithm_, a.bytes);
-      clock.charge(hash_charge(costs_, algorithm_, a.bytes.size()));
+      entry.digests[i] = hash_item_content(algorithm_, a);
+      clock.charge(hash_charge(costs_, algorithm_, a.content_size()));
       continue;
     }
 
@@ -111,8 +113,8 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
       // Same load base: Algorithm 2 has nothing to adjust, so the slow
       // path matches iff the raw bytes match the reference's.
       clock.charge(costs_.rva_scan_per_byte *
-                   std::max(a.bytes.size(), r.bytes.size()));
-      if (a.bytes == r.bytes) {
+                   std::max(a.content_size(), r.content_size()));
+      if (item_content_equal(a, r, policy_)) {
         entry.ref_items.push_back(i);  // shares the reference digest
       } else {
         eligible = false;
@@ -121,11 +123,13 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
     }
 
     // Differing base: run the paper's pairwise adjustment against the
-    // reference on scratch copies.
-    Bytes ref_copy = r.bytes;
-    Bytes mod_copy = a.bytes;
+    // reference on arena scratch copies (recycled per item).
+    ArenaScope scope(scratch_arena());
+    MutableByteView ref_copy = arena_content_copy(scratch_arena(), r);
+    MutableByteView mod_copy = arena_content_copy(scratch_arena(), a);
     const RvaAdjustResult adj =
-        adjust_rvas(ref_copy, reference_->base, mod_copy, module.base);
+        adjust_rvas(ref_copy, reference_->base, mod_copy, module.base,
+                    policy_);
     clock.charge(costs_.rva_scan_per_byte *
                  std::max(ref_copy.size(), mod_copy.size()));
     if (adj.unresolved_diffs > 0) {
@@ -170,8 +174,8 @@ void CanonicalPool::finalize(SimClock& clock) {
       // differing-base partner established it.
       ref_digests_[i] = *canonical_[i];
     } else {
-      ref_digests_[i] = crypto::hash_bytes(algorithm_, r.bytes);
-      clock.charge(hash_charge(costs_, algorithm_, r.bytes.size()));
+      ref_digests_[i] = hash_item_content(algorithm_, r);
+      clock.charge(hash_charge(costs_, algorithm_, r.content_size()));
     }
   }
   for (auto& [vm, entry] : entries_) {

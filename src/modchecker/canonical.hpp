@@ -42,6 +42,7 @@
 
 #include "crypto/hasher.hpp"
 #include "modchecker/types.hpp"
+#include "util/simd.hpp"
 #include "telemetry/registry.hpp"
 #include "util/sim_clock.hpp"
 #include "vmi/cost_model.hpp"
@@ -125,11 +126,13 @@ class DigestTable {
 class CanonicalPool {
  public:
   /// `metrics` backs the eligibility counters ("canonical.*"; null = the
-  /// process default registry).
+  /// process default registry).  `policy` pins the pool's diff/compare
+  /// kernels scalar (verdicts are dispatch-invariant either way).
   CanonicalPool(crypto::HashAlgorithm algorithm,
                 const vmi::HostCostModel& costs,
-                telemetry::MetricRegistry* metrics = nullptr)
-      : algorithm_(algorithm), costs_(costs) {
+                telemetry::MetricRegistry* metrics = nullptr,
+                simd::Policy policy = simd::Policy::kAuto)
+      : algorithm_(algorithm), costs_(costs), policy_(policy) {
     telemetry::MetricRegistry& reg = telemetry::resolve(metrics);
     eligible_count_ = reg.owned_counter("canonical.eligible");
     ineligible_count_ = reg.owned_counter("canonical.ineligible");
@@ -180,6 +183,7 @@ class CanonicalPool {
 
   crypto::HashAlgorithm algorithm_;
   vmi::HostCostModel costs_;
+  simd::Policy policy_;
 
   const ParsedModule* reference_ = nullptr;
   /// Per reference item: canonical digest established by the first

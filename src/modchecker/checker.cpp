@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "crypto/crc32.hpp"
+#include "modchecker/item_content.hpp"
+#include "util/arena.hpp"
 
 namespace mc::core {
 
@@ -54,8 +56,8 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
     return &other.items[j];
   };
 
-  // Prefilter + digest decision over one buffer pair (raw views for items
-  // that are not rva-sensitive, post-adjustment scratch buffers otherwise).
+  // Prefilter + digest decision over one contiguous buffer pair
+  // (post-adjustment scratch buffers of rva-sensitive items).
   auto compare_buffers = [&](ItemComparison& cmp, ByteView buf_a,
                              ByteView buf_b) {
     if (crc_prefilter_) {
@@ -76,6 +78,28 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
     cmp.match = cmp.digest_subject == cmp.digest_other;
   };
 
+  // Same decision over two items' raw contents (owned or view-backed):
+  // CRCs/digests stream the spans, so view-backed items never flatten.
+  auto compare_items = [&](ItemComparison& cmp, const pe::IntegrityItem& ia,
+                           const pe::IntegrityItem& ib) {
+    if (crc_prefilter_) {
+      clock.charge(costs_.crc_per_byte *
+                   (ia.content_size() + ib.content_size()));
+      if (crc_item_content(ia) == crc_item_content(ib) &&
+          ia.content_size() == ib.content_size()) {
+        cmp.match = true;
+        return;
+      }
+    }
+    cmp.digest_subject = hash_item_content(algorithm_, ia);
+    cmp.digest_other = hash_item_content(algorithm_, ib);
+    clock.charge(static_cast<SimNanos>(
+        static_cast<double>(costs_.hash_per_byte *
+                            (ia.content_size() + ib.content_size())) *
+        digest_cost_factor(algorithm_)));
+    cmp.match = cmp.digest_subject == cmp.digest_other;
+  };
+
   for (const pe::IntegrityItem& a : subject.items) {
     ItemComparison cmp;
     cmp.item_name = a.name;
@@ -91,12 +115,14 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
     }
 
     if (a.rva_sensitive) {
-      // Work on copies: Algorithm 2 mutates the buffers, and each pairwise
-      // comparison must start from the pristine extractions.
-      Bytes buf_a = a.bytes;
-      Bytes buf_b = b->bytes;
+      // Work on arena scratch copies: Algorithm 2 mutates the buffers, and
+      // each pairwise comparison must start from the pristine extractions.
+      // The scope recycles the space per pair — zero heap traffic.
+      ArenaScope scope(scratch_arena());
+      MutableByteView buf_a = arena_content_copy(scratch_arena(), a);
+      MutableByteView buf_b = arena_content_copy(scratch_arena(), *b);
       const RvaAdjustResult adj =
-          adjust_rvas(buf_a, subject.base, buf_b, other.base);
+          adjust_rvas(buf_a, subject.base, buf_b, other.base, policy_);
       cmp.rvas_adjusted = adj.adjusted;
       cmp.unresolved_diffs = adj.unresolved_diffs;
       clock.charge(costs_.rva_scan_per_byte *
@@ -108,7 +134,7 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
       if (crc_prefilter_) {
         const std::uint32_t crc_a = memo->crc(subject.domain, a, clock);
         const std::uint32_t crc_b = memo->crc(other.domain, *b, clock);
-        if (crc_a == crc_b && a.bytes.size() == b->bytes.size()) {
+        if (crc_a == crc_b && a.content_size() == b->content_size()) {
           cmp.match = true;
           result.items.push_back(std::move(cmp));
           continue;
@@ -118,7 +144,7 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
       cmp.digest_other = memo->digest(other.domain, *b, clock);
       cmp.match = cmp.digest_subject == cmp.digest_other;
     } else {
-      compare_buffers(cmp, a.bytes, b->bytes);
+      compare_items(cmp, a, *b);
     }
 
     all_match = all_match && cmp.match;

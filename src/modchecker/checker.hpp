@@ -46,10 +46,19 @@ class IntegrityChecker {
   /// collision could mask a difference — acceptable for the paper's
   /// accidental-divergence surface, NOT against an adversary who can
   /// target CRC32, hence off by default.
+  ///
+  /// `policy` pins every diff/compare kernel this checker runs to the
+  /// scalar implementation (kScalar); the default honors runtime dispatch
+  /// and the MC_FORCE_SCALAR escape hatch.  Verdicts are bit-identical
+  /// either way.
   explicit IntegrityChecker(
       crypto::HashAlgorithm algorithm = crypto::HashAlgorithm::kMd5,
-      const vmi::HostCostModel& costs = {}, bool crc_prefilter = false)
-      : algorithm_(algorithm), costs_(costs), crc_prefilter_(crc_prefilter) {}
+      const vmi::HostCostModel& costs = {}, bool crc_prefilter = false,
+      simd::Policy policy = simd::Policy::kAuto)
+      : algorithm_(algorithm),
+        costs_(costs),
+        crc_prefilter_(crc_prefilter),
+        policy_(policy) {}
 
   crypto::HashAlgorithm algorithm() const { return algorithm_; }
   bool crc_prefilter() const { return crc_prefilter_; }
@@ -72,6 +81,7 @@ class IntegrityChecker {
   crypto::HashAlgorithm algorithm_;
   vmi::HostCostModel costs_;
   bool crc_prefilter_;
+  simd::Policy policy_;
 };
 
 }  // namespace mc::core

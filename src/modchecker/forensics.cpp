@@ -5,6 +5,7 @@
 
 #include "modchecker/rva_adjust.hpp"
 #include "pe/strings.hpp"
+#include "util/simd.hpp"
 #include "x86/disasm.hpp"
 
 namespace mc::core {
@@ -24,19 +25,18 @@ const pe::IntegrityItem* find_item(const ParsedModule& module,
 std::vector<DiffRange> collect_ranges(ByteView a, ByteView b) {
   std::vector<DiffRange> ranges;
   const std::size_t common = std::min(a.size(), b.size());
-  std::size_t i = 0;
+  // Equal stretches dominate a real divergence, so skip them through the
+  // word-compare dispatcher; only the (short) differing run is walked
+  // byte-by-byte to find its end.
+  std::size_t i = simd::mismatch(a.data(), b.data(), common, 0);
   while (i < common) {
-    if (a[i] == b[i]) {
-      ++i;
-      continue;
-    }
     std::size_t j = i;
     while (j < common && a[j] != b[j]) {
       ++j;
     }
     ranges.push_back({static_cast<std::uint32_t>(i),
                       static_cast<std::uint32_t>(j - i)});
-    i = j;
+    i = simd::mismatch(a.data(), b.data(), common, j);
   }
   if (a.size() != b.size()) {
     ranges.push_back({static_cast<std::uint32_t>(common),
@@ -86,8 +86,10 @@ ForensicReport analyze_divergence(const ParsedModule& subject,
     return report;
   }
 
-  Bytes a = sub->bytes;
-  Bytes b = ref->bytes;
+  // Forensics is a sanctioned materialization point: the report outlives
+  // the scan, so view-backed items get owned copies here.
+  Bytes a = sub->content_copy();  // mc-lint: allow(hotpath-copy)
+  Bytes b = ref->content_copy();  // mc-lint: allow(hotpath-copy)
   if (sub->rva_sensitive) {
     const RvaAdjustResult adj =
         adjust_rvas(a, subject.base, b, reference.base);

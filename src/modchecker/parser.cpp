@@ -6,17 +6,24 @@ namespace mc::core {
 
 ParsedModule ModuleParser::parse(const ModuleImage& image,
                                  SimClock& clock) const {
-  const pe::ParsedImage parsed(image.bytes);
-
   ParsedModule out;
   out.domain = image.domain;
   out.name = image.name;
   out.base = image.base;
-  out.items = parsed.extract_items(image.bytes);
+  // Both modes run the identical header walk and produce items with the
+  // same names, offsets and content — view-backed images just keep the
+  // section data borrowed instead of sliced into owned buffers.
+  if (image.view_backed()) {
+    const pe::ParsedImage parsed(image.view);
+    out.items = parsed.extract_items(image.view);
+  } else {
+    const pe::ParsedImage parsed(image.bytes);
+    out.items = parsed.extract_items(image.bytes);
+  }
 
   std::size_t extracted_bytes = 0;
   for (const auto& item : out.items) {
-    extracted_bytes += item.bytes.size();
+    extracted_bytes += item.content_size();
   }
   clock.charge(costs_.parse_fixed +
                costs_.parse_per_byte * extracted_bytes);

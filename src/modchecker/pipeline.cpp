@@ -107,6 +107,9 @@ std::optional<ModuleInfo> AcquireStage::find_module(
 
 std::optional<ModuleImage> AcquireStage::extract_module(
     Session& s, const std::string& module_name) const {
+  // Always an owned copy: the throwing wrapper serves consumers whose
+  // extraction outlives the scan (the incremental cache, forensics).
+  ctx_->pm.materializations.inc();
   return ModuleSearcher(s.session()).extract_module(module_name);
 }
 
@@ -117,6 +120,11 @@ Fallible<std::vector<ModuleInfo>> AcquireStage::try_list_modules(
 
 Fallible<std::optional<ModuleImage>> AcquireStage::try_extract_module(
     Session& s, const std::string& module_name) const {
+  if (ctx_->config.zero_copy_acquire) {
+    return ModuleSearcher(s.session())
+        .try_extract_module(module_name, ExtractMode::kView);
+  }
+  ctx_->pm.materializations.inc();
   return ModuleSearcher(s.session()).try_extract_module(module_name);
 }
 
@@ -181,7 +189,7 @@ std::optional<CanonicalPool> NormalizeStage::canonicalize(
   }
   std::optional<CanonicalPool> canon;
   canon.emplace(ctx_->config.algorithm, ctx_->config.host_costs,
-                ctx_->metrics);
+                ctx_->metrics, ctx_->policy());
   bool any = false;
   for (const auto& ex : extractions) {
     if (ex.found && !ex.parse_failed) {

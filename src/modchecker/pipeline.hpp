@@ -123,6 +123,19 @@ struct ModCheckerConfig {
   /// Memoize per-item digests within one check so the subject's items are
   /// hashed once instead of once per peer.
   bool digest_memo = true;
+  /// Acquire whole-image extractions as borrowed GuestViews over the
+  /// guest's frames instead of copying SizeOfImage bytes into an owned
+  /// buffer.  Simulated charges are identical (the per-byte access cost is
+  /// the introspection, not the host memcpy); the saving is host time and
+  /// allocations.  Views live for one scan, so consumers that outlive it
+  /// (the incremental cache, forensic dumps) always take the copy path
+  /// regardless of this flag.
+  bool zero_copy_acquire = true;
+  /// Pin every diff/compare kernel to the scalar implementation (same
+  /// effect as the MC_FORCE_SCALAR environment variable, scoped to this
+  /// pipeline).  Verdicts are bit-identical at every dispatch level; this
+  /// exists for A/B benchmarking and CI cross-checking.
+  bool force_scalar = false;
   /// Acquire-stage retry/quarantine policy (see RetryPolicy).
   RetryPolicy retry{};
   /// Registry backing every pipeline/VMI counter and histogram.  Null means
@@ -254,6 +267,7 @@ struct CheckContext {
           list_scans(reg.counter("pipeline.list_scans")),
           acquire_attempts(reg.counter("pipeline.acquire.attempts")),
           acquire_retries(reg.counter("pipeline.acquire.retries")),
+          materializations(reg.counter("pipeline.acquire.materializations")),
           quarantines(reg.counter("pipeline.acquire.quarantines")),
           faults(reg.counter("pipeline.acquire.faults")),
           parse_failures(reg.counter("pipeline.parse.failures")),
@@ -269,6 +283,10 @@ struct CheckContext {
     telemetry::Counter list_scans;
     telemetry::Counter acquire_attempts;
     telemetry::Counter acquire_retries;
+    /// Whole-image extractions that produced an owned copy instead of a
+    /// borrowed view (kCopy mode or zero_copy_acquire off).  Zero across a
+    /// clean zero-copy scan — the bench gate asserts exactly that.
+    telemetry::Counter materializations;
     telemetry::Counter quarantines;
     telemetry::Counter faults;
     telemetry::Counter parse_failures;
@@ -286,12 +304,19 @@ struct CheckContext {
         metrics(&telemetry::resolve(config.metrics)),
         tracer(config.tracer),
         parser(config.host_costs),
-        checker(config.algorithm, config.host_costs, config.crc_prefilter),
+        checker(config.algorithm, config.host_costs, config.crc_prefilter,
+                config.force_scalar ? simd::Policy::kScalar
+                                    : simd::Policy::kAuto),
         session_pool(hv, config.vmi_costs, metrics),
         pm(*metrics) {}
 
   CheckContext(const CheckContext&) = delete;
   CheckContext& operator=(const CheckContext&) = delete;
+
+  /// Dispatch policy every stage's diff/compare kernels run under.
+  simd::Policy policy() const {
+    return config.force_scalar ? simd::Policy::kScalar : simd::Policy::kAuto;
+  }
 
   const vmm::Hypervisor* hypervisor;
   ModCheckerConfig config;

@@ -1,26 +1,69 @@
 #include "modchecker/rva_adjust.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/simd.hpp"
+#include "util/wordload.hpp"
 
 namespace mc::core {
 
-std::uint32_t base_difference_offset(std::uint32_t base1,
-                                     std::uint32_t base2) {
-  // Algorithm 2 lines 1-9: walk the 4 bytes of the base addresses in
-  // little-endian order; offset is the 1-based position of the first
-  // difference.
-  for (std::uint32_t i = 0; i < 4; ++i) {
-    const auto b1 = static_cast<std::uint8_t>(base1 >> (8 * i));
-    const auto b2 = static_cast<std::uint8_t>(base2 >> (8 * i));
-    if (b1 != b2) {
-      return i + 1;
+namespace {
+
+// Number of nonzero bytes in a 64-bit word: bit 7 of each lane ends up set
+// iff the lane is nonzero, then popcount the lane flags.
+std::uint32_t nonzero_byte_count(std::uint64_t x) {
+  constexpr std::uint64_t kLow7 = 0x7F7F7F7F7F7F7F7Full;
+  constexpr std::uint64_t kHigh = 0x8080808080808080ull;
+  const std::uint64_t flags = (x | ((x & kLow7) + kLow7)) & kHigh;
+  return static_cast<std::uint32_t>(std::popcount(flags));
+}
+
+// Identical-bases path: every differing byte is real divergence; count
+// them all.  Word-at-a-time with a per-word byte population count — the
+// scan touches every byte exactly once either way, so the scalar fallback
+// is byte-for-byte equivalent.
+std::uint32_t count_differing_bytes(ByteView a, ByteView b, std::size_t n,
+                                    simd::Policy policy) {
+  MC_CHECK(n <= a.size() && n <= b.size(),
+           "count_differing_bytes out of range");
+  std::uint32_t diffs = 0;
+  std::size_t j = 0;
+  if (simd::active_level(policy) != simd::Level::kScalar) {
+    for (; j + 8 <= n; j += 8) {
+      const std::uint64_t x =
+          load_word64(a.data() + j) ^ load_word64(b.data() + j);
+      if (x != 0) {
+        diffs += nonzero_byte_count(x);
+      }
     }
   }
-  return 0;  // IsDifferenceExist == 0
+  for (; j < n; ++j) {
+    if (a[j] != b[j]) {
+      ++diffs;
+    }
+  }
+  return diffs;
+}
+
+}  // namespace
+
+std::uint32_t base_difference_offset(std::uint32_t base1,
+                                     std::uint32_t base2) {
+  // Algorithm 2 lines 1-9, as one word compare instead of four byte
+  // probes: XOR the little-endian base words; the trailing-zero count of
+  // the difference locates the first differing byte (1-based).
+  const std::uint32_t x = base1 ^ base2;
+  if (x == 0) {
+    return 0;  // IsDifferenceExist == 0
+  }
+  return static_cast<std::uint32_t>(std::countr_zero(x)) / 8 + 1;
 }
 
 RvaAdjustResult adjust_rvas(MutableByteView section1, std::uint32_t base1,
-                            MutableByteView section2, std::uint32_t base2) {
+                            MutableByteView section2, std::uint32_t base2,
+                            simd::Policy policy) {
   RvaAdjustResult result;
 
   const std::size_t common = std::min(section1.size(), section2.size());
@@ -29,54 +72,55 @@ RvaAdjustResult adjust_rvas(MutableByteView section1, std::uint32_t base1,
 
   const std::uint32_t offset = base_difference_offset(base1, base2);
   if (offset == 0) {
-    // Identical bases: any difference is real divergence; count them.
-    for (std::size_t j = 0; j < common; ++j) {
-      if (section1[j] != section2[j]) {
-        ++result.unresolved_diffs;
-      }
-    }
+    result.unresolved_diffs +=
+        count_differing_bytes(section1, section2, common, policy);
     return result;
   }
 
-  std::size_t j = 0;
+  // Lockstep diff scan: the kernel XORs eight (or thirty-two) bytes at a
+  // time and only a differing word takes a branch; the candidate window
+  // logic below is untouched from the scalar algorithm, so counting and
+  // rewrite semantics are bit-identical at every dispatch level.
+  std::size_t j = simd::mismatch(section1.data(), section2.data(), common, 0,
+                                 policy);
   while (j < common) {
-    if (section1[j] == section2[j]) {
-      ++j;
-      continue;
-    }
-
     // Candidate absolute address starts `offset - 1` bytes before the
     // first differing byte (Algorithm 2 lines 13-14: j - offset + 1).
     if (j + 1 < offset) {
       // Difference too close to the section start for a full address.
       ++result.unresolved_diffs;
-      ++j;
+      j = simd::mismatch(section1.data(), section2.data(), common, j + 1,
+                         policy);
       continue;
     }
     const std::size_t start = j - (offset - 1);
     if (start + 4 > common) {
       // Difference too close to the section end.
       ++result.unresolved_diffs;
-      ++j;
+      j = simd::mismatch(section1.data(), section2.data(), common, j + 1,
+                         policy);
       continue;
     }
 
-    const std::uint32_t abs1 = load_le32(section1, start);
-    const std::uint32_t abs2 = load_le32(section2, start);
+    const std::uint32_t abs1 = load_le32_at(section1, start);
+    const std::uint32_t abs2 = load_le32_at(section2, start);
     const std::uint32_t rva1 = abs1 - base1;  // eq. (1); wraps are fine
     const std::uint32_t rva2 = abs2 - base2;
 
     if (rva1 == rva2) {
       // Consistent relocation: replace both absolute addresses with the
       // common RVA (lines 17-19).
-      store_le32(section1, start, rva1);
-      store_le32(section2, start, rva2);
+      store_le32_at(section1, start, rva1);
+      store_le32_at(section2, start, rva2);
       ++result.adjusted;
-      j = start + 4;  // resume after the rewritten window (line 22 intent)
+      // Resume after the rewritten window (line 22 intent).
+      j = simd::mismatch(section1.data(), section2.data(), common, start + 4,
+                         policy);
     } else {
       // Genuine content divergence — leave bytes for the hash to catch.
       ++result.unresolved_diffs;
-      ++j;
+      j = simd::mismatch(section1.data(), section2.data(), common, j + 1,
+                         policy);
     }
   }
   return result;

@@ -35,6 +35,7 @@
 #include <cstdint>
 
 #include "util/bytes.hpp"
+#include "util/simd.hpp"
 
 namespace mc::core {
 
@@ -52,8 +53,15 @@ struct RvaAdjustResult {
 /// both in place.  `base1`/`base2` are the modules' load bases.
 /// Buffers of different lengths: the common prefix is processed and every
 /// trailing byte counts as an unresolved difference.
+///
+/// The diff scan runs word-wise (SWAR / AVX2 behind runtime dispatch);
+/// `policy` pins an individual call to the scalar kernel, and the process
+/// default honors MC_FORCE_SCALAR.  Results — the rewritten bytes and
+/// both counters — are bit-identical at every dispatch level
+/// (tests/simd_equivalence_test.cpp is the oracle).
 RvaAdjustResult adjust_rvas(MutableByteView section1, std::uint32_t base1,
-                            MutableByteView section2, std::uint32_t base2);
+                            MutableByteView section2, std::uint32_t base2,
+                            simd::Policy policy = simd::Policy::kAuto);
 
 /// The `offset` of Algorithm 2 lines 1-9: 1-based index of the first
 /// differing byte between the two base addresses (little-endian byte

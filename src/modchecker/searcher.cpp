@@ -155,7 +155,7 @@ Fallible<std::optional<ModuleInfo>> ModuleSearcher::try_find_module(
 }
 
 Fallible<std::optional<ModuleImage>> ModuleSearcher::try_extract_module(
-    const std::string& module_name) {
+    const std::string& module_name, ExtractMode mode) {
   Fallible<std::optional<ModuleInfo>> found = try_find_module(module_name);
   if (!found.ok()) {
     return std::move(found.fault());
@@ -168,12 +168,21 @@ Fallible<std::optional<ModuleImage>> ModuleSearcher::try_extract_module(
   image.domain = session_->domain_id();
   image.name = info.name;
   image.base = info.base;
-  Fallible<Bytes> bytes =
-      session_->try_read_region(info.base, info.size_of_image);
-  if (!bytes.ok()) {
-    return std::move(bytes.fault());
+  if (mode == ExtractMode::kView) {
+    Fallible<vmi::GuestView> view =
+        session_->try_read_view(info.base, info.size_of_image);
+    if (!view.ok()) {
+      return std::move(view.fault());
+    }
+    image.view = std::move(view.value());
+  } else {
+    Fallible<Bytes> bytes =
+        session_->try_read_region(info.base, info.size_of_image);
+    if (!bytes.ok()) {
+      return std::move(bytes.fault());
+    }
+    image.bytes = std::move(bytes.value());
   }
-  image.bytes = std::move(bytes.value());
   return std::optional<ModuleImage>(std::move(image));
 }
 

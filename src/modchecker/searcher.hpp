@@ -26,6 +26,12 @@
 
 namespace mc::core {
 
+/// How try_extract_module returns the image bytes.
+enum class ExtractMode {
+  kCopy,  // owned buffer: survives the scan (caches, forensics, dumps)
+  kView,  // borrowed GuestView: zero-copy, valid for the current scan
+};
+
 class ModuleSearcher {
  public:
   explicit ModuleSearcher(vmi::VmiSession& session) : session_(&session) {}
@@ -41,9 +47,11 @@ class ModuleSearcher {
   Fallible<std::optional<ModuleInfo>> try_find_module(
       const std::string& module_name);
 
-  /// Finds the module and copies its entire image out of guest memory.
+  /// Finds the module and acquires its entire image from guest memory —
+  /// copied page by page (kCopy), or as borrowed spans over the guest's
+  /// frames (kView; identical simulated cost, no host copy).
   Fallible<std::optional<ModuleImage>> try_extract_module(
-      const std::string& module_name);
+      const std::string& module_name, ExtractMode mode = ExtractMode::kCopy);
 
   // ---- Legacy throwing wrappers --------------------------------------------
 

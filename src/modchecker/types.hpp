@@ -21,12 +21,21 @@ struct ModuleInfo {
   std::uint32_t entry_point = 0;
 };
 
-/// A whole module image copied out of one guest's memory.
+/// A whole module image acquired from one guest's memory: either copied
+/// into an owned buffer (the historical path — caches and forensics need
+/// to outlive the scan) or borrowed as a scatter-gather GuestView over
+/// the guest's frames (the zero-copy Acquire path; valid for one scan).
 struct ModuleImage {
   vmm::DomainId domain = 0;
   std::string name;
   std::uint32_t base = 0;
-  Bytes bytes;  // SizeOfImage bytes, memory layout
+  Bytes bytes;          // SizeOfImage bytes, memory layout (owned mode)
+  vmi::GuestView view;  // borrowed spans (zero-copy mode)
+
+  bool view_backed() const { return !view.empty(); }
+  std::size_t size() const {
+    return view_backed() ? view.size() : bytes.size();
+  }
 };
 
 /// A module decomposed into its integrity items (Algorithm 1 output).

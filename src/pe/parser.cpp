@@ -1,11 +1,26 @@
 #include "pe/parser.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "pe/constants.hpp"
 #include "util/error.hpp"
 
 namespace mc::pe {
+
+namespace {
+
+/// Owned copy of view[off, off+len) with the same bounds contract as
+/// mc::slice (the header items of the zero-copy path stay owned — they
+/// are a few dozen bytes each and get parsed into structs regardless).
+Bytes view_slice(const vmi::GuestView& v, std::size_t off, std::size_t len) {
+  MC_CHECK(off + len <= v.size(), "slice out of range");
+  Bytes out(len, 0);
+  v.read_into(off, MutableByteView(out));
+  return out;
+}
+
+}  // namespace
 
 std::string to_string(ItemKind kind) {
   switch (kind) {
@@ -51,6 +66,58 @@ ParsedImage::ParsedImage(ByteView mapped) {
   }
 }
 
+ParsedImage::ParsedImage(const vmi::GuestView& mapped) {
+  // Mirrors the ByteView constructor stage for stage, staging each header
+  // through a fixed-size stack buffer: DOS header, NT prefix, optional
+  // header, section table.  Each staged read re-raises the struct parsers'
+  // own FormatErrors on out-of-range structures, and the explicit
+  // magic/range checks are identical — failure behavior matches the
+  // ByteView overload check for check.
+  std::array<std::uint8_t, kDosHeaderSize> dos_buf{};
+  if (mapped.size() < dos_buf.size()) {
+    throw FormatError("image too small for IMAGE_DOS_HEADER");
+  }
+  mapped.read_into(0, MutableByteView(dos_buf));
+  dos_ = DosHeader::parse(ByteView(dos_buf));
+  if (dos_.e_magic != kDosMagic) {
+    throw FormatError("module lacks MZ magic");
+  }
+  if (dos_.e_lfanew < kDosHeaderSize ||
+      dos_.e_lfanew + kNtHeadersPrefixSize > mapped.size()) {
+    throw FormatError("e_lfanew out of range");
+  }
+  std::array<std::uint8_t, kNtHeadersPrefixSize> nt_buf{};
+  mapped.read_into(dos_.e_lfanew, MutableByteView(nt_buf));
+  if (load_le32(ByteView(nt_buf), 0) != kNtSignature) {
+    throw FormatError("module lacks PE signature");
+  }
+  file_ = FileHeader::parse(ByteView(nt_buf), 4);
+  const std::size_t opt_off = dos_.e_lfanew + kNtHeadersPrefixSize;
+  if (file_.SizeOfOptionalHeader < kOptionalHeader32Size) {
+    throw FormatError("optional header too small for PE32");
+  }
+  std::array<std::uint8_t, kOptionalHeader32Size> opt_buf{};
+  if (opt_off + opt_buf.size() > mapped.size()) {
+    throw FormatError("image too small for IMAGE_OPTIONAL_HEADER32");
+  }
+  mapped.read_into(opt_off, MutableByteView(opt_buf));
+  optional_ = OptionalHeader32::parse(ByteView(opt_buf), 0);
+
+  section_table_offset_ =
+      static_cast<std::uint32_t>(opt_off + file_.SizeOfOptionalHeader);
+  sections_.reserve(file_.NumberOfSections);
+  std::array<std::uint8_t, kSectionHeaderSize> sh_buf{};
+  for (std::uint16_t i = 0; i < file_.NumberOfSections; ++i) {
+    const std::size_t off = section_table_offset_ +
+                            std::size_t{i} * kSectionHeaderSize;
+    if (off + sh_buf.size() > mapped.size()) {
+      throw FormatError("image too small for IMAGE_SECTION_HEADER");
+    }
+    mapped.read_into(off, MutableByteView(sh_buf));
+    sections_.push_back(SectionHeader::parse(ByteView(sh_buf), 0));
+  }
+}
+
 const SectionHeader* ParsedImage::find_section(const std::string& name) const {
   const auto it =
       std::find_if(sections_.begin(), sections_.end(),
@@ -75,17 +142,19 @@ std::vector<IntegrityItem> ParsedImage::extract_items(ByteView mapped) const {
   // 1. DOS header + stub: [0, e_lfanew).  The paper's experiment E3 shows a
   //    stub-text edit ("DOS" -> "CHK") being caught via this item.
   items.push_back({ItemKind::kDosHeader, "IMAGE_DOS_HEADER", 0,
-                   slice(mapped, 0, dos_.e_lfanew), false});
+                   slice(mapped, 0, dos_.e_lfanew), false, {}});
 
   // 2. PE signature + IMAGE_FILE_HEADER.
   items.push_back({ItemKind::kNtHeader, "IMAGE_NT_HEADER", dos_.e_lfanew,
-                   slice(mapped, dos_.e_lfanew, kNtHeadersPrefixSize), false});
+                   slice(mapped, dos_.e_lfanew, kNtHeadersPrefixSize), false,
+                   {}});
 
   // 3. IMAGE_OPTIONAL_HEADER (the full SizeOfOptionalHeader bytes).
   const std::uint32_t opt_off = dos_.e_lfanew +
                                 static_cast<std::uint32_t>(kNtHeadersPrefixSize);
   items.push_back({ItemKind::kOptionalHeader, "IMAGE_OPTIONAL_HEADER", opt_off,
-                   slice(mapped, opt_off, file_.SizeOfOptionalHeader), false});
+                   slice(mapped, opt_off, file_.SizeOfOptionalHeader), false,
+                   {}});
 
   // 4. Every section header, as its own item (paper E4: "all
   //    SECTION_HEADER's" flagged independently).
@@ -95,7 +164,7 @@ std::vector<IntegrityItem> ParsedImage::extract_items(ByteView mapped) const {
                                     static_cast<std::uint32_t>(kSectionHeaderSize);
     items.push_back({ItemKind::kSectionHeader,
                      "SECTION_HEADER[" + sections_[i].name() + "]", off,
-                     slice(mapped, off, kSectionHeaderSize), false});
+                     slice(mapped, off, kSectionHeaderSize), false, {}});
   }
 
   // 5. Data of each integrity-checked section.  Executable sections carry
@@ -111,7 +180,53 @@ std::vector<IntegrityItem> ParsedImage::extract_items(ByteView mapped) const {
       throw FormatError("section data outside mapped image");
     }
     items.push_back({ItemKind::kSectionData, sh.name(), sh.VirtualAddress,
-                     slice(mapped, sh.VirtualAddress, len), sh.is_code()});
+                     slice(mapped, sh.VirtualAddress, len), sh.is_code(), {}});
+  }
+  return items;
+}
+
+std::vector<IntegrityItem> ParsedImage::extract_items(
+    const vmi::GuestView& mapped) const {
+  // Same walk as the ByteView overload; headers become small owned
+  // copies, section data stays borrowed (the zero-copy payoff: section
+  // data is ~all of the image's hashable bytes).
+  std::vector<IntegrityItem> items;
+
+  items.push_back({ItemKind::kDosHeader, "IMAGE_DOS_HEADER", 0,
+                   view_slice(mapped, 0, dos_.e_lfanew), false, {}});
+
+  items.push_back({ItemKind::kNtHeader, "IMAGE_NT_HEADER", dos_.e_lfanew,
+                   view_slice(mapped, dos_.e_lfanew, kNtHeadersPrefixSize),
+                   false, {}});
+
+  const std::uint32_t opt_off = dos_.e_lfanew +
+                                static_cast<std::uint32_t>(kNtHeadersPrefixSize);
+  items.push_back({ItemKind::kOptionalHeader, "IMAGE_OPTIONAL_HEADER", opt_off,
+                   view_slice(mapped, opt_off, file_.SizeOfOptionalHeader),
+                   false, {}});
+
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const std::uint32_t off =
+        section_table_offset_ + static_cast<std::uint32_t>(i) *
+                                    static_cast<std::uint32_t>(kSectionHeaderSize);
+    items.push_back({ItemKind::kSectionHeader,
+                     "SECTION_HEADER[" + sections_[i].name() + "]", off,
+                     view_slice(mapped, off, kSectionHeaderSize), false, {}});
+  }
+
+  for (const auto& sh : sections_) {
+    if (!is_integrity_checked_section(sh)) {
+      continue;
+    }
+    const std::uint32_t len =
+        std::min(sh.VirtualSize,
+                 static_cast<std::uint32_t>(mapped.size()) - sh.VirtualAddress);
+    if (sh.VirtualAddress >= mapped.size()) {
+      throw FormatError("section data outside mapped image");
+    }
+    items.push_back({ItemKind::kSectionData, sh.name(), sh.VirtualAddress,
+                     Bytes{}, sh.is_code(),
+                     mapped.subview(sh.VirtualAddress, len)});
   }
   return items;
 }

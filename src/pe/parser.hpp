@@ -15,6 +15,7 @@
 
 #include "pe/structs.hpp"
 #include "util/bytes.hpp"
+#include "vmi/guest_view.hpp"
 
 namespace mc::pe {
 
@@ -31,14 +32,48 @@ std::string to_string(ItemKind kind);
 
 /// One hashable unit of a module (paper §III-B.3: "computes the hashes of
 /// the headers and the contents of the module ... separately").
+///
+/// Content lives in exactly one of two places: `bytes` (owned copy — the
+/// historical path, still used for disk images, caches and forensics) or
+/// `view` (borrowed spans over guest frames — the zero-copy Acquire path;
+/// headers stay owned even there because they are tiny and parsed into
+/// structs anyway).  Consumers go through the content_* accessors /
+/// for_each_span so they never care which mode an item is in.
 struct IntegrityItem {
   ItemKind kind = ItemKind::kSectionData;
   std::string name;        // ".text", "IMAGE_NT_HEADER", ...
   std::uint32_t rva = 0;   // where the bytes start within the image
-  Bytes bytes;             // the raw content (copied; RVA-adjustment mutates it)
+  Bytes bytes;             // owned content (empty when view-backed)
   bool rva_sensitive = false;  // true for executable section data (holds
                                // absolute addresses that must be normalized
                                // before hashing)
+  vmi::GuestView view;     // borrowed content (empty when owned)
+
+  bool view_backed() const { return !view.empty(); }
+  std::size_t content_size() const {
+    return view_backed() ? view.size() : bytes.size();
+  }
+  /// Copies the content into `dst` (dst.size() == content_size()).
+  void copy_content(MutableByteView dst) const {
+    if (view_backed()) {
+      view.read_into(0, dst);
+    } else {
+      copy_bytes(dst, bytes);
+    }
+  }
+  /// Owned copy — materialization point for forensics/dump consumers.
+  Bytes content_copy() const {
+    return view_backed() ? view.materialize() : bytes;
+  }
+  /// Walks the content as borrowed spans in order (streaming hash/CRC).
+  template <typename Fn>
+  void for_each_span(Fn&& fn) const {
+    if (view_backed()) {
+      view.for_each_segment(fn);
+    } else if (!bytes.empty()) {
+      fn(ByteView(bytes));
+    }
+  }
 };
 
 /// Fully parsed view of a mapped module.
@@ -47,6 +82,12 @@ class ParsedImage {
   /// Parses `mapped` (memory layout).  Throws FormatError on bad magics or
   /// out-of-bounds structures.
   explicit ParsedImage(ByteView mapped);
+
+  /// Same parse over a scatter-gather GuestView (the zero-copy Acquire
+  /// path): headers are staged through small fixed-size stack copies, so
+  /// nothing image-sized is materialized.  Failure behavior matches the
+  /// ByteView overload check for check.
+  explicit ParsedImage(const vmi::GuestView& mapped);
 
   const DosHeader& dos() const { return dos_; }
   const FileHeader& file_header() const { return file_; }
@@ -64,6 +105,10 @@ class ParsedImage {
   /// Writable data sections are excluded (they legitimately change at
   /// runtime and across VMs).
   std::vector<IntegrityItem> extract_items(ByteView mapped) const;
+
+  /// Zero-copy variant: header items carry small owned copies, section
+  /// data items borrow subviews of `mapped` (see IntegrityItem).
+  std::vector<IntegrityItem> extract_items(const vmi::GuestView& mapped) const;
 
  private:
   DosHeader dos_;

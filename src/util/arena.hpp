@@ -1,0 +1,136 @@
+// Bump-pointer arena for per-check scratch buffers.
+//
+// The hot compare path needs short-lived mutable copies of guest bytes
+// (Algorithm 2 rewrites relocation words in place before hashing).  A
+// fresh std::vector per comparison means one malloc/free pair per item
+// pair; across a 15-guest pool scan that is tens of thousands of
+// allocations whose lifetimes are perfectly nested.  The Arena serves
+// them from one geometrically-grown block chain and recycles the space
+// with a cursor reset instead of a free.
+//
+// Usage contract:
+//   * Arena::alloc(n) returns an 8-byte-aligned MutableByteView valid
+//     until the enclosing ArenaScope unwinds (or reset() is called).
+//   * ArenaScope saves the cursor on entry and restores it on exit, so
+//     nested scopes recycle space stack-fashion.  Allocations must not
+//     outlive their scope — the next scope WILL overwrite them.
+//   * scratch_arena() is a thread_local instance for call-local scratch;
+//     it keeps worker threads malloc-free without sharing or locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mc {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_capacity = 64 * 1024)
+      : initial_capacity_(initial_capacity ? initial_capacity : 64) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns an 8-byte-aligned scratch span of `n` bytes (zero-filled
+  /// blocks come from the allocator; recycled space holds stale data —
+  /// callers always overwrite before reading).
+  MutableByteView alloc(std::size_t n) {
+    const std::size_t need = (n + 7u) & ~std::size_t{7};
+    if (block_ >= blocks_.size() || used_ + need > blocks_[block_]->size()) {
+      next_block(need);
+    }
+    MutableByteView out(blocks_[block_]->data() + used_, n);
+    used_ += need;
+    return out;
+  }
+
+  /// Copies `src` into arena scratch and returns the mutable copy.
+  MutableByteView clone(ByteView src) {
+    MutableByteView out = alloc(src.size());
+    copy_bytes(out, src);
+    return out;
+  }
+
+  /// Releases everything allocated so far (keeps the blocks for reuse).
+  void reset() {
+    block_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes of backing capacity currently held.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) {
+      total += b->size();
+    }
+    return total;
+  }
+
+ private:
+  friend class ArenaScope;
+
+  struct Mark {
+    std::size_t block;
+    std::size_t used;
+  };
+
+  Mark mark() const { return {block_, used_}; }
+  void rewind(Mark m) {
+    block_ = m.block;
+    used_ = m.used;
+  }
+
+  void next_block(std::size_t need) {
+    // Find the first block at or after the cursor with room for a fresh
+    // `need`-byte run; append a bigger one (doubling) if none fits.
+    std::size_t i = block_;
+    if (i < blocks_.size() && used_ != 0) {
+      ++i;
+    }
+    while (i < blocks_.size() && blocks_[i]->size() < need) {
+      ++i;
+    }
+    if (i == blocks_.size()) {
+      std::size_t cap = blocks_.empty() ? initial_capacity_
+                                        : blocks_.back()->size() * 2;
+      if (cap < need) {
+        cap = need;
+      }
+      blocks_.push_back(std::make_unique<Bytes>(cap));
+    }
+    block_ = i;
+    used_ = 0;
+  }
+
+  std::size_t initial_capacity_;
+  std::vector<std::unique_ptr<Bytes>> blocks_;
+  std::size_t block_ = 0;
+  std::size_t used_ = 0;
+};
+
+/// RAII cursor save/restore: everything allocated inside the scope is
+/// recycled when it exits.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// Per-thread scratch arena for call-local buffers on the hot path.
+inline Arena& scratch_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace mc

@@ -1,0 +1,84 @@
+#include "vmi/guest_view.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mc::vmi {
+
+void GuestView::append(ByteView segment) {
+  if (segment.empty()) {
+    return;
+  }
+  if (!segments_.empty()) {
+    ByteView& last = segments_.back();
+    if (last.data() + last.size() == segment.data()) {
+      last = ByteView(last.data(), last.size() + segment.size());
+      size_ += segment.size();
+      return;
+    }
+  }
+  segments_.push_back(segment);
+  size_ += segment.size();
+}
+
+ByteView GuestView::as_contiguous() const {
+  MC_CHECK(contiguous(), "GuestView::as_contiguous on scattered view");
+  return segments_.empty() ? ByteView{} : segments_.front();
+}
+
+std::uint8_t GuestView::byte_at(std::size_t off) const {
+  MC_CHECK(off < size_, "GuestView::byte_at out of range");
+  for (const ByteView& s : segments_) {
+    if (off < s.size()) {
+      return s[off];
+    }
+    off -= s.size();
+  }
+  return 0;  // unreachable: size_ equals the segment total
+}
+
+void GuestView::read_into(std::size_t off, MutableByteView out) const {
+  MC_CHECK(off + out.size() <= size_, "GuestView::read_into out of range");
+  std::size_t done = 0;
+  for (const ByteView& s : segments_) {
+    if (done == out.size()) {
+      break;
+    }
+    if (off >= s.size()) {
+      off -= s.size();
+      continue;
+    }
+    const std::size_t take = std::min(s.size() - off, out.size() - done);
+    copy_bytes(out.subspan(done, take), s.subspan(off, take));
+    done += take;
+    off = 0;
+  }
+}
+
+GuestView GuestView::subview(std::size_t off, std::size_t len) const {
+  MC_CHECK(off + len <= size_, "GuestView::subview out of range");
+  GuestView out;
+  for (const ByteView& s : segments_) {
+    if (len == 0) {
+      break;
+    }
+    if (off >= s.size()) {
+      off -= s.size();
+      continue;
+    }
+    const std::size_t take = std::min(s.size() - off, len);
+    out.append(s.subspan(off, take));
+    len -= take;
+    off = 0;
+  }
+  return out;
+}
+
+Bytes GuestView::materialize() const {
+  Bytes out(size_, 0);
+  read_into(0, MutableByteView(out));
+  return out;
+}
+
+}  // namespace mc::vmi

@@ -34,6 +34,8 @@ VmiSession::VmiSession(const vmm::Hypervisor& hypervisor,
   counters_.batched_pages = reg.owned_counter("vmi.batched_pages");
   counters_.session_reuses = reg.owned_counter("vmi.session_reuses");
   counters_.faults_observed = reg.owned_counter("vmi.faults_observed");
+  counters_.view_reads = reg.owned_counter("vmi.view_reads");
+  counters_.view_bytes = reg.owned_counter("vmi.view_bytes");
   // Validate the domain exists up front (mirrors vmi_init failing fast).
   (void)hypervisor_->domain(domain_id_);
   charge(costs_.attach);
@@ -50,6 +52,8 @@ VmiStats VmiSession::stats() const {
   snap.batched_pages = counters_.batched_pages.value();
   snap.session_reuses = counters_.session_reuses.value();
   snap.faults_observed = counters_.faults_observed.value();
+  snap.view_reads = counters_.view_reads.value();
+  snap.view_bytes = counters_.view_bytes.value();
   return snap;
 }
 
@@ -162,7 +166,9 @@ Fallible<std::uint64_t> VmiSession::try_translate_kv2p(std::uint32_t va) {
   return frame_pa | (va & kPageMask);
 }
 
-MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
+template <typename Sink>
+MaybeFault VmiSession::walk_guest_range(std::uint32_t va, std::size_t len,
+                                        Sink&& sink) {
   counters_.read_calls.inc();
   charge(costs_.read_call);
 
@@ -177,7 +183,7 @@ MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
   const vmm::PhysicalMemory& mem = hypervisor_->domain(domain_id_).memory();
 
   std::size_t done = 0;
-  while (done < out.size()) {
+  while (done < len) {
     const std::uint32_t cur = va + static_cast<std::uint32_t>(done);
     Fallible<std::uint64_t> translated = try_translate_kv2p(cur);
     if (!translated.ok()) {
@@ -193,16 +199,16 @@ MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
       last_mapped_frame_ = frame;
     }
     const std::size_t in_page = cur & kPageMask;
-    std::size_t take =
-        std::min<std::size_t>(vmm::kFrameSize - in_page, out.size() - done);
+    std::size_t take = std::min<std::size_t>(vmm::kFrameSize - in_page,
+                                             len - done);
 
     if (costs_.coalesce_reads) {
       // Extend the run while the following pages translate to physically
       // contiguous frames: they join the existing mapping (cheap batched
-      // charge) and the whole run is copied out in one call.  Translations
+      // charge) and the whole run is consumed in one call.  Translations
       // stay per-page — the page-table walk cannot be batched away.
       std::uint64_t next_frame = frame + vmm::kFrameSize;
-      while (done + take < out.size()) {
+      while (done + take < len) {
         const std::uint32_t next_va =
             va + static_cast<std::uint32_t>(done + take);
         Fallible<std::uint64_t> next_translated = try_translate_kv2p(next_va);
@@ -213,8 +219,8 @@ MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
         if ((next_pa & ~std::uint64_t{kPageMask}) != next_frame) {
           break;  // physical discontinuity; next loop iteration remaps
         }
-        const std::size_t extra = std::min<std::size_t>(
-            vmm::kFrameSize, out.size() - done - take);
+        const std::size_t extra =
+            std::min<std::size_t>(vmm::kFrameSize, len - done - take);
         counters_.pages_mapped.inc();
         counters_.batched_pages.inc();
         charge(costs_.page_map_batched);
@@ -227,12 +233,55 @@ MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
       }
     }
 
-    mem.read(pa, out.subspan(done, take));
-    counters_.bytes_copied.inc(take);
+    sink(mem, pa, done, take);
+    // The per-byte charge is the simulated cost of the hypervisor walking
+    // the mapped run; it applies to borrowed views and copies alike (the
+    // zero-copy win is host memory traffic, not simulated time).
     charge(costs_.copy_per_byte * take);
     done += take;
   }
   return std::nullopt;
+}
+
+MaybeFault VmiSession::try_read_va(std::uint32_t va, MutableByteView out) {
+  return walk_guest_range(
+      va, out.size(),
+      [&](const vmm::PhysicalMemory& mem, std::uint64_t pa, std::size_t done,
+          std::size_t take) {
+        mem.read(pa, out.subspan(done, take));
+        counters_.bytes_copied.inc(take);
+      });
+}
+
+Fallible<GuestView> VmiSession::try_read_view(std::uint32_t va,
+                                              std::size_t len) {
+  GuestView view;
+  counters_.view_reads.inc();
+  MaybeFault fault = walk_guest_range(
+      va, len,
+      [&](const vmm::PhysicalMemory& mem, std::uint64_t pa, std::size_t,
+          std::size_t take) {
+        // A coalesced run covers physically contiguous frames, but each
+        // frame is its own host allocation: borrow frame by frame and let
+        // GuestView coalesce what happens to be host-adjacent.
+        std::size_t off = 0;
+        while (off < take) {
+          const std::uint64_t cur = pa + off;
+          const auto frame_no =
+              static_cast<std::uint32_t>(cur >> vmm::kFrameShift);
+          const std::size_t in_frame =
+              static_cast<std::size_t>(cur & kPageMask);
+          const std::size_t chunk = std::min<std::size_t>(
+              vmm::kFrameSize - in_frame, take - off);
+          view.append(mem.frame_view(frame_no).subspan(in_frame, chunk));
+          off += chunk;
+        }
+        counters_.view_bytes.inc(take);
+      });
+  if (fault) {
+    return std::move(*fault);
+  }
+  return view;
 }
 
 Fallible<std::uint32_t> VmiSession::try_read_u32(std::uint32_t va) {

@@ -32,6 +32,7 @@
 #include "util/fault.hpp"
 #include "util/sim_clock.hpp"
 #include "vmi/cost_model.hpp"
+#include "vmi/guest_view.hpp"
 #include "vmm/hypervisor.hpp"
 
 namespace mc::vmi {
@@ -58,6 +59,12 @@ struct VmiStats {
   /// Faults surfaced by this session (injected or real), counted at the
   /// point of observation.
   std::uint64_t faults_observed = 0;
+  /// Zero-copy reads served as borrowed GuestViews (and the bytes they
+  /// exposed without copying).  A clean pool scan should see view_bytes
+  /// carry the module images while bytes_copied stays at the small typed
+  /// reads (list walking, UNICODE_STRINGs).
+  std::uint64_t view_reads = 0;
+  std::uint64_t view_bytes = 0;
 };
 
 class VmiSession {
@@ -110,6 +117,14 @@ class VmiSession {
   /// Reads `len` bytes into a fresh buffer.
   Fallible<Bytes> try_read_region(std::uint32_t va, std::size_t len);
 
+  /// Zero-copy read: walks and charges exactly like try_read_va (same
+  /// translations, same map/batch pattern, same per-byte touch cost — the
+  /// simulated hypervisor still maps and walks every page), but returns
+  /// borrowed spans over the backing frames instead of copying them into
+  /// a fresh buffer.  The view is valid until the guest's memory is
+  /// restored from a snapshot; see guest_view.hpp for the borrowing rules.
+  Fallible<GuestView> try_read_view(std::uint32_t va, std::size_t len);
+
   /// Decodes a UNICODE_STRING structure at `us_va` (reads the descriptor,
   /// then the UTF-16LE buffer it points to).
   Fallible<std::string> try_read_unicode_string(std::uint32_t us_va);
@@ -134,6 +149,16 @@ class VmiSession {
 
  private:
   void charge(SimNanos nanos);
+
+  /// The shared page walk behind try_read_va and try_read_view: performs
+  /// the injection roll, per-page translation and map/batch charging, then
+  /// hands each mapped run to `sink(mem, pa, done, take)`.  Keeping one
+  /// walk guarantees the copying and zero-copy paths charge bit-identical
+  /// simulated costs (the differential suites assert this).
+  template <typename Sink>
+  [[nodiscard]] MaybeFault walk_guest_range(std::uint32_t va, std::size_t len,
+                                            Sink&& sink);
+
   [[nodiscard]] MaybeFault try_ensure_debug_block();
   FaultRecord make_fault(FaultCode code, std::uint32_t va, std::uint64_t pa,
                          std::string detail);
@@ -150,6 +175,8 @@ class VmiSession {
     telemetry::OwnedCounter batched_pages;
     telemetry::OwnedCounter session_reuses;
     telemetry::OwnedCounter faults_observed;
+    telemetry::OwnedCounter view_reads;
+    telemetry::OwnedCounter view_bytes;
   };
 
   const vmm::Hypervisor* hypervisor_;

@@ -19,6 +19,7 @@ struct PhysCounters {
   telemetry::Counter bytes_read;
   telemetry::Counter bytes_written;
   telemetry::Counter frames_materialized;
+  telemetry::Counter frame_views;
 };
 
 const PhysCounters& phys_counters() {
@@ -28,7 +29,8 @@ const PhysCounters& phys_counters() {
                         r.counter("vmm.phys.writes"),
                         r.counter("vmm.phys.bytes_read"),
                         r.counter("vmm.phys.bytes_written"),
-                        r.counter("vmm.phys.frames_materialized")};
+                        r.counter("vmm.phys.frames_materialized"),
+                        r.counter("vmm.phys.frame_views")};
   }();
   return counters;
 }
@@ -97,6 +99,16 @@ void PhysicalMemory::read(std::uint64_t pa, MutableByteView out) const {
     }
     done += take;
   }
+}
+
+ByteView PhysicalMemory::frame_view(std::uint32_t frame_no) const {
+  check_range(std::uint64_t{frame_no} << kFrameShift, kFrameSize);
+  phys_counters().frame_views.inc();
+  if (const Frame* f = frame_if_present(frame_no)) {
+    return ByteView(*f);
+  }
+  static const Frame zero_frame{};
+  return ByteView(zero_frame);
 }
 
 void PhysicalMemory::write(std::uint64_t pa, ByteView data) {

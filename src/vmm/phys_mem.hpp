@@ -47,6 +47,14 @@ class PhysicalMemory {
   void read(std::uint64_t pa, MutableByteView out) const;
   void write(std::uint64_t pa, ByteView data);
 
+  /// Borrowed view of one frame's backing storage (the zero-copy read
+  /// path).  Non-resident frames all alias one shared immutable zero
+  /// frame, mirroring read()'s zero-fill semantics without materializing
+  /// anything.  Frames never move once materialized, so the view stays
+  /// valid until restore_from() replaces the frame set — borrowers must
+  /// not hold views across a snapshot restore.
+  ByteView frame_view(std::uint32_t frame_no) const;
+
   // ---- dirty tracking ------------------------------------------------------
   // Every write stamps the touched frames with a monotonically increasing
   // version (the moral equivalent of Xen's log-dirty mode).  Incremental

@@ -76,11 +76,11 @@ std::vector<std::string> tree_files(const std::string& root) {
 
 // ---- Catalog ---------------------------------------------------------------
 
-TEST(AnalyzeCatalog, ThirteenRules) {
+TEST(AnalyzeCatalog, FourteenRules) {
   const auto ids = mc::lint::all_rule_ids();
-  ASSERT_EQ(ids.size(), 13u);
+  ASSERT_EQ(ids.size(), 14u);
   for (const char* rule : {"fallible-discard", "lock-order",
-                           "sim-determinism", "guest-taint"}) {
+                           "sim-determinism", "guest-taint", "hotpath-copy"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), rule), ids.end()) << rule;
   }
   // The tier-1 catalog rides along unchanged.
@@ -186,6 +186,38 @@ TEST(AnalyzeFixtures, GuestTaint) {
   EXPECT_EQ(lines_of(result, "guest-taint"),
             (std::vector<int>{9, 11, 13, 39}));
   EXPECT_EQ(result.findings.size(), 4u);
+}
+
+// ---- hotpath-copy ----------------------------------------------------------
+
+TEST(AnalyzeFixtures, HotpathCopy) {
+  const auto result = analyze_fixture("hotpath_copy.cpp");
+  // Line 13 carries two findings: the owned `Bytes` declaration and the
+  // allocating content_copy() call.  The suppressed dump site, the arena /
+  // caller-scratch copies and the pairwise *assignment* stay quiet.
+  EXPECT_EQ(lines_of(result, "hotpath-copy"), (std::vector<int>{13, 13, 32}));
+  EXPECT_EQ(result.findings.size(), 3u);
+}
+
+TEST(AnalyzeFixtures, HotpathCopyIgnoresDispatchedAndColdTus) {
+  // Same constructs in a TU that routes through the simd dispatcher: the
+  // pairwise compare is the guarded scalar tail, not a bypass.
+  Analyzer a;
+  a.add_source("dispatched.cpp",
+               "void tail(const unsigned char* a, const unsigned char* b,\n"
+               "          int n, int j) {\n"
+               "  adjust_rvas(a, 1, b, 2);\n"
+               "  j = simd::mismatch(a, b, n, 0);\n"
+               "  if (a[j] != b[j]) { consume(j); }\n"
+               "}\n");
+  // And without the hot-path vocabulary the rule is not our business.
+  a.add_source("cold.cpp",
+               "void f(const Item& item) {\n"
+               "  Bytes flat = item.content_copy();\n"
+               "  consume(flat);\n"
+               "}\n");
+  const auto result = a.run();
+  EXPECT_TRUE(lines_of(result, "hotpath-copy").empty());
 }
 
 // ---- Differential guarantee ------------------------------------------------

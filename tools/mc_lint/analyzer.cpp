@@ -14,6 +14,7 @@ const std::vector<std::string>& analyzer_rule_ids() {
       "lock-order",
       "sim-determinism",
       "guest-taint",
+      "hotpath-copy",
   };
   return kIds;
 }
@@ -56,6 +57,7 @@ AnalyzeResult Analyzer::run(const AnalyzeOptions& opts) {
     rules::fallible_discard(u.tokens, index_, u.file, per_file[u.file]);
     rules::sim_determinism(u.tokens, u.file, per_file[u.file]);
     rules::guest_taint(u.tokens, u.file, per_file[u.file]);
+    rules::hotpath_copy(u.tokens, u.file, per_file[u.file]);
   }
   std::vector<Finding> global;
   rules::lock_order(index_, report_files, global);
