@@ -23,6 +23,7 @@
 #endif
 
 #include "cloud/environment.hpp"
+#include "cloud/linux.hpp"
 #include "modchecker/item_content.hpp"
 #include "modchecker/modchecker.hpp"
 #include "modchecker/rva_adjust.hpp"
@@ -36,7 +37,8 @@ namespace {
 
 using namespace mc;
 
-constexpr const char* kModule = "http.sys";  // largest catalog module
+constexpr const char* kModule = "http.sys";     // largest PE catalog module
+constexpr const char* kElfModule = "scsi_mod";  // largest .ko in the catalog
 constexpr double kRequiredSpeedupAt15 = 5.0;
 /// The word-wise normalize diff kernel must beat forced-scalar by at least
 /// this factor on the 1 MiB mostly-equal probe (the clean-scan shape).
@@ -67,28 +69,49 @@ double total_speedup(const Row& r) {
          static_cast<double>(r.fast.cpu_times.total());
 }
 
+/// One sweep point: faithful vs fast scan of `module` over the same pool.
+Row sweep_point(const vmm::Hypervisor& hypervisor,
+                const std::vector<vmm::DomainId>& pool,
+                const char* module) {
+  Row row;
+  row.pool_size = pool.size();
+  row.faithful =
+      core::ModChecker(hypervisor, faithful_config()).scan_pool(module, pool);
+  row.fast = core::ModChecker(hypervisor).scan_pool(module, pool);
+
+  row.verdicts_match =
+      row.faithful.verdicts.size() == row.fast.verdicts.size();
+  for (std::size_t i = 0; row.verdicts_match && i < pool.size(); ++i) {
+    row.verdicts_match =
+        row.faithful.verdicts[i].clean == row.fast.verdicts[i].clean &&
+        row.faithful.verdicts[i].successes == row.fast.verdicts[i].successes;
+  }
+  return row;
+}
+
+constexpr std::size_t kPoolSizes[] = {2, 3, 5, 8, 10, 12, 15};
+
 std::vector<Row> sweep() {
   std::vector<Row> rows;
-  for (const std::size_t t : {2u, 3u, 5u, 8u, 10u, 12u, 15u}) {
+  for (const std::size_t t : kPoolSizes) {
     cloud::CloudConfig cfg;
     cfg.guest_count = t;
     cloud::CloudEnvironment env(cfg);
+    rows.push_back(sweep_point(env.hypervisor(), env.guests(), kModule));
+  }
+  return rows;
+}
 
-    Row row;
-    row.pool_size = t;
-    row.faithful = core::ModChecker(env.hypervisor(), faithful_config())
-                       .scan_pool(kModule, env.guests());
-    row.fast =
-        core::ModChecker(env.hypervisor()).scan_pool(kModule, env.guests());
-
-    row.verdicts_match =
-        row.faithful.verdicts.size() == row.fast.verdicts.size();
-    for (std::size_t i = 0; row.verdicts_match && i < t; ++i) {
-      row.verdicts_match =
-          row.faithful.verdicts[i].clean == row.fast.verdicts[i].clean &&
-          row.faithful.verdicts[i].successes == row.fast.verdicts[i].successes;
-    }
-    rows.push_back(row);
+/// The ELF leg: the same ablation over Linux guests and .ko modules — the
+/// canonical pool must deliver the same O(t) win under the ELF64 fixup
+/// policy (8-byte biased slots) as under PE32's 4-byte relocations.
+std::vector<Row> elf_sweep() {
+  std::vector<Row> rows;
+  for (const std::size_t t : kPoolSizes) {
+    cloud::LinuxCloudConfig cfg;
+    cfg.guest_count = t;
+    cloud::LinuxEnvironment env(cfg);
+    rows.push_back(sweep_point(env.hypervisor(), env.guests(), kElfModule));
   }
   return rows;
 }
@@ -207,8 +230,8 @@ HotpathReport measure_hotpath() {
   const core::ParsedModule mod1 = parser.parse(img1, parse_clock);
 
   // Pick the largest rva-sensitive item pair (the .text sections).
-  const pe::IntegrityItem* text0 = nullptr;
-  const pe::IntegrityItem* text1 = nullptr;
+  const core::IntegrityItem* text0 = nullptr;
+  const core::IntegrityItem* text1 = nullptr;
   for (std::size_t i = 0; i < mod0.items.size() && i < mod1.items.size();
        ++i) {
     if (mod0.items[i].rva_sensitive &&
@@ -319,21 +342,7 @@ void print_component(std::FILE* f, const char* name,
                trailing_comma ? "," : "");
 }
 
-bool write_json(const std::string& path, const std::vector<Row>& rows,
-                const vmi::SessionPoolStats& pool_stats,
-                double warm_rescan_searcher_ms, const HotpathReport& hp,
-                const ZeroCopyAudit& zc, bool pass) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return false;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"ablation_fastpath\",\n");
-  std::fprintf(f, "  \"module\": \"%s\",\n", kModule);
-  std::fprintf(f, "  \"required_checker_speedup_at_15\": %.1f,\n",
-               kRequiredSpeedupAt15);
-  std::fprintf(f, "  \"rows\": [\n");
+void print_rows(std::FILE* f, const std::vector<Row>& rows) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f, "    {\n      \"pool_size\": %zu,\n", r.pool_size);
@@ -347,6 +356,29 @@ bool write_json(const std::string& path, const std::vector<Row>& rows,
                  r.verdicts_match ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
+}
+
+bool write_json(const std::string& path, const std::vector<Row>& rows,
+                const std::vector<Row>& elf_rows,
+                const vmi::SessionPoolStats& pool_stats,
+                double warm_rescan_searcher_ms, const HotpathReport& hp,
+                const ZeroCopyAudit& zc, bool pass) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"ablation_fastpath\",\n");
+  std::fprintf(f, "  \"module\": \"%s\",\n", kModule);
+  std::fprintf(f, "  \"elf_module\": \"%s\",\n", kElfModule);
+  std::fprintf(f, "  \"required_checker_speedup_at_15\": %.1f,\n",
+               kRequiredSpeedupAt15);
+  std::fprintf(f, "  \"rows\": [\n");
+  print_rows(f, rows);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"elf_rows\": [\n");
+  print_rows(f, elf_rows);
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"session_pool\": {\"created\": %llu, \"reused\": %llu, "
@@ -383,11 +415,7 @@ bool write_json(const std::string& path, const std::vector<Row>& rows,
   return true;
 }
 
-/// Runs the sweep + a warm-rescan probe; returns the process exit code.
-int run_ablation(const std::string& json_path) {
-  const std::vector<Row> rows = sweep();
-
-  std::printf("=== A8: canonical-RVA fast path (module %s) ===\n", kModule);
+void print_table(const std::vector<Row>& rows) {
   std::printf("%-6s %14s %14s %9s %9s %8s %9s %8s\n", "pool",
               "faithful[ms]", "fast[ms]", "chk-spdp", "tot-spdp", "fastpairs",
               "fallback", "match");
@@ -398,6 +426,18 @@ int run_ablation(const std::string& json_path) {
                 total_speedup(r), r.fast.fastpath_pairs,
                 r.fast.fallback_pairs, r.verdicts_match ? "yes" : "NO");
   }
+}
+
+/// Runs both format sweeps + a warm-rescan probe; returns the exit code.
+int run_ablation(const std::string& json_path) {
+  const std::vector<Row> rows = sweep();
+  const std::vector<Row> elf_rows = elf_sweep();
+
+  std::printf("=== A8: canonical-RVA fast path (module %s) ===\n", kModule);
+  print_table(rows);
+  std::printf("\n=== A8/elf: same ablation, Linux pool (module %s) ===\n",
+              kElfModule);
+  print_table(elf_rows);
 
   // Warm-rescan probe: a second scan through the same checker reuses the
   // pooled sessions, eliminating attach + debug-block scan per VM.
@@ -442,20 +482,29 @@ int run_ablation(const std::string& json_path) {
               static_cast<unsigned long long>(zc.bytes_copied),
               zc.clean ? "clean" : "NOT CLEAN");
 
+  // The gate applies per format: both t=15 legs must clear the same
+  // speedup floor, and every row of either sweep must match verdicts.
   const Row& last = rows.back();
+  const Row& elf_last = elf_rows.back();
   bool pass = last.pool_size == 15 &&
               checker_speedup(last) >= kRequiredSpeedupAt15 &&
+              elf_last.pool_size == 15 &&
+              checker_speedup(elf_last) >= kRequiredSpeedupAt15 &&
               warm_scan.cpu_times.searcher < cold_scan.cpu_times.searcher;
   for (const Row& r : rows) {
     pass = pass && r.verdicts_match;
   }
+  for (const Row& r : elf_rows) {
+    pass = pass && r.verdicts_match;
+  }
   pass = pass && hp.normalize_kernel_speedup >= kRequiredNormalizeSpeedup;
   pass = pass && zc.clean;
-  std::printf("checker speedup at t=15: %.2fx (required >= %.1fx) => %s\n\n",
-              checker_speedup(last), kRequiredSpeedupAt15,
-              pass ? "PASS" : "FAIL");
+  std::printf("checker speedup at t=15: pe32 %.2fx, elf64 %.2fx "
+              "(required >= %.1fx) => %s\n\n",
+              checker_speedup(last), checker_speedup(elf_last),
+              kRequiredSpeedupAt15, pass ? "PASS" : "FAIL");
 
-  if (!write_json(json_path, rows, warm.session_pool_stats(),
+  if (!write_json(json_path, rows, elf_rows, warm.session_pool_stats(),
                   to_ms(warm_scan.cpu_times.searcher), hp, zc, pass)) {
     return 1;
   }

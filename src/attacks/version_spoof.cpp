@@ -14,6 +14,7 @@ AttackResult VersionSpoofAttack::apply(cloud::CloudEnvironment& env,
   GuestMemoryWriter writer(env, vm);
   std::uint32_t base = 0;
   const Bytes image = writer.read_module_image(module, &base);
+  // Attacker's-eye parse of the victim image; mc-lint: allow(format-bypass)
   const pe::ParsedImage parsed(image);
 
   const auto& resource_dir =

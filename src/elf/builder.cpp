@@ -1,0 +1,249 @@
+#include "elf/builder.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace mc::elf {
+
+namespace {
+
+/// Alignment of section data inside the image.  64 keeps every section
+/// (and the header tables) cacheline-aligned, mirroring how the simulated
+/// loader maps modules.
+constexpr std::uint32_t kSectionAlign = 64;
+
+}  // namespace
+
+KoBuilder::KoBuilder(std::string module_name)
+    : module_name_(std::move(module_name)) {}
+
+KoBuilder& KoBuilder::add_section(const std::string& name, Bytes data,
+                                  std::uint64_t flags, std::uint32_t type) {
+  for (const PendingSection& s : sections_) {
+    MC_CHECK(s.name != name, "duplicate section name");
+  }
+  sections_.push_back({name, std::move(data), flags, type});
+  return *this;
+}
+
+KoBuilder& KoBuilder::add_symbol(const std::string& name,
+                                 const std::string& section,
+                                 std::uint64_t value) {
+  section_index(section);  // validates the section exists
+  for (const PendingSymbol& s : symbols_) {
+    MC_CHECK(s.name != name, "duplicate symbol name");
+  }
+  symbols_.push_back({name, section, value});
+  return *this;
+}
+
+KoBuilder& KoBuilder::add_rela(const std::string& target_section,
+                               std::uint64_t offset, std::uint32_t type,
+                               const std::string& symbol, std::int64_t addend) {
+  MC_CHECK(type == kRX8664_64 || type == kRX8664_32S,
+           "unsupported relocation type");
+  const PendingSection& target = sections_[section_index(target_section)];
+  const std::uint64_t slot = type == kRX8664_64 ? 8 : 4;
+  MC_CHECK(offset + slot <= target.data.size(),
+           "relocation slot outside target section");
+  symbol_index(symbol);  // validates the symbol exists
+  relas_.push_back({target_section, offset, type, symbol, addend});
+  return *this;
+}
+
+std::size_t KoBuilder::section_index(const std::string& name) const {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].name == name) {
+      return i;
+    }
+  }
+  MC_CHECK(false, "unknown section name");
+  return 0;
+}
+
+std::size_t KoBuilder::symbol_index(const std::string& name) const {
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name == name) {
+      return i;
+    }
+  }
+  MC_CHECK(false, "unknown symbol name");
+  return 0;
+}
+
+Bytes KoBuilder::build() const {
+  // Final section order: [0] null, user sections, one .rela.<target> per
+  // relocated target (in target order), .symtab, .strtab, .shstrtab.
+  struct FinalSection {
+    Elf64Shdr header;
+    Bytes data;
+  };
+  std::vector<FinalSection> finals;
+  finals.push_back({});  // the mandatory null section
+
+  // .strtab content (symbol names) and symtab indices are fixed up front:
+  // index 0 is the null symbol, user symbols follow in add order.
+  Bytes strtab{0};
+  std::vector<std::uint32_t> sym_names;
+  sym_names.reserve(symbols_.size());
+  for (const PendingSymbol& sym : symbols_) {
+    sym_names.push_back(static_cast<std::uint32_t>(strtab.size()));
+    append_bytes(strtab, as_bytes(sym.name));
+    strtab.push_back(0);
+  }
+
+  // User sections occupy shndx 1..N in add order.
+  const auto user_shndx = [&](std::size_t builder_index) {
+    return static_cast<std::uint16_t>(1 + builder_index);
+  };
+  for (const PendingSection& s : sections_) {
+    FinalSection fs;
+    fs.header.sh_type = s.type;
+    fs.header.sh_flags = s.flags;
+    fs.header.sh_size = s.data.size();
+    fs.header.sh_addralign = kSectionAlign;
+    fs.data = s.data;
+    finals.push_back(std::move(fs));
+  }
+
+  const std::uint16_t symtab_shndx =
+      static_cast<std::uint16_t>(1 + sections_.size() + [&] {
+        std::size_t rela_sections = 0;
+        for (std::size_t i = 0; i < sections_.size(); ++i) {
+          for (const PendingRela& r : relas_) {
+            if (section_index(r.target) == i) {
+              rela_sections += 1;
+              break;
+            }
+          }
+        }
+        return rela_sections;
+      }());
+
+  // One .rela.<name> per relocated target section, records in add order.
+  std::vector<std::string> names;  // final names, parallel to `finals`
+  names.emplace_back();
+  for (const PendingSection& s : sections_) {
+    names.push_back(s.name);
+  }
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    Bytes records;
+    for (const PendingRela& r : relas_) {
+      if (section_index(r.target) != i) {
+        continue;
+      }
+      Elf64Rela rec;
+      rec.r_offset = r.offset;
+      // Symtab index: +1 for the null symbol.
+      rec.r_info = Elf64Rela::make_info(
+          static_cast<std::uint32_t>(1 + symbol_index(r.symbol)), r.type);
+      rec.r_addend = r.addend;
+      rec.serialize(records);
+    }
+    if (records.empty()) {
+      continue;
+    }
+    FinalSection fs;
+    fs.header.sh_type = kShtRela;
+    fs.header.sh_flags = kShfAlloc;  // resident → integrity-checked
+    fs.header.sh_size = records.size();
+    fs.header.sh_link = symtab_shndx;
+    fs.header.sh_info = user_shndx(i);
+    fs.header.sh_addralign = 8;
+    fs.header.sh_entsize = kRelaSize;
+    fs.data = std::move(records);
+    finals.push_back(std::move(fs));
+    names.push_back(".rela" + sections_[i].name);
+  }
+
+  // .symtab: null symbol + every declared symbol (all global).
+  {
+    Bytes records(kSymSize, 0);  // index 0: the null symbol
+    for (std::size_t i = 0; i < symbols_.size(); ++i) {
+      const PendingSymbol& sym = symbols_[i];
+      const std::size_t def = section_index(sym.section);
+      Elf64Sym rec;
+      rec.st_name = sym_names[i];
+      rec.st_info = elf_st_info(
+          kStbGlobal,
+          (sections_[def].flags & kShfExecinstr) != 0 ? kSttFunc : kSttObject);
+      rec.st_shndx = user_shndx(def);
+      rec.st_value = sym.value;
+      rec.serialize(records);
+    }
+    FinalSection fs;
+    fs.header.sh_type = kShtSymtab;
+    fs.header.sh_flags = kShfAlloc;
+    fs.header.sh_size = records.size();
+    fs.header.sh_link = static_cast<std::uint32_t>(symtab_shndx + 1);
+    fs.header.sh_info = 1;  // first (and only) batch of globals starts at 1
+    fs.header.sh_addralign = 8;
+    fs.header.sh_entsize = kSymSize;
+    fs.data = std::move(records);
+    finals.push_back(std::move(fs));
+    names.emplace_back(".symtab");
+  }
+
+  // .strtab then .shstrtab.
+  {
+    FinalSection fs;
+    fs.header.sh_type = kShtStrtab;
+    fs.header.sh_flags = kShfAlloc;
+    fs.header.sh_size = strtab.size();
+    fs.header.sh_addralign = 1;
+    fs.data = std::move(strtab);
+    finals.push_back(std::move(fs));
+    names.emplace_back(".strtab");
+  }
+  names.emplace_back(".shstrtab");
+  Bytes shstrtab{0};
+  std::vector<std::uint32_t> name_offsets(names.size(), 0);
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    name_offsets[i] = static_cast<std::uint32_t>(shstrtab.size());
+    append_bytes(shstrtab, as_bytes(names[i]));
+    shstrtab.push_back(0);
+  }
+  {
+    FinalSection fs;
+    fs.header.sh_type = kShtStrtab;
+    fs.header.sh_flags = kShfAlloc;
+    fs.header.sh_size = shstrtab.size();
+    fs.header.sh_addralign = 1;
+    fs.data = std::move(shstrtab);
+    finals.push_back(std::move(fs));
+  }
+
+  // Mapped layout: data runs from the file header, 64-byte aligned, with
+  // sh_addr == sh_offset; the section header table sits at the end.
+  std::uint32_t cursor = static_cast<std::uint32_t>(kEhdrSize);
+  for (std::size_t i = 1; i < finals.size(); ++i) {
+    FinalSection& fs = finals[i];
+    fs.header.sh_name = name_offsets[i];
+    cursor = align_up(cursor, kSectionAlign);
+    fs.header.sh_offset = cursor;
+    fs.header.sh_addr = cursor;
+    cursor += static_cast<std::uint32_t>(fs.data.size());
+  }
+  const std::uint32_t shoff = align_up(cursor, kSectionAlign);
+
+  Elf64Ehdr ehdr;
+  ehdr.e_shoff = shoff;
+  ehdr.e_shnum = static_cast<std::uint16_t>(finals.size());
+  ehdr.e_shstrndx = static_cast<std::uint16_t>(finals.size() - 1);
+
+  Bytes out;
+  out.reserve(shoff + finals.size() * kShdrSize);
+  ehdr.serialize(out);
+  for (std::size_t i = 1; i < finals.size(); ++i) {
+    out.resize(static_cast<std::size_t>(finals[i].header.sh_offset), 0);
+    append_bytes(out, ByteView(finals[i].data));
+  }
+  out.resize(shoff, 0);
+  for (const FinalSection& fs : finals) {
+    fs.header.serialize(out);
+  }
+  return out;
+}
+
+}  // namespace mc::elf

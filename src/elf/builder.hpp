@@ -1,0 +1,86 @@
+// Synthetic ELF64 kernel-module (.ko) builder.
+//
+// Produces byte-faithful relocatable x86-64 module images in *mapped*
+// layout: Elf64_Ehdr at offset 0, each section's data 64-byte aligned with
+// sh_addr == sh_offset, the section header table at the end.  That makes
+// one file serve as both the golden on-disk module and (after
+// apply_ko_relocations) the image a guest exposes at its load base, the
+// same dual role PeBuilder's output plays on the PE side.
+//
+// Callers add content sections, declare symbols at (section, offset), and
+// attach Rela records referencing those symbols; build() generates
+// .rela.<target> sections, .symtab/.strtab, and .shstrtab.  All generated
+// tables are SHF_ALLOC and read-only, so they are integrity-checked —
+// tampering with a resident relocation or symbol table is detectable,
+// and their content is base-independent (section-relative values only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elf/structs.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::elf {
+
+class KoBuilder {
+ public:
+  /// `module_name` is informational (diagnostics; not embedded).
+  explicit KoBuilder(std::string module_name);
+
+  const std::string& module_name() const { return module_name_; }
+
+  /// Adds a content section.  Order of calls fixes section indices
+  /// (index 0 is the mandatory null section).
+  KoBuilder& add_section(const std::string& name, Bytes data,
+                         std::uint64_t flags,
+                         std::uint32_t type = kShtProgbits);
+
+  /// Declares a global symbol at `value` bytes into `section`.  Symbols
+  /// are section-relative (ET_REL); the loader biases them by the load
+  /// base when applying relocations.
+  KoBuilder& add_symbol(const std::string& name, const std::string& section,
+                        std::uint64_t value);
+
+  /// Attaches a relocation: at `offset` within `target_section`, the
+  /// loader must patch an absolute reference to `symbol` + `addend`.
+  /// `type` is kRX8664_64 (8-byte slot) or kRX8664_32S (4-byte slot).
+  KoBuilder& add_rela(const std::string& target_section, std::uint64_t offset,
+                      std::uint32_t type, const std::string& symbol,
+                      std::int64_t addend = 0);
+
+  /// Serializes the module image.  The builder can be reused afterwards.
+  Bytes build() const;
+
+ private:
+  struct PendingSection {
+    std::string name;
+    Bytes data;
+    std::uint64_t flags = 0;
+    std::uint32_t type = kShtProgbits;
+  };
+  struct PendingSymbol {
+    std::string name;
+    std::string section;
+    std::uint64_t value = 0;
+  };
+  struct PendingRela {
+    std::string target;
+    std::uint64_t offset = 0;
+    std::uint32_t type = 0;
+    std::string symbol;
+    std::int64_t addend = 0;
+  };
+
+  /// Index into sections_ (not the final shndx); throws on unknown name.
+  std::size_t section_index(const std::string& name) const;
+  std::size_t symbol_index(const std::string& name) const;
+
+  std::string module_name_;
+  std::vector<PendingSection> sections_;
+  std::vector<PendingSymbol> symbols_;
+  std::vector<PendingRela> relas_;
+};
+
+}  // namespace mc::elf

@@ -1,0 +1,72 @@
+// ELF64 constants (the subset a relocatable x86-64 kernel module needs).
+//
+// Names keep the elf.h spelling used by every Linux loader (e_ident
+// indices, SHT_*, SHF_*, R_X86_64_*), the same way pe/constants.hpp keeps
+// the WinNT.h spelling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mc::elf {
+
+// e_ident layout.
+inline constexpr std::size_t kEiMag0 = 0;
+inline constexpr std::size_t kEiClass = 4;
+inline constexpr std::size_t kEiData = 5;
+inline constexpr std::size_t kEiVersion = 6;
+inline constexpr std::size_t kEiNident = 16;
+
+inline constexpr std::uint8_t kElfMag0 = 0x7F;
+inline constexpr std::uint8_t kElfMag1 = 'E';
+inline constexpr std::uint8_t kElfMag2 = 'L';
+inline constexpr std::uint8_t kElfMag3 = 'F';
+
+inline constexpr std::uint8_t kElfClass64 = 2;   // ELFCLASS64
+inline constexpr std::uint8_t kElfData2Lsb = 1;  // little-endian
+inline constexpr std::uint8_t kEvCurrent = 1;
+
+// e_type / e_machine.
+inline constexpr std::uint16_t kEtRel = 1;       // .ko files are ET_REL
+inline constexpr std::uint16_t kEmX8664 = 62;    // EM_X86_64
+
+// Structure sizes (fixed by the ELF64 spec).
+inline constexpr std::size_t kEhdrSize = 64;
+inline constexpr std::size_t kShdrSize = 64;
+inline constexpr std::size_t kSymSize = 24;
+inline constexpr std::size_t kRelaSize = 24;
+
+// sh_type.
+inline constexpr std::uint32_t kShtNull = 0;
+inline constexpr std::uint32_t kShtProgbits = 1;
+inline constexpr std::uint32_t kShtSymtab = 2;
+inline constexpr std::uint32_t kShtStrtab = 3;
+inline constexpr std::uint32_t kShtRela = 4;
+inline constexpr std::uint32_t kShtNobits = 8;
+
+// sh_flags.
+inline constexpr std::uint64_t kShfWrite = 0x1;
+inline constexpr std::uint64_t kShfAlloc = 0x2;
+inline constexpr std::uint64_t kShfExecinstr = 0x4;
+
+// st_info composition.
+inline constexpr std::uint8_t kStbGlobal = 1;
+inline constexpr std::uint8_t kSttObject = 1;
+inline constexpr std::uint8_t kSttFunc = 2;
+inline constexpr std::uint8_t elf_st_info(std::uint8_t bind,
+                                          std::uint8_t type) {
+  return static_cast<std::uint8_t>((bind << 4) | (type & 0x0F));
+}
+
+// x86-64 relocation types (absolute-address shapes the loader patches).
+inline constexpr std::uint32_t kRX8664_64 = 1;    // R_X86_64_64
+inline constexpr std::uint32_t kRX8664_32S = 11;  // R_X86_64_32S
+
+/// The canonical x86-64 kernel address-space prefix: guest module bases
+/// stay 32-bit throughout the simulator (the vmm/vmi stack is u32), and
+/// the link-view 64-bit address of a module loaded at `base` is
+/// `kKernelBias | base` — the sign extension of a negative 32-bit kernel
+/// address.  The ELF64 FixupPolicy carries this as its base_bias.
+inline constexpr std::uint64_t kKernelBias = 0xFFFFFFFF00000000ull;
+
+}  // namespace mc::elf

@@ -1,0 +1,79 @@
+#include "elf/loader.hpp"
+
+#include "elf/parser.hpp"
+#include "util/error.hpp"
+
+namespace mc::elf {
+
+void apply_ko_relocations(MutableByteView image, std::uint32_t base) {
+  const ElfImage parsed{ByteView(image)};
+  const auto& sections = parsed.sections();
+  for (const Elf64Shdr& rela_sh : sections) {
+    if (rela_sh.sh_type != kShtRela) {
+      continue;
+    }
+    if (rela_sh.sh_link >= sections.size() ||
+        rela_sh.sh_info >= sections.size()) {
+      throw FormatError("Rela section with bad sh_link/sh_info");
+    }
+    const Elf64Shdr& symtab = sections[rela_sh.sh_link];
+    const Elf64Shdr& target = sections[rela_sh.sh_info];
+    const std::size_t count =
+        static_cast<std::size_t>(rela_sh.sh_size) / kRelaSize;
+    for (std::size_t i = 0; i < count; ++i) {
+      const Elf64Rela rec = Elf64Rela::parse(
+          ByteView(image),
+          static_cast<std::size_t>(rela_sh.sh_offset) + i * kRelaSize);
+      const std::size_t sym_off = static_cast<std::size_t>(rec.symbol()) *
+                                  kSymSize;
+      if (sym_off + kSymSize > symtab.sh_size) {
+        throw FormatError("relocation references symbol out of range");
+      }
+      const Elf64Sym sym = Elf64Sym::parse(
+          ByteView(image),
+          static_cast<std::size_t>(symtab.sh_offset) + sym_off);
+      if (sym.st_shndx >= sections.size()) {
+        throw FormatError("symbol defined in out-of-range section");
+      }
+      // S: the symbol's biased 64-bit kernel address once the module sits
+      // at `base` (sh_addr is the offset inside the mapped image).
+      const std::uint64_t s_addr =
+          kKernelBias | (static_cast<std::uint64_t>(base) +
+                         sections[sym.st_shndx].sh_addr + sym.st_value);
+      const std::uint64_t value =
+          s_addr + static_cast<std::uint64_t>(rec.r_addend);
+      const std::size_t where =
+          static_cast<std::size_t>(target.sh_offset + rec.r_offset);
+      switch (rec.type()) {
+        case kRX8664_64:
+          if (rec.r_offset + 8 > target.sh_size) {
+            throw FormatError("relocation slot outside target section");
+          }
+          store_le64(image, where, value);
+          break;
+        case kRX8664_32S:
+          if (rec.r_offset + 4 > target.sh_size) {
+            throw FormatError("relocation slot outside target section");
+          }
+          // The full value must be representable as a sign-extended
+          // 32-bit quantity (the kernel address space guarantees it).
+          if (static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                  static_cast<std::int32_t>(value & 0xFFFFFFFFu))) != value) {
+            throw FormatError("R_X86_64_32S value out of range");
+          }
+          store_le32(image, where, static_cast<std::uint32_t>(value));
+          break;
+        default:
+          throw FormatError("unsupported relocation type");
+      }
+    }
+  }
+}
+
+Bytes load_ko(ByteView file, std::uint32_t base) {
+  Bytes image(file.begin(), file.end());
+  apply_ko_relocations(MutableByteView(image), base);
+  return image;
+}
+
+}  // namespace mc::elf

@@ -1,0 +1,26 @@
+// Simulated Linux module loader: relocation application.
+//
+// The guest kernel this project simulates maps a .ko image at a 32-bit
+// base inside the module area and resolves its Rela sections: each
+// R_X86_64_64 / R_X86_64_32S record patches an absolute reference to
+// S + A, where S is the biased 64-bit kernel address of the defining
+// symbol (kKernelBias | (base + section sh_addr + st_value)).  This is
+// the fixup shape the ELF64 FixupPolicy's pairwise normalization undoes
+// (Algorithm 2 analogue in adjust_fixups).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mc::elf {
+
+/// Applies every Rela section of the mapped image in place, as if the
+/// module were loaded at guest VA `base`.  Throws FormatError if the
+/// image or its relocation records are malformed.
+void apply_ko_relocations(MutableByteView image, std::uint32_t base);
+
+/// Convenience: copies `file` and relocates the copy for `base`.
+Bytes load_ko(ByteView file, std::uint32_t base);
+
+}  // namespace mc::elf

@@ -1,0 +1,119 @@
+#include "elf/structs.hpp"
+
+#include "util/error.hpp"
+
+namespace mc::elf {
+
+Elf64Ehdr Elf64Ehdr::parse(ByteView image, std::size_t offset) {
+  if (offset + kEhdrSize > image.size()) {
+    throw FormatError("image too small for Elf64_Ehdr");
+  }
+  Elf64Ehdr h;
+  for (std::size_t i = 0; i < kEiNident; ++i) {
+    h.e_ident[i] = image[offset + i];
+  }
+  h.e_type = load_le16(image, offset + 16);
+  h.e_machine = load_le16(image, offset + 18);
+  h.e_version = load_le32(image, offset + 20);
+  h.e_entry = load_le64(image, offset + 24);
+  h.e_phoff = load_le64(image, offset + 32);
+  h.e_shoff = load_le64(image, offset + 40);
+  h.e_flags = load_le32(image, offset + 48);
+  h.e_ehsize = load_le16(image, offset + 52);
+  h.e_phentsize = load_le16(image, offset + 54);
+  h.e_phnum = load_le16(image, offset + 56);
+  h.e_shentsize = load_le16(image, offset + 58);
+  h.e_shnum = load_le16(image, offset + 60);
+  h.e_shstrndx = load_le16(image, offset + 62);
+  return h;
+}
+
+void Elf64Ehdr::serialize(Bytes& out) const {
+  out.insert(out.end(), e_ident.begin(), e_ident.end());
+  append_le16(out, e_type);
+  append_le16(out, e_machine);
+  append_le32(out, e_version);
+  append_le64(out, e_entry);
+  append_le64(out, e_phoff);
+  append_le64(out, e_shoff);
+  append_le32(out, e_flags);
+  append_le16(out, e_ehsize);
+  append_le16(out, e_phentsize);
+  append_le16(out, e_phnum);
+  append_le16(out, e_shentsize);
+  append_le16(out, e_shnum);
+  append_le16(out, e_shstrndx);
+}
+
+Elf64Shdr Elf64Shdr::parse(ByteView image, std::size_t offset) {
+  if (offset + kShdrSize > image.size()) {
+    throw FormatError("image too small for Elf64_Shdr");
+  }
+  Elf64Shdr s;
+  s.sh_name = load_le32(image, offset);
+  s.sh_type = load_le32(image, offset + 4);
+  s.sh_flags = load_le64(image, offset + 8);
+  s.sh_addr = load_le64(image, offset + 16);
+  s.sh_offset = load_le64(image, offset + 24);
+  s.sh_size = load_le64(image, offset + 32);
+  s.sh_link = load_le32(image, offset + 40);
+  s.sh_info = load_le32(image, offset + 44);
+  s.sh_addralign = load_le64(image, offset + 48);
+  s.sh_entsize = load_le64(image, offset + 56);
+  return s;
+}
+
+void Elf64Shdr::serialize(Bytes& out) const {
+  append_le32(out, sh_name);
+  append_le32(out, sh_type);
+  append_le64(out, sh_flags);
+  append_le64(out, sh_addr);
+  append_le64(out, sh_offset);
+  append_le64(out, sh_size);
+  append_le32(out, sh_link);
+  append_le32(out, sh_info);
+  append_le64(out, sh_addralign);
+  append_le64(out, sh_entsize);
+}
+
+Elf64Sym Elf64Sym::parse(ByteView image, std::size_t offset) {
+  if (offset + kSymSize > image.size()) {
+    throw FormatError("image too small for Elf64_Sym");
+  }
+  Elf64Sym s;
+  s.st_name = load_le32(image, offset);
+  s.st_info = image[offset + 4];
+  s.st_other = image[offset + 5];
+  s.st_shndx = load_le16(image, offset + 6);
+  s.st_value = load_le64(image, offset + 8);
+  s.st_size = load_le64(image, offset + 16);
+  return s;
+}
+
+void Elf64Sym::serialize(Bytes& out) const {
+  append_le32(out, st_name);
+  out.push_back(st_info);
+  out.push_back(st_other);
+  append_le16(out, st_shndx);
+  append_le64(out, st_value);
+  append_le64(out, st_size);
+}
+
+Elf64Rela Elf64Rela::parse(ByteView image, std::size_t offset) {
+  if (offset + kRelaSize > image.size()) {
+    throw FormatError("image too small for Elf64_Rela");
+  }
+  Elf64Rela r;
+  r.r_offset = load_le64(image, offset);
+  r.r_info = load_le64(image, offset + 8);
+  r.r_addend = static_cast<std::int64_t>(load_le64(image, offset + 16));
+  return r;
+}
+
+void Elf64Rela::serialize(Bytes& out) const {
+  append_le64(out, r_offset);
+  append_le64(out, r_info);
+  append_le64(out, static_cast<std::uint64_t>(r_addend));
+}
+
+}  // namespace mc::elf

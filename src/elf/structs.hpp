@@ -1,0 +1,102 @@
+// ELF64 header structures with explicit (de)serialization.
+//
+// Exactly the pe/structs.hpp discipline: no packed-struct type punning —
+// every header is a plain value type whose `parse` / `serialize` go
+// through the checked little-endian helpers in util/bytes.hpp, so guest
+// data never becomes a misaligned pointer.  Field names keep the elf.h
+// spelling (e_shoff, sh_addr, st_value, r_info, ...).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "elf/constants.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::elf {
+
+/// Elf64_Ehdr — 64 bytes.
+struct Elf64Ehdr {
+  std::array<std::uint8_t, kEiNident> e_ident{
+      kElfMag0, kElfMag1, kElfMag2, kElfMag3,
+      kElfClass64, kElfData2Lsb, kEvCurrent,
+      0, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::uint16_t e_type = kEtRel;
+  std::uint16_t e_machine = kEmX8664;
+  std::uint32_t e_version = kEvCurrent;
+  std::uint64_t e_entry = 0;
+  std::uint64_t e_phoff = 0;
+  std::uint64_t e_shoff = 0;
+  std::uint32_t e_flags = 0;
+  std::uint16_t e_ehsize = kEhdrSize;
+  std::uint16_t e_phentsize = 0;
+  std::uint16_t e_phnum = 0;
+  std::uint16_t e_shentsize = kShdrSize;
+  std::uint16_t e_shnum = 0;
+  std::uint16_t e_shstrndx = 0;
+
+  bool magic_ok() const {
+    return e_ident[0] == kElfMag0 && e_ident[1] == kElfMag1 &&
+           e_ident[2] == kElfMag2 && e_ident[3] == kElfMag3;
+  }
+
+  static Elf64Ehdr parse(ByteView image, std::size_t offset = 0);
+  void serialize(Bytes& out) const;
+};
+
+/// Elf64_Shdr — 64 bytes.
+struct Elf64Shdr {
+  std::uint32_t sh_name = 0;  // offset into .shstrtab
+  std::uint32_t sh_type = kShtNull;
+  std::uint64_t sh_flags = 0;
+  std::uint64_t sh_addr = 0;
+  std::uint64_t sh_offset = 0;
+  std::uint64_t sh_size = 0;
+  std::uint32_t sh_link = 0;
+  std::uint32_t sh_info = 0;
+  std::uint64_t sh_addralign = 0;
+  std::uint64_t sh_entsize = 0;
+
+  bool is_code() const { return (sh_flags & kShfExecinstr) != 0; }
+  bool is_writable() const { return (sh_flags & kShfWrite) != 0; }
+  bool is_alloc() const { return (sh_flags & kShfAlloc) != 0; }
+
+  static Elf64Shdr parse(ByteView image, std::size_t offset);
+  void serialize(Bytes& out) const;
+};
+
+/// Elf64_Sym — 24 bytes.
+struct Elf64Sym {
+  std::uint32_t st_name = 0;  // offset into the linked strtab
+  std::uint8_t st_info = 0;
+  std::uint8_t st_other = 0;
+  std::uint16_t st_shndx = 0;  // defining section index
+  std::uint64_t st_value = 0;  // section-relative in ET_REL
+  std::uint64_t st_size = 0;
+
+  static Elf64Sym parse(ByteView image, std::size_t offset);
+  void serialize(Bytes& out) const;
+};
+
+/// Elf64_Rela — 24 bytes.
+struct Elf64Rela {
+  std::uint64_t r_offset = 0;  // where in the target section to patch
+  std::uint64_t r_info = 0;    // (symbol index << 32) | relocation type
+  std::int64_t r_addend = 0;
+
+  std::uint32_t symbol() const {
+    return static_cast<std::uint32_t>(r_info >> 32);
+  }
+  std::uint32_t type() const {
+    return static_cast<std::uint32_t>(r_info & 0xFFFFFFFFu);
+  }
+  static std::uint64_t make_info(std::uint32_t symbol, std::uint32_t type) {
+    return (static_cast<std::uint64_t>(symbol) << 32) | type;
+  }
+
+  static Elf64Rela parse(ByteView image, std::size_t offset);
+  void serialize(Bytes& out) const;
+};
+
+}  // namespace mc::elf

@@ -1,5 +1,8 @@
 #include "guestos/kernel.hpp"
 
+#include <algorithm>
+
+#include "guestos/linuxlike.hpp"
 #include "util/error.hpp"
 #include "util/utf16.hpp"
 #include "vmm/phys_mem.hpp"
@@ -100,6 +103,21 @@ std::uint32_t GuestKernel::insert_module_entry(const std::string& base_name,
                                                std::uint32_t dll_base,
                                                std::uint32_t entry_point,
                                                std::uint32_t size_of_image) {
+  if (profile_->inline_names) {
+    // Linux-style entry: the name lives inside the record, so no pool name
+    // buffers; the tail insertion below is the same list surgery.
+    const std::uint32_t entry_va = pool_alloc(profile_->ldr_entry_size);
+    const std::uint32_t head = config_.ps_loaded_module_list_va;
+    const std::uint32_t old_tail = read_u32_va(head + kOffListBlink);
+    const Bytes entry =
+        encode_module_entry(*profile_, /*next=*/head, /*prev=*/old_tail,
+                            dll_base, entry_point, size_of_image, base_name);
+    aspace_.write_virtual(entry_va, entry);
+    write_u32_va(old_tail + kOffListFlink, entry_va);
+    write_u32_va(head + kOffListBlink, entry_va);
+    return entry_va;
+  }
+
   // Name buffers in pool.
   const Bytes base_utf16 = ascii_to_utf16le(base_name);
   const std::string full_name = "\\SystemRoot\\System32\\drivers\\" + base_name;
@@ -142,6 +160,14 @@ LdrEntry GuestKernel::read_entry(std::uint32_t entry_va) const {
   e.entry_point = load_le32(raw, profile_->off_entry_point);
   e.size_of_image = load_le32(raw, profile_->off_size_of_image);
 
+  if (profile_->inline_names) {
+    // Inline char array: ASCII up to the first NUL.
+    const auto begin =
+        raw.begin() + static_cast<std::ptrdiff_t>(profile_->off_base_dll_name);
+    const auto end = begin + profile_->inline_name_bytes;
+    e.base_dll_name.assign(begin, std::find(begin, end, std::uint8_t{0}));
+    return e;
+  }
   const std::uint16_t name_len =
       load_le16(raw, profile_->off_base_dll_name + kOffUsLength);
   MC_CHECK(name_len <= kMaxDllNameBytes,

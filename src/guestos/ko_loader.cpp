@@ -1,0 +1,78 @@
+#include "guestos/ko_loader.hpp"
+
+#include "elf/loader.hpp"
+#include "elf/parser.hpp"  // mc-lint: allow(format-bypass)
+#include "guestos/winlike.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+// The parser use above is the guest loader's, not the checking pipeline's:
+// like module_loader.cpp on the PE side, the simulated insmod must walk the
+// image it is loading.
+
+namespace mc::guestos {
+
+KoLoader::KoLoader(GuestKernel& kernel) : kernel_(&kernel) {
+  MC_CHECK(kernel.profile().inline_names,
+           "KoLoader requires a Linux (inline-name) guest profile");
+}
+
+const LoadedKo& KoLoader::load(const std::string& module_name,
+                               ByteView ko_file) {
+  MC_CHECK(find(module_name) == nullptr,
+           "module already loaded: " + module_name);
+
+  // 1. The file is already in mapped layout; its size is the image size.
+  const auto size_of_image = static_cast<std::uint32_t>(ko_file.size());
+
+  // 2. Pick the actual base (randomized per VM) and map guest pages.
+  const std::uint32_t base = kernel_->map_module_region(size_of_image);
+
+  // 3. Apply Rela sections: every absolute slot receives the biased
+  //    64-bit kernel address of its symbol — RVAs become absolute.
+  const Bytes image = elf::load_ko(ko_file, base);
+
+  // 4. Copy the relocated image into guest memory.
+  kernel_->address_space().write_virtual(base, image);
+
+  // 5. Link the `struct module` record onto the modules list.  The init
+  //    entry points at the start of .text when present.
+  LoadedKo record;
+  record.name = module_name;
+  record.base = base;
+  record.size_of_image = size_of_image;
+  const elf::ElfImage parsed{ByteView(image)};  // mc-lint: allow(format-bypass)
+  const elf::Elf64Shdr* text = parsed.find_section(".text");
+  record.init_entry =
+      text != nullptr ? base + static_cast<std::uint32_t>(text->sh_addr) : base;
+  kernel_->insert_module_entry(module_name, base, record.init_entry,
+                               size_of_image);
+
+  log_debug("loaded %s at %08x (%u bytes)", module_name.c_str(), base,
+            size_of_image);
+  loaded_.push_back(std::move(record));
+  return loaded_.back();
+}
+
+void KoLoader::unload(const std::string& module_name) {
+  if (!kernel_->unlink_module_entry(module_name)) {
+    throw NotFoundError("unload: module not in modules list: " + module_name);
+  }
+  for (auto it = loaded_.begin(); it != loaded_.end(); ++it) {
+    if (module_name_equals(it->name, module_name)) {
+      loaded_.erase(it);
+      return;
+    }
+  }
+}
+
+const LoadedKo* KoLoader::find(const std::string& module_name) const {
+  for (const auto& m : loaded_) {
+    if (module_name_equals(m.name, module_name)) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mc::guestos

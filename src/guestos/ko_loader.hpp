@@ -1,0 +1,55 @@
+// Linux kernel-module loader (the guest side of the ELF story).
+//
+// Simulates what a Linux kernel does at insmod time (the exact analogue of
+// module_loader.hpp's PE path): map the .ko image at an available base,
+// *replace section-relative references with absolute kernel addresses* by
+// applying its Rela sections, copy the relocated image into guest memory,
+// and link a `struct module` record onto the modules list.
+//
+// Because each VM draws different bases, the same module's executable
+// bytes differ across VMs afterwards — the divergence ModChecker's ELF64
+// fixup policy normalizes pairwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guestos/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::guestos {
+
+/// Host-side record of one loaded .ko (the source of truth lives in guest
+/// memory; this mirrors it for bookkeeping).
+struct LoadedKo {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t size_of_image = 0;
+  std::uint32_t init_entry = 0;  // VA
+};
+
+class KoLoader {
+ public:
+  /// `kernel` must run an inline-name (Linux) profile.
+  explicit KoLoader(GuestKernel& kernel);
+
+  /// Loads a mapped-layout .ko file: picks a randomized base, applies the
+  /// image's Rela sections for that base, copies it into guest memory and
+  /// links the module-list entry.  Returns the loaded-module record.
+  const LoadedKo& load(const std::string& module_name, ByteView ko_file);
+
+  /// Unloads a module: unlinks its list entry (lazy unload; pages stay).
+  void unload(const std::string& module_name);
+
+  const std::vector<LoadedKo>& loaded() const { return loaded_; }
+
+  /// Finds a loaded module by name; nullptr if absent.
+  const LoadedKo* find(const std::string& module_name) const;
+
+ private:
+  GuestKernel* kernel_;
+  std::vector<LoadedKo> loaded_;
+};
+
+}  // namespace mc::guestos

@@ -1,0 +1,31 @@
+#include "guestos/linuxlike.hpp"
+
+#include <algorithm>
+
+#include "guestos/winlike.hpp"
+#include "util/error.hpp"
+
+namespace mc::guestos {
+
+Bytes encode_module_entry(const GuestProfile& profile, std::uint32_t next,
+                          std::uint32_t prev, std::uint32_t core_base,
+                          std::uint32_t init_entry, std::uint32_t core_size,
+                          const std::string& name) {
+  MC_CHECK(profile.inline_names, "profile does not use inline names");
+  Bytes out(profile.ldr_entry_size, 0);
+  store_le32(out, profile.off_in_load_order_links + kOffListFlink, next);
+  store_le32(out, profile.off_in_load_order_links + kOffListBlink, prev);
+  const std::size_t copy =
+      std::min<std::size_t>(name.size(), profile.inline_name_bytes - 1);
+  copy_bytes(MutableByteView(out).subspan(profile.off_base_dll_name,
+                                          profile.inline_name_bytes),
+             as_bytes(name).first(copy));
+  store_le32(out, profile.off_dll_base, core_base);
+  store_le32(out, profile.off_entry_point, init_entry);
+  store_le32(out, profile.off_size_of_image, core_size);
+  store_le32(out, profile.off_flags, 0);  // untainted
+  store_le16(out, profile.off_load_count, 1);
+  return out;
+}
+
+}  // namespace mc::guestos

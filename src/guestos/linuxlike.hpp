@@ -1,0 +1,56 @@
+// Linux-like kernel structure layouts (2.6-era `struct module` rendition).
+//
+// The Linux analogue of winlike.hpp: the guest keeps its loaded modules on
+// a circular doubly linked list of `struct module` records (the `modules`
+// list the real kernel exports to /proc/modules), and the Module-Searcher
+// walks it through introspection exactly like the Windows loader list.
+//
+// The rendition keeps the fields ModChecker needs, at fixed offsets (the
+// linux26_profile() layout):
+//
+//   0x00  list.next            (list_head — next aliases FLINK)
+//   0x04  list.prev            (prev aliases BLINK)
+//   0x08  name[56]             inline NUL-padded char array
+//   0x40  core base            (module_core / core_layout.base)
+//   0x44  init entry           (init VA)
+//   0x48  core size            (core_layout.size — the mapped image)
+//   0x4C  taints               (flags word)
+//   0x50  refcount
+//   0x58  (entry size)
+//
+// Two deliberate simplifications, same spirit as winlike: pointers are
+// 32-bit guest VAs (the vmm stack is u32; the 64-bit kernel-space view is
+// recovered by OR-ing elf::kKernelBias), and list links point at the entry
+// head rather than at an interior list_head (off_in_load_order_links = 0
+// makes both views identical anyway).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "guestos/profile.hpp"
+#include "util/bytes.hpp"
+
+namespace mc::guestos {
+
+// ---- struct module (rendition) ------------------------------------------------
+inline constexpr std::uint32_t kOffModList = 0x00;
+inline constexpr std::uint32_t kOffModName = 0x08;
+inline constexpr std::uint32_t kModuleNameLen = 56;  // MODULE_NAME_LEN
+inline constexpr std::uint32_t kOffModCoreBase = 0x40;
+inline constexpr std::uint32_t kOffModInit = 0x44;
+inline constexpr std::uint32_t kOffModCoreSize = 0x48;
+inline constexpr std::uint32_t kOffModTaints = 0x4C;
+inline constexpr std::uint32_t kOffModRefcnt = 0x50;
+inline constexpr std::uint32_t kModEntrySize = 0x58;
+
+/// Serializes one module-list entry (layout per `profile`, which must be
+/// an inline-name profile).  `next`/`prev` are the list links; the name is
+/// NUL-padded into the inline array and silently truncated at capacity
+/// like the real loader's strscpy.
+Bytes encode_module_entry(const GuestProfile& profile, std::uint32_t next,
+                          std::uint32_t prev, std::uint32_t core_base,
+                          std::uint32_t init_entry, std::uint32_t core_size,
+                          const std::string& name);
+
+}  // namespace mc::guestos

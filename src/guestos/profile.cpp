@@ -40,6 +40,29 @@ const GuestProfile& win2003_sp1_profile() {
   return profile;
 }
 
+const GuestProfile& linux26_profile() {
+  // The rendition of `struct module` in guestos/linuxlike.hpp: list_head
+  // first, inline char[56] name, then the core-layout triple.  A Linux
+  // guest plants the same introspection block as the Windows builds, just
+  // with this version id, so attach-time detection is uniform.
+  static const GuestProfile profile = {
+      "linux26-x86-64",
+      0x02061800,  // 2.6.24, encoded like the NT builds above
+      0x58,        // entry size
+      0x00,        // list (struct module.list leads the struct)
+      0x40,        // module core base
+      0x44,        // init entry point
+      0x48,        // core size
+      0x00,        // no full-path analogue
+      0x08,        // name[] inline array
+      0x4C,        // taints/flags word
+      0x50,        // refcount
+      true,        // names are inline char arrays
+      56,          // MODULE_NAME_LEN
+  };
+  return profile;
+}
+
 const GuestProfile* find_profile_by_version(
     std::uint32_t version_id) noexcept {
   if (version_id == winxp_sp2_profile().version_id) {
@@ -47,6 +70,9 @@ const GuestProfile* find_profile_by_version(
   }
   if (version_id == win2003_sp1_profile().version_id) {
     return &win2003_sp1_profile();
+  }
+  if (version_id == linux26_profile().version_id) {
+    return &linux26_profile();
   }
   return nullptr;
 }

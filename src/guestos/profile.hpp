@@ -31,6 +31,14 @@ struct GuestProfile {
   std::uint32_t off_base_dll_name;
   std::uint32_t off_flags;
   std::uint32_t off_load_count;
+
+  // Appended fields carry defaults so the positional aggregate
+  // initializers of the Windows profiles stay valid.
+  /// Linux-style entries store the module name as an inline char array at
+  /// off_base_dll_name instead of a UNICODE_STRING descriptor.
+  bool inline_names = false;
+  /// Capacity of that inline array (struct module's MODULE_NAME_LEN).
+  std::uint32_t inline_name_bytes = 0;
 };
 
 /// Windows XP SP2 (x86) — the paper's testbed build.
@@ -39,6 +47,10 @@ const GuestProfile& winxp_sp2_profile();
 /// Windows Server 2003 SP1 (x86) — same era, shifted layout (an extra
 /// pointer pair ahead of DllBase in this simulation's rendition).
 const GuestProfile& win2003_sp1_profile();
+
+/// Linux 2.6-era guest: the module list is a `struct module` chain whose
+/// entries embed the name inline (char[56]); layout in guestos/linuxlike.hpp.
+const GuestProfile& linux26_profile();
 
 /// Looks a profile up by the version id found in the guest's debug block.
 /// Throws VmiError-compatible NotFoundError for unknown builds.

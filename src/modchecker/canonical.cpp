@@ -13,7 +13,7 @@ namespace mc::core {
 
 namespace {
 
-std::string table_key(vmm::DomainId domain, const pe::IntegrityItem& item) {
+std::string table_key(vmm::DomainId domain, const IntegrityItem& item) {
   std::string key = std::to_string(domain);
   key += '\x1f';
   key += std::to_string(static_cast<int>(item.kind));
@@ -31,12 +31,12 @@ SimNanos hash_charge(const vmi::HostCostModel& costs,
 }  // namespace
 
 DigestTable::Entry& DigestTable::entry_for(vmm::DomainId domain,
-                                           const pe::IntegrityItem& item) {
+                                           const IntegrityItem& item) {
   return entries_[table_key(domain, item)];
 }
 
 crypto::Digest DigestTable::digest(vmm::DomainId domain,
-                                   const pe::IntegrityItem& item,
+                                   const IntegrityItem& item,
                                    SimClock& clock) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entry_for(domain, item);
@@ -51,7 +51,7 @@ crypto::Digest DigestTable::digest(vmm::DomainId domain,
 }
 
 std::uint32_t DigestTable::crc(vmm::DomainId domain,
-                               const pe::IntegrityItem& item,
+                               const IntegrityItem& item,
                                SimClock& clock) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entry_for(domain, item);
@@ -93,8 +93,8 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
   entry.digests.resize(reference_->items.size());
   bool eligible = module.items.size() == reference_->items.size();
   for (std::size_t i = 0; eligible && i < reference_->items.size(); ++i) {
-    const pe::IntegrityItem& r = reference_->items[i];
-    const pe::IntegrityItem& a = module.items[i];
+    const IntegrityItem& r = reference_->items[i];
+    const IntegrityItem& a = module.items[i];
     if (a.kind != r.kind || a.name != r.name ||
         a.rva_sensitive != r.rva_sensitive) {
       // Shape mismatch: the slow path's (kind, name) pairing would not be
@@ -128,8 +128,8 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
     MutableByteView ref_copy = arena_content_copy(scratch_arena(), r);
     MutableByteView mod_copy = arena_content_copy(scratch_arena(), a);
     const RvaAdjustResult adj =
-        adjust_rvas(ref_copy, reference_->base, mod_copy, module.base,
-                    policy_);
+        adjust_fixups(ref_copy, reference_->base, mod_copy, module.base,
+                      module.fixups, policy_);
     clock.charge(costs_.rva_scan_per_byte *
                  std::max(ref_copy.size(), mod_copy.size()));
     if (adj.unresolved_diffs > 0) {
@@ -168,7 +168,7 @@ void CanonicalPool::finalize(SimClock& clock) {
   }
   ref_digests_.resize(reference_->items.size());
   for (std::size_t i = 0; i < reference_->items.size(); ++i) {
-    const pe::IntegrityItem& r = reference_->items[i];
+    const IntegrityItem& r = reference_->items[i];
     if (r.rva_sensitive && canonical_[i]) {
       // The reference's canonical digest was already paid for when a
       // differing-base partner established it.

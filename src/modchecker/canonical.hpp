@@ -82,11 +82,11 @@ class DigestTable {
   }
 
   /// Digest of the item's raw bytes (memoized).
-  crypto::Digest digest(vmm::DomainId domain, const pe::IntegrityItem& item,
+  crypto::Digest digest(vmm::DomainId domain, const IntegrityItem& item,
                         SimClock& clock);
 
   /// CRC32 of the item's raw bytes (memoized; used by the prefilter).
-  std::uint32_t crc(vmm::DomainId domain, const pe::IntegrityItem& item,
+  std::uint32_t crc(vmm::DomainId domain, const IntegrityItem& item,
                     SimClock& clock);
 
   /// Deprecated view over the registry aggregates "digest_memo.*".
@@ -103,7 +103,7 @@ class DigestTable {
     std::optional<std::uint32_t> crc;
   };
 
-  Entry& entry_for(vmm::DomainId domain, const pe::IntegrityItem& item);
+  Entry& entry_for(vmm::DomainId domain, const IntegrityItem& item);
 
   crypto::HashAlgorithm algorithm_;
   vmi::HostCostModel costs_;

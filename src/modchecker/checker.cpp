@@ -13,7 +13,7 @@ namespace mc::core {
 namespace {
 /// Item pairing key — the slow path matches items across the two modules
 /// by (kind, name), first unused wins.
-std::string pair_key(const pe::IntegrityItem& item) {
+std::string pair_key(const IntegrityItem& item) {
   std::string key = std::to_string(static_cast<int>(item.kind));
   key += '\x1f';
   key += item.name;
@@ -42,7 +42,7 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
     other_by_key[pair_key(other.items[j])].push_back(j);
   }
   std::unordered_map<std::string, std::size_t> next_candidate;
-  auto find_match = [&](const pe::IntegrityItem& a) -> const pe::IntegrityItem* {
+  auto find_match = [&](const IntegrityItem& a) -> const IntegrityItem* {
     const auto it = other_by_key.find(pair_key(a));
     if (it == other_by_key.end()) {
       return nullptr;
@@ -80,8 +80,8 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
 
   // Same decision over two items' raw contents (owned or view-backed):
   // CRCs/digests stream the spans, so view-backed items never flatten.
-  auto compare_items = [&](ItemComparison& cmp, const pe::IntegrityItem& ia,
-                           const pe::IntegrityItem& ib) {
+  auto compare_items = [&](ItemComparison& cmp, const IntegrityItem& ia,
+                           const IntegrityItem& ib) {
     if (crc_prefilter_) {
       clock.charge(costs_.crc_per_byte *
                    (ia.content_size() + ib.content_size()));
@@ -100,12 +100,12 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
     cmp.match = cmp.digest_subject == cmp.digest_other;
   };
 
-  for (const pe::IntegrityItem& a : subject.items) {
+  for (const IntegrityItem& a : subject.items) {
     ItemComparison cmp;
     cmp.item_name = a.name;
     cmp.kind = a.kind;
 
-    const pe::IntegrityItem* b = find_match(a);
+    const IntegrityItem* b = find_match(a);
     if (b == nullptr) {
       // Present on the subject only (e.g. an attacker-added section).
       cmp.match = false;
@@ -121,8 +121,8 @@ PairComparison IntegrityChecker::compare(const ParsedModule& subject,
       ArenaScope scope(scratch_arena());
       MutableByteView buf_a = arena_content_copy(scratch_arena(), a);
       MutableByteView buf_b = arena_content_copy(scratch_arena(), *b);
-      const RvaAdjustResult adj =
-          adjust_rvas(buf_a, subject.base, buf_b, other.base, policy_);
+      const RvaAdjustResult adj = adjust_fixups(
+          buf_a, subject.base, buf_b, other.base, subject.fixups, policy_);
       cmp.rvas_adjusted = adj.adjusted;
       cmp.unresolved_diffs = adj.unresolved_diffs;
       clock.charge(costs_.rva_scan_per_byte *

@@ -22,7 +22,7 @@ namespace mc::core {
 /// Outcome of comparing one integrity item between two VMs.
 struct ItemComparison {
   std::string item_name;
-  pe::ItemKind kind{};
+  ItemKind kind{};
   bool match = false;
   crypto::Digest digest_subject;
   crypto::Digest digest_other;

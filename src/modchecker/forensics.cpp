@@ -12,7 +12,7 @@ namespace mc::core {
 
 namespace {
 
-const pe::IntegrityItem* find_item(const ParsedModule& module,
+const IntegrityItem* find_item(const ParsedModule& module,
                                    const std::string& name) {
   for (const auto& item : module.items) {
     if (item.name == name) {
@@ -79,8 +79,8 @@ ForensicReport analyze_divergence(const ParsedModule& subject,
   report.module = subject.name;
   report.item = item_name;
 
-  const pe::IntegrityItem* sub = find_item(subject, item_name);
-  const pe::IntegrityItem* ref = find_item(reference, item_name);
+  const IntegrityItem* sub = find_item(subject, item_name);
+  const IntegrityItem* ref = find_item(reference, item_name);
   if (sub == nullptr || ref == nullptr) {
     report.classification = DivergenceClass::kStructural;
     return report;
@@ -106,7 +106,7 @@ ForensicReport analyze_divergence(const ParsedModule& subject,
   }
   if (a.size() != b.size()) {
     report.classification = DivergenceClass::kStructural;
-  } else if (sub->kind != pe::ItemKind::kSectionData) {
+  } else if (sub->kind != ItemKind::kSectionData) {
     report.classification = DivergenceClass::kHeaderField;
   } else {
     // Code injection signature: some differing range was all-zero in the

@@ -8,7 +8,7 @@
 namespace mc::core {
 
 crypto::Digest hash_item_content(crypto::HashAlgorithm algorithm,
-                                 const pe::IntegrityItem& item) {
+                                 const IntegrityItem& item) {
   if (!item.view_backed()) {
     return crypto::hash_bytes(algorithm, item.bytes);
   }
@@ -20,13 +20,13 @@ crypto::Digest hash_item_content(crypto::HashAlgorithm algorithm,
   return hasher->finish();
 }
 
-std::uint32_t crc_item_content(const pe::IntegrityItem& item) {
+std::uint32_t crc_item_content(const IntegrityItem& item) {
   std::uint32_t crc = 0;
   item.for_each_span([&](ByteView span) { crc = crypto::crc32(span, crc); });
   return crc;
 }
 
-bool item_content_equal(const pe::IntegrityItem& a, const pe::IntegrityItem& b,
+bool item_content_equal(const IntegrityItem& a, const IntegrityItem& b,
                         simd::Policy policy) {
   if (a.content_size() != b.content_size()) {
     return false;
@@ -66,7 +66,7 @@ bool item_content_equal(const pe::IntegrityItem& a, const pe::IntegrityItem& b,
 }
 
 MutableByteView arena_content_copy(Arena& arena,
-                                   const pe::IntegrityItem& item) {
+                                   const IntegrityItem& item) {
   MutableByteView out = arena.alloc(item.content_size());
   item.copy_content(out);
   return out;

@@ -1,6 +1,6 @@
 #include "modchecker/parser.hpp"
 
-#include "pe/parser.hpp"
+#include "modchecker/format.hpp"
 
 namespace mc::core {
 
@@ -10,16 +10,12 @@ ParsedModule ModuleParser::parse(const ModuleImage& image,
   out.domain = image.domain;
   out.name = image.name;
   out.base = image.base;
-  // Both modes run the identical header walk and produce items with the
-  // same names, offsets and content — view-backed images just keep the
-  // section data borrowed instead of sliced into owned buffers.
-  if (image.view_backed()) {
-    const pe::ParsedImage parsed(image.view);
-    out.items = parsed.extract_items(image.view);
-  } else {
-    const pe::ParsedImage parsed(image.bytes);
-    out.items = parsed.extract_items(image.bytes);
-  }
+  // Resolve the format plugin (magic sniff unless pinned) and let it run
+  // Algorithm 1.  The plugin owns the parser; this layer never names one.
+  const ModuleFormat& format =
+      FormatRegistry::process_default().resolve(image, format_);
+  out.items = format.extract_items(image);
+  out.fixups = format.fixup_policy();
 
   std::size_t extracted_bytes = 0;
   for (const auto& item : out.items) {

@@ -1,12 +1,14 @@
 // Module-Parser — paper §III-B.2, §IV-B, Algorithm 1.
 //
-// Receives a whole module image from Module-Searcher, validates the PE
-// magics, walks IMAGE_DOS_HEADER → IMAGE_NT_HEADER → FILE/OPTIONAL headers
-// → section headers, and extracts each header and each read-only or
-// executable section's data as a separate integrity item.  Host-side CPU
-// work, charged to a SimClock through the host cost model.
+// Receives a whole module image from Module-Searcher, resolves the image
+// format through the plugin registry (PE32 "MZ" vs ELF64 "\x7fELF" magic,
+// or a pinned override), and lets the plugin walk the header chain and
+// extract each header and each read-only or executable section's data as
+// a separate integrity item.  Host-side CPU work, charged to a SimClock
+// through the host cost model.
 #pragma once
 
+#include "modchecker/format.hpp"
 #include "modchecker/types.hpp"
 #include "util/sim_clock.hpp"
 #include "vmi/cost_model.hpp"
@@ -15,15 +17,18 @@ namespace mc::core {
 
 class ModuleParser {
  public:
-  explicit ModuleParser(const vmi::HostCostModel& costs = {})
-      : costs_(costs) {}
+  explicit ModuleParser(const vmi::HostCostModel& costs = {},
+                        ModuleFormatId format = ModuleFormatId::kAuto)
+      : costs_(costs), format_(format) {}
 
   /// Parses `image` into integrity items.  Throws FormatError if the image
-  /// is not a well-formed PE32 module.  Charges parse time to `clock`.
+  /// is not a well-formed module of a registered format (or of the pinned
+  /// format when one was configured).  Charges parse time to `clock`.
   ParsedModule parse(const ModuleImage& image, SimClock& clock) const;
 
  private:
   vmi::HostCostModel costs_;
+  ModuleFormatId format_ = ModuleFormatId::kAuto;
 };
 
 }  // namespace mc::core

@@ -341,7 +341,7 @@ CheckReport CheckPipeline::check(vmm::DomainId subject,
     memo.emplace(config.algorithm, config.host_costs, ctx_->metrics);
     SimClock preload_clock;
     preload_clock.set_slowdown(ctx_->hypervisor->dom0_slowdown());
-    for (const pe::IntegrityItem& item : subject_ex.parsed.items) {
+    for (const IntegrityItem& item : subject_ex.parsed.items) {
       if (item.rva_sensitive) {
         continue;  // pair-specific after Algorithm 2; never memoized
       }

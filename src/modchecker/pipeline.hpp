@@ -14,8 +14,10 @@
 //              walks, whole-image extraction.  The ONLY place that may
 //              construct a ModuleSearcher (enforced by mc_lint's
 //              pipeline-bypass rule).
-//   Parse      PE decomposition into integrity items; a FormatError is a
-//              finding, not a crash.  The only ModuleParser owner.
+//   Parse      format-plugin decomposition (PE32 or ELF64, resolved per
+//              module through the FormatRegistry) into integrity items; a
+//              FormatError is a finding, not a crash.  The only
+//              ModuleParser owner.
 //   Normalize  Algorithm 2 / canonical-RVA reduction of a pool of copies
 //              against one reference (CanonicalPool).
 //   Compare    pairwise item comparison through the IntegrityChecker,
@@ -101,6 +103,11 @@ struct ModCheckerConfig {
   crypto::HashAlgorithm algorithm = crypto::HashAlgorithm::kMd5;
   vmi::VmiCostModel vmi_costs{};
   vmi::HostCostModel host_costs{};
+  /// Module image format the Parse stage resolves per module: kAuto sniffs
+  /// each image's header magic through the plugin registry (PE32 and ELF64
+  /// pools can even mix in one fleet); an explicit value pins one plugin
+  /// and rejects everything else as a parse failure.
+  ModuleFormatId format = ModuleFormatId::kAuto;
   bool parallel = false;
   std::size_t worker_threads = 8;
   /// CRC32 prefilter: skip the full digest when cheap checksums agree
@@ -303,7 +310,7 @@ struct CheckContext {
         config(std::move(cfg)),
         metrics(&telemetry::resolve(config.metrics)),
         tracer(config.tracer),
-        parser(config.host_costs),
+        parser(config.host_costs, config.format),
         checker(config.algorithm, config.host_costs, config.crc_prefilter,
                 config.force_scalar ? simd::Policy::kScalar
                                     : simd::Policy::kAuto),

@@ -126,4 +126,94 @@ RvaAdjustResult adjust_rvas(MutableByteView section1, std::uint32_t base1,
   return result;
 }
 
+RvaAdjustResult adjust_fixups(MutableByteView section1, std::uint32_t base1,
+                              MutableByteView section2, std::uint32_t base2,
+                              const FixupPolicy& fixups, simd::Policy policy) {
+  if (fixups.pe32_default()) {
+    // The historical path, verbatim: PE32 callers keep bit-identical
+    // rewrites and counters through the exact same code.
+    return adjust_rvas(section1, base1, section2, base2, policy);
+  }
+  MC_CHECK(fixups.width == 8 || fixups.width == 4,
+           "FixupPolicy width must be 4 or 8");
+  MC_CHECK(fixups.alt_width == 0 || fixups.alt_width == 4,
+           "FixupPolicy alt_width must be 0 or 4");
+
+  RvaAdjustResult result;
+  const std::size_t common = std::min(section1.size(), section2.size());
+  result.unresolved_diffs += static_cast<std::uint32_t>(
+      std::max(section1.size(), section2.size()) - common);
+
+  // The biases are equal on both sides, so the first-differing-byte offset
+  // of the biased 64-bit bases equals the 32-bit computation.
+  const std::uint32_t offset = base_difference_offset(base1, base2);
+  if (offset == 0) {
+    result.unresolved_diffs +=
+        count_differing_bytes(section1, section2, common, policy);
+    return result;
+  }
+  const std::uint64_t eb1 = fixups.base_bias | base1;
+  const std::uint64_t eb2 = fixups.base_bias | base2;
+
+  // Tests the width-`w` window at `start`: recover RVA = value − biased
+  // base on each side (eq. 1 widened); equal RVAs mean the loader made
+  // this difference — rewrite both windows to the common RVA.
+  const auto try_rewrite = [&](std::size_t start, std::uint32_t w) -> bool {
+    if (start + w > common) {
+      return false;
+    }
+    if (w == 8) {
+      const std::uint64_t rva1 = load_le64(section1, start) - eb1;
+      const std::uint64_t rva2 = load_le64(section2, start) - eb2;
+      if (rva1 != rva2) {
+        return false;
+      }
+      store_le64(section1, start, rva1);
+      store_le64(section2, start, rva2);
+    } else {
+      // Truncated store (R_X86_64_32S shape): only the low dword of the
+      // absolute address landed in the image; subtract the biased base's
+      // low dword, mod 2^32 — wraps cancel exactly like the PE case.
+      const std::uint32_t rva1 =
+          load_le32_at(section1, start) - static_cast<std::uint32_t>(eb1);
+      const std::uint32_t rva2 =
+          load_le32_at(section2, start) - static_cast<std::uint32_t>(eb2);
+      if (rva1 != rva2) {
+        return false;
+      }
+      store_le32_at(section1, start, rva1);
+      store_le32_at(section2, start, rva2);
+    }
+    return true;
+  };
+
+  std::size_t j =
+      simd::mismatch(section1.data(), section2.data(), common, 0, policy);
+  while (j < common) {
+    if (j + 1 < offset) {
+      // Difference too close to the section start for a full address.
+      ++result.unresolved_diffs;
+      j = simd::mismatch(section1.data(), section2.data(), common, j + 1,
+                         policy);
+      continue;
+    }
+    const std::size_t start = j - (offset - 1);
+    if (try_rewrite(start, fixups.width)) {
+      ++result.adjusted;
+      j = simd::mismatch(section1.data(), section2.data(), common,
+                         start + fixups.width, policy);
+    } else if (fixups.alt_width != 0 && try_rewrite(start, fixups.alt_width)) {
+      ++result.adjusted;
+      j = simd::mismatch(section1.data(), section2.data(), common,
+                         start + fixups.alt_width, policy);
+    } else {
+      // Genuine content divergence — leave bytes for the hash to catch.
+      ++result.unresolved_diffs;
+      j = simd::mismatch(section1.data(), section2.data(), common, j + 1,
+                         policy);
+    }
+  }
+  return result;
+}
+
 }  // namespace mc::core

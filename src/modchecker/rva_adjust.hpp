@@ -68,4 +68,41 @@ RvaAdjustResult adjust_rvas(MutableByteView section1, std::uint32_t base1,
 /// order); 0 if the bases are identical.
 std::uint32_t base_difference_offset(std::uint32_t base1, std::uint32_t base2);
 
+/// Format-supplied absolute-fixup recipe for the pairwise normalization —
+/// what a format plugin (modchecker/format.hpp) knows about how its
+/// loader rewrites addresses.  PE32 loaders patch 4-byte absolute
+/// addresses relative to the 32-bit load base; ELF64 .ko loaders patch
+/// 8-byte R_X86_64_64 values (with 4-byte R_X86_64_32S truncated stores
+/// as the secondary shape) against the sign-extended canonical kernel
+/// address `0xFFFFFFFF00000000 | base`.
+struct FixupPolicy {
+  /// Primary absolute-address width in bytes (4 = PE32, 8 = ELF64).
+  std::uint32_t width = 4;
+  /// Secondary width tried when the primary window's RVAs disagree
+  /// (ELF64: R_X86_64_32S stores only the low dword); 0 disables.
+  std::uint32_t alt_width = 0;
+  /// OR'd onto the 32-bit guest load base to reconstruct the link-view
+  /// base address the loader relocated against.
+  std::uint64_t base_bias = 0;
+
+  /// True for the PE32 policy — adjust_fixups delegates verbatim to
+  /// adjust_rvas then, keeping the historical path bit-identical.
+  bool pe32_default() const {
+    return width == 4 && alt_width == 0 && base_bias == 0;
+  }
+};
+
+/// Algorithm 2 generalized over a format's FixupPolicy.  For the default
+/// PE32 policy this *is* adjust_rvas (same code path, bit-identical bytes
+/// and counters).  Otherwise the same candidate-window scan runs with the
+/// policy's widths: at each first-differing byte the primary-width window
+/// is tested (value − biased base on each side; equal RVAs → rewrite both
+/// windows to the common RVA), the secondary width is tested on failure,
+/// and anything else counts as an unresolved difference exactly like the
+/// 4-byte algorithm.
+RvaAdjustResult adjust_fixups(MutableByteView section1, std::uint32_t base1,
+                              MutableByteView section2, std::uint32_t base2,
+                              const FixupPolicy& fixups,
+                              simd::Policy policy = simd::Policy::kAuto);
+
 }  // namespace mc::core

@@ -1,5 +1,6 @@
 #include "modchecker/searcher.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "guestos/winlike.hpp"
@@ -20,6 +21,26 @@ namespace {
     throw NotFoundError(record.detail);
   }
   throw GuestFaultError(std::move(record));
+}
+
+/// Reads a list entry's module name per the profile's convention:
+/// UNICODE_STRING descriptor (Windows builds) or inline NUL-padded char
+/// array (Linux builds).
+Fallible<std::string> try_read_entry_name(vmi::VmiSession& session,
+                                          const gw::GuestProfile& profile,
+                                          std::uint32_t entry_va) {
+  const std::uint32_t name_va = entry_va + profile.off_base_dll_name;
+  if (!profile.inline_names) {
+    return session.try_read_unicode_string(name_va);
+  }
+  Fallible<Bytes> raw =
+      session.try_read_region(name_va, profile.inline_name_bytes);
+  if (!raw.ok()) {
+    return std::move(raw.fault());
+  }
+  const Bytes& bytes = raw.value();
+  const auto nul = std::find(bytes.begin(), bytes.end(), std::uint8_t{0});
+  return std::string(bytes.begin(), nul);
 }
 
 }  // namespace
@@ -80,8 +101,7 @@ Fallible<std::vector<ModuleInfo>> ModuleSearcher::try_list_modules() {
       return std::move(size.fault());
     }
     info.size_of_image = size.value();
-    Fallible<std::string> name =
-        session_->try_read_unicode_string(cur + profile.off_base_dll_name);
+    Fallible<std::string> name = try_read_entry_name(*session_, profile, cur);
     if (!name.ok()) {
       return std::move(name.fault());
     }
@@ -115,8 +135,7 @@ Fallible<std::optional<ModuleInfo>> ModuleSearcher::try_find_module(
   std::uint32_t cur = link.value();
   std::size_t visited = 0;
   while (cur != head) {
-    Fallible<std::string> name =
-        session_->try_read_unicode_string(cur + profile.off_base_dll_name);
+    Fallible<std::string> name = try_read_entry_name(*session_, profile, cur);
     if (!name.ok()) {
       return std::move(name.fault());
     }

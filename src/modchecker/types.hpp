@@ -6,7 +6,8 @@
 #include <vector>
 
 #include "crypto/digest.hpp"
-#include "pe/parser.hpp"
+#include "modchecker/item.hpp"
+#include "modchecker/rva_adjust.hpp"
 #include "util/bytes.hpp"
 #include "util/sim_clock.hpp"
 #include "vmm/domain.hpp"
@@ -39,11 +40,16 @@ struct ModuleImage {
 };
 
 /// A module decomposed into its integrity items (Algorithm 1 output).
+/// `fixups` is the format plugin's absolute-fixup normalization policy —
+/// the width/step/bias recipe Algorithm 2 needs to undo relocation on this
+/// module's rva-sensitive items.  Defaults to the PE32 policy so existing
+/// aggregate initializers keep their meaning.
 struct ParsedModule {
   vmm::DomainId domain = 0;
   std::string name;
   std::uint32_t base = 0;
-  std::vector<pe::IntegrityItem> items;
+  std::vector<IntegrityItem> items;
+  FixupPolicy fixups{};
 };
 
 /// Per-component simulated runtimes — the series of Figs. 7 & 8.

@@ -1,0 +1,59 @@
+// The PE32 format plugin — the one TU where the checking pipeline's view
+// of PE parsing lives (mc_analyze's format-bypass rule keeps ParsedImage
+// construction confined to src/pe/).
+//
+// extract_items is verbatim the pre-plugin ModuleParser body: the same
+// ParsedImage walk over the same content mode, so the refactor's output
+// is byte-identical (tests/format_plugin_test.cpp holds the proof).
+#include "modchecker/format.hpp"
+#include "pe/constants.hpp"
+#include "pe/parser.hpp"
+
+namespace mc::pe {
+
+namespace {
+
+class Pe32Format final : public core::ModuleFormat {
+ public:
+  core::ModuleFormatId id() const override {
+    return core::ModuleFormatId::kPe32;
+  }
+
+  std::string_view name() const override { return "pe32"; }
+
+  bool detect(ByteView header) const override {
+    return header.size() >= 2 && load_le16(header, 0) == kDosMagic;
+  }
+
+  std::vector<core::IntegrityItem> extract_items(
+      const core::ModuleImage& image) const override {
+    // Both modes run the identical header walk and produce items with the
+    // same names, offsets and content — view-backed images just keep the
+    // section data borrowed instead of sliced into owned buffers.
+    if (image.view_backed()) {
+      const ParsedImage parsed(image.view);
+      return parsed.extract_items(image.view);
+    }
+    const ParsedImage parsed(image.bytes);
+    return parsed.extract_items(image.bytes);
+  }
+
+  core::FixupPolicy fixup_policy() const override {
+    // The loader patches 4-byte absolute addresses against the 32-bit
+    // load base — the paper's original Algorithm 2 shape.
+    return core::FixupPolicy{};
+  }
+};
+
+}  // namespace
+
+}  // namespace mc::pe
+
+namespace mc::core {
+
+const ModuleFormat& pe32_format() {
+  static const pe::Pe32Format format;
+  return format;
+}
+
+}  // namespace mc::core

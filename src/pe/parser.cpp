@@ -22,22 +22,6 @@ Bytes view_slice(const vmi::GuestView& v, std::size_t off, std::size_t len) {
 
 }  // namespace
 
-std::string to_string(ItemKind kind) {
-  switch (kind) {
-    case ItemKind::kDosHeader:
-      return "IMAGE_DOS_HEADER";
-    case ItemKind::kNtHeader:
-      return "IMAGE_NT_HEADER";
-    case ItemKind::kOptionalHeader:
-      return "IMAGE_OPTIONAL_HEADER";
-    case ItemKind::kSectionHeader:
-      return "IMAGE_SECTION_HEADER";
-    case ItemKind::kSectionData:
-      return "SECTION_DATA";
-  }
-  return "?";
-}
-
 ParsedImage::ParsedImage(ByteView mapped) {
   dos_ = DosHeader::parse(mapped);
   if (dos_.e_magic != kDosMagic) {

@@ -13,68 +13,19 @@
 #include <string>
 #include <vector>
 
+#include "modchecker/item.hpp"
 #include "pe/structs.hpp"
 #include "util/bytes.hpp"
 #include "vmi/guest_view.hpp"
 
 namespace mc::pe {
 
-/// What kind of module piece an integrity item covers.
-enum class ItemKind {
-  kDosHeader,      // IMAGE_DOS_HEADER + DOS stub (bytes [0, e_lfanew))
-  kNtHeader,       // PE signature + IMAGE_FILE_HEADER
-  kOptionalHeader, // IMAGE_OPTIONAL_HEADER (incl. data directories)
-  kSectionHeader,  // one IMAGE_SECTION_HEADER
-  kSectionData,    // data of one read-only or executable section
-};
-
-std::string to_string(ItemKind kind);
-
-/// One hashable unit of a module (paper §III-B.3: "computes the hashes of
-/// the headers and the contents of the module ... separately").
-///
-/// Content lives in exactly one of two places: `bytes` (owned copy — the
-/// historical path, still used for disk images, caches and forensics) or
-/// `view` (borrowed spans over guest frames — the zero-copy Acquire path;
-/// headers stay owned even there because they are tiny and parsed into
-/// structs anyway).  Consumers go through the content_* accessors /
-/// for_each_span so they never care which mode an item is in.
-struct IntegrityItem {
-  ItemKind kind = ItemKind::kSectionData;
-  std::string name;        // ".text", "IMAGE_NT_HEADER", ...
-  std::uint32_t rva = 0;   // where the bytes start within the image
-  Bytes bytes;             // owned content (empty when view-backed)
-  bool rva_sensitive = false;  // true for executable section data (holds
-                               // absolute addresses that must be normalized
-                               // before hashing)
-  vmi::GuestView view;     // borrowed content (empty when owned)
-
-  bool view_backed() const { return !view.empty(); }
-  std::size_t content_size() const {
-    return view_backed() ? view.size() : bytes.size();
-  }
-  /// Copies the content into `dst` (dst.size() == content_size()).
-  void copy_content(MutableByteView dst) const {
-    if (view_backed()) {
-      view.read_into(0, dst);
-    } else {
-      copy_bytes(dst, bytes);
-    }
-  }
-  /// Owned copy — materialization point for forensics/dump consumers.
-  Bytes content_copy() const {
-    return view_backed() ? view.materialize() : bytes;
-  }
-  /// Walks the content as borrowed spans in order (streaming hash/CRC).
-  template <typename Fn>
-  void for_each_span(Fn&& fn) const {
-    if (view_backed()) {
-      view.for_each_segment(fn);
-    } else if (!bytes.empty()) {
-      fn(ByteView(bytes));
-    }
-  }
-};
+// The item vocabulary is format-neutral since the plugin refactor; the
+// canonical definitions live in modchecker/item.hpp.  Re-exported here so
+// existing `pe::IntegrityItem` spellings keep compiling unchanged.
+using ItemKind = core::ItemKind;
+using IntegrityItem = core::IntegrityItem;
+using core::to_string;
 
 /// Fully parsed view of a mapped module.
 class ParsedImage {

@@ -72,6 +72,11 @@ inline void append_le32(Bytes& out, std::uint32_t v) {
   append_le16(out, static_cast<std::uint16_t>(v >> 16));
 }
 
+inline void append_le64(Bytes& out, std::uint64_t v) {
+  append_le32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  append_le32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
 /// Views the characters of `s` as bytes without copying.  This is the one
 /// blessed pointer-reinterpretation in the codebase: everything else calls
 /// this instead of spelling its own cast (mc_lint bans raw reinterpret_cast

@@ -148,7 +148,7 @@ TEST_F(CoreComponentsTest, CrossVmComparisonMatchesDespiteDifferentBases) {
       text0 = &item;
     }
   }
-  const pe::IntegrityItem* text1 = nullptr;
+  const core::IntegrityItem* text1 = nullptr;
   for (const auto& item : p1.items) {
     if (item.name == ".text") {
       text1 = &item;
@@ -204,8 +204,8 @@ TEST_F(CoreComponentsTest, StructuralDivergenceFlagsUnmatchedItems) {
       parser.parse(*ModuleSearcher(s1).extract_module("hal.dll"), pc);
 
   // Simulate an attacker-added section on the subject.
-  pe::IntegrityItem extra;
-  extra.kind = pe::ItemKind::kSectionData;
+  core::IntegrityItem extra;
+  extra.kind = core::ItemKind::kSectionData;
   extra.name = ".evil";
   extra.bytes = {1, 2, 3};
   p0.items.push_back(extra);

@@ -11,6 +11,7 @@
 #include "modchecker/modchecker.hpp"
 #include "modchecker/searcher.hpp"
 #include "modchecker/triage.hpp"
+#include "pe/parser.hpp"
 #include "vmi/dump.hpp"
 #include "vmi/session.hpp"
 

@@ -254,14 +254,14 @@ ParsedModule synth_module(vmm::DomainId dom, std::uint32_t base,
   m.domain = dom;
   m.name = "synth.sys";
   m.base = base;
-  pe::IntegrityItem header;
-  header.kind = pe::ItemKind::kDosHeader;
+  core::IntegrityItem header;
+  header.kind = core::ItemKind::kDosHeader;
   header.name = "IMAGE_DOS_HEADER";
   header.bytes = {0x4D, 0x5A, 0x00, 0x01};
   header.rva_sensitive = false;
   m.items.push_back(std::move(header));
-  pe::IntegrityItem text;
-  text.kind = pe::ItemKind::kSectionData;
+  core::IntegrityItem text;
+  text.kind = core::ItemKind::kSectionData;
   text.name = ".text";
   text.bytes = std::move(text_bytes);
   text.rva_sensitive = true;

@@ -52,7 +52,7 @@ class DetectAnyChange : public ::testing::TestWithParam<PatchCase> {
 
   /// Finds the guest-image RVA range of an item by parsing the victim's
   /// module the same way the checker does.
-  pe::IntegrityItem find_item(const std::string& module,
+  core::IntegrityItem find_item(const std::string& module,
                               const std::string& item_name) {
     SimClock clock;
     vmi::VmiSession session(env_->hypervisor(), env_->guests()[0], clock);
@@ -74,7 +74,7 @@ class DetectAnyChange : public ::testing::TestWithParam<PatchCase> {
 
 TEST_P(DetectAnyChange, SingleByteFlipIsAttributedToTheRightItem) {
   const PatchCase& c = GetParam();
-  const pe::IntegrityItem item = find_item(c.module, c.item);
+  const core::IntegrityItem item = find_item(c.module, c.item);
   ASSERT_FALSE(item.bytes.empty());
 
   const auto rva = item.rva + static_cast<std::uint32_t>(

@@ -210,7 +210,7 @@ TEST(SimdRva, RelocationStraddlingPageBoundaryInGuestView) {
   ASSERT_FALSE(view.contiguous());
   ASSERT_EQ(view.size(), image1.size());
 
-  pe::IntegrityItem item;
+  core::IntegrityItem item;
   item.name = ".text";
   item.rva_sensitive = true;
   item.view = view;
@@ -235,7 +235,7 @@ TEST(SimdRva, RelocationStraddlingPageBoundaryInGuestView) {
 
 TEST(SimdItems, ViewBackedContentHashesAndCrcsMatchOwned) {
   const Bytes content = patterned(10000, 99);
-  pe::IntegrityItem owned;
+  core::IntegrityItem owned;
   owned.name = ".rodata";
   owned.bytes = content;
 
@@ -243,7 +243,7 @@ TEST(SimdItems, ViewBackedContentHashesAndCrcsMatchOwned) {
   const Bytes seg1(content.begin(), content.begin() + 4096);
   const Bytes seg2(content.begin() + 4096, content.begin() + 8192);
   const Bytes seg3(content.begin() + 8192, content.end());
-  pe::IntegrityItem viewed;
+  core::IntegrityItem viewed;
   viewed.name = ".rodata";
   viewed.view.append(ByteView(seg1));
   viewed.view.append(ByteView(seg2));
@@ -268,7 +268,7 @@ TEST(SimdItems, ViewBackedContentHashesAndCrcsMatchOwned) {
   // A single-byte flip in any segment must be seen at every level.
   Bytes seg2_bad = seg2;
   seg2_bad[17] ^= 0x80;
-  pe::IntegrityItem tampered;
+  core::IntegrityItem tampered;
   tampered.view.append(ByteView(seg1));
   tampered.view.append(ByteView(seg2_bad));
   tampered.view.append(ByteView(seg3));

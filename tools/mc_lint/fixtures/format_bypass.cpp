@@ -1,0 +1,20 @@
+// Fixture: format-bypass violations (scanned by mc_lint tests, never
+// compiled).  This file does not live under pe/ or elf/, so constructing
+// the format parsers directly must be flagged.
+
+class ParsedImage;  // forward declaration: not a finding
+
+struct Cache {
+  ElfImage owned_;  // owning member outside the plugin: a finding
+};
+
+void inspect(ByteView mapped, const vmi::GuestView& view) {
+  pe::ParsedImage parsed(mapped);
+  auto items = elf::ElfImage(view).extract_items(view);
+  const ParsedImage fallback{};
+  // mc-lint: allow(format-bypass)
+  elf::ElfImage sanctioned(mapped);
+  use(parsed, items, fallback, sanctioned);
+}
+
+void pass_through(ParsedImage& borrowed, const ElfImage* ptr);

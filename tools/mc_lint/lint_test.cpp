@@ -21,12 +21,13 @@ std::string fixture(const std::string& name) {
 
 TEST(LintRules, CatalogIsStable) {
   const auto& ids = mc::lint::rule_ids();
-  ASSERT_EQ(ids.size(), 9u);
+  ASSERT_EQ(ids.size(), 10u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-reinterpret-cast"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "parser-bounds-check"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "pipeline-bypass"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "format-bypass"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "catch-swallow"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "adhoc-stats"), ids.end());
 }
@@ -80,6 +81,22 @@ TEST(LintFixtures, PipelineBypass) {
   ASSERT_EQ(findings.size(), 4u);
   for (const auto& f : findings) {
     EXPECT_EQ(f.rule, "pipeline-bypass");
+  }
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_EQ(findings[1].line, 12);
+  EXPECT_EQ(findings[2].line, 13);
+  EXPECT_EQ(findings[3].line, 14);
+}
+
+TEST(LintFixtures, FormatBypass) {
+  // Flagged: the owning member (8), the named local (12), the temporary
+  // (13) and the default-constructed local (14).  Not flagged: the forward
+  // declaration (5), the allow()-escaped construction (16) and the
+  // reference/pointer parameters (20).
+  const auto findings = lint_file(fixture("format_bypass.cpp"));
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "format-bypass");
   }
   EXPECT_EQ(findings[0].line, 8);
   EXPECT_EQ(findings[1].line, 12);
@@ -153,6 +170,13 @@ TEST(LintSource, PipelineOwnersAreExempt) {
   EXPECT_EQ(lint_source("src/service/fleet.cpp", body).size(), 1u);
 }
 
+TEST(LintSource, FormatPluginOwnersAreExempt) {
+  const std::string body = "const ParsedImage parsed(mapped);\n";
+  EXPECT_TRUE(lint_source("src/pe/format_plugin.cpp", body).empty());
+  EXPECT_TRUE(lint_source("/abs/src/elf/loader.cpp", body).empty());
+  EXPECT_EQ(lint_source("src/baselines/disk_crossview.cpp", body).size(), 1u);
+}
+
 TEST(LintFixtures, SuppressionsSameLineAndPrecedingLine) {
   // Lines 6 and 8 are suppressed; line 9 carries an allow() for the WRONG
   // rule and must still be reported.
@@ -170,9 +194,9 @@ TEST(LintFixtures, CleanFileHasNoFindings) {
 }
 
 TEST(LintFixtures, TreeScanCoversEveryFixture) {
-  // 2 + 1 + 1 + 2 + 2 + 1 + 1 + 4 + 4 + 0 findings across the directory.
+  // 2 + 1 + 1 + 2 + 2 + 1 + 1 + 4 + 4 + 4 + 0 findings across the directory.
   const auto findings = lint_tree(MC_LINT_FIXTURE_DIR);
-  EXPECT_EQ(findings.size(), 18u);
+  EXPECT_EQ(findings.size(), 22u);
 }
 
 TEST(LintSource, CommentsAndStringsDoNotFire) {

@@ -212,6 +212,59 @@ void run_pipeline_rule(const ScannedSource& src, const std::string& file,
   }
 }
 
+/// format-bypass: pe::ParsedImage / elf::ElfImage constructed outside the
+/// format's own library — module bytes are interpreted by the plugin the
+/// FormatRegistry resolves (modchecker/format.hpp); a second construction
+/// site hard-codes one container format into code that should stay
+/// format-neutral.
+void run_format_rule(const ScannedSource& src, const std::string& file,
+                     std::vector<Finding>& findings) {
+  if (format_plugin_owner(file)) {
+    return;
+  }
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    for (const char* type : {"ParsedImage", "ElfImage"}) {
+      const std::string token(type);
+      for (std::size_t pos = find_token(line, token); pos != std::string::npos;
+           pos = find_token(line, token, pos + 1)) {
+        const std::string prev = word_before(line, pos);
+        if (prev == "class" || prev == "struct" || prev == "friend") {
+          continue;
+        }
+        std::size_t j = pos + token.size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        bool construction = false;
+        if (j < line.size() && line[j] == '(') {
+          construction = true;  // temporary: pe::ParsedImage(view)
+        } else if (j < line.size() && is_word_char(line[j])) {
+          std::size_t end = j;
+          while (end < line.size() && is_word_char(line[end])) {
+            ++end;
+          }
+          while (end < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[end])) != 0) {
+            ++end;
+          }
+          construction = end < line.size() &&
+                         (line[end] == '(' || line[end] == '{' ||
+                          line[end] == ';' || line[end] == '=');
+        }
+        if (construction) {
+          findings.push_back(
+              {file, static_cast<int>(i + 1), "format-bypass",
+               token + " constructed outside its format plugin; resolve "
+                       "the module through the core::FormatRegistry "
+                       "(modchecker/format.hpp) instead"});
+        }
+      }
+    }
+  }
+}
+
 /// catch-swallow: a handler that intercepts every exception (`catch (...)`)
 /// or intercepts one and does nothing (empty body) erases the fault it
 /// caught — exactly the control flow the FaultRecord refactor removed from
@@ -384,6 +437,18 @@ bool pipeline_component_owner(const std::string& file) {
   return false;
 }
 
+bool format_plugin_owner(const std::string& file) {
+  std::string norm = file;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* dir : {"pe/", "elf/"}) {
+    const std::string sub = std::string("/") + dir;
+    if (norm.find(sub) != std::string::npos || norm.rfind(dir, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool telemetry_owner(const std::string& file) {
   std::string norm = file;
   std::replace(norm.begin(), norm.end(), '\\', '/');
@@ -393,9 +458,10 @@ bool telemetry_owner(const std::string& file) {
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
-      "raw-reinterpret-cast", "raw-memcpy",   "std-rand",
-      "naked-new",            "naked-delete", "parser-bounds-check",
-      "pipeline-bypass",      "catch-swallow", "adhoc-stats",
+      "raw-reinterpret-cast", "raw-memcpy",    "std-rand",
+      "naked-new",            "naked-delete",  "parser-bounds-check",
+      "pipeline-bypass",      "format-bypass", "catch-swallow",
+      "adhoc-stats",
   };
   return kIds;
 }
@@ -407,6 +473,7 @@ std::vector<Finding> lint_source(const std::string& file_name,
   run_token_rules(src, file_name, findings);
   run_bounds_rule(src, file_name, findings);
   run_pipeline_rule(src, file_name, findings);
+  run_format_rule(src, file_name, findings);
   run_catch_rule(src, file_name, findings);
   run_adhoc_stats_rule(src, file_name, findings);
 

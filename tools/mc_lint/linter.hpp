@@ -28,6 +28,12 @@
 //                         CheckPipeline's Acquire/Parse stages; a second
 //                         construction site re-grows the duplicated flow
 //                         the staged-pipeline refactor removed.
+//   format-bypass         pe::ParsedImage / elf::ElfImage constructed
+//                         outside src/pe/ / src/elf/ — module bytes are
+//                         interpreted by the plugin the FormatRegistry
+//                         (modchecker/format.hpp) resolves; a second
+//                         construction site hard-codes one container
+//                         format into format-neutral code.
 //   catch-swallow         `catch (...)`, or a catch clause with an empty
 //                         body — both erase the fault they intercepted.
 //                         Handlers must be typed and must handle, convert
@@ -76,6 +82,10 @@ std::string format_finding(const Finding& f);
 /// Files sanctioned to construct ModuleSearcher/ModuleParser (the
 /// pipeline-bypass rule's owner set).  Shared with the tier-2 port.
 bool pipeline_component_owner(const std::string& file);
+
+/// Files sanctioned to construct pe::ParsedImage / elf::ElfImage (the
+/// format-bypass rule's owner set: the format libraries themselves).
+bool format_plugin_owner(const std::string& file);
 
 /// Files exempt from adhoc-stats (the telemetry library itself).
 bool telemetry_owner(const std::string& file);

@@ -14,8 +14,8 @@
 
 namespace mc::lint::rules {
 
-/// Token-stream port of the nine tier-1 rules, in the tier-1 execution
-/// order (token rules, bounds, pipeline, catch, adhoc-stats).
+/// Token-stream port of the ten tier-1 rules, in the tier-1 execution
+/// order (token rules, bounds, pipeline, format, catch, adhoc-stats).
 void legacy_port(const ScannedSource& src, const std::vector<Token>& toks,
                  const std::string& file, std::vector<Finding>& out);
 

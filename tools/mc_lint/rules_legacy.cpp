@@ -1,4 +1,4 @@
-// Token-stream port of the nine tier-1 rules.
+// Token-stream port of the ten tier-1 rules.
 //
 // The port is required to be *finding-identical* to the line scanner over
 // real code (the differential self-test runs both engines over src/ and
@@ -222,6 +222,54 @@ void pipeline_rule(const std::vector<Token>& toks,
   }
 }
 
+void format_rule(const std::vector<Token>& toks,
+                 const std::vector<std::vector<std::size_t>>& lines,
+                 const std::string& file, std::vector<Finding>& out) {
+  if (format_plugin_owner(file)) {
+    return;
+  }
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::vector<std::size_t>& line = lines[li];
+    for (const char* type : {"ParsedImage", "ElfImage"}) {
+      for (std::size_t k = 0; k < line.size(); ++k) {
+        const Token& t = toks[line[k]];
+        if (t.kind != Tok::kIdent || t.text != type) {
+          continue;
+        }
+        if (k > 0) {
+          const Token& prev = toks[line[k - 1]];
+          if (prev.kind == Tok::kIdent &&
+              (prev.text == "class" || prev.text == "struct" ||
+               prev.text == "friend")) {
+            continue;
+          }
+        }
+        bool construction = false;
+        if (k + 1 < line.size()) {
+          const Token& next = toks[line[k + 1]];
+          if (is_punct(next, "(")) {
+            construction = true;  // temporary: pe::ParsedImage(view)
+          } else if (next.kind == Tok::kIdent && k + 2 < line.size()) {
+            const Token& after = toks[line[k + 2]];
+            const char c = after.kind == Tok::kPunct && !after.text.empty()
+                               ? after.text[0]
+                               : '\0';
+            construction = c == '(' || c == '{' || c == ';' || c == '=';
+          }
+        }
+        if (construction) {
+          out.push_back(
+              {file, t.line, "format-bypass",
+               std::string(type) +
+                   " constructed outside its format plugin; resolve "
+                   "the module through the core::FormatRegistry "
+                   "(modchecker/format.hpp) instead"});
+        }
+      }
+    }
+  }
+}
+
 void catch_rule(const std::vector<Token>& toks, const std::string& file,
                 std::vector<Finding>& out) {
   for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -314,6 +362,7 @@ void legacy_port(const ScannedSource& src, const std::vector<Token>& toks,
   token_rules(toks, lines, file, out);
   bounds_rule(toks, lines, file, out);
   pipeline_rule(toks, lines, file, out);
+  format_rule(toks, lines, file, out);
   catch_rule(toks, file, out);
   adhoc_stats_rule(toks, lines, file, out);
 }

@@ -36,6 +36,7 @@
 #include "modchecker/scheduler.hpp"
 #include "modchecker/searcher.hpp"
 #include "pe/constants.hpp"
+#include "pe/parser.hpp"
 #include "pe/resources.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
@@ -53,6 +54,7 @@ struct Options {
   std::string module = "hal.dll";
   std::string attack = "inline-hook";
   std::string algorithm = "md5";
+  std::string format = "auto";  // auto | pe32 | elf64
   std::size_t guests = 15;
   std::size_t subject = 1;  // Dom index (1-based, as in the paper)
   std::size_t victim = 1;
@@ -84,6 +86,8 @@ void usage() {
       "  --attack <type>     opcode-replace | inline-hook | stub-patch |\n"
       "                      dll-inject | iat-hook | header-tamper | dkom\n"
       "  --algo <hash>       md5 | sha1 | sha256 (default md5)\n"
+      "  --format <fmt>      auto | pe32 | elf64 (default auto: sniff the\n"
+      "                      image header per module)\n"
       "  --horizon <ms>      simulated monitor horizon (default 10000)\n"
       "  --parallel          use the parallel pool-scan engine\n"
       "  --json              machine-readable output (check/scan/audit)\n"
@@ -126,6 +130,7 @@ core::ModCheckerConfig make_config(const Options& options,
                                    telemetry::TraceRecorder* tracer = nullptr) {
   core::ModCheckerConfig cfg;
   cfg.algorithm = crypto::parse_hash_algorithm(options.algorithm);
+  cfg.format = core::parse_module_format(options.format);
   cfg.parallel = options.parallel;
   cfg.tracer = tracer;
   return cfg;
@@ -217,6 +222,7 @@ int run(const Options& options, telemetry::TraceRecorder* tracer) {
       std::printf("  %08x  %7u bytes  %-14s", m.base, m.size_of_image,
                   m.name.c_str());
       const auto image = searcher.extract_module(m.name);
+      // Dump triage inspects the raw PE on purpose; mc-lint: allow(format-bypass)
       const pe::ParsedImage parsed(image->bytes);
       const auto& dir =
           parsed.optional_header().DataDirectories[pe::kDirResource];
@@ -340,6 +346,8 @@ int main(int argc, char** argv) {
         options.attack = next();
       } else if (arg == "--algo") {
         options.algorithm = next();
+      } else if (arg == "--format") {
+        options.format = next();
       } else if (arg == "--horizon") {
         options.horizon_ms = std::stoull(next());
       } else if (arg == "--parallel") {
