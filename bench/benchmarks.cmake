@@ -29,4 +29,5 @@ mc_add_bench(bench_ablation_incremental)
 mc_add_bench(bench_ablation_fastpath)
 mc_add_bench(bench_fault_overhead)
 mc_add_bench(bench_telemetry_overhead)
+mc_add_bench(bench_event_driven)
 mc_add_bench(bench_micro)

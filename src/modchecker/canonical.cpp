@@ -28,6 +28,28 @@ SimNanos hash_charge(const vmi::HostCostModel& costs,
                                digest_cost_factor(algorithm));
 }
 
+std::vector<std::pair<std::uint32_t, std::uint32_t>> item_spans(
+    const ParsedModule& module) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  spans.reserve(module.items.size());
+  for (const IntegrityItem& a : module.items) {
+    spans.emplace_back(a.rva,
+                       a.rva + static_cast<std::uint32_t>(a.content_size()));
+  }
+  return spans;
+}
+
+bool span_touched(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& changed,
+    std::pair<std::uint32_t, std::uint32_t> span) {
+  for (const auto& [lo, hi] : changed) {
+    if (lo < span.second && span.first < hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 DigestTable::Entry& DigestTable::entry_for(vmm::DomainId domain,
@@ -80,6 +102,8 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
     canonical_.assign(module.items.size(), std::nullopt);
     Entry entry;
     entry.eligible = true;
+    entry.base = module.base;
+    entry.spans = item_spans(module);
     entry.digests.resize(module.items.size());
     for (std::size_t i = 0; i < module.items.size(); ++i) {
       entry.ref_items.push_back(i);
@@ -90,6 +114,8 @@ void CanonicalPool::add(const ParsedModule& module, SimClock& clock) {
   }
 
   Entry entry;
+  entry.base = module.base;
+  entry.spans = item_spans(module);
   entry.digests.resize(reference_->items.size());
   bool eligible = module.items.size() == reference_->items.size();
   for (std::size_t i = 0; eligible && i < reference_->items.size(); ++i) {
@@ -184,6 +210,116 @@ void CanonicalPool::finalize(SimClock& clock) {
     }
   }
   finalized_ = true;
+}
+
+void CanonicalPool::update(
+    const ParsedModule& module, SimClock& clock,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* changed_rvas) {
+  MC_CHECK(finalized_, "CanonicalPool::update before finalize");
+  MC_CHECK(reference_ != nullptr && module.domain != reference_->domain,
+           "CanonicalPool::update cannot replace the reference");
+
+  // Item-granular reuse: an item whose span is unchanged and misses every
+  // changed byte range has byte-identical content, so its previous digest
+  // (and its reference-sharing status) still holds.  Only valid against an
+  // eligible previous entry at the same base with a complete span map —
+  // anything else recomputes the item honestly.
+  const Entry* prev = nullptr;
+  if (changed_rvas != nullptr) {
+    const auto prev_it = entries_.find(module.domain);
+    if (prev_it != entries_.end() && prev_it->second.eligible &&
+        prev_it->second.base == module.base &&
+        prev_it->second.spans.size() == reference_->items.size()) {
+      prev = &prev_it->second;
+    }
+  }
+
+  Entry entry;
+  entry.base = module.base;
+  entry.spans = item_spans(module);
+  entry.digests.resize(reference_->items.size());
+  bool eligible = module.items.size() == reference_->items.size();
+  for (std::size_t i = 0; eligible && i < reference_->items.size(); ++i) {
+    const IntegrityItem& r = reference_->items[i];
+    const IntegrityItem& a = module.items[i];
+    if (a.kind != r.kind || a.name != r.name ||
+        a.rva_sensitive != r.rva_sensitive) {
+      eligible = false;
+      break;
+    }
+
+    if (prev != nullptr && prev->spans[i] == entry.spans[i] &&
+        !span_touched(*changed_rvas, entry.spans[i])) {
+      entry.digests[i] = prev->digests[i];
+      if (std::find(prev->ref_items.begin(), prev->ref_items.end(), i) !=
+          prev->ref_items.end()) {
+        entry.ref_items.push_back(i);
+      }
+      continue;  // untouched bytes: zero re-canonicalization cost
+    }
+
+    if (!a.rva_sensitive) {
+      entry.digests[i] = hash_item_content(algorithm_, a);
+      clock.charge(hash_charge(costs_, algorithm_, a.content_size()));
+      continue;
+    }
+
+    if (module.base == reference_->base) {
+      clock.charge(costs_.rva_scan_per_byte *
+                   std::max(a.content_size(), r.content_size()));
+      if (item_content_equal(a, r, policy_)) {
+        // Post-finalize the reference vector is resolved: share directly.
+        entry.ref_items.push_back(i);
+        entry.digests[i] = ref_digests_[i];
+      } else {
+        eligible = false;
+      }
+      continue;
+    }
+
+    ArenaScope scope(scratch_arena());
+    MutableByteView ref_copy = arena_content_copy(scratch_arena(), r);
+    MutableByteView mod_copy = arena_content_copy(scratch_arena(), a);
+    const RvaAdjustResult adj =
+        adjust_fixups(ref_copy, reference_->base, mod_copy, module.base,
+                      module.fixups, policy_);
+    clock.charge(costs_.rva_scan_per_byte *
+                 std::max(ref_copy.size(), mod_copy.size()));
+    if (adj.unresolved_diffs > 0) {
+      eligible = false;
+      continue;
+    }
+    const crypto::Digest d = crypto::hash_bytes(algorithm_, mod_copy);
+    clock.charge(hash_charge(costs_, algorithm_, mod_copy.size()));
+    if (!canonical_[i]) {
+      // First differing-base eligible partner arrives after finalize():
+      // pin the canonical and re-pin the reference digest plus every
+      // entry sharing it, keeping vector equality equivalent to the
+      // pairwise verdict (the adjusted reference copy IS the canonical
+      // form, so no re-hashing of the sharers is owed).
+      canonical_[i] = d;
+      canonicals_established_.inc();
+      ref_digests_[i] = d;
+      for (auto& [vm, existing] : entries_) {
+        if (std::find(existing.ref_items.begin(), existing.ref_items.end(),
+                      i) != existing.ref_items.end()) {
+          existing.digests[i] = d;
+        }
+      }
+    } else if (*canonical_[i] != d) {
+      eligible = false;
+      continue;
+    }
+    entry.digests[i] = d;
+  }
+
+  entry.eligible = eligible;
+  if (eligible) {
+    eligible_count_.inc();
+  } else {
+    ineligible_count_.inc();
+  }
+  entries_[module.domain] = std::move(entry);
 }
 
 bool CanonicalPool::eligible(vmm::DomainId vm) const {

@@ -149,6 +149,30 @@ class CanonicalPool {
   /// entry that shares it.  Call after the last add().
   void finalize(SimClock& clock);
 
+  /// Post-finalize re-canonicalization of ONE VM's copy — the incremental
+  /// scanner's partial-refresh hook.  Replaces (or inserts) the VM's
+  /// entry, charging only this copy's adjustment/hashing to `clock`; the
+  /// unchanged members keep their vectors, so a pool whose reference is
+  /// stable re-normalizes O(changed copies) instead of O(t) per tick.
+  /// The reference module must be unchanged (callers rebuild the pool when
+  /// it is not) and the updated VM must not be the reference.  If this
+  /// copy establishes an item's canonical digest (first differing-base
+  /// eligible partner the pool has seen), the reference digest vector and
+  /// every entry sharing it are re-pinned to the canonical value —
+  /// digest-vector equality stays equivalent to the pairwise verdict.
+  ///
+  /// `changed_rvas` (optional) are the [lo, hi) image-relative byte
+  /// ranges known to cover EVERY byte that changed since this VM's
+  /// previous entry (the incremental scanner's dirty-page mask).  Items
+  /// whose span misses every range — and whose span matched last time —
+  /// reuse the previous entry's digest for free: their bytes are
+  /// untouched, and any fixup-table change implies some overlapping
+  /// item's bytes changed, which re-canonicalizes honestly and decides
+  /// the pair either way.  Null (or a base/shape change) recomputes all.
+  void update(const ParsedModule& module, SimClock& clock,
+              const std::vector<std::pair<std::uint32_t, std::uint32_t>>*
+                  changed_rvas = nullptr);
+
   /// True if `vm` was added and reduced cleanly to the canonical form.
   bool eligible(vmm::DomainId vm) const;
 
@@ -176,9 +200,15 @@ class CanonicalPool {
  private:
   struct Entry {
     bool eligible = false;
+    /// Load base the entry was canonicalized at (update()'s reuse guard).
+    std::uint32_t base = 0;
     std::vector<crypto::Digest> digests;
     /// Items whose digest equals the reference's (resolved in finalize()).
     std::vector<std::size_t> ref_items;
+    /// Per-item [rva, rva + content_size) spans at canonicalization time:
+    /// update() reuses digests[i] only when spans[i] is unchanged AND
+    /// misses every changed byte range.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
   };
 
   crypto::HashAlgorithm algorithm_;

@@ -4,23 +4,182 @@
 
 #include "util/error.hpp"
 #include "vmm/phys_mem.hpp"
+#include "vmm/write_watch.hpp"
 
 namespace mc::core {
 
-namespace {
-/// Simulated cost of querying one page's dirty state from the hypervisor's
-/// log-dirty bitmap.
-constexpr SimNanos kDirtyCheckPerPage = 200;  // ns
-}  // namespace
-
 IncrementalScanner::IncrementalScanner(const vmm::Hypervisor& hypervisor,
                                        ModCheckerConfig config)
-    : context_(hypervisor, std::move(config)), pipeline_(context_) {}
+    : context_(hypervisor, std::move(config)),
+      pipeline_(context_),
+      partial_refreshes_(context_.metrics->counter(
+          "incremental.partial_refreshes")),
+      frames_reread_(context_.metrics->counter("incremental.frames_reread")),
+      cache_reuses_(context_.metrics->counter("incremental.cache_reuses")) {}
+
+IncrementalScanner::~IncrementalScanner() {
+  vmm::WriteWatch& watch = context_.hypervisor->write_watch();
+  for (const auto& [key, entry] : cache_) {
+    if (entry.watch != vmm::WriteWatch::kNoWatch) {
+      watch.unregister(entry.watch);
+    }
+  }
+}
+
+void IncrementalScanner::extract_full(AcquireStage::Session& session,
+                                      const std::string& module_name,
+                                      const ModuleInfo& info,
+                                      CacheEntry& entry) {
+  vmi::VmiSession& s = session.session();
+  if (entry.watch != vmm::WriteWatch::kNoWatch) {
+    s.unwatch(entry.watch);
+    entry.watch = vmm::WriteWatch::kNoWatch;
+  }
+  // Register the watch BEFORE copying: a write racing the extraction marks
+  // the fresh watch dirty, so the next scan conservatively refreshes —
+  // registering after the copy would let that write slip by unobserved.
+  Fallible<vmm::WriteWatch::WatchId> watch =
+      s.try_watch_range(info.base, info.size_of_image);
+  if (!watch.ok()) {
+    // The scanner keeps the legacy throwing contract (see scan()).
+    throw GuestFaultError(std::move(watch.fault()));
+  }
+  entry.watch = watch.value();
+  entry.frames = context_.hypervisor->write_watch().watched_frames(entry.watch);
+
+  const AcquireStage& acquire = pipeline_.acquire();
+  auto image = acquire.extract_module(session, module_name);
+  MC_CHECK(image.has_value(), "module vanished between list walk and copy");
+  entry.found = true;
+  entry.base = info.base;
+  ++entry.generation;
+  entry.image = std::move(*image);
+}
+
+bool IncrementalScanner::patch_dirty_pages(
+    AcquireStage::Session& session, CacheEntry& entry,
+    const std::vector<std::uint32_t>& dirty_pages) {
+  vmi::VmiSession& s = session.session();
+  const std::uint32_t base = entry.base;
+  const std::uint32_t page_base = base & ~(vmm::kFrameSize - 1);
+  const auto image_size = static_cast<std::uint32_t>(entry.image.bytes.size());
+  entry.last_changed_rvas.clear();
+  for (const std::uint32_t page : dirty_pages) {
+    if (page >= entry.frames.size()) {
+      return false;  // registration no longer matches the cached layout
+    }
+    const std::uint32_t page_va = page_base + page * vmm::kFrameSize;
+    // Re-translate the dirty page: a bulk invalidate (snapshot restore)
+    // may have replaced the page tables, leaving the same base mapped to
+    // different frames.  A moved frame means the cached frame map — and
+    // the watch registered over it — is stale; fall back to a full
+    // extraction + re-registration.
+    const std::uint64_t pa = s.translate_kv2p(page_va);
+    if (static_cast<std::uint32_t>(pa >> vmm::kFrameShift) !=
+        entry.frames[page]) {
+      return false;
+    }
+    // Patch only the slice of this page that lies inside the image.
+    const std::uint32_t lo = std::max(page_va, base);
+    const std::uint32_t hi =
+        std::min(page_va + vmm::kFrameSize, base + image_size);
+    s.read_va(lo, MutableByteView(entry.image.bytes.data(), image_size)
+                      .subspan(lo - base, hi - lo));
+    entry.last_changed_rvas.emplace_back(lo - base, hi - base);
+    ++stats_.frames_reread;
+    frames_reread_.inc();
+  }
+  return true;
+}
+
+CanonicalPool* IncrementalScanner::refresh_canonical(
+    const std::string& module_name, const std::vector<vmm::DomainId>& pool,
+    const std::vector<CacheEntry*>& entries, SimClock& clock) {
+  if (!pipeline_.normalize().enabled()) {
+    return nullptr;
+  }
+  // Reference = first found copy in pool order, mirroring pool_scan.
+  std::size_t ref_index = pool.size();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (entries[i]->found) {
+      ref_index = i;
+      break;
+    }
+  }
+  if (ref_index == pool.size()) {
+    canon_.erase(module_name);
+    return nullptr;
+  }
+
+  CanonState& state = canon_[module_name];
+  const vmm::DomainId ref_vm = pool[ref_index];
+  const CacheEntry& ref_entry = *entries[ref_index];
+  if (!state.pool || state.ref_vm != ref_vm ||
+      state.ref_generation != ref_entry.generation) {
+    // No pool yet, or the borrowed reference changed content/identity:
+    // O(t) rebuild — the cost a fresh scan pays every tick.
+    state.pool = std::make_unique<CanonicalPool>(
+        context_.config.algorithm, context_.config.host_costs,
+        context_.metrics, context_.policy());
+    state.generations.clear();
+    state.ref_vm = ref_vm;
+    state.ref_generation = ref_entry.generation;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (entries[i]->found) {
+        state.pool->add(entries[i]->parsed, clock);
+        state.generations[pool[i]] = entries[i]->generation;
+      }
+    }
+    state.pool->finalize(clock);
+    return state.pool.get();
+  }
+
+  // Stable reference: only changed copies re-normalize (O(changed)).
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (i == ref_index || !entries[i]->found) {
+      continue;
+    }
+    const auto it = state.generations.find(pool[i]);
+    const std::uint64_t have =
+        it == state.generations.end() ? 0 : it->second;
+    if (have != entries[i]->generation) {
+      // The dirty-range mask is only a faithful delta when the pool saw
+      // the generation immediately before a single partial refresh;
+      // anything else (full re-extraction, missed generations) updates
+      // every item.
+      const auto* changed = entries[i]->last_refresh_partial &&
+                                    have + 1 == entries[i]->generation
+                                ? &entries[i]->last_changed_rvas
+                                : nullptr;
+      state.pool->update(entries[i]->parsed, clock, changed);
+      state.generations[pool[i]] = entries[i]->generation;
+    }
+  }
+  return state.pool.get();
+}
 
 IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
     vmm::DomainId vm, const std::string& module_name, ComponentTimes& times) {
   CacheEntry& entry = cache_[{vm, module_name}];
-  const vmm::PhysicalMemory& memory = context_.hypervisor->domain(vm).memory();
+  vmm::WriteWatch& watch = context_.hypervisor->write_watch();
+
+  // Domain-generation shortcut: the per-domain write generation advances
+  // on EVERY guest write — a module unload rewrites the loader list, a
+  // rebase/reload rewrites list + image, an attack patches the image, a
+  // snapshot restore bulk-invalidates — so an unchanged generation proves
+  // the entire cached view (list walk included) is still current.  Skip
+  // the session open and list walk outright; one O(1) generation query
+  // replaces them.  The generation is read BEFORE any session work below
+  // and stored only on success, so a write racing a fetch leaves the
+  // stored value behind the live one and the next scan re-checks.
+  const std::uint64_t domain_generation = watch.domain_write_generation(vm);
+  if (entry.found && entry.watch != vmm::WriteWatch::kNoWatch &&
+      entry.domain_generation == domain_generation) {
+    ++stats_.cache_reuses;
+    cache_reuses_.inc();
+    times.searcher += context_.config.vmi_costs.watch_query;
+    return entry;
+  }
 
   SimClock searcher_clock;
   const AcquireStage& acquire = pipeline_.acquire();
@@ -30,56 +189,57 @@ IncrementalScanner::CacheEntry& IncrementalScanner::fetch(
   // could have been unloaded or rebased since the last scan.
   const auto info = acquire.find_module(session, module_name);
   if (!info) {
+    if (entry.watch != vmm::WriteWatch::kNoWatch) {
+      watch.unregister(entry.watch);
+    }
     entry = CacheEntry{};  // drop any stale cache
     times.searcher += searcher_clock.now();
     return entry;
   }
 
-  // Dirty check against the cached extraction.
-  if (entry.found && entry.base == info->base && !entry.frames.empty()) {
-    searcher_clock.charge(kDirtyCheckPerPage * entry.frames.size());
-    bool clean = true;
-    for (const std::uint32_t frame : entry.frames) {
-      if (memory.frame_version(frame) > entry.max_frame_version) {
-        clean = false;
-        break;
-      }
-    }
-    if (clean) {
+  // O(1) watch query against the cached extraction; dirty entries retry
+  // the O(changed bytes) partial refresh before falling back to a full
+  // re-extraction.
+  bool need_full = true;
+  if (entry.found && entry.base == info->base &&
+      entry.image.bytes.size() == info->size_of_image &&
+      entry.watch != vmm::WriteWatch::kNoWatch) {
+    if (!session.session().watch_dirty(entry.watch)) {
       ++stats_.cache_reuses;
+      cache_reuses_.inc();
+      // The module's frames are clean even though the domain generation
+      // moved (writes elsewhere); re-anchor the shortcut at the value read
+      // before this fetch's session work.
+      entry.domain_generation = domain_generation;
       times.searcher += searcher_clock.now();
       return entry;
     }
     ++stats_.invalidations;
+    const std::vector<std::uint32_t> dirty =
+        session.session().watch_drain(entry.watch);
+    if (patch_dirty_pages(session, entry, dirty)) {
+      ++entry.generation;
+      ++stats_.partial_refreshes;
+      partial_refreshes_.inc();
+      entry.last_refresh_partial = true;
+      need_full = false;
+    }
   } else if (entry.found) {
-    ++stats_.invalidations;  // rebased (new base) — cache unusable
+    ++stats_.invalidations;  // rebased/resized — cache unusable
   }
 
-  // Full extraction path (the pipeline's Acquire stage).
-  ++stats_.full_extractions;
-  const auto image = acquire.extract_module(session, module_name);
-  MC_CHECK(image.has_value(), "module vanished between list walk and copy");
+  if (need_full) {
+    ++stats_.full_extractions;
+    extract_full(session, module_name, *info, entry);
+    entry.last_refresh_partial = false;
+    entry.last_changed_rvas.clear();
+  }
+  entry.domain_generation = domain_generation;
   times.searcher += searcher_clock.now();
-
-  entry.found = true;
-  entry.base = info->base;
-  ++entry.generation;
-
-  // Record the frame set and the version high-water mark.
-  entry.frames.clear();
-  std::uint64_t max_version = 0;
-  for (std::uint32_t va = info->base & ~(vmm::kFrameSize - 1);
-       va < info->base + info->size_of_image; va += vmm::kFrameSize) {
-    const std::uint64_t pa = session.session().translate_kv2p(va);
-    const auto frame = static_cast<std::uint32_t>(pa >> vmm::kFrameShift);
-    entry.frames.push_back(frame);
-    max_version = std::max(max_version, memory.frame_version(frame));
-  }
-  entry.max_frame_version = max_version;
 
   SimClock parser_clock;
   parser_clock.set_slowdown(context_.hypervisor->dom0_slowdown());
-  entry.parsed = pipeline_.parse().parse_strict(*image, parser_clock);
+  entry.parsed = pipeline_.parse().parse_strict(entry.image, parser_clock);
   times.parser += parser_clock.now();
   return entry;
 }
@@ -109,6 +269,14 @@ PoolScanReport IncrementalScanner::scan(
   }
   SimClock checker_clock;
   checker_clock.set_slowdown(context_.hypervisor->dom0_slowdown());
+  // Canonical fast path over the persistent pool: a changed copy pays one
+  // normalization (inside refresh_canonical) instead of a full pairwise
+  // comparison against every peer, so a dirty tick's checker cost is
+  // O(changed copies), not O(changed copies * t).  Ineligible copies drop
+  // their pairs to the exact pairwise fallback, verdict-identical to the
+  // slow path — the same contract pool_scan's fast path keeps.
+  CanonicalPool* canon =
+      refresh_canonical(module_name, pool, entries, checker_clock);
   for (std::size_t i = 0; i < pool.size(); ++i) {
     if (!entries[i]->found) {
       continue;
@@ -120,21 +288,29 @@ PoolScanReport IncrementalScanner::scan(
       ++verdicts[i].total;
       ++verdicts[j].total;
 
-      PairCacheEntry& pair =
-          pair_cache_[{module_name, pool[i], pool[j]}];
       bool all_match;
-      if (pair.generation_a == entries[i]->generation &&
-          pair.generation_b == entries[j]->generation &&
-          pair.generation_a != 0) {
-        // Neither side changed since this pair was last compared.
-        ++stats_.comparisons_reused;
-        all_match = pair.all_match;
+      if (canon != nullptr && canon->eligible(pool[i]) &&
+          canon->eligible(pool[j])) {
+        ++report.fastpath_pairs;
+        checker_clock.charge(context_.config.host_costs.digest_pair_fixed);
+        all_match = canon->digests(pool[i]) == canon->digests(pool[j]);
       } else {
-        ++stats_.comparisons_computed;
-        const PairComparison cmp = pipeline_.compare().compare(
-            entries[i]->parsed, entries[j]->parsed, checker_clock);
-        all_match = cmp.all_match;
-        pair = {entries[i]->generation, entries[j]->generation, all_match};
+        ++report.fallback_pairs;
+        PairCacheEntry& pair =
+            pair_cache_[{module_name, pool[i], pool[j]}];
+        if (pair.generation_a == entries[i]->generation &&
+            pair.generation_b == entries[j]->generation &&
+            pair.generation_a != 0) {
+          // Neither side changed since this pair was last compared.
+          ++stats_.comparisons_reused;
+          all_match = pair.all_match;
+        } else {
+          ++stats_.comparisons_computed;
+          const PairComparison cmp = pipeline_.compare().compare(
+              entries[i]->parsed, entries[j]->parsed, checker_clock);
+          all_match = cmp.all_match;
+          pair = {entries[i]->generation, entries[j]->generation, all_match};
+        }
       }
       if (all_match) {
         ++verdicts[i].successes;

@@ -1,27 +1,34 @@
-// Incremental pool scanner — dirty-frame-aware re-scanning.
+// Incremental pool scanner — write-watch-driven re-scanning.
 //
 // The paper's prototype copies every module from every VM on every check;
-// Fig. 7 shows that page-wise extraction dominates the cost.  A hypervisor
-// with log-dirty support (Xen has it for live migration) can tell the
-// privileged VM which guest frames changed since the last scan, so a
-// periodic checker can *reuse* its previous extraction whenever none of a
-// module's frames were touched — the extraction cost drops from
-// O(module size) to O(pages) per unchanged module.
+// Fig. 7 shows that page-wise extraction dominates the cost.  The vmm's
+// WriteWatch subsystem (write_watch.hpp) is the simulated log-dirty
+// facility that makes re-proving "nothing changed" cheap: the scanner
+// registers a WatchSet over each cached module's frames through the VMI
+// session, so a clean check is one O(1) dirty query — not a per-page
+// version sweep — and a *dirty* module costs O(changed bytes): the dirty
+// page indices map straight back to byte offsets of the cached owned
+// image, which is patched in place and re-parsed instead of re-extracted.
 //
 // Implementation-wise this is a custom front half over the shared
 // CheckPipeline: Acquire/Parse run through the pipeline's stages (the only
-// Searcher/Parser owners), with the dirty-frame cache deciding *whether*
-// the Acquire stage's extraction is needed at all; Compare/Vote reuse the
-// pipeline stages with a generation-keyed pair cache on top.
+// Searcher/Parser owners), with the watch deciding whether the Acquire
+// stage's extraction — full, partial, or none — is needed; Compare/Vote
+// reuse the pipeline stages behind a persistent canonical-RVA pool (a
+// changed copy re-normalizes once via CanonicalPool::update instead of
+// re-comparing against every peer) with a generation-keyed pair cache
+// under it for the ineligible fallback.
 //
 // Correctness invariant (tested): the incremental scanner's verdicts are
 // identical to a fresh ModChecker scan in every state, because any write
 // to a module's frames — the loader rebasing it, an attack patching it, a
-// snapshot restore — bumps a frame version and forces re-extraction.
+// snapshot restore — marks the watch dirty and forces a refresh, and a
+// refresh re-reads every dirty page before re-parsing.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +43,11 @@ struct IncrementalStats {
   std::uint64_t full_extractions = 0;
   std::uint64_t cache_reuses = 0;
   std::uint64_t invalidations = 0;  // cache present but dirty/base-changed
+  /// Invalidations served by patching only the dirty pages of the cached
+  /// image (the O(changed bytes) path) rather than a full re-extraction.
+  std::uint64_t partial_refreshes = 0;
+  /// Pages re-read across all partial refreshes.
+  std::uint64_t frames_reread = 0;
   std::uint64_t comparisons_computed = 0;
   std::uint64_t comparisons_reused = 0;
 };
@@ -45,9 +57,14 @@ class IncrementalScanner {
   IncrementalScanner(const vmm::Hypervisor& hypervisor,
                      ModCheckerConfig config = {});
 
+  /// Drops the scanner's watch registrations (the hypervisor's WriteWatch
+  /// outlives the scanner).
+  ~IncrementalScanner();
+
   /// Same contract and output as ModChecker::scan_pool, but modules whose
   /// guest frames are untouched since the last scan are served from the
-  /// cache (paying only the per-page dirty check).
+  /// cache (paying only the O(1) dirty query), and touched modules re-read
+  /// only their dirty pages.
   PoolScanReport scan(const std::string& module_name,
                       const std::vector<vmm::DomainId>& pool);
 
@@ -57,11 +74,24 @@ class IncrementalScanner {
   struct CacheEntry {
     bool found = false;
     std::uint32_t base = 0;
-    std::vector<std::uint32_t> frames;   // guest physical frame numbers
-    std::uint64_t max_frame_version = 0;
-    std::uint64_t generation = 0;        // bumped on every re-extraction
+    /// Backing frames in VA-page order: frames[i] backs page i of the
+    /// image, so a dirty index maps directly to a byte offset.
+    std::vector<std::uint32_t> frames;
+    vmm::WriteWatch::WatchId watch = vmm::WriteWatch::kNoWatch;
+    std::uint64_t generation = 0;  // bumped on every (re-)extraction/refresh
+    /// Domain write generation observed at the start of the fetch that
+    /// produced this entry.  If the domain's generation still matches, NO
+    /// guest memory changed at all — the loader list, the module, anything
+    /// — so the next fetch skips even the session open and list walk.
+    std::uint64_t domain_generation = 0;
+    /// True when the last refresh was partial; `last_changed_rvas` then
+    /// holds the [lo, hi) image-relative byte ranges of the pages re-read
+    /// in that refresh (the canonical update's item-reuse mask).
+    bool last_refresh_partial = false;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> last_changed_rvas;
+    /// Owned extraction the partial-refresh path patches in place.
+    ModuleImage image;
     ParsedModule parsed;
-    ComponentTimes extraction_times;     // what the full extraction cost
   };
 
   /// A pairwise verdict stays valid while both sides' extractions do —
@@ -73,19 +103,58 @@ class IncrementalScanner {
     bool all_match = false;
   };
 
-  /// Extracts (or reuses) one VM's copy via the pipeline's Acquire/Parse
-  /// stages; charges simulated time to `times`.
+  /// Persistent canonical-RVA state for one module name (fast path only).
+  /// The pool borrows the reference entry's ParsedModule, which stays
+  /// address-stable in cache_ (std::map nodes) and content-stable while
+  /// its generation holds; any reference change rebuilds the pool, and a
+  /// changed non-reference copy re-normalizes alone via update() — so a
+  /// tick's normalize cost is O(changed copies), not O(t).
+  struct CanonState {
+    std::unique_ptr<CanonicalPool> pool;
+    vmm::DomainId ref_vm = 0;
+    std::uint64_t ref_generation = 0;
+    std::map<vmm::DomainId, std::uint64_t> generations;
+  };
+
+  /// Extracts (or reuses / partially refreshes) one VM's copy via the
+  /// pipeline's Acquire/Parse stages; charges simulated time to `times`.
   CacheEntry& fetch(vmm::DomainId vm, const std::string& module_name,
                     ComponentTimes& times);
+
+  /// Full extraction into `entry` (registers a fresh watch first, so a
+  /// write racing the copy is caught by the next scan).
+  void extract_full(AcquireStage::Session& session,
+                    const std::string& module_name, const ModuleInfo& info,
+                    CacheEntry& entry);
+
+  /// Re-reads the pages in `dirty_pages` into the cached image.  Returns
+  /// false if a page's backing frame moved (the cached frame map is stale
+  /// — caller falls back to extract_full).
+  bool patch_dirty_pages(AcquireStage::Session& session, CacheEntry& entry,
+                         const std::vector<std::uint32_t>& dirty_pages);
+
+  /// Brings the module's canonical pool up to date with the fetched
+  /// entries (rebuild on reference change, update() per changed copy) and
+  /// returns it; null when the fast path is disabled or nothing parsed.
+  CanonicalPool* refresh_canonical(const std::string& module_name,
+                                   const std::vector<vmm::DomainId>& pool,
+                                   const std::vector<CacheEntry*>& entries,
+                                   SimClock& clock);
 
   /// Stage context + pipeline: the scanner shares the session pool and
   /// parser/checker components with every other entry point.
   CheckContext context_;
   CheckPipeline pipeline_;
+  /// Registry cells behind the IncrementalStats fields the fleet cares
+  /// about ("incremental.*" on the context's registry).
+  telemetry::Counter partial_refreshes_;
+  telemetry::Counter frames_reread_;
+  telemetry::Counter cache_reuses_;
   std::map<std::pair<vmm::DomainId, std::string>, CacheEntry> cache_;
   std::map<std::tuple<std::string, vmm::DomainId, vmm::DomainId>,
            PairCacheEntry>
       pair_cache_;
+  std::map<std::string, CanonState> canon_;
   IncrementalStats stats_;
 };
 

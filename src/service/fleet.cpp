@@ -1,11 +1,14 @@
 #include "service/fleet.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <set>
 #include <sstream>
 #include <utility>
 
 #include "modchecker/report_json.hpp"
 #include "util/error.hpp"
+#include "vmm/write_watch.hpp"
 
 namespace mc::service {
 
@@ -40,6 +43,11 @@ std::string to_json(const SweepReport& report) {
     }
     os << "],\"pool_exhausted\":"
        << (report.pool_exhausted ? "true" : "false");
+  }
+  // Likewise emitted only when set: a skipped event-driven run is the only
+  // producer, and its scans/findings are the previous run's re-emission.
+  if (report.skipped_clean) {
+    os << ",\"skipped_clean\":true";
   }
   if (!report.telemetry_json.empty()) {
     os << ",\"telemetry\":" << report.telemetry_json;
@@ -140,6 +148,52 @@ void ChromeTraceSink::write_events_locked() {
 
 // ---- FleetService ----------------------------------------------------------
 
+// The fleet's ear on the WriteWatch notification surface.  The skip
+// decision itself rests on per-domain write generations (see
+// run_event_locked) — the tracker is the observability half: it counts
+// distinct domains written and clean->dirty watch edges while the service
+// runs, so an operator can see write pressure without any sweep running.
+// Callbacks arrive under the WriteWatch lock (possibly from guest-writer
+// threads) and only touch the tracker's own state.
+class FleetService::DirtyTracker : public vmm::WriteWatch::Subscriber {
+ public:
+  DirtyTracker(vmm::WriteWatch& watch, telemetry::Counter dirty_domains,
+               telemetry::Counter watch_notifications)
+      : watch_(&watch),
+        dirty_domains_(dirty_domains),
+        watch_notifications_(watch_notifications) {
+    watch_->subscribe(this);
+  }
+
+  ~DirtyTracker() override { watch_->unsubscribe(this); }
+
+  void on_domain_write(vmm::DomainId domain) override {
+    write_events_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (seen_.insert(domain).second) {
+      dirty_domains_.inc();
+    }
+  }
+
+  void on_watch_dirty(vmm::DomainId /*domain*/,
+                      vmm::WriteWatch::WatchId /*watch*/) override {
+    watch_notifications_.inc();
+  }
+
+  /// Total on_domain_write callbacks observed (monotonic).
+  std::uint64_t write_events() const {
+    return write_events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  vmm::WriteWatch* watch_;
+  telemetry::Counter dirty_domains_;
+  telemetry::Counter watch_notifications_;
+  std::atomic<std::uint64_t> write_events_{0};
+  std::mutex mutex_;
+  std::set<vmm::DomainId> seen_;
+};
+
 FleetService::FleetService(FleetConfig config)
     : config_(std::move(config)),
       metrics_(&telemetry::resolve(config_.metrics)),
@@ -149,6 +203,9 @@ FleetService::FleetService(FleetConfig config)
       dropped_pending_(metrics_->owned_counter("service.dropped_pending")),
       quarantine_events_(metrics_->owned_counter("service.quarantine_events")),
       exhausted_runs_(metrics_->owned_counter("service.exhausted_runs")),
+      sweeps_skipped_clean_(
+          metrics_->owned_counter("fleet.sweeps_skipped_clean")),
+      event_runs_(metrics_->owned_counter("fleet.event_runs")),
       queue_depth_(metrics_->gauge("service.queue_depth")),
       sweeps_in_flight_(metrics_->gauge("service.sweeps_in_flight")) {
   MC_CHECK(config_.workers >= 1, "FleetService needs at least one worker");
@@ -179,9 +236,15 @@ std::size_t FleetService::add_pool(const vmm::Hypervisor& hypervisor,
   auto pool = std::make_unique<Pool>();
   pool->hypervisor = &hypervisor;
   pool->vms = std::move(vms);
+  // The incremental scanner gets its own copy of the (already fleet-wired)
+  // config: it owns a separate CheckContext so its watch-backed caches and
+  // warm sessions persist across cadence ticks independent of `pipeline`.
+  core::ModCheckerConfig incremental_config = config;
   pool->context =
       std::make_unique<core::CheckContext>(hypervisor, std::move(config));
   pool->pipeline = std::make_unique<core::CheckPipeline>(*pool->context);
+  pool->incremental = std::make_unique<core::IncrementalScanner>(
+      hypervisor, std::move(incremental_config));
   pools_.push_back(std::move(pool));
   return pools_.size() - 1;
 }
@@ -209,6 +272,21 @@ void FleetService::start() {
     std::lock_guard<std::mutex> lock(mutex_);
     MC_CHECK(!started_, "FleetService::start called twice");
     started_ = true;
+  }
+  // One dirty tracker per distinct hypervisor (pools may share one);
+  // subscribed for the service's whole running life, torn down after the
+  // workers join so no callback outlives the service.
+  std::vector<const vmm::Hypervisor*> tracked;
+  for (const auto& pool : pools_) {
+    if (std::find(tracked.begin(), tracked.end(), pool->hypervisor) !=
+        tracked.end()) {
+      continue;
+    }
+    tracked.push_back(pool->hypervisor);
+    trackers_.push_back(std::make_unique<DirtyTracker>(
+        pool->hypervisor->write_watch(),
+        metrics_->counter("fleet.dirty_domains_observed"),
+        metrics_->counter("fleet.watch_notifications")));
   }
   workers_ = std::make_unique<ThreadPool>(config_.workers);
   worker_futures_.reserve(config_.workers);
@@ -288,7 +366,8 @@ void FleetService::join_workers() {
     f.get();  // propagate any worker exception
   }
   worker_futures_.clear();
-  workers_.reset();  // joins the threads
+  workers_.reset();   // joins the threads
+  trackers_.clear();  // unsubscribes from each hypervisor's WriteWatch
 }
 
 FleetService::Stats FleetService::stats() const {
@@ -299,6 +378,8 @@ FleetService::Stats FleetService::stats() const {
   out.dropped_pending = dropped_pending_.value();
   out.quarantine_events = quarantine_events_.value();
   out.exhausted_runs = exhausted_runs_.value();
+  out.sweeps_skipped_clean = sweeps_skipped_clean_.value();
+  out.event_runs = event_runs_.value();
   return out;
 }
 
@@ -330,45 +411,18 @@ void FleetService::run_sweep(QueuedSweep run) {
 
   {
     // One sweep at a time per pool: scans of different pools proceed in
-    // parallel, scans of the same pool serialize (shared warm sessions).
-    // VMs quarantined by one module scan sit out the rest of *this run*
-    // (re-polling a dead guest per module would just burn retries); the
-    // recurrence below restarts from the full pool, so a guest that
-    // recovers by the next cadence tick rejoins automatically.
+    // parallel, scans of the same pool serialize (shared warm sessions,
+    // and the event path's incremental caches).
     std::lock_guard<std::mutex> pool_lock(pool.mutex);
-    std::vector<vmm::DomainId> active = pool.vms;
-    for (const std::string& module : run.spec.modules) {
-      if (queue_.is_cancelled(run.id)) {
-        report.cancelled = true;
-        break;
-      }
-      if (active.size() < 2) {
-        // Cross-comparison needs at least two answering VMs.
-        report.pool_exhausted = true;
-        break;
-      }
-      if (module_hook_) {
-        module_hook_(run.id, run.run_index, module);
-      }
-      // audit: holding pool.mutex across the scan IS the serialization
-      // contract documented above — per-pool scans must not interleave
-      // (shared warm sessions); other pools use other mutexes and proceed
-      // in parallel.
+    // audit: holding pool.mutex across the scan body IS the serialization
+    // contract — per-pool scans must not interleave; other pools use other
+    // mutexes and proceed in parallel.
+    if (run.spec.event_driven) {
       // mc-lint: allow(lock-order)
-      core::PoolScanReport scan = pool.pipeline->pool_scan(module, active);
-      report.wall_time += scan.wall_time;
-      report.cpu_times += scan.cpu_times;
-      for (const core::PoolVmVerdict& v : scan.verdicts) {
-        if (!v.clean && v.total > 0) {
-          report.findings.push_back({module, v.vm, v.successes, v.total});
-        }
-      }
-      for (const vmm::DomainId vm : scan.quarantined) {
-        report.quarantined.push_back(vm);
-        active.erase(std::remove(active.begin(), active.end(), vm),
-                     active.end());
-      }
-      report.scans.push_back(std::move(scan));
+      run_event_locked(pool, run, report, sweep_span);
+    } else {
+      // mc-lint: allow(lock-order)
+      run_full_locked(pool, run, report);
     }
   }
   if (report.cancelled) {
@@ -382,6 +436,10 @@ void FleetService::run_sweep(QueuedSweep run) {
   }
   sweep_span.arg("findings",
                  static_cast<std::uint64_t>(report.findings.size()));
+  if (run.spec.event_driven) {
+    sweep_span.arg("skipped_clean",
+                   static_cast<std::uint64_t>(report.skipped_clean ? 1 : 0));
+  }
   sweep_span.end();  // close before emit so a ChromeTraceSink drains it
   if (config_.emit_telemetry) {
     report.telemetry_json = telemetry::to_json(metrics_->snapshot());
@@ -397,6 +455,123 @@ void FleetService::run_sweep(QueuedSweep run) {
     next.due = run.due + next.spec.cadence;
     next.run_index = run.run_index + 1;
     queue_.push(std::move(next));
+  }
+}
+
+void FleetService::run_full_locked(Pool& pool, const QueuedSweep& run,
+                                   SweepReport& report) {
+  // VMs quarantined by one module scan sit out the rest of *this run*
+  // (re-polling a dead guest per module would just burn retries); the
+  // recurrence in run_sweep restarts from the full pool, so a guest that
+  // recovers by the next cadence tick rejoins automatically.
+  std::vector<vmm::DomainId> active = pool.vms;
+  for (const std::string& module : run.spec.modules) {
+    if (queue_.is_cancelled(run.id)) {
+      report.cancelled = true;
+      break;
+    }
+    if (active.size() < 2) {
+      // Cross-comparison needs at least two answering VMs.
+      report.pool_exhausted = true;
+      break;
+    }
+    if (module_hook_) {
+      module_hook_(run.id, run.run_index, module);
+    }
+    // audit: holding pool.mutex across the scan IS the serialization
+    // contract documented in run_sweep — per-pool scans must not
+    // interleave (shared warm sessions); other pools use other mutexes
+    // and proceed in parallel.
+    // mc-lint: allow(lock-order)
+    core::PoolScanReport scan = pool.pipeline->pool_scan(module, active);
+    report.wall_time += scan.wall_time;
+    report.cpu_times += scan.cpu_times;
+    for (const core::PoolVmVerdict& v : scan.verdicts) {
+      if (!v.clean && v.total > 0) {
+        report.findings.push_back({module, v.vm, v.successes, v.total});
+      }
+    }
+    for (const vmm::DomainId vm : scan.quarantined) {
+      report.quarantined.push_back(vm);
+      active.erase(std::remove(active.begin(), active.end(), vm),
+                   active.end());
+    }
+    report.scans.push_back(std::move(scan));
+  }
+}
+
+void FleetService::run_event_locked(Pool& pool, const QueuedSweep& run,
+                                    SweepReport& report,
+                                    telemetry::SpanScope& span) {
+  vmm::WriteWatch& watch = pool.hypervisor->write_watch();
+  // Per-domain write generations, snapshotted BEFORE scanning: a write
+  // racing the scan makes the next tick's snapshot differ and forces a
+  // re-scan — the race is conservatively safe, never a missed change.
+  std::map<vmm::DomainId, std::uint64_t> generations;
+  for (const vmm::DomainId vm : pool.vms) {
+    generations.emplace(vm, watch.domain_write_generation(vm));
+  }
+
+  std::size_t dirty_domains = 0;
+  {
+    // audit: event_mutex_ nests strictly inside pool.mutex (both call
+    // sites in this function), and nothing blocks under it.
+    // mc-lint: allow(lock-order)
+    std::lock_guard<std::mutex> ev_lock(event_mutex_);
+    EventState& state = event_states_[run.id];
+    if (state.has_report && generations == state.generations) {
+      // No write — watched or not — landed on any pool domain since the
+      // last completed run, so every extraction, comparison and vote is
+      // provably byte-identical: re-emit the previous results unscanned.
+      report.scans = state.scans;
+      report.findings = state.findings;
+      report.skipped_clean = true;
+      sweeps_skipped_clean_.inc();
+      return;
+    }
+    for (const auto& [vm, gen] : generations) {
+      const auto it = state.generations.find(vm);
+      if (!state.has_report || it == state.generations.end() ||
+          it->second != gen) {
+        ++dirty_domains;
+      }
+    }
+  }
+  span.arg("dirty_domains", static_cast<std::uint64_t>(dirty_domains));
+
+  for (const std::string& module : run.spec.modules) {
+    if (queue_.is_cancelled(run.id)) {
+      report.cancelled = true;
+      break;
+    }
+    if (module_hook_) {
+      module_hook_(run.id, run.run_index, module);
+    }
+    // The incremental scanner keeps the non-faulting throwing contract —
+    // no quarantine machinery (see SweepSpec::event_driven).  Clean
+    // domains cost an O(1) watch query; dirty modules re-read only their
+    // dirty pages.
+    // mc-lint: allow(lock-order)
+    core::PoolScanReport scan = pool.incremental->scan(module, pool.vms);
+    report.wall_time += scan.wall_time;
+    report.cpu_times += scan.cpu_times;
+    for (const core::PoolVmVerdict& v : scan.verdicts) {
+      if (!v.clean && v.total > 0) {
+        report.findings.push_back({module, v.vm, v.successes, v.total});
+      }
+    }
+    report.scans.push_back(std::move(scan));
+  }
+  event_runs_.inc();
+  if (!report.cancelled) {
+    // audit: same strict nesting as above.
+    // mc-lint: allow(lock-order)
+    std::lock_guard<std::mutex> ev_lock(event_mutex_);
+    EventState& state = event_states_[run.id];
+    state.generations = std::move(generations);
+    state.scans = report.scans;
+    state.findings = report.findings;
+    state.has_report = true;
   }
 }
 

@@ -8,7 +8,9 @@
 // priority), schedules their runs through a SweepQueue onto the existing
 // ThreadPool workers, supports cancellation of pending *and* in-flight
 // sweeps plus graceful drain, and emits one SweepReport per run to every
-// registered sink.
+// registered sink.  Sweeps marked event_driven consult the hypervisor's
+// WriteWatch at each cadence tick: provably-clean ticks re-emit the last
+// results without scanning, dirty ticks scan incrementally.
 //
 // Threading model (TSan-clean by construction):
 //   * pools, sinks and the progress hook are fixed before start() — the
@@ -33,6 +35,9 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
+#include "modchecker/incremental.hpp"
 #include "modchecker/pipeline.hpp"
 #include "service/sweep_queue.hpp"
 #include "telemetry/registry.hpp"
@@ -71,6 +76,10 @@ struct SweepReport {
   /// Quarantine shrank the pool below two answering VMs: the remaining
   /// module scans of this run were skipped (cross-comparison needs peers).
   bool pool_exhausted = false;
+  /// Event-driven run that scanned nothing: the WriteWatch layer proved no
+  /// write landed on any pool domain since the previous completed run, so
+  /// `scans`/`findings` re-emit that run's (byte-identical) results.
+  bool skipped_clean = false;
   SimNanos wall_time = 0;  // summed simulated scan wall time
   core::ComponentTimes cpu_times;
   /// Registry snapshot JSON, filled only when FleetConfig::emit_telemetry;
@@ -242,6 +251,11 @@ class FleetService {
     /// Runs cut short because quarantine left fewer than two answering
     /// VMs.
     std::uint64_t exhausted_runs = 0;
+    /// Event-driven runs that re-emitted the previous results because the
+    /// watch layer proved every pool domain unchanged.
+    std::uint64_t sweeps_skipped_clean = 0;
+    /// Event-driven runs that actually scanned (incrementally).
+    std::uint64_t event_runs = 0;
   };
   Stats stats() const;
 
@@ -251,11 +265,37 @@ class FleetService {
     std::vector<vmm::DomainId> vms;
     std::unique_ptr<core::CheckContext> context;
     std::unique_ptr<core::CheckPipeline> pipeline;
+    /// Event-driven sweeps scan through this instead of `pipeline` — its
+    /// per-module caches persist across cadence ticks (guarded by `mutex`
+    /// like every other per-pool scan).
+    std::unique_ptr<core::IncrementalScanner> incremental;
     std::mutex mutex;  // serializes sweeps targeting this pool
   };
 
+  /// What an event-driven sweep remembers between cadence ticks: the
+  /// per-domain write generations observed before its last completed run
+  /// and that run's results (re-emitted verbatim on clean ticks).
+  struct EventState {
+    bool has_report = false;
+    std::map<vmm::DomainId, std::uint64_t> generations;
+    std::vector<core::PoolScanReport> scans;
+    std::vector<SweepFinding> findings;
+  };
+
+  /// WriteWatch subscriber counting write activity fleet-wide (telemetry:
+  /// "fleet.dirty_domains_observed" / "fleet.watch_notifications"); one per
+  /// distinct hypervisor, live between start() and worker join.
+  class DirtyTracker;
+
   void worker_loop();
   void run_sweep(QueuedSweep run);
+  /// The classic full-scan body (caller holds pool.mutex).
+  void run_full_locked(Pool& pool, const QueuedSweep& run,
+                       SweepReport& report);
+  /// The event-driven body: skip-if-clean via per-domain write
+  /// generations, else incremental scan (caller holds pool.mutex).
+  void run_event_locked(Pool& pool, const QueuedSweep& run,
+                        SweepReport& report, telemetry::SpanScope& span);
   void emit(const SweepReport& report);
   void join_workers();
 
@@ -269,10 +309,15 @@ class FleetService {
   telemetry::OwnedCounter dropped_pending_;
   telemetry::OwnedCounter quarantine_events_;
   telemetry::OwnedCounter exhausted_runs_;
+  telemetry::OwnedCounter sweeps_skipped_clean_;
+  telemetry::OwnedCounter event_runs_;
   telemetry::Gauge queue_depth_;
   telemetry::Gauge sweeps_in_flight_;
 
   std::vector<std::unique_ptr<Pool>> pools_;
+  std::vector<std::unique_ptr<DirtyTracker>> trackers_;
+  mutable std::mutex event_mutex_;  // guards event_states_
+  std::map<SweepId, EventState> event_states_;
   std::vector<std::shared_ptr<SweepSink>> sinks_;
   std::function<void(SweepId, std::size_t, const std::string&)> module_hook_;
 

@@ -44,6 +44,15 @@ struct SweepSpec {
   /// simulated timeline.
   std::size_t repeat = 1;
   SimNanos cadence = 0;
+  /// Event-driven scheduling: runs consult the hypervisor's WriteWatch at
+  /// each cadence tick — a tick on which nothing was written to any pool
+  /// domain re-emits the previous run's (provably unchanged) verdicts
+  /// without scanning (SweepReport::skipped_clean), and dirty ticks go
+  /// through the pool's IncrementalScanner so clean domains cost an O(1)
+  /// watch query and dirty modules re-read only their dirty pages.
+  /// Event-driven sweeps assume the non-faulting path (no quarantine
+  /// machinery); pools with fault injection should use full sweeps.
+  bool event_driven = false;
 };
 
 /// One scheduled run of a sweep.

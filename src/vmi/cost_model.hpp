@@ -40,6 +40,12 @@ struct VmiCostModel {
   /// `page_map_batched` per extra frame.  Off reproduces the paper's strict
   /// page-by-page access pattern (the A8 ablation sweeps this).
   bool coalesce_reads = true;
+  /// Arming write-watch protection on one guest frame (the hypercall that
+  /// flips an EPT/shadow permission bit, amortized over a batch).
+  SimNanos watch_register_per_frame = sim_us(1);
+  /// One O(1) dirty query against the hypervisor's log-dirty state (a
+  /// bitmap/count peek, no guest memory touched).
+  SimNanos watch_query = 500;  // ns
 };
 
 /// Cost model for host-side (Dom0) CPU work: parsing and hashing.  Used by

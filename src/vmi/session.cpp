@@ -331,6 +331,52 @@ Fallible<std::string> VmiSession::try_read_unicode_string(
   return utf16le_to_ascii(raw.value());
 }
 
+// ---- Write-watch registration ----------------------------------------------
+
+Fallible<vmm::WriteWatch::WatchId> VmiSession::try_watch_range(
+    std::uint32_t va, std::size_t len) {
+  std::vector<std::uint32_t> frames;
+  frames.reserve((len >> vmm::kFrameShift) + 2);
+  const std::uint32_t first_page = va & ~kPageMask;
+  for (std::uint64_t page = first_page; page < std::uint64_t{va} + len;
+       page += vmm::kFrameSize) {
+    Fallible<std::uint64_t> pa =
+        try_translate_kv2p(static_cast<std::uint32_t>(page));
+    if (!pa.ok()) {
+      return std::move(pa.fault());
+    }
+    frames.push_back(static_cast<std::uint32_t>(pa.value() >> vmm::kFrameShift));
+  }
+  charge(costs_.watch_register_per_frame * frames.size());
+  return hypervisor_->write_watch().register_watch(domain_id_,
+                                                   std::move(frames));
+}
+
+bool VmiSession::watch_dirty(vmm::WriteWatch::WatchId watch) {
+  charge(costs_.watch_query);
+  return hypervisor_->write_watch().dirty(watch);
+}
+
+std::vector<std::uint32_t> VmiSession::watch_dirty_pages(
+    vmm::WriteWatch::WatchId watch) {
+  charge(costs_.watch_query);
+  return hypervisor_->write_watch().dirty_indices(watch);
+}
+
+std::vector<std::uint32_t> VmiSession::watch_drain(
+    vmm::WriteWatch::WatchId watch) {
+  charge(costs_.watch_query);
+  return hypervisor_->write_watch().drain(watch);
+}
+
+void VmiSession::watch_rearm(vmm::WriteWatch::WatchId watch) {
+  hypervisor_->write_watch().rearm(watch);
+}
+
+void VmiSession::unwatch(vmm::WriteWatch::WatchId watch) {
+  hypervisor_->write_watch().unregister(watch);
+}
+
 // ---- Legacy throwing wrappers ----------------------------------------------
 
 std::uint32_t VmiSession::symbol_to_va(const std::string& symbol) {

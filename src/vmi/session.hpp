@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "telemetry/registry.hpp"
 #include "util/bytes.hpp"
@@ -128,6 +129,33 @@ class VmiSession {
   /// Decodes a UNICODE_STRING structure at `us_va` (reads the descriptor,
   /// then the UTF-16LE buffer it points to).
   Fallible<std::string> try_read_unicode_string(std::uint32_t us_va);
+
+  // ---- Write-watch registration (the log-dirty consumer API) ---------------
+  // LibVMI-style wrapper over the hypervisor's WriteWatch: an incremental
+  // consumer registers the frames backing a kernel-VA range (one frame per
+  // page, in VA order — dirty index i maps back to page i of the range),
+  // then polls dirty state in O(1) instead of re-reading the range.
+
+  /// Translates every page of [va, va+len) (charged like any walk; faults
+  /// propagate) and registers a WatchSet over the backing frames.
+  Fallible<vmm::WriteWatch::WatchId> try_watch_range(std::uint32_t va,
+                                                     std::size_t len);
+
+  /// O(1) dirty query (charges `watch_query`).
+  bool watch_dirty(vmm::WriteWatch::WatchId watch);
+
+  /// Dirty page indices of the watched range (charges `watch_query`).
+  std::vector<std::uint32_t> watch_dirty_pages(vmm::WriteWatch::WatchId watch);
+
+  /// Atomic fetch-and-clear of the dirty set (charges `watch_query`); the
+  /// refresh-then-rearm primitive — see WriteWatch::drain.
+  std::vector<std::uint32_t> watch_drain(vmm::WriteWatch::WatchId watch);
+
+  /// Clears dirty state after the consumer refreshed its copy.
+  void watch_rearm(vmm::WriteWatch::WatchId watch);
+
+  /// Drops a watch registration.
+  void unwatch(vmm::WriteWatch::WatchId watch);
 
   // ---- Legacy throwing wrappers --------------------------------------------
   // Each forwards to its try_* core and raises GuestFaultError on a fault.

@@ -81,6 +81,11 @@ class VmiSessionPool {
   /// session, V2P cache and all.
   Lease acquire(vmm::DomainId domain, SimClock& clock);
 
+  /// The hypervisor's write-watch facility.  Watch ids registered through
+  /// a leased session's try_watch_range outlive the lease (they live on
+  /// the hypervisor), so cross-scan consumers query/rearm them here.
+  vmm::WriteWatch& write_watch() const { return hypervisor_->write_watch(); }
+
   /// Drops the cached session for `domain` (next acquire rebuilds).
   void invalidate(vmm::DomainId domain);
 

@@ -51,6 +51,7 @@ DomainId Hypervisor::create_domain(const std::string& name,
                                    std::uint64_t memory_bytes) {
   const DomainId id = next_id_++;
   domains_.emplace(id, Domain(id, name, memory_bytes));
+  domain(id).memory().attach_watch(&write_watch_, id);
   domain_counters().created.inc();
   domain_counters().live.add(1);
   log_debug("created domain %u (%s), %llu MiB", id, name.c_str(),
@@ -70,6 +71,7 @@ void Hypervisor::destroy_domain(DomainId id) {
   if (domains_.erase(id) == 0) {
     throw NotFoundError("no such domain: " + std::to_string(id));
   }
+  write_watch_.drop_domain(id);
   domain_counters().destroyed.inc();
   domain_counters().live.add(-1);
 }

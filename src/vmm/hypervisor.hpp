@@ -15,6 +15,7 @@
 #include "vmm/contention.hpp"
 #include "vmm/domain.hpp"
 #include "vmm/fault_injection.hpp"
+#include "vmm/write_watch.hpp"
 
 namespace mc::vmm {
 
@@ -85,12 +86,20 @@ class Hypervisor {
   /// bookkeeping, not domain state.
   FaultInjector& fault_injector() const { return fault_injector_; }
 
+  /// The hypervisor's log-dirty facility (see write_watch.hpp).  Mutable
+  /// through a const hypervisor for the same reason as the fault injector:
+  /// the scan layers hold `const Hypervisor*` (read-only guest access) but
+  /// registering/rearming watches is observation bookkeeping, not domain
+  /// state.
+  WriteWatch& write_watch() const { return write_watch_; }
+
  private:
   HardwareConfig hardware_;
   ContentionModel contention_;
   DomainId next_id_ = 1;
   std::map<DomainId, Domain> domains_;
   mutable FaultInjector fault_injector_;
+  mutable WriteWatch write_watch_;
 };
 
 }  // namespace mc::vmm

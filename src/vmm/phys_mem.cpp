@@ -4,6 +4,7 @@
 
 #include "telemetry/registry.hpp"
 #include "util/error.hpp"
+#include "vmm/write_watch.hpp"
 
 namespace mc::vmm {
 
@@ -116,6 +117,12 @@ void PhysicalMemory::write(std::uint64_t pa, ByteView data) {
   phys_counters().writes.inc();
   phys_counters().bytes_written.inc(data.size());
   ++write_counter_;
+  const auto first_frame = static_cast<std::uint32_t>(pa >> kFrameShift);
+  const auto last_frame =
+      static_cast<std::uint32_t>((pa + data.size() - 1) >> kFrameShift);
+  if (last_frame >= frame_stamps_.size()) {
+    frame_stamps_.resize(last_frame + 1, 0);
+  }
   std::size_t done = 0;
   while (done < data.size()) {
     const std::uint64_t cur = pa + done;
@@ -126,14 +133,17 @@ void PhysicalMemory::write(std::uint64_t pa, ByteView data) {
     Frame& f = frame_for_write(frame_no);
     copy_bytes(MutableByteView(f).subspan(in_frame, take),
                data.subspan(done, take));
-    frame_versions_[frame_no] = write_counter_;
+    frame_stamps_[frame_no] = write_counter_;
     done += take;
+  }
+  if (watch_ != nullptr) {
+    watch_->note_write(watch_domain_, first_frame, last_frame);
   }
 }
 
 std::uint64_t PhysicalMemory::frame_version(std::uint32_t frame_no) const {
-  const auto it = frame_versions_.find(frame_no);
-  const std::uint64_t stamped = it == frame_versions_.end() ? 0 : it->second;
+  const std::uint64_t stamped =
+      frame_no < frame_stamps_.size() ? frame_stamps_[frame_no] : 0;
   return std::max(stamped, version_floor_);
 }
 
@@ -156,11 +166,13 @@ void PhysicalMemory::write_u32(std::uint64_t pa, std::uint32_t value) {
 }
 
 PhysicalMemory PhysicalMemory::clone() const {
+  // The clone backs a different domain (or a snapshot), so it does not
+  // inherit the watch wiring — the hypervisor attaches clones it promotes.
   PhysicalMemory copy(size_);
   copy.next_alloc_frame_ = next_alloc_frame_;
   copy.write_counter_ = write_counter_;
   copy.version_floor_ = version_floor_;
-  copy.frame_versions_ = frame_versions_;
+  copy.frame_stamps_ = frame_stamps_;
   for (const auto& [frame_no, frame] : frames_) {
     copy.frames_[frame_no] = std::make_unique<Frame>(*frame);
   }
@@ -176,10 +188,15 @@ void PhysicalMemory::restore_from(const PhysicalMemory& other) {
   }
   // A restore rewrites (conceptually) EVERY frame — including frames that
   // existed before the snapshot and are now back to zero.  Raise the
-  // version floor so every frame reports a fresh version.
+  // version floor so every frame reports a fresh version, and tell the
+  // watch layer the frame<->content association it registered no longer
+  // holds.
   ++write_counter_;
   version_floor_ = write_counter_;
-  frame_versions_.clear();
+  frame_stamps_.clear();
+  if (watch_ != nullptr) {
+    watch_->note_bulk_invalidate(watch_domain_);
+  }
 }
 
 }  // namespace mc::vmm

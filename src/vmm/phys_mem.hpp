@@ -10,10 +10,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "util/bytes.hpp"
 
 namespace mc::vmm {
+
+class WriteWatch;
 
 inline constexpr std::uint32_t kFrameSize = 4096;
 inline constexpr std::uint32_t kFrameShift = 12;
@@ -57,11 +60,20 @@ class PhysicalMemory {
 
   // ---- dirty tracking ------------------------------------------------------
   // Every write stamps the touched frames with a monotonically increasing
-  // version (the moral equivalent of Xen's log-dirty mode).  Incremental
-  // consumers remember the largest version they observed for a frame set
-  // and re-read only when a frame advanced past it.
+  // version (the moral equivalent of Xen's log-dirty mode), kept in a flat
+  // per-frame table.  These raw accessors are the WriteWatch subsystem's
+  // substrate: scan-layer consumers register WatchSets there instead of
+  // polling versions here (enforced by mc_analyze's watch-bypass rule).
   std::uint64_t write_counter() const { return write_counter_; }
   std::uint64_t frame_version(std::uint32_t frame_no) const;
+
+  /// Wires this memory to the hypervisor's WriteWatch: every write (and
+  /// every restore_from) is reported under `domain`.  Called once by the
+  /// hypervisor at domain creation; snapshot-internal copies stay unwired.
+  void attach_watch(WriteWatch* watch, std::uint32_t domain) {
+    watch_ = watch;
+    watch_domain_ = domain;
+  }
 
   std::uint8_t read_u8(std::uint64_t pa) const;
   std::uint32_t read_u32(std::uint64_t pa) const;
@@ -85,7 +97,14 @@ class PhysicalMemory {
   std::uint64_t write_counter_ = 0;
   std::uint64_t version_floor_ = 0;
   std::map<std::uint32_t, std::unique_ptr<Frame>> frames_;
-  std::map<std::uint32_t, std::uint64_t> frame_versions_;
+  /// Flat per-frame version stamps, indexed by frame number and grown
+  /// lazily to the high-water written frame (frames are bump-allocated
+  /// from low numbers, so this tracks residency, not total capacity).
+  /// Replaces the historical std::map — the dirty-check path reads one
+  /// slot instead of paying a map find per frame.
+  std::vector<std::uint64_t> frame_stamps_;
+  WriteWatch* watch_ = nullptr;
+  std::uint32_t watch_domain_ = 0;
 };
 
 }  // namespace mc::vmm

@@ -71,9 +71,13 @@ TEST(Incremental, AttackInvalidatesExactlyTheVictim) {
   for (const auto& v : report.verdicts) {
     EXPECT_EQ(v.clean, v.vm != env->guests()[3]);
   }
-  // Only the victim was re-extracted on the second scan.
-  EXPECT_EQ(incremental.stats().full_extractions, 7u);  // 6 + 1
+  // Only the victim was refreshed on the second scan — and only its dirty
+  // pages were re-read (the watch hands back the exact page indices), so
+  // the attack costs O(changed bytes), not a full re-extraction.
+  EXPECT_EQ(incremental.stats().full_extractions, 6u);
   EXPECT_EQ(incremental.stats().invalidations, 1u);
+  EXPECT_EQ(incremental.stats().partial_refreshes, 1u);
+  EXPECT_GE(incremental.stats().frames_reread, 1u);
   EXPECT_EQ(incremental.stats().cache_reuses, 5u);
 }
 

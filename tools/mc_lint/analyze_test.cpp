@@ -76,11 +76,12 @@ std::vector<std::string> tree_files(const std::string& root) {
 
 // ---- Catalog ---------------------------------------------------------------
 
-TEST(AnalyzeCatalog, FifteenRules) {
+TEST(AnalyzeCatalog, SixteenRules) {
   const auto ids = mc::lint::all_rule_ids();
-  ASSERT_EQ(ids.size(), 15u);
-  for (const char* rule : {"fallible-discard", "lock-order",
-                           "sim-determinism", "guest-taint", "hotpath-copy"}) {
+  ASSERT_EQ(ids.size(), 16u);
+  for (const char* rule :
+       {"fallible-discard", "lock-order", "sim-determinism", "guest-taint",
+        "hotpath-copy", "watch-bypass"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), rule), ids.end()) << rule;
   }
   // The tier-1 catalog rides along unchanged.
@@ -218,6 +219,28 @@ TEST(AnalyzeFixtures, HotpathCopyIgnoresDispatchedAndColdTus) {
                "}\n");
   const auto result = a.run();
   EXPECT_TRUE(lines_of(result, "hotpath-copy").empty());
+}
+
+// ---- watch-bypass ----------------------------------------------------------
+
+TEST(AnalyzeFixtures, WatchBypass) {
+  const auto result = analyze_fixture("watch_bypass.cpp");
+  // The version sweep and the raw counter poll fire; the suppressed debug
+  // probe, the WriteWatch query and the bare identifier stay quiet.
+  EXPECT_EQ(lines_of(result, "watch-bypass"), (std::vector<int>{10, 18}));
+  EXPECT_EQ(result.findings.size(), 2u);
+}
+
+TEST(AnalyzeFixtures, WatchBypassSanctionedTus) {
+  // The facility and its producer legitimately touch the raw stamps: any
+  // path mentioning write_watch or phys_mem is exempt wholesale.
+  const std::string body = read_file(fixture("watch_bypass.cpp"));
+  for (const char* name : {"src/vmm/write_watch.cpp", "src/vmm/phys_mem.cpp",
+                           "vmm/write_watch_extra.hpp"}) {
+    Analyzer a;
+    a.add_source(name, body);
+    EXPECT_TRUE(lines_of(a.run(), "watch-bypass").empty()) << name;
+  }
 }
 
 // ---- Differential guarantee ------------------------------------------------

@@ -15,6 +15,7 @@ const std::vector<std::string>& analyzer_rule_ids() {
       "sim-determinism",
       "guest-taint",
       "hotpath-copy",
+      "watch-bypass",
   };
   return kIds;
 }
@@ -58,6 +59,7 @@ AnalyzeResult Analyzer::run(const AnalyzeOptions& opts) {
     rules::sim_determinism(u.tokens, u.file, per_file[u.file]);
     rules::guest_taint(u.tokens, u.file, per_file[u.file]);
     rules::hotpath_copy(u.tokens, u.file, per_file[u.file]);
+    rules::watch_bypass(u.tokens, u.file, per_file[u.file]);
   }
   std::vector<Finding> global;
   rules::lock_order(index_, report_files, global);

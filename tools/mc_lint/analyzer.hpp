@@ -6,7 +6,7 @@
 //
 //   * the token-stream port of all nine tier-1 rules (byte-identical
 //     findings — proven by the differential self-test), and
-//   * four semantic rules the line scanner cannot express:
+//   * six semantic rules the line scanner cannot express:
 //
 //   fallible-discard   a call to a function indexed as returning
 //                      Fallible<T>/MaybeFault whose result is discarded as
@@ -32,6 +32,12 @@
 //                      array-subscript / resize / guest-sized-allocation
 //                      sinks without an intervening bounds check (MC_CHECK,
 //                      comparison, min/max/clamp).
+//   hotpath-copy       owned-buffer materializations and un-dispatched
+//                      pairwise byte compares in TUs referencing the
+//                      zero-copy Normalize/Compare/Hash vocabulary.
+//   watch-bypass       frame_version()/write_counter() polling outside
+//                      vmm/write_watch + vmm/phys_mem — dirty checks must
+//                      go through WatchSets / domain write generations.
 //
 // `// mc-lint: allow(rule)` suppressions work unchanged for every rule.
 #pragma once

@@ -1,0 +1,31 @@
+// Fixture: watch-bypass (scanned by mc_analyze tests, never compiled).
+// Direct frame_version()/write_counter() polling is flagged; the
+// suppressed debug probe, the WriteWatch-facing replacements, and bare
+// identifier mentions (no call) are not.
+#include "vmm/hypervisor.hpp"
+
+bool stale_version_sweep(const PhysicalMemory& mem, uint32_t first,
+                         uint32_t last, uint64_t seen) {
+  for (uint32_t f = first; f <= last; ++f) {
+    if (mem.frame_version(f) > seen) {  // flagged: O(frames) poll
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t checkpoint(const PhysicalMemory& mem) {
+  return mem.write_counter();  // flagged: raw stamp poll
+}
+
+uint64_t debug_probe(const PhysicalMemory& mem) {
+  return mem.write_counter();  // mc-lint: allow(watch-bypass)
+}
+
+bool clean_check(const Hypervisor& hv, uint64_t watch_id) {
+  return !hv.write_watch().dirty(watch_id);  // ok: the O(1) watch query
+}
+
+void document(uint64_t frame_version) {
+  consume(frame_version);  // ok: identifier, not a call
+}

@@ -1,0 +1,51 @@
+// watch-bypass — protects the WriteWatch dirty-tracking contract.
+//
+// PhysicalMemory still exposes the raw per-frame stamp surface
+// (frame_version() / write_counter()) because the watch layer itself and
+// the snapshot machinery are built on it, but polling those stamps from
+// anywhere else re-creates the O(frames) version sweep the WriteWatch
+// subsystem was introduced to kill: consumers register a WatchSet once and
+// ask one O(1) dirty question per scan, and the fleet skips whole sweeps
+// on an unchanged domain_write_generation().  A new frame_version() loop
+// in a scanner would silently work — and silently regress every dirty
+// check back to linear — so the rule flags any call to either accessor
+// outside the sanctioned TUs (vmm/write_watch*, vmm/phys_mem* — the
+// facility and its producer).
+//
+// A deliberate poll (a debugging aid, a fixture) carries an explicit
+// `// mc-lint: allow(watch-bypass)` at the site, keeping the audit trail.
+#include "rules.hpp"
+
+namespace mc::lint::rules {
+
+namespace {
+
+bool sanctioned_tu(const std::string& file) {
+  return file.find("write_watch") != std::string::npos ||
+         file.find("phys_mem") != std::string::npos;
+}
+
+}  // namespace
+
+void watch_bypass(const std::vector<Token>& toks, const std::string& file,
+                  std::vector<Finding>& out) {
+  if (sanctioned_tu(file)) {
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent ||
+        (t.text != "frame_version" && t.text != "write_counter") ||
+        !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    out.push_back(
+        {file, t.line, "watch-bypass",
+         t.text + "() polls per-frame write stamps directly; register a "
+                  "WatchSet on the hypervisor's WriteWatch (or compare "
+                  "domain_write_generation()) so dirty checks stay O(1) "
+                  "instead of sweeping frame versions"});
+  }
+}
+
+}  // namespace mc::lint::rules
