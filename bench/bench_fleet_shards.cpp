@@ -1,0 +1,359 @@
+// Sharded fleet throughput — the control-plane scheduling win quantified.
+//
+// The event-driven bench measures the *scanner* win (skip provably-clean
+// work); this bench measures the *scheduling* win on top of it: the same
+// P-pool fleet swept through 1, 2, 4 and 8 coordinator shards.  All warm
+// state lives in the SweepEngine below the shard layer, so per-pool
+// simulated scan costs are shard-independent — the fleet's simulated
+// makespan is the busiest shard's timeline, and sweeps/sec is completed
+// runs over that makespan.  More shards = more concurrent per-pool
+// timelines = proportionally higher throughput, until pools run out.
+//
+// Dirty legs: a "dirty" pool takes write traffic every tick, so its sweep
+// must scan each cadence; a clean pool's event-driven sweep scans once
+// (cold) and then re-emits provably-clean results.  The legs realize that
+// as {0,10,100}% of pools running always-scan full sweeps with the rest on
+// event-driven sweeps — the fleet-level skip mix the ROADMAP item cares
+// about, without nondeterministic mid-drain write injection.
+//
+// Backpressure leg: 2 shards with a bounded admission queue under 2x
+// oversubmission.  The gate demands load shedding actually engaged
+// (load_shed > 0), every one-shot sweep survived (zero dropped — they are
+// unsheddable by policy), and the per-shard backlog never exceeded
+// capacity plus the unsheddable overflow admissions (the bounded
+// queue-age evidence).
+//
+// Exit status: non-zero if the 8-shard/1-shard throughput ratio on the
+// 0%-dirty leg falls below 3x, or the backpressure gate fails — the bench
+// doubles as the regression gate for the sharded control plane.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloud/environment.hpp"
+#include "service/coordinator.hpp"
+#include "telemetry/registry.hpp"
+
+namespace {
+
+using namespace mc;
+
+constexpr const char* kModule = "hal.dll";
+constexpr std::size_t kPools = 24;
+constexpr std::size_t kPoolSize = 15;  // the paper's t=15 pool
+constexpr std::size_t kRepeat = 3;     // runs per sweep
+constexpr double kRequiredSpeedup8v1 = 3.0;
+constexpr std::size_t kBackpressureCapacity = 4;
+
+struct ShardRow {
+  std::size_t shards = 0;
+  std::size_t dirty_pct = 0;   // share of pools on always-scan sweeps
+  std::uint64_t completed = 0;
+  std::uint64_t skipped_clean = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t deadline_misses = 0;
+  double makespan_ms = 0.0;    // busiest shard's simulated timeline
+  double sweeps_per_sec = 0.0; // simulated
+};
+
+struct BackpressureRow {
+  std::uint64_t load_shed = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t completed = 0;
+  std::size_t peak_pending = 0;      // max over shards
+  std::size_t one_shots_submitted = 0;
+  std::size_t one_shots_completed = 0;
+  bool backlog_bounded = false;
+  bool pass = false;
+};
+
+/// The shared fleet: kPools independent deterministic clouds, built once
+/// (sweeps never mutate guest memory, so every configuration sees
+/// identical pools and identical simulated costs).
+std::vector<std::unique_ptr<cloud::CloudEnvironment>> build_pools() {
+  std::vector<std::unique_ptr<cloud::CloudEnvironment>> pools;
+  pools.reserve(kPools);
+  for (std::size_t p = 0; p < kPools; ++p) {
+    cloud::CloudConfig cfg;
+    cfg.guest_count = kPoolSize;
+    pools.push_back(std::make_unique<cloud::CloudEnvironment>(cfg));
+  }
+  return pools;
+}
+
+ShardRow run_leg(std::vector<std::unique_ptr<cloud::CloudEnvironment>>& pools,
+                 std::size_t shards, std::size_t dirty_pct) {
+  telemetry::MetricRegistry registry;
+  service::CoordinatorConfig cfg;
+  cfg.shards = shards;
+  cfg.metrics = &registry;
+  // Stealing rebalances by *host* idleness, so on a small CI box one eager
+  // worker thread can execute (and get charged for) most of the fleet,
+  // collapsing the per-shard timelines the throughput metric is built on.
+  // With stealing off the makespan is the consistent-hash schedule itself
+  // — deterministic on any host (the rebalance path has its own tests and
+  // the backpressure leg below keeps the default policy).
+  cfg.admission.work_stealing = false;
+  service::ShardCoordinator coordinator(cfg);
+  for (const auto& pool : pools) {
+    coordinator.add_pool(pool->hypervisor(),
+                         std::vector<vmm::DomainId>(pool->guests()));
+  }
+
+  // Submit everything before start() so each leg's queue contents are
+  // reproducible; the workers then race only over execution order, which
+  // simulated per-pool costs do not depend on.
+  const std::size_t dirty_pools = (kPools * dirty_pct + 99) / 100;
+  for (std::size_t p = 0; p < kPools; ++p) {
+    service::SweepSpec spec;
+    spec.name = "pool-" + std::to_string(p);
+    spec.pool_index = p;
+    spec.modules = {kModule};
+    spec.repeat = kRepeat;
+    spec.cadence = sim_ms(100);
+    spec.event_driven = p >= dirty_pools;  // dirty pools always scan
+    coordinator.submit(std::move(spec));
+  }
+  coordinator.start();
+  coordinator.drain();
+
+  const auto stats = coordinator.stats();
+  ShardRow row;
+  row.shards = shards;
+  row.dirty_pct = dirty_pct;
+  row.completed = stats.completed_runs;
+  row.skipped_clean = stats.sweeps_skipped_clean;
+  row.steals = stats.steals;
+  row.deadline_misses = stats.deadline_misses;
+  SimNanos makespan = 0;
+  for (const auto& s : coordinator.shard_stats()) {
+    makespan = std::max(makespan, s.sim_busy);
+  }
+  row.makespan_ms = to_ms(makespan);
+  if (makespan > 0) {
+    row.sweeps_per_sec = static_cast<double>(row.completed) * 1e9 /
+                         static_cast<double>(makespan);
+  }
+  return row;
+}
+
+BackpressureRow run_backpressure(
+    std::vector<std::unique_ptr<cloud::CloudEnvironment>>& pools) {
+  telemetry::MetricRegistry registry;
+  service::CoordinatorConfig cfg;
+  cfg.shards = 2;
+  cfg.metrics = &registry;
+  cfg.admission.queue_capacity = kBackpressureCapacity;
+  service::ShardCoordinator coordinator(cfg);
+  for (const auto& pool : pools) {
+    coordinator.add_pool(pool->hypervisor(),
+                         std::vector<vmm::DomainId>(pool->guests()));
+  }
+  const auto ring = std::make_shared<service::RingSink>(512);
+  coordinator.add_sink(ring);
+
+  // 2x oversubmission against the bounded queues: four recurring ticks
+  // per pool (sheddable) plus one one-shot per pool (never droppable),
+  // all pushed before a single worker exists — the admission policy alone
+  // decides who survives the burst.
+  BackpressureRow row;
+  std::set<service::SweepId> one_shots;
+  for (std::size_t wave = 0; wave < 4; ++wave) {
+    for (std::size_t p = 0; p < kPools; ++p) {
+      service::SweepSpec spec;
+      spec.name = "tick-" + std::to_string(wave) + "-" + std::to_string(p);
+      spec.pool_index = p;
+      spec.modules = {kModule};
+      spec.repeat = 2;
+      spec.cadence = sim_ms(100);
+      spec.event_driven = true;
+      coordinator.submit(std::move(spec));
+    }
+  }
+  for (std::size_t p = 0; p < kPools; ++p) {
+    service::SweepSpec spec;
+    spec.name = "oneshot-" + std::to_string(p);
+    spec.pool_index = p;
+    spec.modules = {kModule};
+    const service::SweepId id = coordinator.submit(std::move(spec));
+    if (id != 0) {
+      one_shots.insert(id);
+    }
+    ++row.one_shots_submitted;
+  }
+  coordinator.start();
+  coordinator.drain();
+
+  const auto stats = coordinator.stats();
+  row.load_shed = stats.load_shed;
+  row.overflow = stats.overflow;
+  row.completed = stats.completed_runs;
+  for (const auto& s : coordinator.shard_stats()) {
+    row.peak_pending = std::max(row.peak_pending, s.peak_pending);
+  }
+  for (const auto& report : ring->snapshot()) {
+    if (one_shots.count(report.id) > 0 && !report.cancelled) {
+      ++row.one_shots_completed;
+    }
+  }
+  // The backlog bound: a shard's queue never grows past its capacity plus
+  // the unsheddable overflow admissions (which are deliberate).
+  row.backlog_bounded =
+      row.peak_pending <=
+      kBackpressureCapacity + static_cast<std::size_t>(row.overflow);
+  row.pass = row.load_shed > 0 && row.backlog_bounded &&
+             row.one_shots_completed == row.one_shots_submitted &&
+             one_shots.size() == row.one_shots_submitted;
+  return row;
+}
+
+bool write_json(const std::string& path, const std::vector<ShardRow>& rows,
+                const BackpressureRow& bp, double speedup_8v1, bool pass) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << "{\"bench\":\"fleet_shards\",\"module\":\"" << kModule
+     << "\",\"pools\":" << kPools << ",\"pool_size\":" << kPoolSize
+     << ",\"repeat\":" << kRepeat
+     << ",\"required_speedup_8v1\":" << kRequiredSpeedup8v1
+     << ",\"speedup_8v1\":" << speedup_8v1 << ",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    os << (i == 0 ? "" : ",") << "{\"shards\":" << r.shards
+       << ",\"dirty_pct\":" << r.dirty_pct
+       << ",\"completed\":" << r.completed
+       << ",\"skipped_clean\":" << r.skipped_clean
+       << ",\"steals\":" << r.steals
+       << ",\"deadline_misses\":" << r.deadline_misses
+       << ",\"makespan_ms\":" << r.makespan_ms
+       << ",\"sweeps_per_sec\":" << r.sweeps_per_sec << '}';
+  }
+  os << "],\"backpressure\":{\"capacity\":" << kBackpressureCapacity
+     << ",\"load_shed\":" << bp.load_shed << ",\"overflow\":" << bp.overflow
+     << ",\"completed\":" << bp.completed
+     << ",\"peak_pending\":" << bp.peak_pending
+     << ",\"one_shots_submitted\":" << bp.one_shots_submitted
+     << ",\"one_shots_completed\":" << bp.one_shots_completed
+     << ",\"backlog_bounded\":" << (bp.backlog_bounded ? "true" : "false")
+     << ",\"pass\":" << (bp.pass ? "true" : "false") << '}'
+     << ",\"pass\":" << (pass ? "true" : "false") << "}\n";
+  return true;
+}
+
+int run_gate(const std::string& json_path) {
+  auto pools = build_pools();
+
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  const std::size_t dirty_pcts[] = {0, 10, 100};
+  std::vector<ShardRow> rows;
+  for (const std::size_t dirty : dirty_pcts) {
+    for (const std::size_t shards : shard_counts) {
+      rows.push_back(run_leg(pools, shards, dirty));
+    }
+  }
+
+  std::printf("=== sharded fleet (%zu pools x t=%zu, module %s, "
+              "%zu runs/sweep) ===\n",
+              kPools, kPoolSize, kModule, kRepeat);
+  std::printf("%6s %6s %10s %8s %7s %13s %14s\n", "dirty", "shards",
+              "completed", "skipped", "steals", "makespan[ms]", "sweeps/sec");
+  for (const ShardRow& r : rows) {
+    std::printf("%5zu%% %6zu %10llu %8llu %7llu %13.3f %14.1f\n", r.dirty_pct,
+                r.shards, static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.skipped_clean),
+                static_cast<unsigned long long>(r.steals), r.makespan_ms,
+                r.sweeps_per_sec);
+  }
+
+  const auto throughput = [&](std::size_t shards,
+                              std::size_t dirty) -> double {
+    for (const ShardRow& r : rows) {
+      if (r.shards == shards && r.dirty_pct == dirty) {
+        return r.sweeps_per_sec;
+      }
+    }
+    return 0.0;
+  };
+  const double base = throughput(1, 0);
+  const double speedup_8v1 = base > 0.0 ? throughput(8, 0) / base : 0.0;
+
+  bool pass = speedup_8v1 >= kRequiredSpeedup8v1;
+  // Every leg completes the full schedule: the shard count must never
+  // change *what* runs, only where.
+  for (const ShardRow& r : rows) {
+    pass = pass && r.completed ==
+                       static_cast<std::uint64_t>(kPools) * kRepeat;
+  }
+  std::printf("throughput at 8 shards vs 1 (0%% dirty): %.2fx "
+              "(required >= %.1fx)\n",
+              speedup_8v1, kRequiredSpeedup8v1);
+
+  const BackpressureRow bp = run_backpressure(pools);
+  std::printf("backpressure (2 shards, capacity %zu, 2x oversubmission): "
+              "shed %llu, overflow %llu, peak backlog %zu, one-shots "
+              "%zu/%zu => %s\n",
+              kBackpressureCapacity,
+              static_cast<unsigned long long>(bp.load_shed),
+              static_cast<unsigned long long>(bp.overflow), bp.peak_pending,
+              bp.one_shots_completed, bp.one_shots_submitted,
+              bp.pass ? "PASS" : "FAIL");
+  pass = pass && bp.pass;
+  std::printf("fleet-shards gate => %s\n\n", pass ? "PASS" : "FAIL");
+
+  if (!write_json(json_path, rows, bp, speedup_8v1, pass)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return pass ? 0 : 1;
+}
+
+void BM_FleetDrain(benchmark::State& state) {
+  auto pools = build_pools();
+  for (auto _ : state) {
+    telemetry::MetricRegistry registry;
+    service::CoordinatorConfig cfg;
+    cfg.shards = static_cast<std::size_t>(state.range(0));
+    cfg.metrics = &registry;
+    service::ShardCoordinator coordinator(cfg);
+    for (const auto& pool : pools) {
+      coordinator.add_pool(pool->hypervisor(),
+                           std::vector<vmm::DomainId>(pool->guests()));
+    }
+    coordinator.start();
+    for (std::size_t p = 0; p < kPools; ++p) {
+      service::SweepSpec spec;
+      spec.name = "bench";
+      spec.pool_index = p;
+      spec.modules = {kModule};
+      coordinator.submit(std::move(spec));
+    }
+    coordinator.drain();
+  }
+}
+BENCHMARK(BM_FleetDrain)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // First non-flag argument overrides the JSON output path.
+  std::string json_path = "BENCH_fleet_shards.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] != '-') {
+      json_path = arg;
+      break;
+    }
+  }
+  const int rc = run_gate(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rc;
+}

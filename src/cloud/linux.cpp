@@ -43,7 +43,8 @@ Bytes build_ko_image(const KoSpec& spec) {
 
   // Fixup slots spread evenly through .text on 8-byte boundaries; zeroed
   // in the golden file (the loader writes the full value from S + addend).
-  const std::uint32_t slots = spec.abs64_fixups + spec.abs32s_fixups;
+  const std::uint32_t slots =
+      spec.abs64_fixups + spec.abs32s_fixups + spec.pc32_fixups;
   const std::uint32_t stride =
       std::max<std::uint32_t>(16, spec.text_bytes / (slots + 1)) & ~7u;
   std::vector<std::uint32_t> slot_offsets;
@@ -68,8 +69,9 @@ Bytes build_ko_image(const KoSpec& spec) {
     builder.add_symbol("mod_state", ".data", 0);
   }
 
-  // R_X86_64_64 slots first, then the truncated 32S slots; targets cycle
-  // through the module's own symbols with section-local addends.
+  // R_X86_64_64 slots first, then the truncated 32S slots, then the
+  // PC-relative PC32 slots; targets cycle through the module's own
+  // symbols with section-local addends.
   static const char* const kTargets[] = {"init_module", "mod_rodata",
                                          "mod_state"};
   const std::size_t target_count = spec.data_bytes >= 8 ? 3 : 2;
@@ -79,12 +81,19 @@ Bytes build_ko_image(const KoSpec& spec) {
                                                        : spec.data_bytes;
     return static_cast<std::int64_t>(rng.below(std::max(span, 8u) - 7));
   };
+  const auto type_for = [&](std::uint32_t i) {
+    if (i < spec.abs64_fixups) {
+      return elf::kRX8664_64;
+    }
+    if (i < spec.abs64_fixups + spec.abs32s_fixups) {
+      return elf::kRX8664_32S;
+    }
+    return elf::kRX8664_PC32;
+  };
   for (std::uint32_t i = 0; i < slots; ++i) {
     const char* symbol = kTargets[i % target_count];
-    builder.add_rela(".text", slot_offsets[i],
-                     i < spec.abs64_fixups ? elf::kRX8664_64
-                                           : elf::kRX8664_32S,
-                     symbol, addend_for(symbol));
+    builder.add_rela(".text", slot_offsets[i], type_for(i), symbol,
+                     addend_for(symbol));
   }
   return builder.build();
 }

@@ -33,6 +33,10 @@ struct KoSpec {
   /// Absolute-address slots the loader patches into .text.
   std::uint32_t abs64_fixups = 12;  // R_X86_64_64
   std::uint32_t abs32s_fixups = 6;  // R_X86_64_32S
+  /// PC-relative slots (R_X86_64_PC32, call/jmp rel32 style).  The base
+  /// cancels out of S + A - P, so these stay byte-identical across load
+  /// bases and need no normalization pass.
+  std::uint32_t pc32_fixups = 4;
 };
 
 /// The default module population, in load order.

@@ -41,10 +41,10 @@ KoBuilder& KoBuilder::add_symbol(const std::string& name,
 KoBuilder& KoBuilder::add_rela(const std::string& target_section,
                                std::uint64_t offset, std::uint32_t type,
                                const std::string& symbol, std::int64_t addend) {
-  MC_CHECK(type == kRX8664_64 || type == kRX8664_32S,
+  MC_CHECK(type == kRX8664_64 || type == kRX8664_32S || type == kRX8664_PC32,
            "unsupported relocation type");
   const PendingSection& target = sections_[section_index(target_section)];
-  const std::uint64_t slot = type == kRX8664_64 ? 8 : 4;
+  const std::uint64_t slot = type == kRX8664_64 ? 8 : 4;  // PC32/32S: 4
   MC_CHECK(offset + slot <= target.data.size(),
            "relocation slot outside target section");
   symbol_index(symbol);  // validates the symbol exists

@@ -44,8 +44,9 @@ class KoBuilder {
                         std::uint64_t value);
 
   /// Attaches a relocation: at `offset` within `target_section`, the
-  /// loader must patch an absolute reference to `symbol` + `addend`.
-  /// `type` is kRX8664_64 (8-byte slot) or kRX8664_32S (4-byte slot).
+  /// loader must patch a reference to `symbol` + `addend`.  `type` is
+  /// kRX8664_64 (8-byte absolute slot), kRX8664_32S (4-byte absolute
+  /// slot) or kRX8664_PC32 (4-byte PC-relative slot).
   KoBuilder& add_rela(const std::string& target_section, std::uint64_t offset,
                       std::uint32_t type, const std::string& symbol,
                       std::int64_t addend = 0);

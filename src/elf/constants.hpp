@@ -60,6 +60,7 @@ inline constexpr std::uint8_t elf_st_info(std::uint8_t bind,
 
 // x86-64 relocation types (absolute-address shapes the loader patches).
 inline constexpr std::uint32_t kRX8664_64 = 1;    // R_X86_64_64
+inline constexpr std::uint32_t kRX8664_PC32 = 2;  // R_X86_64_PC32
 inline constexpr std::uint32_t kRX8664_32S = 11;  // R_X86_64_32S
 
 /// The canonical x86-64 kernel address-space prefix: guest module bases

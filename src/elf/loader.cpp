@@ -51,6 +51,30 @@ void apply_ko_relocations(MutableByteView image, std::uint32_t base) {
           }
           store_le64(image, where, value);
           break;
+        case kRX8664_PC32: {
+          if (rec.r_offset + 4 > target.sh_size) {
+            throw FormatError("relocation slot outside target section");
+          }
+          // PC-relative: S + A - P, where P is the biased address of the
+          // relocation slot itself.  The kernel bias and the load base
+          // cancel out of the difference, so the stored value depends
+          // only on the layout inside the image — relocating the module
+          // to a different base leaves every PC32 slot byte-identical
+          // (which is why the integrity checker needs no normalization
+          // pass for them).
+          const std::uint64_t p_addr =
+              kKernelBias | (static_cast<std::uint64_t>(base) +
+                             target.sh_addr + rec.r_offset);
+          const std::uint64_t rel = value - p_addr;
+          // The displacement must fit a sign-extended 32-bit immediate
+          // (intra-module distances always do).
+          if (static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                  static_cast<std::int32_t>(rel & 0xFFFFFFFFu))) != rel) {
+            throw FormatError("R_X86_64_PC32 displacement out of range");
+          }
+          store_le32(image, where, static_cast<std::uint32_t>(rel));
+          break;
+        }
         case kRX8664_32S:
           if (rec.r_offset + 4 > target.sh_size) {
             throw FormatError("relocation slot outside target section");

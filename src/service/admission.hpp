@@ -1,0 +1,63 @@
+// Admission control policy for the sharded fleet control plane.
+//
+// A production checker fleet is permanently oversubscribed: recurring
+// monitors are cheap to submit and expensive to run, so without a policy
+// the per-shard queues grow without bound and every sweep's queue age —
+// how far behind its simulated due time it starts — grows with them.  The
+// coordinator therefore runs every push through an admission decision
+// against the target shard's bounded queue:
+//
+//   * under capacity          → admit;
+//   * full, incoming matters  → evict the lowest-priority recurring tick
+//                               (never a one-shot or alerted sweep) and
+//                               admit in its place;
+//   * full, incoming is the   → shed the incoming tick itself (its
+//     cheapest thing queued     recurrence chain ends; the shed counter is
+//                               the operator's saturation signal);
+//   * full of unsheddable     → admit anyway and count the overflow —
+//     work                      one-shot and alerted sweeps are NEVER
+//                               dropped, the bound bends instead.
+//
+// Shedding a recurring tick drops the remainder of its chain: recurrences
+// are pushed on completion of the previous run, so an evicted run has no
+// successor.  That is the intended semantics — a saturated fleet stops
+// servicing its cheapest monitors first and says so, instead of stretching
+// every sweep's latency until the SLO is fiction.
+//
+// SLO accounting rides the simulated timeline (no host clocks): the
+// coordinator's frontier is the maximum due time of any completed run, and
+// a run popped when `frontier - due > slo_lag` counts as a deadline miss.
+// The same lag drives rebalancing: an idle shard steals queued runs from
+// any shard whose oldest pending run lags more than `steal_lag`.
+#pragma once
+
+#include <cstddef>
+
+#include "util/sim_clock.hpp"
+
+namespace mc::service {
+
+struct AdmissionPolicy {
+  /// Per-shard pending-run bound; 0 = unbounded (no shedding, the classic
+  /// FleetService behavior).
+  std::size_t queue_capacity = 0;
+  /// A run starting more than this far behind the fleet's simulated
+  /// frontier counts as a deadline miss ("coordinator.deadline_misses").
+  SimNanos slo_lag = sim_ms(500);
+  /// Idle shards steal queued runs from shards whose oldest pending run
+  /// lags the frontier by more than steal_lag (0 = steal whenever another
+  /// shard has queued work at all).
+  bool work_stealing = true;
+  SimNanos steal_lag = 0;
+};
+
+/// Outcome of one admission decision (SweepQueue::admit).
+enum class AdmitResult {
+  kAdmitted,         // queued, under capacity
+  kAdmittedEvicted,  // queued; a lower-priority recurring tick was shed
+  kOverflow,         // queued past capacity (unsheddable backlog)
+  kShed,             // the incoming recurring tick itself was shed
+  kRefused,          // queue closed or sweep cancelled (classic push refusal)
+};
+
+}  // namespace mc::service

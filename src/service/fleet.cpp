@@ -1,584 +1,39 @@
 #include "service/fleet.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <set>
-#include <sstream>
-#include <utility>
-
-#include "modchecker/report_json.hpp"
 #include "util/error.hpp"
-#include "vmm/write_watch.hpp"
 
 namespace mc::service {
 
-// ---- SweepReport JSON ------------------------------------------------------
+namespace {
 
-std::string to_json(const SweepReport& report) {
-  std::ostringstream os;
-  os << "{\"sweep\":\"" << core::json_escape(report.name) << "\""
-     << ",\"id\":" << report.id << ",\"pool\":" << report.pool_index
-     << ",\"run\":" << report.run_index << ",\"due_ns\":" << report.due
-     << ",\"cancelled\":" << (report.cancelled ? "true" : "false")
-     << ",\"findings\":[";
-  for (std::size_t i = 0; i < report.findings.size(); ++i) {
-    const SweepFinding& f = report.findings[i];
-    os << (i == 0 ? "" : ",") << "{\"module\":\""
-       << core::json_escape(f.module) << "\",\"vm\":" << f.vm
-       << ",\"successes\":" << f.successes << ",\"total\":" << f.total
-       << "}";
-  }
-  os << "],\"scans\":[";
-  for (std::size_t i = 0; i < report.scans.size(); ++i) {
-    os << (i == 0 ? "" : ",") << core::to_json(report.scans[i]);
-  }
-  os << "],\"wall_ns\":" << report.wall_time << ','
-     << core::cpu_ns_json(report.cpu_times);
-  // Quarantine fields only on degraded runs: a healthy sweep's JSON line
-  // stays byte-identical to the historical schema.
-  if (!report.quarantined.empty() || report.pool_exhausted) {
-    os << ",\"quarantined\":[";
-    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
-      os << (i == 0 ? "" : ",") << report.quarantined[i];
-    }
-    os << "],\"pool_exhausted\":"
-       << (report.pool_exhausted ? "true" : "false");
-  }
-  // Likewise emitted only when set: a skipped event-driven run is the only
-  // producer, and its scans/findings are the previous run's re-emission.
-  if (report.skipped_clean) {
-    os << ",\"skipped_clean\":true";
-  }
-  if (!report.telemetry_json.empty()) {
-    os << ",\"telemetry\":" << report.telemetry_json;
-  }
-  os << "}";
-  return os.str();
-}
-
-// ---- Sinks -----------------------------------------------------------------
-
-RingSink::RingSink(std::size_t capacity) : capacity_(capacity) {
-  MC_CHECK(capacity_ >= 1, "RingSink capacity must be at least 1");
-}
-
-void RingSink::on_sweep(const SweepReport& report) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ring_.push_back(report);
-  if (ring_.size() > capacity_) {
-    ring_.pop_front();
-  }
-  ++seen_;
-}
-
-std::vector<SweepReport> RingSink::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return {ring_.begin(), ring_.end()};
-}
-
-std::uint64_t RingSink::total_seen() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return seen_;
-}
-
-void JsonLinesSink::on_sweep(const SweepReport& report) {
-  const std::string line = to_json(report);
-  std::lock_guard<std::mutex> lock(mutex_);
-  *os_ << line << '\n';
-  if (!os_->good()) {
-    // The stream rejected the line (disk full, closed pipe, failbit left
-    // by a consumer).  Count the drop and clear the state so the next
-    // report gets a fresh chance — a logging sink must never wedge the
-    // sweep workers.
-    ++write_failures_;
-    os_->clear();
-  }
-}
-
-std::uint64_t JsonLinesSink::write_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return write_failures_;
-}
-
-void ChromeTraceSink::on_sweep(const SweepReport& /*report*/) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (finished_) {
-    return;
-  }
-  // audit: recorder_->drain() is the telemetry SpanRecorder's lock-free
-  // buffer swap, not SweepQueue::drain; nothing here waits.
-  // mc-lint: allow(lock-order)
-  write_events_locked();
-}
-
-void ChromeTraceSink::finish() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (finished_) {
-    return;
-  }
-  // audit: same as on_sweep — the telemetry drain() is a buffer swap.
-  // mc-lint: allow(lock-order)
-  write_events_locked();
-  if (!header_written_) {
-    *os_ << "[\n";  // empty run: still emit a valid (empty) array
-  }
-  *os_ << "\n]\n";
-  os_->flush();
-  finished_ = true;
-}
-
-std::uint64_t ChromeTraceSink::events_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return events_;
-}
-
-void ChromeTraceSink::write_events_locked() {
-  const std::vector<telemetry::SpanRecord> spans = recorder_->drain();
-  for (const telemetry::SpanRecord& span : spans) {
-    if (!header_written_) {
-      *os_ << "[\n";
-      header_written_ = true;
-    } else {
-      *os_ << ",\n";
-    }
-    *os_ << telemetry::chrome_trace_event(span);
-    ++events_;
-  }
-}
-
-// ---- FleetService ----------------------------------------------------------
-
-// The fleet's ear on the WriteWatch notification surface.  The skip
-// decision itself rests on per-domain write generations (see
-// run_event_locked) — the tracker is the observability half: it counts
-// distinct domains written and clean->dirty watch edges while the service
-// runs, so an operator can see write pressure without any sweep running.
-// Callbacks arrive under the WriteWatch lock (possibly from guest-writer
-// threads) and only touch the tracker's own state.
-class FleetService::DirtyTracker : public vmm::WriteWatch::Subscriber {
- public:
-  DirtyTracker(vmm::WriteWatch& watch, telemetry::Counter dirty_domains,
-               telemetry::Counter watch_notifications)
-      : watch_(&watch),
-        dirty_domains_(dirty_domains),
-        watch_notifications_(watch_notifications) {
-    watch_->subscribe(this);
-  }
-
-  ~DirtyTracker() override { watch_->unsubscribe(this); }
-
-  void on_domain_write(vmm::DomainId domain) override {
-    write_events_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (seen_.insert(domain).second) {
-      dirty_domains_.inc();
-    }
-  }
-
-  void on_watch_dirty(vmm::DomainId /*domain*/,
-                      vmm::WriteWatch::WatchId /*watch*/) override {
-    watch_notifications_.inc();
-  }
-
-  /// Total on_domain_write callbacks observed (monotonic).
-  std::uint64_t write_events() const {
-    return write_events_.load(std::memory_order_relaxed);
-  }
-
- private:
-  vmm::WriteWatch* watch_;
-  telemetry::Counter dirty_domains_;
-  telemetry::Counter watch_notifications_;
-  std::atomic<std::uint64_t> write_events_{0};
-  std::mutex mutex_;
-  std::set<vmm::DomainId> seen_;
-};
-
-FleetService::FleetService(FleetConfig config)
-    : config_(std::move(config)),
-      metrics_(&telemetry::resolve(config_.metrics)),
-      submitted_(metrics_->owned_counter("service.submitted")),
-      completed_runs_(metrics_->owned_counter("service.completed_runs")),
-      cancelled_runs_(metrics_->owned_counter("service.cancelled_runs")),
-      dropped_pending_(metrics_->owned_counter("service.dropped_pending")),
-      quarantine_events_(metrics_->owned_counter("service.quarantine_events")),
-      exhausted_runs_(metrics_->owned_counter("service.exhausted_runs")),
-      sweeps_skipped_clean_(
-          metrics_->owned_counter("fleet.sweeps_skipped_clean")),
-      event_runs_(metrics_->owned_counter("fleet.event_runs")),
-      queue_depth_(metrics_->gauge("service.queue_depth")),
-      sweeps_in_flight_(metrics_->gauge("service.sweeps_in_flight")) {
-  MC_CHECK(config_.workers >= 1, "FleetService needs at least one worker");
-}
-
-FleetService::~FleetService() { stop(); }
-
-std::size_t FleetService::add_pool(const vmm::Hypervisor& hypervisor,
-                                   std::vector<vmm::DomainId> vms,
-                                   core::ModCheckerConfig config) {
-  MC_CHECK(vms.size() >= 2, "a sweep pool needs at least two VMs");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MC_CHECK(!started_, "add_pool must be called before start()");
-  }
-  // Pools inherit the fleet's telemetry wiring unless their config brought
-  // its own; trace_pid defaults to pool index + 1 so each pool renders as
-  // a separate process row in chrome://tracing.
-  if (config.metrics == nullptr) {
-    config.metrics = metrics_;
-  }
-  if (config.tracer == nullptr) {
-    config.tracer = config_.tracer;
-  }
-  if (config.trace_pid == 0) {
-    config.trace_pid = pools_.size() + 1;
-  }
-  auto pool = std::make_unique<Pool>();
-  pool->hypervisor = &hypervisor;
-  pool->vms = std::move(vms);
-  // The incremental scanner gets its own copy of the (already fleet-wired)
-  // config: it owns a separate CheckContext so its watch-backed caches and
-  // warm sessions persist across cadence ticks independent of `pipeline`.
-  core::ModCheckerConfig incremental_config = config;
-  pool->context =
-      std::make_unique<core::CheckContext>(hypervisor, std::move(config));
-  pool->pipeline = std::make_unique<core::CheckPipeline>(*pool->context);
-  pool->incremental = std::make_unique<core::IncrementalScanner>(
-      hypervisor, std::move(incremental_config));
-  pools_.push_back(std::move(pool));
-  return pools_.size() - 1;
-}
-
-void FleetService::add_sink(std::shared_ptr<SweepSink> sink) {
-  MC_CHECK(sink != nullptr, "null sink");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MC_CHECK(!started_, "add_sink must be called before start()");
-  }
-  sinks_.push_back(std::move(sink));
-}
-
-void FleetService::set_module_hook(
-    std::function<void(SweepId, std::size_t, const std::string&)> hook) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MC_CHECK(!started_, "set_module_hook must be called before start()");
-  }
-  module_hook_ = std::move(hook);
-}
-
-void FleetService::start() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MC_CHECK(!started_, "FleetService::start called twice");
-    started_ = true;
-  }
-  // One dirty tracker per distinct hypervisor (pools may share one);
-  // subscribed for the service's whole running life, torn down after the
-  // workers join so no callback outlives the service.
-  std::vector<const vmm::Hypervisor*> tracked;
-  for (const auto& pool : pools_) {
-    if (std::find(tracked.begin(), tracked.end(), pool->hypervisor) !=
-        tracked.end()) {
-      continue;
-    }
-    tracked.push_back(pool->hypervisor);
-    trackers_.push_back(std::make_unique<DirtyTracker>(
-        pool->hypervisor->write_watch(),
-        metrics_->counter("fleet.dirty_domains_observed"),
-        metrics_->counter("fleet.watch_notifications")));
-  }
-  workers_ = std::make_unique<ThreadPool>(config_.workers);
-  worker_futures_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    worker_futures_.push_back(workers_->submit([this] { worker_loop(); }));
-  }
-}
-
-SweepId FleetService::submit(SweepSpec spec) {
-  MC_CHECK(spec.pool_index < pools_.size(), "sweep names an unknown pool");
-  MC_CHECK(!spec.modules.empty(), "sweep needs at least one module");
-  MC_CHECK(spec.repeat >= 1, "sweep repeat count must be at least 1");
-
-  SweepId id;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (draining_) {
-      return 0;  // drain/stop already began — refuse new work
-    }
-    id = next_id_++;
-  }
-  QueuedSweep run;
-  run.id = id;
-  run.spec = std::move(spec);
-  run.due = 0;  // first run is due immediately
-  run.run_index = 0;
-  if (!queue_.push(std::move(run))) {
-    return 0;  // draining / stopped
-  }
-  submitted_.inc();
-  queue_depth_.set(static_cast<std::int64_t>(queue_.pending()));
-  return id;
-}
-
-bool FleetService::cancel(SweepId id) {
-  // The queue's cancelled set is the single source of truth: pending runs
-  // are struck here, in-flight runs observe is_cancelled() between module
-  // scans, and completed runs refuse to re-enqueue their recurrence.
-  const bool struck = queue_.cancel(id);
-  if (struck) {
-    dropped_pending_.inc();
-  }
-  return struck;
-}
-
-void FleetService::drain() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    draining_ = true;
-  }
-  // Wait for the backlog — including finite recurrences re-enqueued by
-  // in-flight runs — then shut the queue so the workers see nullopt.
-  queue_.wait_idle();
-  queue_.close();
-  join_workers();
-}
-
-void FleetService::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    draining_ = true;
-  }
-  queue_.close();  // refuse recurrences first, then drop the backlog
-  const std::size_t dropped = queue_.clear();
-  if (dropped > 0) {
-    dropped_pending_.inc(dropped);
-  }
-  queue_depth_.set(0);
-  join_workers();
-}
-
-void FleetService::join_workers() {
-  if (!workers_) {
-    return;
-  }
-  for (auto& f : worker_futures_) {
-    f.get();  // propagate any worker exception
-  }
-  worker_futures_.clear();
-  workers_.reset();   // joins the threads
-  trackers_.clear();  // unsubscribes from each hypervisor's WriteWatch
-}
-
-FleetService::Stats FleetService::stats() const {
-  Stats out;
-  out.submitted = submitted_.value();
-  out.completed_runs = completed_runs_.value();
-  out.cancelled_runs = cancelled_runs_.value();
-  out.dropped_pending = dropped_pending_.value();
-  out.quarantine_events = quarantine_events_.value();
-  out.exhausted_runs = exhausted_runs_.value();
-  out.sweeps_skipped_clean = sweeps_skipped_clean_.value();
-  out.event_runs = event_runs_.value();
+CoordinatorConfig classic_topology(const FleetConfig& config) {
+  MC_CHECK(config.workers >= 1, "FleetService needs at least one worker");
+  CoordinatorConfig out;
+  out.shards = 1;  // the classic single-queue topology
+  out.workers_per_shard = config.workers;
+  out.metrics = config.metrics;
+  out.tracer = config.tracer;
+  out.emit_telemetry = config.emit_telemetry;
   return out;
 }
 
-void FleetService::worker_loop() {
-  while (auto run = queue_.pop()) {
-    queue_depth_.set(static_cast<std::int64_t>(queue_.pending()));
-    sweeps_in_flight_.add(1);
-    run_sweep(std::move(*run));
-    sweeps_in_flight_.add(-1);
-    queue_.done();  // after run_sweep's recurrence push — see wait_idle()
-  }
-}
+}  // namespace
 
-void FleetService::run_sweep(QueuedSweep run) {
-  Pool& pool = *pools_[run.spec.pool_index];
+FleetService::FleetService(FleetConfig config)
+    : coordinator_(classic_topology(config)) {}
 
-  telemetry::SpanScope sweep_span =
-      telemetry::span(config_.tracer, "sweep", "service",
-                      /*process=*/run.spec.pool_index + 1, /*track=*/0);
-  sweep_span.arg("name", run.spec.name);
-  sweep_span.arg("run", static_cast<std::uint64_t>(run.run_index));
-
-  SweepReport report;
-  report.id = run.id;
-  report.name = run.spec.name;
-  report.pool_index = run.spec.pool_index;
-  report.run_index = run.run_index;
-  report.due = run.due;
-
-  {
-    // One sweep at a time per pool: scans of different pools proceed in
-    // parallel, scans of the same pool serialize (shared warm sessions,
-    // and the event path's incremental caches).
-    std::lock_guard<std::mutex> pool_lock(pool.mutex);
-    // audit: holding pool.mutex across the scan body IS the serialization
-    // contract — per-pool scans must not interleave; other pools use other
-    // mutexes and proceed in parallel.
-    if (run.spec.event_driven) {
-      // mc-lint: allow(lock-order)
-      run_event_locked(pool, run, report, sweep_span);
-    } else {
-      // mc-lint: allow(lock-order)
-      run_full_locked(pool, run, report);
-    }
-  }
-  if (report.cancelled) {
-    cancelled_runs_.inc();
-  } else {
-    completed_runs_.inc();
-  }
-  quarantine_events_.inc(report.quarantined.size());
-  if (report.pool_exhausted) {
-    exhausted_runs_.inc();
-  }
-  sweep_span.arg("findings",
-                 static_cast<std::uint64_t>(report.findings.size()));
-  if (run.spec.event_driven) {
-    sweep_span.arg("skipped_clean",
-                   static_cast<std::uint64_t>(report.skipped_clean ? 1 : 0));
-  }
-  sweep_span.end();  // close before emit so a ChromeTraceSink drains it
-  if (config_.emit_telemetry) {
-    report.telemetry_json = telemetry::to_json(metrics_->snapshot());
-  }
-  emit(report);
-
-  // Recurrence: re-enqueue the next run on the sweep's simulated cadence.
-  // push() refuses once the queue is closed (drain) or the id cancelled.
-  if (!report.cancelled && run.run_index + 1 < run.spec.repeat) {
-    QueuedSweep next;
-    next.id = run.id;
-    next.spec = std::move(run.spec);
-    next.due = run.due + next.spec.cadence;
-    next.run_index = run.run_index + 1;
-    queue_.push(std::move(next));
-  }
-}
-
-void FleetService::run_full_locked(Pool& pool, const QueuedSweep& run,
-                                   SweepReport& report) {
-  // VMs quarantined by one module scan sit out the rest of *this run*
-  // (re-polling a dead guest per module would just burn retries); the
-  // recurrence in run_sweep restarts from the full pool, so a guest that
-  // recovers by the next cadence tick rejoins automatically.
-  std::vector<vmm::DomainId> active = pool.vms;
-  for (const std::string& module : run.spec.modules) {
-    if (queue_.is_cancelled(run.id)) {
-      report.cancelled = true;
-      break;
-    }
-    if (active.size() < 2) {
-      // Cross-comparison needs at least two answering VMs.
-      report.pool_exhausted = true;
-      break;
-    }
-    if (module_hook_) {
-      module_hook_(run.id, run.run_index, module);
-    }
-    // audit: holding pool.mutex across the scan IS the serialization
-    // contract documented in run_sweep — per-pool scans must not
-    // interleave (shared warm sessions); other pools use other mutexes
-    // and proceed in parallel.
-    // mc-lint: allow(lock-order)
-    core::PoolScanReport scan = pool.pipeline->pool_scan(module, active);
-    report.wall_time += scan.wall_time;
-    report.cpu_times += scan.cpu_times;
-    for (const core::PoolVmVerdict& v : scan.verdicts) {
-      if (!v.clean && v.total > 0) {
-        report.findings.push_back({module, v.vm, v.successes, v.total});
-      }
-    }
-    for (const vmm::DomainId vm : scan.quarantined) {
-      report.quarantined.push_back(vm);
-      active.erase(std::remove(active.begin(), active.end(), vm),
-                   active.end());
-    }
-    report.scans.push_back(std::move(scan));
-  }
-}
-
-void FleetService::run_event_locked(Pool& pool, const QueuedSweep& run,
-                                    SweepReport& report,
-                                    telemetry::SpanScope& span) {
-  vmm::WriteWatch& watch = pool.hypervisor->write_watch();
-  // Per-domain write generations, snapshotted BEFORE scanning: a write
-  // racing the scan makes the next tick's snapshot differ and forces a
-  // re-scan — the race is conservatively safe, never a missed change.
-  std::map<vmm::DomainId, std::uint64_t> generations;
-  for (const vmm::DomainId vm : pool.vms) {
-    generations.emplace(vm, watch.domain_write_generation(vm));
-  }
-
-  std::size_t dirty_domains = 0;
-  {
-    // audit: event_mutex_ nests strictly inside pool.mutex (both call
-    // sites in this function), and nothing blocks under it.
-    // mc-lint: allow(lock-order)
-    std::lock_guard<std::mutex> ev_lock(event_mutex_);
-    EventState& state = event_states_[run.id];
-    if (state.has_report && generations == state.generations) {
-      // No write — watched or not — landed on any pool domain since the
-      // last completed run, so every extraction, comparison and vote is
-      // provably byte-identical: re-emit the previous results unscanned.
-      report.scans = state.scans;
-      report.findings = state.findings;
-      report.skipped_clean = true;
-      sweeps_skipped_clean_.inc();
-      return;
-    }
-    for (const auto& [vm, gen] : generations) {
-      const auto it = state.generations.find(vm);
-      if (!state.has_report || it == state.generations.end() ||
-          it->second != gen) {
-        ++dirty_domains;
-      }
-    }
-  }
-  span.arg("dirty_domains", static_cast<std::uint64_t>(dirty_domains));
-
-  for (const std::string& module : run.spec.modules) {
-    if (queue_.is_cancelled(run.id)) {
-      report.cancelled = true;
-      break;
-    }
-    if (module_hook_) {
-      module_hook_(run.id, run.run_index, module);
-    }
-    // The incremental scanner keeps the non-faulting throwing contract —
-    // no quarantine machinery (see SweepSpec::event_driven).  Clean
-    // domains cost an O(1) watch query; dirty modules re-read only their
-    // dirty pages.
-    // mc-lint: allow(lock-order)
-    core::PoolScanReport scan = pool.incremental->scan(module, pool.vms);
-    report.wall_time += scan.wall_time;
-    report.cpu_times += scan.cpu_times;
-    for (const core::PoolVmVerdict& v : scan.verdicts) {
-      if (!v.clean && v.total > 0) {
-        report.findings.push_back({module, v.vm, v.successes, v.total});
-      }
-    }
-    report.scans.push_back(std::move(scan));
-  }
-  event_runs_.inc();
-  if (!report.cancelled) {
-    // audit: same strict nesting as above.
-    // mc-lint: allow(lock-order)
-    std::lock_guard<std::mutex> ev_lock(event_mutex_);
-    EventState& state = event_states_[run.id];
-    state.generations = std::move(generations);
-    state.scans = report.scans;
-    state.findings = report.findings;
-    state.has_report = true;
-  }
-}
-
-void FleetService::emit(const SweepReport& report) {
-  for (const auto& sink : sinks_) {
-    sink->on_sweep(report);
-  }
+FleetService::Stats FleetService::stats() const {
+  const ShardCoordinator::Stats all = coordinator_.stats();
+  Stats out;
+  out.submitted = all.submitted;
+  out.completed_runs = all.completed_runs;
+  out.cancelled_runs = all.cancelled_runs;
+  out.dropped_pending = all.dropped_pending;
+  out.quarantine_events = all.quarantine_events;
+  out.exhausted_runs = all.exhausted_runs;
+  out.sweeps_skipped_clean = all.sweeps_skipped_clean;
+  out.event_runs = all.event_runs;
+  return out;
 }
 
 }  // namespace mc::service

@@ -5,12 +5,19 @@
 // service layer: it owns N registered pools (each with its own
 // CheckContext/CheckPipeline, so warm VMI sessions and cost accounting
 // stay per-pool), accepts SweepSpecs (module set × pool × cadence ×
-// priority), schedules their runs through a SweepQueue onto the existing
-// ThreadPool workers, supports cancellation of pending *and* in-flight
-// sweeps plus graceful drain, and emits one SweepReport per run to every
-// registered sink.  Sweeps marked event_driven consult the hypervisor's
-// WriteWatch at each cadence tick: provably-clean ticks re-emit the last
-// results without scanning, dirty ticks scan incrementally.
+// priority), schedules their runs onto worker threads, supports
+// cancellation of pending *and* in-flight sweeps plus graceful drain, and
+// emits one SweepReport per run to every registered sink.  Sweeps marked
+// event_driven consult the hypervisor's WriteWatch at each cadence tick:
+// provably-clean ticks re-emit the last results without scanning, dirty
+// ticks scan incrementally.
+//
+// Since the sharded control plane landed, FleetService is a facade over a
+// single-shard ShardCoordinator (service/coordinator.hpp): same API, same
+// report bytes, same registry namespace — the classic topology is the
+// shards=1 special case of the coordinator, not a separate code path.
+// Fleets that want multiple shards, bounded queues with load shedding, or
+// chaos testing construct a ShardCoordinator directly.
 //
 // Threading model (TSan-clean by construction):
 //   * pools, sinks and the progress hook are fixed before start() — the
@@ -19,7 +26,7 @@
 //     pipeline's session pool is thread-safe, but serializing per pool
 //     keeps per-pool timelines meaningful and contention predictable);
 //   * all cross-thread bookkeeping (queue, cancellation, stats) is behind
-//     the SweepQueue's and the service's own mutexes.
+//     the coordinator's and queues' own mutexes.
 //
 // Lifecycle: add_pool()/add_sink() → start() → submit()/cancel() →
 // drain() (run everything queued, then stop) or stop() (drop the backlog,
@@ -27,150 +34,16 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <ostream>
 #include <string>
 #include <vector>
 
-#include <map>
-
-#include "modchecker/incremental.hpp"
-#include "modchecker/pipeline.hpp"
+#include "service/coordinator.hpp"
+#include "service/report.hpp"
 #include "service/sweep_queue.hpp"
-#include "telemetry/registry.hpp"
-#include "telemetry/trace.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mc::service {
-
-/// One (module, VM) vote failure surfaced by a sweep.
-struct SweepFinding {
-  std::string module;
-  vmm::DomainId vm = 0;
-  std::size_t successes = 0;
-  std::size_t total = 0;
-};
-
-/// Result of one run of a sweep (a recurring sweep emits one per run).
-struct SweepReport {
-  SweepId id = 0;
-  std::string name;
-  std::size_t pool_index = 0;
-  std::size_t run_index = 0;  // 0-based recurrence counter
-  SimNanos due = 0;           // simulated due time of this run
-  /// True when the sweep was cancelled mid-run: `scans` then holds the
-  /// prefix of modules completed before the flag was seen.
-  bool cancelled = false;
-  /// Per-module pool scans, in SweepSpec::modules order.
-  std::vector<core::PoolScanReport> scans;
-  /// Flattened (module, VM) pairs whose vote failed.
-  std::vector<SweepFinding> findings;
-  /// VMs quarantined during this run (union across its module scans,
-  /// first-observation order).  A quarantined VM sits out the *rest of
-  /// this run*; the next cadence tick starts again from the full pool, so
-  /// a recovered guest rejoins automatically.
-  std::vector<vmm::DomainId> quarantined;
-  /// Quarantine shrank the pool below two answering VMs: the remaining
-  /// module scans of this run were skipped (cross-comparison needs peers).
-  bool pool_exhausted = false;
-  /// Event-driven run that scanned nothing: the WriteWatch layer proved no
-  /// write landed on any pool domain since the previous completed run, so
-  /// `scans`/`findings` re-emit that run's (byte-identical) results.
-  bool skipped_clean = false;
-  SimNanos wall_time = 0;  // summed simulated scan wall time
-  core::ComponentTimes cpu_times;
-  /// Registry snapshot JSON, filled only when FleetConfig::emit_telemetry;
-  /// serialized as a "telemetry" field when (and only when) non-empty.
-  std::string telemetry_json;
-};
-
-/// {"sweep": ..., "run": ..., "cancelled": ..., "findings": [...],
-///  "scans": [...]} — reuses core::to_json(PoolScanReport) per scan.
-std::string to_json(const SweepReport& report);
-
-/// Pluggable sweep-report consumer.  on_sweep may be called concurrently
-/// from several workers; implementations must be thread-safe.
-class SweepSink {
- public:
-  virtual ~SweepSink() = default;
-  virtual void on_sweep(const SweepReport& report) = 0;
-};
-
-/// Fixed-capacity in-memory ring of the most recent reports (the
-/// operator's "what happened lately" buffer).
-class RingSink : public SweepSink {
- public:
-  explicit RingSink(std::size_t capacity = 256);
-
-  void on_sweep(const SweepReport& report) override;
-
-  /// Oldest-first copy of the buffered reports.
-  std::vector<SweepReport> snapshot() const;
-
-  /// Total reports ever seen (>= snapshot().size() once wrapped).
-  std::uint64_t total_seen() const;
-
- private:
-  mutable std::mutex mutex_;
-  std::deque<SweepReport> ring_;
-  std::size_t capacity_;
-  std::uint64_t seen_ = 0;
-};
-
-/// Serializes every report as one JSON line to a stream (the existing
-/// report_json schema — SIEM/alerting integration surface).  A stream
-/// write failure must not take the monitoring service down with it: the
-/// sink counts the failure, clears the stream's error state and keeps
-/// accepting reports (each line is retried independently).
-class JsonLinesSink : public SweepSink {
- public:
-  explicit JsonLinesSink(std::ostream& os) : os_(&os) {}
-
-  void on_sweep(const SweepReport& report) override;
-
-  /// Reports dropped because the stream went bad mid-write.
-  std::uint64_t write_failures() const;
-
- private:
-  mutable std::mutex mutex_;
-  std::ostream* os_;
-  std::uint64_t write_failures_ = 0;
-};
-
-/// Streams completed trace spans as Chrome trace_event JSONL (the JSON
-/// Array Format) — point it at a file, hand the same TraceRecorder to the
-/// FleetConfig, and the whole multi-pool sweep timeline opens in
-/// chrome://tracing / Perfetto.  Each on_sweep drains the recorder, so the
-/// file grows as the fleet runs; finish() (or destruction) drains one last
-/// time and closes the JSON array.
-class ChromeTraceSink : public SweepSink {
- public:
-  ChromeTraceSink(std::ostream& os, telemetry::TraceRecorder& recorder)
-      : os_(&os), recorder_(&recorder) {}
-
-  ~ChromeTraceSink() override { finish(); }
-
-  void on_sweep(const SweepReport& report) override;
-
-  /// Drains any remaining spans and writes the closing bracket.
-  /// Idempotent; further on_sweep calls become no-ops.
-  void finish();
-
-  std::uint64_t events_written() const;
-
- private:
-  void write_events_locked();
-
-  mutable std::mutex mutex_;
-  std::ostream* os_;
-  telemetry::TraceRecorder* recorder_;
-  bool header_written_ = false;
-  bool finished_ = false;
-  std::uint64_t events_ = 0;
-};
 
 struct FleetConfig {
   /// Worker threads pulling sweeps off the queue (>= 1).
@@ -191,7 +64,7 @@ class FleetService {
   explicit FleetService(FleetConfig config = {});
 
   /// Stops the service (dropping any backlog) if still running.
-  ~FleetService();
+  ~FleetService() = default;
 
   FleetService(const FleetService&) = delete;
   FleetService& operator=(const FleetService&) = delete;
@@ -200,43 +73,50 @@ class FleetService {
   /// SweepSpec::pool_index refers to.  Call before start().
   std::size_t add_pool(const vmm::Hypervisor& hypervisor,
                        std::vector<vmm::DomainId> vms,
-                       core::ModCheckerConfig config = {});
+                       core::ModCheckerConfig config = {}) {
+    return coordinator_.add_pool(hypervisor, std::move(vms),
+                                 std::move(config));
+  }
 
   /// Registers a report sink.  Call before start().
-  void add_sink(std::shared_ptr<SweepSink> sink);
+  void add_sink(std::shared_ptr<SweepSink> sink) {
+    coordinator_.add_sink(std::move(sink));
+  }
 
   /// Observability hook invoked before each module scan of each run
   /// (sweep id, run index, module).  Call before start(); may be invoked
   /// concurrently from several workers.
   void set_module_hook(
-      std::function<void(SweepId, std::size_t, const std::string&)> hook);
+      std::function<void(SweepId, std::size_t, const std::string&)> hook) {
+    coordinator_.set_module_hook(std::move(hook));
+  }
 
   /// Spins up the workers.  Sweeps submitted before start() sit in the
   /// queue and run in priority order once workers exist.
-  void start();
+  void start() { coordinator_.start(); }
 
   /// Enqueues a sweep; returns its id, or 0 if the service is draining /
   /// stopped (the sweep is dropped).  Validates pool_index and modules.
-  SweepId submit(SweepSpec spec);
+  SweepId submit(SweepSpec spec) { return coordinator_.submit(std::move(spec)); }
 
   /// Cancels a sweep: pending runs are struck from the queue, an
   /// in-flight run stops before its next module scan (its report carries
   /// cancelled = true), and recurrences stop.  Returns true if a pending
   /// run was struck; an in-flight run is stopped asynchronously either
   /// way.
-  bool cancel(SweepId id);
+  bool cancel(SweepId id) { return coordinator_.cancel(id); }
 
   /// Graceful drain: refuse new submissions, run every queued sweep —
   /// including the remaining runs of finite repeat chains — to
   /// completion, then join the workers.
-  void drain();
+  void drain() { coordinator_.drain(); }
 
   /// Fast stop: drop the backlog, let in-flight module scans finish, join
   /// the workers.
-  void stop();
+  void stop() { coordinator_.stop(); }
 
-  std::size_t pool_count() const { return pools_.size(); }
-  std::size_t pending_sweeps() const { return queue_.pending(); }
+  std::size_t pool_count() const { return coordinator_.pool_count(); }
+  std::size_t pending_sweeps() const { return coordinator_.pending_sweeps(); }
 
   /// Deprecated view over the registry aggregates "service.*".
   // mc-lint: allow(adhoc-stats)
@@ -260,75 +140,7 @@ class FleetService {
   Stats stats() const;
 
  private:
-  struct Pool {
-    const vmm::Hypervisor* hypervisor;
-    std::vector<vmm::DomainId> vms;
-    std::unique_ptr<core::CheckContext> context;
-    std::unique_ptr<core::CheckPipeline> pipeline;
-    /// Event-driven sweeps scan through this instead of `pipeline` — its
-    /// per-module caches persist across cadence ticks (guarded by `mutex`
-    /// like every other per-pool scan).
-    std::unique_ptr<core::IncrementalScanner> incremental;
-    std::mutex mutex;  // serializes sweeps targeting this pool
-  };
-
-  /// What an event-driven sweep remembers between cadence ticks: the
-  /// per-domain write generations observed before its last completed run
-  /// and that run's results (re-emitted verbatim on clean ticks).
-  struct EventState {
-    bool has_report = false;
-    std::map<vmm::DomainId, std::uint64_t> generations;
-    std::vector<core::PoolScanReport> scans;
-    std::vector<SweepFinding> findings;
-  };
-
-  /// WriteWatch subscriber counting write activity fleet-wide (telemetry:
-  /// "fleet.dirty_domains_observed" / "fleet.watch_notifications"); one per
-  /// distinct hypervisor, live between start() and worker join.
-  class DirtyTracker;
-
-  void worker_loop();
-  void run_sweep(QueuedSweep run);
-  /// The classic full-scan body (caller holds pool.mutex).
-  void run_full_locked(Pool& pool, const QueuedSweep& run,
-                       SweepReport& report);
-  /// The event-driven body: skip-if-clean via per-domain write
-  /// generations, else incremental scan (caller holds pool.mutex).
-  void run_event_locked(Pool& pool, const QueuedSweep& run,
-                        SweepReport& report, telemetry::SpanScope& span);
-  void emit(const SweepReport& report);
-  void join_workers();
-
-  FleetConfig config_;
-  telemetry::MetricRegistry* metrics_;  // resolved, never null
-
-  // Atomic registry cells ("service.*") + live-level gauges.
-  telemetry::OwnedCounter submitted_;
-  telemetry::OwnedCounter completed_runs_;
-  telemetry::OwnedCounter cancelled_runs_;
-  telemetry::OwnedCounter dropped_pending_;
-  telemetry::OwnedCounter quarantine_events_;
-  telemetry::OwnedCounter exhausted_runs_;
-  telemetry::OwnedCounter sweeps_skipped_clean_;
-  telemetry::OwnedCounter event_runs_;
-  telemetry::Gauge queue_depth_;
-  telemetry::Gauge sweeps_in_flight_;
-
-  std::vector<std::unique_ptr<Pool>> pools_;
-  std::vector<std::unique_ptr<DirtyTracker>> trackers_;
-  mutable std::mutex event_mutex_;  // guards event_states_
-  std::map<SweepId, EventState> event_states_;
-  std::vector<std::shared_ptr<SweepSink>> sinks_;
-  std::function<void(SweepId, std::size_t, const std::string&)> module_hook_;
-
-  SweepQueue queue_;
-  std::unique_ptr<ThreadPool> workers_;
-  std::vector<std::future<void>> worker_futures_;
-
-  mutable std::mutex mutex_;  // guards next_id_, started_, draining_
-  SweepId next_id_ = 1;
-  bool started_ = false;
-  bool draining_ = false;
+  ShardCoordinator coordinator_;
 };
 
 }  // namespace mc::service

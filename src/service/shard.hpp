@@ -1,0 +1,132 @@
+// Shard — one worker shard of the fleet control plane.
+//
+// A shard is the unit the coordinator schedules, rebalances, and (in chaos
+// mode) kills: its own SweepQueue, a liveness flag, and the per-shard
+// accounting the SLO/bench layers read (completed runs, steals, rescued
+// runs, simulated busy time).  The execution state a run touches — pools,
+// warm caches, event state — deliberately does NOT live here; it lives in
+// the SweepEngine below the shard layer, which is what makes killing a
+// shard safe: its queue drains onto the survivors and no per-pool state is
+// lost with it.
+//
+// Telemetry: when the coordinator runs in sharded mode it hands each shard
+// a MetricView over the fleet registry ("shard<i>."), so per-shard counts
+// are visible by prefix.  In classic mode (the shards=1 FleetService
+// facade) the handles stay detached — the registry namespace, and with it
+// the emit_telemetry snapshot JSON, is byte-identical to the historical
+// single-queue service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "service/sweep_queue.hpp"
+#include "telemetry/view.hpp"
+
+namespace mc::service {
+
+/// Point-in-time accounting of one shard.
+// mc-lint: allow(adhoc-stats)
+struct ShardStats {
+  std::size_t index = 0;
+  bool dead = false;
+  std::size_t pending = 0;
+  std::size_t peak_pending = 0;
+  std::uint64_t completed_runs = 0;  // runs executed by this shard's workers
+  std::uint64_t stolen_runs = 0;     // runs this shard lifted from siblings
+  std::uint64_t rescued_runs = 0;    // runs re-emitted here by a re-shard
+  std::uint64_t shed_runs = 0;       // admission decisions that shed a tick
+  std::uint64_t overflow_runs = 0;   // unsheddable admissions past capacity
+  SimNanos sim_busy = 0;             // summed simulated scan time executed
+};
+
+class Shard {
+ public:
+  /// `metrics` may be null (classic mode): all telemetry handles stay
+  /// detached and the registry namespace is untouched.
+  Shard(std::size_t index, telemetry::MetricRegistry* metrics)
+      : index_(index) {
+    if (metrics != nullptr) {
+      telemetry::MetricView view(*metrics,
+                                 "shard" + std::to_string(index) + ".");
+      completed_counter_ = view.owned_counter("completed_runs");
+      stolen_counter_ = view.owned_counter("stolen_runs");
+      rescued_counter_ = view.owned_counter("rescued_runs");
+      depth_gauge_ = view.gauge("queue_depth");
+    }
+  }
+
+  std::size_t index() const { return index_; }
+  SweepQueue& queue() { return queue_; }
+  const SweepQueue& queue() const { return queue_; }
+
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+  void kill() { dead_.store(true, std::memory_order_release); }
+
+  /// A run executed by this shard's workers finished (`wall` = its summed
+  /// simulated scan time; `stolen` = it came off a sibling's queue).
+  void record_run(SimNanos wall, bool stolen) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    sim_busy_.fetch_add(static_cast<std::uint64_t>(wall),
+                        std::memory_order_relaxed);
+    completed_counter_.inc();
+    if (stolen) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      stolen_counter_.inc();
+    }
+  }
+
+  /// A run rescued from a dead shard was re-emitted onto this queue.
+  void record_rescue() {
+    rescued_.fetch_add(1, std::memory_order_relaxed);
+    rescued_counter_.inc();
+  }
+
+  void record_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void record_overflow() { overflow_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Refreshes the per-shard depth gauge (no-op in classic mode).
+  void publish_queue_depth() {
+    depth_gauge_.set(static_cast<std::int64_t>(queue_.pending()));
+  }
+
+  std::uint64_t completed_runs() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  SimNanos sim_busy() const {
+    return static_cast<SimNanos>(sim_busy_.load(std::memory_order_relaxed));
+  }
+
+  ShardStats stats() const {
+    ShardStats out;
+    out.index = index_;
+    out.dead = dead();
+    out.pending = queue_.pending();
+    out.peak_pending = queue_.peak_pending();
+    out.completed_runs = completed_.load(std::memory_order_relaxed);
+    out.stolen_runs = stolen_.load(std::memory_order_relaxed);
+    out.rescued_runs = rescued_.load(std::memory_order_relaxed);
+    out.shed_runs = shed_.load(std::memory_order_relaxed);
+    out.overflow_runs = overflow_.load(std::memory_order_relaxed);
+    out.sim_busy = sim_busy();
+    return out;
+  }
+
+ private:
+  std::size_t index_;
+  SweepQueue queue_;
+  std::atomic<bool> dead_{false};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> rescued_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> sim_busy_{0};
+  telemetry::OwnedCounter completed_counter_;  // "shard<i>.completed_runs"
+  telemetry::OwnedCounter stolen_counter_;     // "shard<i>.stolen_runs"
+  telemetry::OwnedCounter rescued_counter_;    // "shard<i>.rescued_runs"
+  telemetry::Gauge depth_gauge_;               // "shard<i>.queue_depth"
+};
+
+}  // namespace mc::service

@@ -2,35 +2,134 @@
 
 namespace mc::service {
 
+bool SweepQueue::push_locked(QueuedSweep&& sweep) {
+  if (closed_ || cancelled_.count(sweep.id) > 0) {
+    return false;
+  }
+  sweep.seq = next_seq_++;
+  heap_.push_back(std::move(sweep));
+  std::push_heap(heap_.begin(), heap_.end(), Order{});
+  peak_ = std::max(peak_, heap_.size());
+  return true;
+}
+
+std::optional<QueuedSweep> SweepQueue::take_top_locked() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Order{});
+    QueuedSweep top = std::move(heap_.back());
+    heap_.pop_back();
+    if (cancelled_.count(top.id) > 0) {
+      cv_.notify_all();  // heap may now be empty — wake wait_idle
+      continue;          // struck while pending
+    }
+    return top;
+  }
+  return std::nullopt;
+}
+
 bool SweepQueue::push(QueuedSweep sweep) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || cancelled_.count(sweep.id) > 0) {
+    if (!push_locked(std::move(sweep))) {
       return false;
     }
-    sweep.seq = next_seq_++;
-    heap_.push(std::move(sweep));
   }
   cv_.notify_one();
   return true;
+}
+
+AdmitResult SweepQueue::admit(QueuedSweep sweep, std::size_t capacity,
+                              std::optional<QueuedSweep>* evicted) {
+  AdmitResult result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || cancelled_.count(sweep.id) > 0) {
+      return AdmitResult::kRefused;
+    }
+    if (capacity == 0 || heap_.size() < capacity) {
+      push_locked(std::move(sweep));
+      result = AdmitResult::kAdmitted;
+    } else {
+      // At capacity.  The only thing allowed to yield is a recurring,
+      // non-alerted tick — the victim is the sheddable run that would pop
+      // last (Order's minimum: lowest priority, then latest due).
+      auto victim = heap_.end();
+      for (auto it = heap_.begin(); it != heap_.end(); ++it) {
+        if (!it->spec.sheddable() || cancelled_.count(it->id) > 0) {
+          continue;
+        }
+        if (victim == heap_.end() || Order{}(*it, *victim)) {
+          victim = it;
+        }
+      }
+      if (!sweep.spec.sheddable()) {
+        // One-shot / alerted work is never dropped: evict a recurring
+        // tick if one is queued, otherwise let the bound bend.
+        if (victim != heap_.end()) {
+          if (evicted != nullptr) {
+            *evicted = std::move(*victim);
+          }
+          heap_.erase(victim);
+          std::make_heap(heap_.begin(), heap_.end(), Order{});
+          push_locked(std::move(sweep));
+          result = AdmitResult::kAdmittedEvicted;
+        } else {
+          push_locked(std::move(sweep));
+          result = AdmitResult::kOverflow;
+        }
+      } else if (victim != heap_.end() && Order{}(*victim, sweep)) {
+        // The queued victim runs after the incoming tick — swap them.
+        if (evicted != nullptr) {
+          *evicted = std::move(*victim);
+        }
+        heap_.erase(victim);
+        std::make_heap(heap_.begin(), heap_.end(), Order{});
+        push_locked(std::move(sweep));
+        result = AdmitResult::kAdmittedEvicted;
+      } else {
+        // The incoming tick is the cheapest thing in sight: shed it.
+        return AdmitResult::kShed;
+      }
+    }
+  }
+  cv_.notify_one();
+  return result;
 }
 
 std::optional<QueuedSweep> SweepQueue::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_.wait(lock, [&] { return !heap_.empty() || closed_; });
-    if (heap_.empty()) {
+    if (std::optional<QueuedSweep> top = take_top_locked()) {
+      ++active_;
+      return top;
+    }
+    if (closed_) {
       return std::nullopt;  // closed and drained
     }
-    QueuedSweep top = heap_.top();
-    heap_.pop();
-    if (cancelled_.count(top.id) > 0) {
-      cv_.notify_all();  // heap may now be empty — wake wait_idle
-      continue;          // struck while pending
-    }
-    ++active_;
-    return top;
+    // Every pending entry was cancelled; wait for real work.
   }
+}
+
+std::optional<QueuedSweep> SweepQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<QueuedSweep> top = take_top_locked();
+  if (top) {
+    ++active_;
+  }
+  return top;
+}
+
+std::vector<QueuedSweep> SweepQueue::drain_pending() {
+  std::vector<QueuedSweep> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (std::optional<QueuedSweep> top = take_top_locked()) {
+      drained.push_back(std::move(*top));
+    }
+  }
+  cv_.notify_all();  // the backlog is gone — wake wait_idle
+  return drained;
 }
 
 void SweepQueue::done() {
@@ -49,22 +148,12 @@ void SweepQueue::wait_idle() {
 bool SweepQueue::cancel(SweepId id) {
   std::lock_guard<std::mutex> lock(mutex_);
   cancelled_.insert(id);
-  // Strike pending runs immediately so pending() stays honest.  The heap
-  // has no search interface, so rebuild it — backlogs are small because
-  // workers drain the queue continuously.
-  std::priority_queue<QueuedSweep, std::vector<QueuedSweep>, Order> rebuilt;
-  bool struck = false;
-  while (!heap_.empty()) {
-    QueuedSweep top = heap_.top();
-    heap_.pop();
-    if (top.id == id) {
-      struck = true;
-      continue;  // drop it now; keeps pending() honest
-    }
-    rebuilt.push(std::move(top));
-  }
-  heap_ = std::move(rebuilt);
+  // Strike pending runs immediately so pending() stays honest.
+  const std::size_t before = heap_.size();
+  std::erase_if(heap_, [&](const QueuedSweep& s) { return s.id == id; });
+  const bool struck = heap_.size() != before;
   if (struck) {
+    std::make_heap(heap_.begin(), heap_.end(), Order{});
     cv_.notify_all();  // heap may now be empty — wake wait_idle
   }
   return struck;
@@ -88,7 +177,7 @@ std::size_t SweepQueue::clear() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     dropped = heap_.size();
-    heap_ = {};
+    heap_.clear();
   }
   cv_.notify_all();  // wake wait_idle — the backlog is gone
   return dropped;
@@ -102,6 +191,30 @@ bool SweepQueue::closed() const {
 std::size_t SweepQueue::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return heap_.size();
+}
+
+bool SweepQueue::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.empty() && active_ == 0;
+}
+
+std::optional<SimNanos> SweepQueue::min_due() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<SimNanos> earliest;
+  for (const QueuedSweep& s : heap_) {
+    if (cancelled_.count(s.id) > 0) {
+      continue;
+    }
+    if (!earliest || s.due < *earliest) {
+      earliest = s.due;
+    }
+  }
+  return earliest;
+}
+
+std::size_t SweepQueue::peak_pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
 }
 
 }  // namespace mc::service

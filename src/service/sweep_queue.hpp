@@ -1,30 +1,45 @@
-// SweepQueue — the FleetService's thread-safe priority queue of pending
-// sweeps.
+// SweepQueue — one shard's thread-safe priority queue of pending sweeps.
 //
 // Ordering: highest priority first; within a priority class, earliest
-// simulated due time; ties broken by submission order, so equal-priority
-// sweeps run FIFO.  pop() blocks until an item is available or the queue
-// is closed *and* empty — close() is the graceful-drain primitive: pushes
-// are refused afterwards, but everything already queued is still handed
-// out, so workers drain the backlog before seeing the nullopt that stops
-// their loop.  clear() is the fast-stop primitive: it drops the backlog
-// and returns how many sweeps were discarded.
+// simulated due time; within a due tie, dirtiest first (the coordinator
+// stamps event-driven runs with their pools' write-generation delta so a
+// written-to pool is scanned before provably-quiet ones — detection
+// latency follows the writes); ties broken by submission order, so
+// equal-priority sweeps run FIFO.  pop() blocks until an item is available
+// or the queue is closed *and* empty — close() is the graceful-drain
+// primitive: pushes are refused afterwards, but everything already queued
+// is still handed out, so workers drain the backlog before seeing the
+// nullopt that stops their loop.  clear() is the fast-stop primitive: it
+// drops the backlog and returns how many sweeps were discarded.
+//
+// The sharded control plane adds three surfaces on top of the classic
+// push/pop pair:
+//   * admit() — capacity-bounded push implementing the load-shedding
+//     policy in service/admission.hpp (recurring ticks yield to one-shot
+//     and alerted sweeps);
+//   * try_pop() — non-blocking pop for the coordinator's work-stealing
+//     path (an idle shard's worker lifts the next run off a lagging
+//     sibling's queue);
+//   * drain_pending() — atomically empties the queue, returning the runs
+//     in pop order; the chaos re-shard uses it to move a dead shard's
+//     backlog onto the survivors without losing a sweep.
 //
 // Cancellation of *pending* runs is queue-side (cancel(id) marks the id;
 // marked entries are silently dropped on pop).  Cancellation of a sweep
-// already handed to a worker is the FleetService's job — the queue cannot
+// already handed to a worker is the coordinator's job — the queue cannot
 // reach in-flight work.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "service/admission.hpp"
 #include "util/sim_clock.hpp"
 
 namespace mc::service {
@@ -32,11 +47,14 @@ namespace mc::service {
 /// Stable identifier of one submitted sweep (all its recurrences share it).
 using SweepId = std::uint64_t;
 
+/// Sentinel shard index: "not rescheduled" / "no shard".
+inline constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
 /// What to sweep: a module set on one registered pool, how urgently, and
 /// how often.
 struct SweepSpec {
   std::string name;                  // operator-facing label
-  std::size_t pool_index = 0;        // FleetService::add_pool return value
+  std::size_t pool_index = 0;        // add_pool return value
   std::vector<std::string> modules;  // scanned in order, one pool scan each
   int priority = 0;                  // higher runs first
   /// Total runs (>= 1).  Runs after the first are re-enqueued on
@@ -53,6 +71,13 @@ struct SweepSpec {
   /// Event-driven sweeps assume the non-faulting path (no quarantine
   /// machinery); pools with fault injection should use full sweeps.
   bool event_driven = false;
+  /// Alerted sweeps (e.g. a watch-driven off-cadence scan of a pool that
+  /// just took writes) are exempt from load shedding even when recurring —
+  /// see service/admission.hpp.
+  bool alerted = false;
+
+  /// Load-shedding class: only non-alerted recurring ticks may be shed.
+  bool sheddable() const { return repeat > 1 && !alerted; }
 };
 
 /// One scheduled run of a sweep.
@@ -62,6 +87,11 @@ struct QueuedSweep {
   SimNanos due = 0;           // simulated due time of this run
   std::size_t run_index = 0;  // 0-based recurrence counter
   std::uint64_t seq = 0;      // FIFO tiebreak, assigned by push()
+  /// Pool write-generation delta stamped by the coordinator at push time;
+  /// orders equal-(priority, due) runs dirtiest-first.  0 for full sweeps.
+  std::uint64_t dirty_hint = 0;
+  /// Set by the chaos re-shard: the dead shard this run was rescued from.
+  std::size_t rescheduled_from = kNoShard;
 };
 
 class SweepQueue {
@@ -70,10 +100,27 @@ class SweepQueue {
   /// is closed — a recurring sweep re-enqueued after drain() simply ends.
   bool push(QueuedSweep sweep);
 
+  /// Capacity-bounded push implementing the admission policy: under
+  /// `capacity` (0 = unbounded) behaves like push(); at capacity the
+  /// lowest-priority recurring tick yields — see service/admission.hpp for
+  /// the full decision table.  When a queued tick is evicted to make room
+  /// it is returned through `evicted` (for the caller's shed accounting).
+  AdmitResult admit(QueuedSweep sweep, std::size_t capacity,
+                    std::optional<QueuedSweep>* evicted = nullptr);
+
   /// Blocks until a run is available or the queue is closed and empty
   /// (nullopt → the worker loop should exit).  Cancelled pending runs are
   /// dropped here, never returned.
   std::optional<QueuedSweep> pop();
+
+  /// Non-blocking pop: the next runnable sweep, or nullopt when the queue
+  /// is empty (never waits).  Used by workers driven off the coordinator's
+  /// shared wake signal and by the work-stealing path.
+  std::optional<QueuedSweep> try_pop();
+
+  /// Atomically removes and returns every pending run in pop order
+  /// (cancelled entries dropped).  The chaos re-shard primitive.
+  std::vector<QueuedSweep> drain_pending();
 
   /// Marks every pending (and future re-enqueued) run of `id` cancelled.
   /// Returns true if at least one pending run was struck.
@@ -106,8 +153,22 @@ class SweepQueue {
   bool closed() const;
   std::size_t pending() const;
 
+  /// Empty with no popped run outstanding (the wait_idle predicate,
+  /// sampled).  The coordinator's drain barrier polls this per shard.
+  bool idle() const;
+
+  /// Earliest simulated due time among pending runs; nullopt when empty.
+  /// The coordinator's queue-age probe: `frontier - min_due()` is how far
+  /// the shard's oldest work lags the fleet.
+  std::optional<SimNanos> min_due() const;
+
+  /// High-water mark of pending() over the queue's lifetime — evidence for
+  /// the backpressure gate that shedding kept the bound.
+  std::size_t peak_pending() const;
+
  private:
   struct Order {
+    /// "less" for a max-heap: true when `a` runs after `b`.
     bool operator()(const QueuedSweep& a, const QueuedSweep& b) const {
       if (a.spec.priority != b.spec.priority) {
         return a.spec.priority < b.spec.priority;  // max-heap on priority
@@ -115,16 +176,25 @@ class SweepQueue {
       if (a.due != b.due) {
         return a.due > b.due;  // then earliest due
       }
+      if (a.dirty_hint != b.dirty_hint) {
+        return a.dirty_hint < b.dirty_hint;  // then dirtiest first
+      }
       return a.seq > b.seq;  // then FIFO
     }
   };
 
+  bool push_locked(QueuedSweep&& sweep);
+  std::optional<QueuedSweep> take_top_locked();
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::priority_queue<QueuedSweep, std::vector<QueuedSweep>, Order> heap_;
+  /// Heap over Order (std::push_heap/pop_heap); a plain vector so
+  /// cancel/evict/min_due can walk the pending set in place.
+  std::vector<QueuedSweep> heap_;
   std::unordered_set<SweepId> cancelled_;
   std::uint64_t next_seq_ = 0;
   std::size_t active_ = 0;  // runs popped but not yet done()
+  std::size_t peak_ = 0;
   bool closed_ = false;
 };
 

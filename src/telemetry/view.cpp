@@ -1,0 +1,31 @@
+#include "telemetry/view.hpp"
+
+#include <algorithm>
+
+namespace mc::telemetry {
+
+namespace {
+
+bool has_prefix(const std::string& name, const std::string& prefix) {
+  return name.size() >= prefix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricView::snapshot() const {
+  MetricsSnapshot all = registry_->snapshot();
+  MetricsSnapshot out;
+  std::copy_if(all.counters.begin(), all.counters.end(),
+               std::back_inserter(out.counters),
+               [&](const auto& c) { return has_prefix(c.name, prefix_); });
+  std::copy_if(all.gauges.begin(), all.gauges.end(),
+               std::back_inserter(out.gauges),
+               [&](const auto& g) { return has_prefix(g.name, prefix_); });
+  std::copy_if(all.histograms.begin(), all.histograms.end(),
+               std::back_inserter(out.histograms),
+               [&](const auto& h) { return has_prefix(h.name, prefix_); });
+  return out;
+}
+
+}  // namespace mc::telemetry

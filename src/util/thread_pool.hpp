@@ -2,7 +2,12 @@
 //
 // Used by the parallel pool-scan mode of ModChecker — the extension the
 // paper proposes in §V-C.1 ("the modular design of ModChecker can support
-// parallel access of virtual machines' memory").
+// parallel access of virtual machines' memory") — and, in partitioned
+// form, by the sharded fleet coordinator: a pool built with
+// `ThreadPool(partitions, threads_per_partition)` gives every partition
+// its own task queue and a dedicated worker slice, so one shard's backlog
+// can never starve another shard's workers.  The classic single-queue
+// constructor is partition count 1.
 #pragma once
 
 #include <condition_variable>
@@ -20,8 +25,13 @@ namespace mc {
 
 class ThreadPool {
  public:
-  /// Creates a pool with `threads` workers (>= 1).
-  explicit ThreadPool(std::size_t threads);
+  /// Creates a pool with `threads` workers (>= 1) sharing one task queue.
+  explicit ThreadPool(std::size_t threads) : ThreadPool(1, threads) {}
+
+  /// Creates a partitioned pool: `partitions` independent task queues
+  /// (>= 1), each drained by its own `threads_per_partition` workers
+  /// (>= 1).  Tasks submitted to partition p run only on p's workers.
+  ThreadPool(std::size_t partitions, std::size_t threads_per_partition);
 
   /// Joins all workers; pending tasks are completed first.
   ~ThreadPool();
@@ -30,33 +40,49 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  std::size_t partitions() const { return slices_.size(); }
 
-  /// Enqueues a callable and returns a future for its result.
+  /// Enqueues a callable on partition 0 and returns a future for its
+  /// result (the classic single-queue surface).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    return submit_to(0, std::forward<F>(f));
+  }
+
+  /// Enqueues a callable on the given partition's queue.
+  template <typename F>
+  auto submit_to(std::size_t partition, F&& f)
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
+    Slice& slice = *slices_.at(partition);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
+      std::lock_guard<std::mutex> lock(slice.mutex);
+      if (slice.stopping) {
         throw std::runtime_error("ThreadPool::submit after shutdown");
       }
-      tasks_.emplace([task]() { (*task)(); });
+      slice.tasks.emplace([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    slice.cv.notify_one();
     return result;
   }
 
  private:
-  void worker_loop();
+  /// One partition: queue, lock, and stop flag.  Workers are bound to a
+  /// slice at construction and never touch another slice's queue.
+  struct Slice {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::queue<std::function<void()>> tasks;
+    bool stopping = false;
+  };
 
+  void worker_loop(Slice& slice);
+
+  std::vector<std::unique_ptr<Slice>> slices_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
 };
 
 }  // namespace mc

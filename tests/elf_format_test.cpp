@@ -237,6 +237,63 @@ TEST(ElfLoader, TwoBasesNormalizeToIdenticalText) {
   EXPECT_EQ(text_a, text_b);  // Algorithm 2, ELF edition
 }
 
+TEST(ElfLoader, Pc32SlotsAreBaseInvariant) {
+  // A call-style PC-relative reference: slot at .text+0x20 targeting
+  // helper (.text+0x60) with the usual rel32 addend of -4.
+  KoBuilder builder("pc32");
+  Bytes text(0x80, 0x90);
+  for (std::size_t i = 0x20; i < 0x24; ++i) {
+    text[i] = 0;
+  }
+  builder.add_section(".text", std::move(text),
+                      kShfAlloc | kShfExecinstr);
+  builder.add_symbol("init_module", ".text", 0x10);
+  builder.add_symbol("helper", ".text", 0x60);
+  builder.add_rela(".text", 0x20, kRX8664_PC32, "helper", -4);
+  const Bytes ko = builder.build();
+
+  const Bytes a = load_ko(ByteView(ko), 0xF8400000u);
+  const Bytes b = load_ko(ByteView(ko), 0xFA7F3000u);
+  // S + A - P: the kernel bias and the load base cancel out of the
+  // difference, so the two loads are byte-identical end to end — PC32
+  // needs no normalization pass at all.
+  EXPECT_EQ(a, b);
+
+  const ElfImage image{ByteView(ko)};
+  const Elf64Shdr* text_sh = image.find_section(".text");
+  ASSERT_NE(text_sh, nullptr);
+  // Layout-only displacement: (0x60 - 4) - 0x20 = 0x3C.
+  const std::uint32_t stored = load_le32(
+      ByteView(a), static_cast<std::size_t>(text_sh->sh_offset) + 0x20);
+  EXPECT_EQ(stored, 0x3Cu);
+}
+
+TEST(ElfLoader, CatalogPc32SlotsNeedNoAdjustment) {
+  // The default catalog now mixes PC-relative slots in with the absolute
+  // ones; the normalization pass must adjust exactly the absolute slots
+  // (the PC32 slots already agree across bases).
+  const cloud::KoSpec spec = cloud::default_ko_catalog().front();
+  ASSERT_GT(spec.pc32_fixups, 0u);
+  const Bytes ko = cloud::build_ko_image(spec);
+  const Bytes a = load_ko(ByteView(ko), 0xF8400000u);
+  const Bytes b = load_ko(ByteView(ko), 0xFA7F3000u);
+
+  const ElfImage image{ByteView(ko)};
+  const Elf64Shdr* text = image.find_section(".text");
+  ASSERT_NE(text, nullptr);
+  Bytes text_a = slice(ByteView(a), static_cast<std::size_t>(text->sh_offset),
+                       static_cast<std::size_t>(text->sh_size));
+  Bytes text_b = slice(ByteView(b), static_cast<std::size_t>(text->sh_offset),
+                       static_cast<std::size_t>(text->sh_size));
+  const core::FixupPolicy policy = core::elf64_format().fixup_policy();
+  const auto result = core::adjust_fixups(
+      MutableByteView(text_a), 0xF8400000u,
+      MutableByteView(text_b), 0xFA7F3000u, policy);
+  EXPECT_TRUE(result.sections_identical_after());
+  EXPECT_EQ(result.adjusted, spec.abs64_fixups + spec.abs32s_fixups);
+  EXPECT_EQ(text_a, text_b);
+}
+
 TEST(ElfLoader, Abs32SlotRejectsUnrepresentableAddress) {
   KoBuilder builder("bad32s");
   Bytes text(0x40, 0x90);

@@ -15,6 +15,7 @@
 // byte for byte.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <random>
@@ -35,6 +36,7 @@
 #include "modchecker/modchecker.hpp"
 #include "modchecker/report_json.hpp"
 #include "service/fleet.hpp"
+#include "util/bytes.hpp"
 
 namespace {
 
@@ -422,6 +424,49 @@ TEST(FleetEventDriven, ConcurrentEventSweepsAcrossPoolsAreRaceFree) {
   // Each sweep scanned once and skipped its three clean recurrences.
   EXPECT_EQ(fleet.stats().sweeps_skipped_clean, 6u);
   EXPECT_EQ(fleet.stats().event_runs, 2u);
+}
+
+TEST(FleetEventDriven, DirtierPoolScansFirstAtEqualPriority) {
+  // Two identically built environments, so their boot-time write
+  // generations match; the extra writes below make one pool strictly
+  // dirtier.  Rewriting the byte that is already there advances the watch
+  // generations without changing guest state — dirtier, but still clean.
+  auto quiet_env = make_env(3);
+  auto busy_env = make_env(3);
+  for (const vmm::DomainId d : busy_env->guests()) {
+    std::array<std::uint8_t, 1> b{};
+    busy_env->hypervisor().domain(d).memory().read(0, MutableByteView(b));
+    busy_env->hypervisor().domain(d).memory().write(0, ByteView(b));
+  }
+
+  FleetService fleet({/*workers=*/1});
+  const std::size_t quiet =
+      fleet.add_pool(quiet_env->hypervisor(), quiet_env->guests());
+  const std::size_t busy =
+      fleet.add_pool(busy_env->hypervisor(), busy_env->guests());
+  auto ring = std::make_shared<RingSink>();
+  fleet.add_sink(ring);
+
+  // Submitted quiet-first: FIFO alone would scan the quiet pool first.
+  // Equal priority and due, so the dirty hint stamped at submission must
+  // reorder the queue — detection latency follows the writes.
+  const auto quiet_id =
+      fleet.submit(event_spec("quiet", quiet, {"hal.dll"}, /*repeat=*/1));
+  const auto busy_id =
+      fleet.submit(event_spec("busy", busy, {"hal.dll"}, /*repeat=*/1));
+  ASSERT_NE(quiet_id, 0u);
+  ASSERT_NE(busy_id, 0u);
+  fleet.start();
+  fleet.drain();
+
+  const auto reports = ring->snapshot();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].id, busy_id);
+  EXPECT_EQ(reports[1].id, quiet_id);
+  // The same-value rewrites must not have manufactured findings.
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.findings.empty());
+  }
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -210,6 +213,42 @@ TEST(ThreadPool, DrainsPendingTasksOnDestruction) {
 
 TEST(ThreadPool, RejectsZeroWorkers) {
   EXPECT_THROW(ThreadPool(0), InvalidArgument);
+  EXPECT_THROW(ThreadPool(0, 1), InvalidArgument);
+}
+
+TEST(ThreadPool, PartitionedTasksStayOnTheirWorkers) {
+  ThreadPool pool(2, 1);
+  EXPECT_EQ(pool.partitions(), 2u);
+  EXPECT_EQ(pool.size(), 2u);
+  const auto worker_id = [&](std::size_t partition) {
+    return pool.submit_to(partition,
+                          [] { return std::this_thread::get_id(); })
+        .get();
+  };
+  const std::thread::id id0 = worker_id(0);
+  const std::thread::id id1 = worker_id(1);
+  EXPECT_NE(id0, id1);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(worker_id(0), id0);  // partition 0 never runs elsewhere
+    EXPECT_EQ(worker_id(1), id1);
+  }
+}
+
+TEST(ThreadPool, BlockedPartitionDoesNotStarveSiblings) {
+  ThreadPool pool(2, 1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  auto blocked = pool.submit_to(0, [gate] { gate.wait(); });
+  // Partition 0's only worker is parked on the gate; partition 1's queue
+  // is independent, so its task completes regardless.
+  EXPECT_EQ(pool.submit_to(1, [] { return 42; }).get(), 42);
+  release.set_value();
+  blocked.get();
+}
+
+TEST(ThreadPool, RejectsUnknownPartition) {
+  ThreadPool pool(2, 1);
+  EXPECT_THROW(pool.submit_to(5, [] {}), std::out_of_range);
 }
 
 // ---- UTF-16 ------------------------------------------------------------------------

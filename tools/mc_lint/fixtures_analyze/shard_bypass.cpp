@@ -1,0 +1,37 @@
+// Fixture: shard-bypass (scanned by mc_analyze tests, never compiled).
+// Direct construction of FleetService / SweepQueue outside the service
+// layer is flagged (stack, new, make_unique/make_shared); the coordinator
+// path, qualified type uses, references and the suppressed harness stay
+// quiet.
+#include "service/coordinator.hpp"
+
+void rogue_fleet() {
+  FleetService svc(cfg);  // flagged: stack construction outside service/
+  svc.start();
+}
+
+void rogue_queue_heap() {
+  auto* q = new SweepQueue();  // flagged; mc-lint: allow(naked-new)
+  consume(q);
+}
+
+void rogue_queue_smart() {
+  auto q = std::make_unique<SweepQueue>();  // flagged: smart-pointer make
+  auto s = std::make_shared<FleetService>(cfg);  // flagged
+  consume(q, s);
+}
+
+void sanctioned_coordinator() {
+  ShardCoordinator coordinator(cfg);  // ok: the control plane's front door
+  coordinator.start();
+}
+
+void qualified_use(const FleetService& svc) {  // ok: reference parameter
+  FleetService::Stats stats = svc.stats();  // ok: qualified nested type
+  consume(stats);
+}
+
+void bench_harness() {
+  SweepQueue probe;  // mc-lint: allow(shard-bypass)
+  consume(probe);
+}

@@ -1,0 +1,74 @@
+// shard-bypass — protects the sharded control plane's layering.
+//
+// Since the control-plane refactor, FleetService is a facade and SweepQueue
+// is an internal per-shard primitive: every sweep is supposed to enter the
+// system through a ShardCoordinator (or the facade), where routing,
+// admission control, load shedding and the chaos re-shard all live.  Code
+// that constructs a FleetService or a raw SweepQueue outside the service
+// layer silently bypasses all of that — its sweeps never hit the bounded
+// queues, never count against the SLO, and are invisible to a re-shard —
+// so the rule flags direct construction (stack, new, make_unique/shared)
+// of either type outside the sanctioned TUs (src/service/* — the layer
+// itself — and tests, which exercise internals on purpose).
+//
+// A deliberate exception (a focused benchmark, a fixture) carries an
+// explicit `// mc-lint: allow(shard-bypass)` at the site.
+#include "rules.hpp"
+
+namespace mc::lint::rules {
+
+namespace {
+
+bool sanctioned_tu(const std::string& file) {
+  return file.find("service/") != std::string::npos ||
+         file.find("test") != std::string::npos;
+}
+
+bool is_guarded_type(const Token& t) {
+  return t.kind == Tok::kIdent &&
+         (t.text == "FleetService" || t.text == "SweepQueue");
+}
+
+}  // namespace
+
+void shard_bypass(const std::vector<Token>& toks, const std::string& file,
+                  std::vector<Finding>& out) {
+  if (sanctioned_tu(file)) {
+    return;
+  }
+  const auto flag = [&](const Token& t) {
+    out.push_back(
+        {file, t.line, "shard-bypass",
+         "direct " + t.text +
+             " construction bypasses the shard coordinator; submit sweeps "
+             "through a ShardCoordinator (or the FleetService facade) so "
+             "admission control, SLO accounting and chaos re-sharding see "
+             "them"});
+  };
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // `FleetService svc(...)` / `SweepQueue q;` — a declaration: the type
+    // name followed by an identifier.  (Qualified uses like
+    // `FleetService::Stats` have punctuation next and stay legal.)
+    if (is_guarded_type(t) && toks[i + 1].kind == Tok::kIdent) {
+      flag(t);
+      continue;
+    }
+    // `new FleetService(...)`.
+    if (t.kind == Tok::kIdent && t.text == "new" &&
+        is_guarded_type(toks[i + 1])) {
+      flag(toks[i + 1]);
+      continue;
+    }
+    // `make_unique<FleetService>(...)` / `make_shared<SweepQueue>()`.
+    if (t.kind == Tok::kIdent &&
+        (t.text == "make_unique" || t.text == "make_shared") &&
+        i + 2 < toks.size() && is_punct(toks[i + 1], "<") &&
+        is_guarded_type(toks[i + 2])) {
+      flag(toks[i + 2]);
+      continue;
+    }
+  }
+}
+
+}  // namespace mc::lint::rules
